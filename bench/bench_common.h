@@ -1,0 +1,150 @@
+#ifndef HUGE_BENCH_BENCH_COMMON_H_
+#define HUGE_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/config.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace huge::bench {
+
+/// Synthetic stand-ins for the paper's seven datasets (Table 3), scaled to
+/// one-box size; see DESIGN.md §3 for the substitution rationale. The
+/// `HUGE_BENCH_SCALE` environment variable multiplies vertex counts for
+/// larger runs (e.g. HUGE_BENCH_SCALE=4).
+struct Dataset {
+  std::string name;        ///< short name used in tables (e.g. "lj_s")
+  std::string stands_for;  ///< the paper's dataset (e.g. "LJ")
+  std::function<Graph()> make;
+};
+
+inline double Scale() {
+  const char* env = std::getenv("HUGE_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline std::shared_ptr<const Graph> MakeShared(const Dataset& d) {
+  return std::make_shared<Graph>(d.make());
+}
+
+/// The full registry, in the paper's Table-3 order.
+inline std::vector<Dataset> AllDatasets() {
+  const double s = Scale();
+  auto n = [s](uint32_t base) { return static_cast<VertexId>(base * s); };
+  return {
+      {"go_s", "GO",
+       [n] { return gen::PowerLaw(n(12000), 8, 2.5, 1001); }},
+      {"lj_s", "LJ",
+       [n] { return gen::PowerLaw(n(16000), 12, 2.45, 1002); }},
+      {"or_s", "OR",
+       [n] { return gen::PowerLaw(n(12000), 20, 2.6, 1003); }},
+      {"uk_s", "UK",
+       [n] { return gen::PowerLaw(n(24000), 10, 2.3, 1004); }},
+      {"eu_s", "EU",
+       [] {
+         const auto side = static_cast<uint32_t>(
+             std::max(64.0, 160.0 * std::sqrt(Scale())));
+         return gen::Road(side, side, uint64_t{side} * side / 16, 1005);
+       }},
+      {"fs_s", "FS",
+       [n] { return gen::PowerLaw(n(32000), 16, 2.6, 1006); }},
+      {"cw_s", "CW",
+       [n] { return gen::PowerLaw(n(80000), 16, 2.35, 1007); }},
+  };
+}
+
+inline Dataset DatasetByName(const std::string& name) {
+  for (auto& d : AllDatasets()) {
+    if (d.name == name) return d;
+  }
+  std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+  std::abort();
+}
+
+/// Default engine configuration for benches: a simulated 4-machine
+/// cluster with 2 workers each (scaled-down version of the paper's local
+/// cluster of 10 machines x 4 cores).
+inline Config BenchConfig() {
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.workers_per_machine = 2;
+  cfg.batch_size = 4096;
+  cfg.queue_capacity = 16;
+  // Paper-style run budgets: exceeded runs report OT / OOM. The tracked
+  // budget is deliberately conservative: contiguous buffers can hold up to
+  // ~3x the tracked bytes transiently while growing.
+  cfg.memory_limit_bytes = size_t{1200} << 20;
+  cfg.time_limit_seconds = 60;
+  return cfg;
+}
+
+/// Minimal fixed-width text table, matching the row/series layout of the
+/// paper's tables and figures.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : width) total += w + 2;
+    for (size_t i = 0; i < total; ++i) std::printf("-");
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+inline std::string Seconds(double s) { return Fmt("%.3f", s); }
+inline std::string Mb(uint64_t bytes) { return Fmt("%.2f", bytes / 1e6); }
+
+inline std::string Count(uint64_t c) { return std::to_string(c); }
+
+/// Standard deviation (Exp-8).
+inline double StdDev(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  return std::sqrt(var / xs.size());
+}
+
+}  // namespace huge::bench
+
+#endif  // HUGE_BENCH_BENCH_COMMON_H_

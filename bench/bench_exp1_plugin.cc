@@ -1,0 +1,65 @@
+// Reproduces Exp-1 (Figure 5): plugging existing systems' *logical plans*
+// into HUGE yields automatic speedups (Remark 3.2). Each pair runs the
+// original system's emulation vs. HUGE executing the same logical plan
+// with optimal physical settings, on q1 and q2.
+
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench/bench_common.h"
+#include "query/query_graph.h"
+
+int main() {
+  using namespace huge;
+  using namespace huge::bench;
+
+  struct Pair {
+    System original;
+    System plugged;
+    const char* dataset;  // RADS pair runs on LJ (paper: OT on UK otherwise)
+  };
+  const Pair pairs[] = {
+      {System::kBenu, System::kHugeBenu, "uk_s"},
+      {System::kRads, System::kHugeRads, "lj_s"},
+      {System::kSeed, System::kHugeSeed, "uk_s"},
+      {System::kBiGJoin, System::kHugeWco, "uk_s"},
+  };
+
+  std::printf("Exp-1 (Figure 5): speed up existing algorithms by plugging "
+              "their logical plans into HUGE\n\n");
+  Table table({"pair", "query", "dataset", "original T(s)", "HUGE-x T(s)",
+               "speedup", "orig C(MB)", "HUGE-x C(MB)", "matches"});
+
+  for (const Pair& pair : pairs) {
+    const Dataset dataset = DatasetByName(pair.dataset);
+    auto graph = MakeShared(dataset);
+    for (int qi : {1, 2}) {
+      const QueryGraph q = queries::Q(qi);
+      RunResult orig, plug;
+      const bool o = RunSystem(pair.original, graph, q, BenchConfig(), &orig);
+      const bool p = RunSystem(pair.plugged, graph, q, BenchConfig(), &plug);
+      std::string name = std::string(ToString(pair.original)) + " vs " +
+                         ToString(pair.plugged);
+      if (!o || !p || !orig.ok() || !plug.ok()) {
+        table.AddRow({name, "q" + std::to_string(qi), pair.dataset,
+                      o ? ToString(orig.status) : "n/a",
+                      p ? ToString(plug.status) : "n/a", "-", "-", "-", "-"});
+        continue;
+      }
+      const double speedup =
+          orig.metrics.TotalSeconds() / plug.metrics.TotalSeconds();
+      table.AddRow({name, "q" + std::to_string(qi), pair.dataset,
+                    Seconds(orig.metrics.TotalSeconds()),
+                    Seconds(plug.metrics.TotalSeconds()),
+                    Fmt("%.1fx", speedup),
+                    Mb(orig.metrics.bytes_communicated),
+                    Mb(plug.metrics.bytes_communicated),
+                    Count(plug.matches)});
+      if (orig.matches != plug.matches) {
+        std::printf("!! count mismatch in %s q%d\n", name.c_str(), qi);
+      }
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Exp-2 (Figure 6): all-round comparison of BENU, RADS, SEED,
+// BiGJoin and HUGE on queries q1-q6 across the dataset suite. Prints per
+// (dataset, query) the execution time of each system, the communication
+// share T_C/T, and per-system completion rates, plus peak memory.
+//
+// Pass --quick to restrict to q1-q3 on {eu_s, lj_s, uk_s}.
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/baselines.h"
+#include "bench/bench_common.h"
+#include "query/query_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace huge;
+  using namespace huge::bench;
+
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::vector<std::string> dataset_names =
+      quick ? std::vector<std::string>{"eu_s", "lj_s", "uk_s"}
+            : std::vector<std::string>{"eu_s", "lj_s", "or_s", "uk_s", "fs_s"};
+  std::vector<int> query_ids =
+      quick ? std::vector<int>{1, 2, 3} : std::vector<int>{1, 2, 3, 4, 5, 6};
+
+  const System systems[] = {System::kBenu, System::kRads, System::kSeed,
+                            System::kBiGJoin, System::kHuge};
+
+  Config base = BenchConfig();
+  base.time_limit_seconds = 30;  // the grid is large; OT rows mirror Fig. 6
+
+  std::printf("Exp-2 (Figure 6): all-round comparison "
+              "(T in seconds; (c%%) = communication share; x = no plan)\n\n");
+
+  std::map<System, int> completed;
+  std::map<System, int> attempted;
+  std::map<System, uint64_t> peak_mem;
+
+  for (const std::string& dname : dataset_names) {
+    const Dataset dataset = DatasetByName(dname);
+    auto graph = MakeShared(dataset);
+
+    std::vector<std::string> headers = {"query"};
+    for (System s : systems) headers.push_back(ToString(s));
+    headers.push_back("matches");
+    Table table(headers);
+
+    for (int qi : query_ids) {
+      const QueryGraph q = queries::Q(qi);
+      std::vector<std::string> row = {"q" + std::to_string(qi)};
+      uint64_t matches = 0;
+      for (System s : systems) {
+        ++attempted[s];
+        RunResult r;
+        if (!RunSystem(s, graph, q, base, &r)) {
+          row.push_back("x");
+          continue;
+        }
+        peak_mem[s] = std::max(peak_mem[s], r.metrics.peak_memory_bytes);
+        if (!r.ok()) {
+          row.push_back(ToString(r.status));
+          continue;
+        }
+        ++completed[s];
+        matches = r.matches;
+        const double t = r.metrics.TotalSeconds();
+        const double share =
+            t > 0 ? 100.0 * r.metrics.comm_seconds / t : 0.0;
+        row.push_back(Seconds(t) + " (" + Fmt("%.0f%%", share) + ")");
+      }
+      row.push_back(Count(matches));
+      table.AddRow(std::move(row));
+    }
+    std::printf("--- dataset %s (stands for %s) ---\n", dataset.name.c_str(),
+                dataset.stands_for.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+
+  Table summary({"system", "completion", "peak M(MB)"});
+  for (System s : systems) {
+    summary.AddRow({ToString(s),
+                    Fmt("%.0f%%", 100.0 * completed[s] /
+                                      std::max(attempted[s], 1)),
+                    Mb(peak_mem[s])});
+  }
+  std::printf("--- completion rate and peak memory across all runs ---\n");
+  summary.Print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Exp-5 (Figure 8): the impact of the LRBU cache capacity on
+// communication time, communication volume and hit rate. Growing the
+// capacity cuts pulls until it can hold every remote vertex the query
+// touches, after which the curves flatten (the paper's 1.1 GB knee).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "huge/huge.h"
+
+int main() {
+  using namespace huge;
+  using namespace huge::bench;
+
+  const Dataset dataset = DatasetByName("uk_s");
+  auto graph = MakeShared(dataset);
+  const size_t gbytes = graph->SizeBytes();
+  std::printf("Exp-5 (Figure 8): vary cache capacity on %s "
+              "(graph is %.1f MB)\n\n",
+              dataset.name.c_str(), gbytes / 1e6);
+
+  for (int qi : {1, 3}) {
+    const QueryGraph q = queries::Q(qi);
+    Table table({"capacity(%graph)", "T_C(s)", "C(MB)", "hit rate", "T(s)"});
+    for (double frac : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8, 1.5}) {
+      Config cfg = BenchConfig();
+      cfg.cache_capacity_bytes =
+          std::max<size_t>(1, static_cast<size_t>(frac * gbytes));
+      Runner runner(graph, cfg);
+      RunResult r = runner.Run(q);
+      const RunMetrics& m = r.metrics;
+      table.AddRow({Fmt("%.0f%%", frac * 100), Seconds(m.comm_seconds),
+                    Mb(m.bytes_communicated),
+                    Fmt("%.1f%%", 100.0 * m.CacheHitRate()),
+                    Seconds(m.TotalSeconds())});
+    }
+    std::printf("--- q%d ---\n", qi);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Exp-8 (Figure 10): two-layer load balancing. HUGE (work
+// stealing) vs HUGE-NOSTL (stealing disabled: load distributed by the
+// pivot vertex only, like BENU) vs HUGE-RGP (region-group heuristic of
+// RADS instead of stealing). Reports per-worker busy-time standard
+// deviation, total time and the aggregated-CPU overhead of stealing.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "huge/huge.h"
+
+int main() {
+  using namespace huge;
+  using namespace huge::bench;
+
+  const Dataset dataset = DatasetByName("uk_s");
+  auto graph = MakeShared(dataset);
+  std::printf("Exp-8 (Figure 10): load balancing on %s "
+              "(heavy-tailed: d_max=%u, d_avg=%.1f)\n\n",
+              dataset.name.c_str(), graph->MaxDegree(), graph->AvgDegree());
+
+  struct Variant {
+    const char* name;
+    bool intra;
+    bool inter;
+    uint64_t region;
+  };
+  const Variant variants[] = {
+      {"HUGE-NOSTL", false, false, 0},
+      {"HUGE-RGP", false, false, 16384},
+      {"HUGE", true, true, 0},
+  };
+
+  for (int qi : {1, 2, 3, 6}) {
+    const QueryGraph q = queries::Q(qi);
+    Table table({"variant", "T(s)", "worker busy stddev(s)",
+                 "total CPU(s)", "steals (intra+inter)"});
+    for (const Variant& v : variants) {
+      Config cfg = BenchConfig();
+      cfg.workers_per_machine = 2;
+      cfg.intra_stealing = v.intra;
+      cfg.inter_stealing = v.inter;
+      cfg.region_group_rows = v.region;
+      cfg.batch_size = 1024;  // finer batches: visible skew + steal targets
+      Runner runner(graph, cfg);
+      RunResult r = runner.Run(q);
+      double total_cpu = 0;
+      for (double b : r.metrics.worker_busy_seconds) total_cpu += b;
+      table.AddRow({v.name, Seconds(r.metrics.TotalSeconds()),
+                    Fmt("%.4f", StdDev(r.metrics.worker_busy_seconds)),
+                    Seconds(total_cpu),
+                    Count(r.metrics.intra_steals) + "+" +
+                        Count(r.metrics.inter_steals)});
+    }
+    std::printf("--- q%d ---\n", qi);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

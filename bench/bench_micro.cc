@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the engine's hot kernels: sorted
+// intersection (balanced and skewed), LRBU vs locked-LRU cache reads, and
+// batch-queue operations. These back the design arguments of Sections 4.3
+// and 4.4 at the operation level.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lrbu_cache.h"
+#include "cache/lru_cache.h"
+#include "common/random.h"
+#include "engine/batch.h"
+#include "engine/intersect.h"
+
+namespace huge {
+namespace {
+
+std::vector<VertexId> RandomSorted(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<VertexId>(rng.NextBounded(n * 8)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+void BM_IntersectBalanced(benchmark::State& state) {
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    IntersectSorted(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectBalanced)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_IntersectSkewed(benchmark::State& state) {
+  const auto small = RandomSorted(32, 1);
+  const auto large = RandomSorted(state.range(0), 2);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    IntersectSorted(small, large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * large.size());
+}
+BENCHMARK(BM_IntersectSkewed)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_IntersectThreeWay(benchmark::State& state) {
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  const auto c = RandomSorted(state.range(0), 3);
+  std::vector<VertexId> out, tmp;
+  for (auto _ : state) {
+    std::vector<std::span<const VertexId>> lists = {a, b, c};
+    IntersectAll(lists, &out, &tmp);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectThreeWay)->Arg(1024)->Arg(16384);
+
+/// Zero-copy lock-free LRBU reads (the Exp-6 argument at kernel level).
+void BM_LrbuRead(benchmark::State& state) {
+  LrbuCache cache(1 << 26, nullptr, /*copy_on_read=*/false,
+                  /*lock_on_read=*/false);
+  const auto nbrs = RandomSorted(64, 5);
+  for (VertexId v = 0; v < 1024; ++v) cache.Insert(v, nbrs);
+  std::vector<VertexId> scratch;
+  VertexId v = 0;
+  for (auto _ : state) {
+    std::span<const VertexId> out;
+    cache.TryGet(v, &scratch, &out);
+    benchmark::DoNotOptimize(out.data());
+    v = (v + 1) & 1023;
+  }
+}
+BENCHMARK(BM_LrbuRead)->Threads(1)->Threads(4);
+
+/// Locked + copying LRU reads for contrast.
+void BM_LockedLruRead(benchmark::State& state) {
+  static LruCache* cache = [] {
+    auto* c = new LruCache(1 << 26, nullptr, /*unbounded=*/true,
+                           /*two_stage=*/true);
+    Rng rng(5);
+    std::vector<VertexId> nbrs = RandomSorted(64, 5);
+    for (VertexId v = 0; v < 1024; ++v) c->Insert(v, nbrs);
+    return c;
+  }();
+  std::vector<VertexId> scratch;
+  VertexId v = 0;
+  for (auto _ : state) {
+    std::span<const VertexId> out;
+    cache->TryGet(v, &scratch, &out);
+    benchmark::DoNotOptimize(out.data());
+    v = (v + 1) & 1023;
+  }
+}
+BENCHMARK(BM_LockedLruRead)->Threads(1)->Threads(4);
+
+void BM_BatchAppend(benchmark::State& state) {
+  const VertexId row[4] = {1, 2, 3, 4};
+  for (auto _ : state) {
+    Batch b(5);
+    for (int i = 0; i < 1024; ++i) b.AppendRowPlus({row, 4}, 9);
+    benchmark::DoNotOptimize(b.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BatchAppend);
+
+void BM_BatchQueuePushPop(benchmark::State& state) {
+  BatchQueue q(0, nullptr);
+  for (auto _ : state) {
+    Batch b(2, {1, 2, 3, 4});
+    q.Push(std::move(b));
+    auto out = q.Pop();
+    benchmark::DoNotOptimize(out->rows());
+  }
+}
+BENCHMARK(BM_BatchQueuePushPop);
+
+}  // namespace
+}  // namespace huge
+
+BENCHMARK_MAIN();

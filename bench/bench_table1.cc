@@ -1,0 +1,69 @@
+// Reproduces Table 1: the square query over the LJ-class graph, comparing
+// the pushing systems (SEED, BiGJoin), the pulling systems (BENU, RADS)
+// and the hybrid HUGE on total time T, computation time T_R,
+// communication time T_C, transferred volume C and peak memory M.
+//
+// The paper's headline shape: HUGE achieves the smallest T_C and C with
+// near-BENU memory; pushing systems move orders of magnitude more data;
+// BENU's pulling is cheap in volume but slow due to external-KV overhead.
+
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench/bench_common.h"
+#include "query/query_graph.h"
+
+int main() {
+  using namespace huge;
+  using namespace huge::bench;
+
+  const Dataset dataset = DatasetByName("lj_s");
+  auto graph = MakeShared(dataset);
+  std::printf("Table 1: square query over %s (stands for %s): |V|=%u |E|=%lu"
+              " dmax=%u\n\n",
+              dataset.name.c_str(), dataset.stands_for.c_str(),
+              graph->NumVertices(), graph->NumEdges(), graph->MaxDegree());
+
+  const QueryGraph q = queries::Square();
+  Config cfg = BenchConfig();
+  // Every Table-1 row completed in the paper; give the pushing baselines
+  // the memory they need (BiGJoin peaks at ~2.5 GB here) rather than
+  // reporting OOM under the default grid budget.
+  cfg.memory_limit_bytes = size_t{4} << 30;
+  Table table({"Comm.Mode", "Work", "T(s)", "T_R(s)", "T_C(s)", "C(MB)",
+               "M(MB)", "matches"});
+
+  struct Row {
+    const char* mode;
+    System system;
+  };
+  const Row rows[] = {
+      {"Pushing", System::kSeed},   {"Pushing", System::kBiGJoin},
+      {"Pulling", System::kBenu},   {"Pulling", System::kRads},
+      {"Hybrid", System::kHuge},
+  };
+
+  for (const Row& row : rows) {
+    RunResult r;
+    if (!RunSystem(row.system, graph, q, cfg, &r)) {
+      table.AddRow({row.mode, ToString(row.system), "n/a", "-", "-", "-",
+                    "-", "-"});
+      continue;
+    }
+    if (!r.ok()) {
+      table.AddRow({row.mode, ToString(row.system), ToString(r.status), "-",
+                    "-", "-", Mb(r.metrics.peak_memory_bytes), "-"});
+      continue;
+    }
+    const RunMetrics& m = r.metrics;
+    table.AddRow({row.mode, ToString(row.system), Seconds(m.TotalSeconds()),
+                  Seconds(m.compute_seconds), Seconds(m.comm_seconds),
+                  Mb(m.bytes_communicated), Mb(m.peak_memory_bytes),
+                  Count(r.matches)});
+  }
+  table.Print();
+  std::printf(
+      "\nT_C is the simulated network time (bytes/bandwidth + per-request\n"
+      "latency); T_R is measured wall time; see DESIGN.md section 3.\n");
+  return 0;
+}

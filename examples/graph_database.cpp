@@ -1,0 +1,63 @@
+// A miniature Cypher-style labelled pattern-matching session (Section 6:
+// HUGE as the enumeration core of a Cypher-based distributed graph
+// database). Builds a labelled social-network-like graph (labels:
+// 0=person, 1=group, 2=event) and answers pattern queries written in the
+// parser's Cypher-flavoured syntax.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "query/pattern_parser.h"
+
+int main() {
+  using namespace huge;
+
+  // A labelled power-law graph: 80% persons, 15% groups, 5% events.
+  Graph raw = gen::PowerLaw(30000, 10, 2.4, 2024);
+  {
+    Rng rng(7);
+    std::vector<uint8_t> labels(raw.NumVertices());
+    for (auto& l : labels) {
+      const uint64_t roll = rng.NextBounded(100);
+      l = roll < 80 ? 0 : (roll < 95 ? 1 : 2);
+    }
+    raw.AssignLabels(std::move(labels));
+  }
+  auto graph = std::make_shared<Graph>(std::move(raw));
+  std::printf("labelled graph: |V|=%u |E|=%lu (0=person, 1=group, "
+              "2=event)\n\n",
+              graph->NumVertices(), graph->NumEdges());
+
+  Config config;
+  config.num_machines = 4;
+  Runner runner(graph, config);
+
+  const char* statements[] = {
+      // friends-of-friends triangle of persons
+      "(a:0)-(b:0)-(c:0)-(a)",
+      // two persons sharing two common groups (labelled square)
+      "(p:0)-(g1:1)-(q:0)-(g2:1)-(p)",
+      // a person bridging a group and an event
+      "(g:1)-(p:0)-(e:2)",
+      // co-members of a group who are also direct friends
+      "(p:0)-(q:0), (p)-(g:1), (q)-(g)",
+  };
+
+  for (const char* text : statements) {
+    std::printf("MATCH %s\n", text);
+    ParsedPattern pattern = ParsePattern(text);
+    if (!pattern.ok()) {
+      std::printf("  parse error: %s\n\n", pattern.error.c_str());
+      continue;
+    }
+    const RunResult r = runner.Run(pattern.query);
+    std::printf("  -> %lu matches in %.3fs (C=%.2f MB, hit rate %.1f%%)\n\n",
+                r.matches, r.metrics.TotalSeconds(),
+                r.metrics.bytes_communicated / 1e6,
+                100.0 * r.metrics.CacheHitRate());
+  }
+  return 0;
+}

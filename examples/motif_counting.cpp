@@ -1,0 +1,32 @@
+// Graph pattern mining (Section 6): count all connected 3-vertex and
+// 4-vertex motifs of a graph — the classic motif-counting application
+// ([52] in the paper) — using the apps::MotifCensus module, which runs
+// one subgraph enumeration per non-isomorphic shape on a shared runner.
+// This is exactly the inner loop of a GPM system layered on HUGE.
+
+#include <cstdio>
+
+#include "apps/motif_census.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+
+int main() {
+  using namespace huge;
+
+  auto graph = std::make_shared<Graph>(gen::PowerLaw(20000, 10, 2.5, 7));
+  std::printf("motif census of |V|=%u |E|=%lu\n\n", graph->NumVertices(),
+              graph->NumEdges());
+
+  Config config;
+  config.num_machines = 4;
+  Runner runner(graph, config);
+
+  std::printf("%-12s %6s %16s %10s\n", "motif", "edges", "count", "T(s)");
+  for (int n : {3, 4}) {
+    for (const apps::MotifCount& row : apps::MotifCensus(runner, n)) {
+      std::printf("%-12s %6d %16lu %10.3f\n", row.motif.name().c_str(),
+                  row.motif.NumEdges(), row.count, row.seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Hop-constrained path enumeration (Section 6, "Shortest Path &
+// Hop-constrained Path"): HUGE's PULL-EXTEND machinery generalises to
+// path queries. This example enumerates the simple paths of exactly k
+// hops between two vertices by running the k-hop path pattern with a
+// per-match endpoint filter through the engine's match callback, and
+// cross-checks with a direct bidirectional DFS on the graph substrate.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "graph/generators.h"
+#include "huge/huge.h"
+
+namespace {
+
+using huge::Graph;
+using huge::VertexId;
+
+/// Reference: count simple s-t paths with exactly `hops` edges by DFS.
+uint64_t CountPathsDfs(const Graph& g, VertexId s, VertexId t, int hops) {
+  uint64_t count = 0;
+  std::vector<VertexId> stack = {s};
+  std::function<void()> rec = [&] {
+    const VertexId cur = stack.back();
+    if (static_cast<int>(stack.size()) == hops + 1) {
+      if (cur == t) ++count;
+      return;
+    }
+    for (VertexId n : g.Neighbors(cur)) {
+      bool seen = false;
+      for (VertexId v : stack) {
+        if (v == n) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      stack.push_back(n);
+      rec();
+      stack.pop_back();
+    }
+  };
+  rec();
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace huge;
+
+  auto graph = std::make_shared<Graph>(gen::PowerLaw(5000, 8, 2.6, 31));
+  const VertexId source = 3;
+  const VertexId target = 11;
+  std::printf("hop-constrained simple paths %u -> %u on |V|=%u |E|=%lu\n\n",
+              source, target, graph->NumVertices(), graph->NumEdges());
+
+  std::printf("%-6s %12s %12s %8s\n", "hops", "via HUGE", "via DFS", "T(s)");
+  for (int hops = 2; hops <= 3; ++hops) {
+    // The k-hop path pattern; the path query graph v0 - v1 - ... - vk.
+    const QueryGraph path = queries::Path(hops + 1);
+
+    // Enumerate all paths and filter on the endpoints. (A production
+    // deployment would push the endpoint binding into the SCAN; the
+    // dataflow supports it via filters — this example favours clarity.)
+    uint64_t count = 0;
+    Config cfg;
+    cfg.num_machines = 4;
+    cfg.match_sink = [&](std::span<const VertexId> match) {
+      const VertexId a = match.front();
+      const VertexId b = match.back();
+      // The path query has a reversal automorphism broken by symmetry
+      // orders, so each undirected path instance arrives once; count both
+      // orientations.
+      if ((a == source && b == target) || (a == target && b == source)) {
+        ++count;
+      }
+    };
+    Runner runner(graph, cfg);
+    const RunResult r = runner.Run(path);
+    const uint64_t reference = CountPathsDfs(*graph, source, target, hops);
+    std::printf("%-6d %12lu %12lu %8.3f%s\n", hops, count, reference,
+                r.metrics.TotalSeconds(),
+                count == reference ? "" : "  MISMATCH");
+  }
+  return 0;
+}

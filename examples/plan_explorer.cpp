@@ -1,0 +1,55 @@
+// Plan explorer: prints, for every paper query (and under every system
+// profile), the execution plan and its dataflow translation, together
+// with the optimiser's cost estimate. Useful to see how Equation 3
+// assigns (join algorithm, communication mode) per join and how Section
+// 5.2 rewrites stars and pulling hash joins into PULL-EXTEND chains.
+//
+//   ./examples/plan_explorer [query_index 1..8]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/baselines.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+
+int main(int argc, char** argv) {
+  using namespace huge;
+
+  // Plans depend on data statistics: use a web-like power-law graph.
+  const Graph graph = gen::PowerLaw(100000, 14, 2.3, 99);
+  const GraphStats stats = GraphStats::Compute(graph);
+  std::printf("statistics: |V|=%.0f |E|=%.0f d_avg=%.1f D_G=%.0f "
+              "E[d^2]=%.0f E[d^3]=%.2e\n\n",
+              stats.num_vertices, stats.num_edges, stats.avg_degree,
+              stats.max_degree, stats.moment[2], stats.moment[3]);
+
+  const int only = argc > 1 ? std::atoi(argv[1]) : 0;
+
+  for (int qi = 1; qi <= 8; ++qi) {
+    if (only != 0 && qi != only) continue;
+    const QueryGraph q = queries::Q(qi);
+    std::printf("==== q%d: %s ====\n", qi, q.ToString().c_str());
+    const auto orders = q.SymmetryBreakingOrders();
+    std::printf("symmetry breaking (|Aut|=%zu):", q.Automorphisms().size());
+    for (const auto& c : orders) {
+      std::printf(" v%d<v%d", c.first, c.second);
+    }
+    std::printf("\n\n");
+
+    for (System sys : {System::kHuge, System::kHugeWco, System::kSeed,
+                       System::kRads, System::kHugeEh}) {
+      ExecutionPlan plan;
+      if (!PlanForSystem(sys, q, stats, /*num_machines=*/4, &plan)) {
+        std::printf("-- %s: no plan in this profile --\n\n", ToString(sys));
+        continue;
+      }
+      std::printf("-- %s --\n%s", ToString(sys), plan.ToString().c_str());
+      if (sys == System::kHuge) {
+        std::printf("%s", Translate(plan).ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

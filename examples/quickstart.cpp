@@ -1,0 +1,61 @@
+// Quickstart: load (or generate) a data graph, enumerate a pattern, and
+// inspect the plan and the run metrics.
+//
+//   ./examples/quickstart [edge_list.txt]
+//
+// Without an argument a synthetic power-law social graph is generated.
+
+#include <cstdio>
+#include <memory>
+
+#include "graph/generators.h"
+#include "huge/huge.h"
+
+int main(int argc, char** argv) {
+  using namespace huge;
+
+  // 1. Obtain a data graph.
+  std::shared_ptr<const Graph> graph;
+  if (argc > 1) {
+    Graph g = Graph::LoadEdgeList(argv[1]);
+    if (g.NumVertices() == 0) {
+      std::fprintf(stderr, "could not load %s\n", argv[1]);
+      return 1;
+    }
+    graph = std::make_shared<Graph>(std::move(g));
+  } else {
+    graph = std::make_shared<Graph>(gen::PowerLaw(
+        /*num_vertices=*/20000, /*avg_degree=*/10, /*exponent=*/2.5,
+        /*seed=*/42));
+  }
+  std::printf("data graph: |V|=%u |E|=%lu d_avg=%.1f d_max=%u\n",
+              graph->NumVertices(), graph->NumEdges(), graph->AvgDegree(),
+              graph->MaxDegree());
+
+  // 2. Configure a simulated cluster: 4 machines, 2 workers each.
+  Config config;
+  config.num_machines = 4;
+  config.workers_per_machine = 2;
+
+  Runner runner(graph, config);
+
+  // 3. Pick a query from the library (or build your own QueryGraph).
+  const QueryGraph query = queries::Square();
+
+  // 4. Inspect the optimiser's execution plan and its dataflow.
+  const ExecutionPlan plan = runner.PlanFor(query);
+  std::printf("\n%s\n%s\n", plan.ToString().c_str(),
+              Translate(plan).ToString().c_str());
+
+  // 5. Enumerate.
+  const RunResult result = runner.Run(query);
+  std::printf("matches of %s: %lu\n", query.ToString().c_str(),
+              result.matches);
+  const RunMetrics& m = result.metrics;
+  std::printf("T = %.3fs (T_R %.3fs + T_C %.3fs), C = %.2f MB over %lu "
+              "RPCs, peak memory %.2f MB, cache hit rate %.1f%%\n",
+              m.TotalSeconds(), m.compute_seconds, m.comm_seconds,
+              m.bytes_communicated / 1e6, m.rpc_requests,
+              m.peak_memory_bytes / 1e6, 100.0 * m.CacheHitRate());
+  return 0;
+}

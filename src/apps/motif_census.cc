@@ -1,0 +1,98 @@
+#include "apps/motif_census.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace huge::apps {
+namespace {
+
+/// True iff the two queries are isomorphic (brute force; motif sizes are
+/// tiny).
+bool Isomorphic(const QueryGraph& a, const QueryGraph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  std::vector<QueryVertexId> perm(a.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    bool ok = true;
+    for (const auto& [u, v] : a.Edges()) {
+      if (!b.HasEdge(perm[u], perm[v])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+std::string MotifName(int n, size_t index) {
+  static const char* k3[] = {"wedge", "triangle"};
+  static const char* k4[] = {"3-path", "3-star", "square",
+                             "paw",    "diamond", "4-clique"};
+  if (n == 3 && index < 2) return k3[index];
+  if (n == 4 && index < 6) return k4[index];
+  return std::to_string(n) + "-motif-" + std::to_string(index);
+}
+
+}  // namespace
+
+std::vector<QueryGraph> ConnectedMotifs(int num_vertices) {
+  HUGE_CHECK(num_vertices >= 2 && num_vertices <= 5);
+  const int max_edges = num_vertices * (num_vertices - 1) / 2;
+  std::vector<std::pair<QueryVertexId, QueryVertexId>> all_edges;
+  for (int u = 0; u < num_vertices; ++u) {
+    for (int v = u + 1; v < num_vertices; ++v) {
+      all_edges.emplace_back(static_cast<QueryVertexId>(u),
+                             static_cast<QueryVertexId>(v));
+    }
+  }
+  std::vector<QueryGraph> motifs;
+  for (uint32_t mask = 1; mask < (1u << max_edges); ++mask) {
+    QueryGraph q(num_vertices);
+    for (int e = 0; e < max_edges; ++e) {
+      if ((mask >> e) & 1u) q.AddEdge(all_edges[e].first, all_edges[e].second);
+    }
+    if (!q.IsConnected()) continue;
+    bool duplicate = false;
+    for (const QueryGraph& seen : motifs) {
+      if (Isomorphic(q, seen)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) motifs.push_back(std::move(q));
+  }
+  // Stable order: by edge count, then discovery; then attach names.
+  std::stable_sort(motifs.begin(), motifs.end(),
+                   [](const QueryGraph& a, const QueryGraph& b) {
+                     return a.NumEdges() < b.NumEdges();
+                   });
+  std::vector<QueryGraph> named;
+  for (size_t i = 0; i < motifs.size(); ++i) {
+    QueryGraph q(motifs[i].NumVertices(), MotifName(num_vertices, i));
+    for (const auto& [u, v] : motifs[i].Edges()) q.AddEdge(u, v);
+    named.push_back(std::move(q));
+  }
+  return named;
+}
+
+std::vector<MotifCount> MotifCensus(Runner& runner, int num_vertices) {
+  std::vector<MotifCount> results;
+  for (QueryGraph& motif : ConnectedMotifs(num_vertices)) {
+    WallTimer timer;
+    const RunResult r = runner.Run(motif);
+    MotifCount row;
+    row.motif = std::move(motif);
+    row.count = r.matches;
+    row.seconds = timer.Seconds();
+    results.push_back(std::move(row));
+  }
+  return results;
+}
+
+}  // namespace huge::apps

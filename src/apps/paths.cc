@@ -1,0 +1,143 @@
+#include "apps/paths.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace huge::apps {
+namespace {
+
+/// All simple partial paths of exactly `hops` hops starting at `start`,
+/// stored as a flat row-major matrix of width `hops + 1`.
+struct PartialPaths {
+  int width = 0;
+  std::vector<VertexId> rows;
+
+  size_t NumRows() const { return width == 0 ? 0 : rows.size() / width; }
+  std::span<const VertexId> Row(size_t i) const {
+    return {rows.data() + i * width, static_cast<size_t>(width)};
+  }
+};
+
+PartialPaths Expand(const Graph& g, VertexId start, int hops) {
+  PartialPaths cur;
+  cur.width = 1;
+  cur.rows = {start};
+  for (int h = 0; h < hops; ++h) {
+    PartialPaths next;
+    next.width = cur.width + 1;
+    for (size_t i = 0; i < cur.NumRows(); ++i) {
+      auto row = cur.Row(i);
+      for (VertexId n : g.Neighbors(row.back())) {
+        bool seen = false;
+        for (VertexId v : row) {
+          if (v == n) {
+            seen = true;
+            break;
+          }
+        }
+        if (seen) continue;
+        next.rows.insert(next.rows.end(), row.begin(), row.end());
+        next.rows.push_back(n);
+      }
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace
+
+uint64_t EnumerateHopConstrainedPaths(
+    const Graph& g, VertexId source, VertexId target, int hops,
+    const std::function<void(std::span<const VertexId>)>& callback) {
+  HUGE_CHECK(hops >= 1);
+  HUGE_CHECK(source < g.NumVertices() && target < g.NumVertices());
+  if (source == target) return 0;
+
+  const int forward_hops = (hops + 1) / 2;
+  const int backward_hops = hops - forward_hops;
+
+  const PartialPaths forward = Expand(g, source, forward_hops);
+  const PartialPaths backward = Expand(g, target, backward_hops);
+
+  // Index the backward halves by their meeting vertex (the join key).
+  std::unordered_map<VertexId, std::vector<uint32_t>> by_mid;
+  for (size_t i = 0; i < backward.NumRows(); ++i) {
+    by_mid[backward.Row(i).back()].push_back(static_cast<uint32_t>(i));
+  }
+
+  uint64_t count = 0;
+  std::vector<VertexId> full(hops + 1);
+  for (size_t i = 0; i < forward.NumRows(); ++i) {
+    auto fr = forward.Row(i);
+    auto it = by_mid.find(fr.back());
+    if (it == by_mid.end()) continue;
+    for (uint32_t bi : it->second) {
+      auto br = backward.Row(bi);
+      // Vertex-disjointness across the halves (the join's injectivity
+      // filter); the middle vertex is shared by construction.
+      bool ok = true;
+      for (size_t a = 0; a + 1 < fr.size() && ok; ++a) {
+        for (size_t b = 0; b + 1 < br.size(); ++b) {
+          if (fr[a] == br[b]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      ++count;
+      if (callback) {
+        std::copy(fr.begin(), fr.end(), full.begin());
+        for (size_t b = 0; b + 1 < br.size(); ++b) {
+          full[fr.size() + b] = br[br.size() - 2 - b];
+        }
+        callback(full);
+      }
+    }
+  }
+  return count;
+}
+
+int ShortestPathLength(const Graph& g, VertexId source, VertexId target) {
+  if (source == target) return 0;
+  // Standard bidirectional BFS over hop frontiers.
+  std::vector<int> dist_s(g.NumVertices(), -1);
+  std::vector<int> dist_t(g.NumVertices(), -1);
+  std::deque<VertexId> qs = {source}, qt = {target};
+  dist_s[source] = 0;
+  dist_t[target] = 0;
+  int best = -1;
+  while (!qs.empty() && !qt.empty()) {
+    // Expand the smaller frontier.
+    auto expand = [&](std::deque<VertexId>& q, std::vector<int>& dist,
+                      const std::vector<int>& other) {
+      const size_t level = q.size();
+      for (size_t i = 0; i < level; ++i) {
+        const VertexId u = q.front();
+        q.pop_front();
+        for (VertexId n : g.Neighbors(u)) {
+          if (dist[n] >= 0) continue;
+          dist[n] = dist[u] + 1;
+          if (other[n] >= 0) {
+            const int total = dist[n] + other[n];
+            if (best < 0 || total < best) best = total;
+          }
+          q.push_back(n);
+        }
+      }
+    };
+    if (qs.size() <= qt.size()) {
+      expand(qs, dist_s, dist_t);
+    } else {
+      expand(qt, dist_t, dist_s);
+    }
+    if (best >= 0) return best;
+  }
+  return -1;
+}
+
+}  // namespace huge::apps

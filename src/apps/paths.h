@@ -1,0 +1,31 @@
+#ifndef HUGE_APPS_PATHS_H_
+#define HUGE_APPS_PATHS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace huge::apps {
+
+/// Hop-constrained s-t simple path enumeration (Section 6: "HUGE can
+/// conduct a bi-directional BFS by extending from both ends and joining in
+/// the middle"). Forward partial paths of ceil(k/2) hops from `source`
+/// meet backward partial paths of floor(k/2) hops from `target` on the
+/// middle vertex; vertex-disjointness of the two halves is verified at the
+/// join, mirroring a PUSH-JOIN with injectivity filters.
+///
+/// `callback` (optional) receives each path as `hops + 1` vertices from
+/// source to target.
+uint64_t EnumerateHopConstrainedPaths(
+    const Graph& g, VertexId source, VertexId target, int hops,
+    const std::function<void(std::span<const VertexId>)>& callback = nullptr);
+
+/// Length (in hops) of the shortest path between two vertices, computed by
+/// the same bidirectional expansion; returns -1 when disconnected.
+int ShortestPathLength(const Graph& g, VertexId source, VertexId target);
+
+}  // namespace huge::apps
+
+#endif  // HUGE_APPS_PATHS_H_

@@ -1,0 +1,177 @@
+#include "baselines/baselines.h"
+
+#include "common/check.h"
+#include "engine/cluster.h"
+#include "plan/translate.h"
+
+namespace huge {
+
+const char* ToString(System s) {
+  switch (s) {
+    case System::kHuge:
+      return "HUGE";
+    case System::kHugeWco:
+      return "HUGE-WCO";
+    case System::kHugeBenu:
+      return "HUGE-BENU";
+    case System::kHugeSeed:
+      return "HUGE-SEED";
+    case System::kHugeRads:
+      return "HUGE-RADS";
+    case System::kHugeEh:
+      return "HUGE-EH";
+    case System::kHugeGf:
+      return "HUGE-GF";
+    case System::kSeed:
+      return "SEED";
+    case System::kBiGJoin:
+      return "BiGJoin";
+    case System::kBenu:
+      return "BENU";
+    case System::kRads:
+      return "RADS";
+    case System::kStarJoin:
+      return "StarJoin";
+  }
+  return "?";
+}
+
+bool PlanForSystem(System sys, const QueryGraph& q, const GraphStats& stats,
+                   uint32_t num_machines, ExecutionPlan* out) {
+  OptimizerOptions opt;
+  opt.num_machines = num_machines;
+  switch (sys) {
+    case System::kHuge:
+      return TryOptimize(q, stats, opt, out);
+
+    case System::kHugeWco:
+    case System::kHugeBenu:
+      // BiGJoin's / BENU's logical plan (identical: left-deep wco joins,
+      // Section 3.1) run with HUGE's physical settings: pulling extensions.
+      *out = WcoLeftDeepPlan(q, CommMode::kPull);
+      return true;
+
+    case System::kBiGJoin:
+      // The original BiGJoin: the same logical plan, pushing communication.
+      *out = WcoLeftDeepPlan(q, CommMode::kPush);
+      return true;
+
+    case System::kBenu:
+      // BENU's own runtime also executes the wco plan, but pulls on demand
+      // from the external store (profile applied in ConfigForSystem).
+      *out = WcoLeftDeepPlan(q, CommMode::kPull);
+      return true;
+
+    case System::kHugeSeed:
+    case System::kSeed: {
+      // SEED: star join units, bushy order, hash join, pushing (Table 2).
+      opt.allow_wco = false;
+      opt.allow_pull = false;
+      if (!TryOptimize(q, stats, opt, out)) return false;
+      if (sys == System::kHugeSeed) {
+        // HUGE-SEED keeps SEED's logical plan but lets Equation 3 pick the
+        // physical settings per join (Remark 3.2 / Exp-1).
+        ReconfigurePhysical(out, OptimizerOptions{});
+      }
+      return true;
+    }
+
+    case System::kStarJoin:
+      // StarJoin: SEED restricted to the left-deep order.
+      opt.allow_wco = false;
+      opt.allow_pull = false;
+      opt.left_deep_only = true;
+      return TryOptimize(q, stats, opt, out);
+
+    case System::kHugeRads:
+    case System::kRads:
+      // RADS: left-deep star expansion computed with pulling-based hash
+      // joins (the "star-expand-and-verify paradigm", Section 3.1).
+      opt.allow_wco = false;
+      opt.allow_push = false;
+      opt.left_deep_only = true;
+      return TryOptimize(q, stats, opt, out);
+
+    case System::kHugeEh:
+      // EmptyHeaded-style hybrid plan: mixes wco and binary joins but was
+      // developed sequentially, so it optimises computation only
+      // (Example 3.2 / Exp-9).
+      opt.computation_only = true;
+      return TryOptimize(q, stats, opt, out);
+
+    case System::kHugeGf:
+      // GraphFlow-style hybrid: computation-only as well; GraphFlow grows
+      // plans one extension/join at a time, which we model as the
+      // left-deep restriction of the same space.
+      opt.computation_only = true;
+      opt.left_deep_only = true;
+      return TryOptimize(q, stats, opt, out);
+  }
+  return false;
+}
+
+Config ConfigForSystem(System sys, Config base) {
+  switch (sys) {
+    case System::kHuge:
+    case System::kHugeWco:
+    case System::kHugeBenu:
+    case System::kHugeSeed:
+    case System::kHugeRads:
+    case System::kHugeEh:
+    case System::kHugeGf:
+      // Full HUGE runtime: LRBU, adaptive scheduling, two-layer stealing.
+      return base;
+
+    case System::kSeed:
+    case System::kStarJoin:
+      // BFS-scheduled pushing hash joins: unbounded output queues, no
+      // inter-machine stealing (load distributed by hash only).
+      base.queue_capacity = 0;
+      base.inter_stealing = false;
+      return base;
+
+    case System::kBiGJoin:
+      // BSP pushing wco with the batching heuristic (Section 5.1): a
+      // bounded number of initial edges flows through the whole pipeline
+      // per round.
+      base.inter_stealing = false;
+      if (base.region_group_rows == 0) {
+        base.region_group_rows = 4ull * base.batch_size;
+      }
+      return base;
+
+    case System::kBenu:
+      // Embarrassingly-parallel DFS over a shared locked cache, pulling
+      // per-vertex from an external key-value store (Cassandra profile).
+      base.queue_capacity = 1;  // DFS-style scheduling
+      base.cache_kind = CacheKind::kCncrLru;
+      base.inter_stealing = false;
+      base.intra_stealing = false;
+      base.net.external_kv = true;
+      return base;
+
+    case System::kRads:
+      // Region groups instead of dynamic balancing; BFS within a region.
+      base.queue_capacity = 0;
+      base.inter_stealing = false;
+      base.cache_kind = CacheKind::kCncrLru;
+      if (base.region_group_rows == 0) {
+        base.region_group_rows = 4ull * base.batch_size;
+      }
+      return base;
+  }
+  return base;
+}
+
+bool RunSystem(System sys, std::shared_ptr<const Graph> graph,
+               const QueryGraph& q, const Config& base, RunResult* result) {
+  const GraphStats stats = GraphStats::Compute(*graph);
+  Config config = ConfigForSystem(sys, base);
+  ExecutionPlan plan;
+  if (!PlanForSystem(sys, q, stats, config.num_machines, &plan)) return false;
+  Cluster cluster(std::move(graph), std::move(config));
+  *result = cluster.Run(Translate(plan));
+  return true;
+}
+
+}  // namespace huge

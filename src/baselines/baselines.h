@@ -1,0 +1,56 @@
+#ifndef HUGE_BASELINES_BASELINES_H_
+#define HUGE_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "graph/graph.h"
+#include "plan/cost_model.h"
+#include "plan/optimizer.h"
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// The systems compared in the paper's evaluation (Section 7), emulated as
+/// profiles on the HUGE engine: each profile is a *logical plan* (its
+/// framework expression from Section 3.1 / Table 2) plus the *physical and
+/// runtime settings* that characterise the original system. The engine is
+/// the same, so the differences measured by the benches are exactly the
+/// design choices the paper attributes to each system (see DESIGN.md §3).
+enum class System : uint8_t {
+  kHuge,      ///< optimal plan (Alg. 1), hybrid comm, LRBU, adaptive sched
+  kHugeWco,   ///< HUGE engine with BiGJoin's logical plan (HUGE-WCO, Exp-1)
+  kHugeBenu,  ///< HUGE engine with BENU's logical plan (identical to WCO)
+  kHugeSeed,  ///< HUGE engine with SEED's logical plan (HUGE-SEED, Exp-1)
+  kHugeRads,  ///< HUGE engine with RADS's logical plan (HUGE-RADS, Exp-1)
+  kHugeEh,    ///< HUGE engine, EmptyHeaded-style computation-only hybrid plan
+  kHugeGf,    ///< HUGE engine, GraphFlow-style computation-only hybrid plan
+  kSeed,      ///< SEED: bushy star hash joins, pushing, BFS (unbounded queues)
+  kBiGJoin,   ///< BiGJoin: left-deep wco, pushing, BSP + batching
+  kBenu,      ///< BENU: left-deep wco, pulling via external KV, DFS, locked LRU
+  kRads,      ///< RADS: left-deep star pull hash joins, region groups
+  kStarJoin,  ///< StarJoin: left-deep star hash joins, pushing
+};
+
+const char* ToString(System s);
+
+/// Builds `sys`'s execution plan for `q`. Returns false when the system's
+/// restricted plan space does not cover the query (reported as unsupported
+/// in benches, mirroring OT/OOM entries in the paper).
+bool PlanForSystem(System sys, const QueryGraph& q, const GraphStats& stats,
+                   uint32_t num_machines, ExecutionPlan* out);
+
+/// Applies `sys`'s runtime profile (scheduler, cache, communication,
+/// stealing, batching heuristics) on top of `base`.
+Config ConfigForSystem(System sys, Config base);
+
+/// Convenience: plan + configure + run in one call. `result` receives the
+/// outcome; returns false if the system cannot plan the query.
+bool RunSystem(System sys, std::shared_ptr<const Graph> graph,
+               const QueryGraph& q, const Config& base, RunResult* result);
+
+}  // namespace huge
+
+#endif  // HUGE_BASELINES_BASELINES_H_

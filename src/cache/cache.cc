@@ -1,0 +1,54 @@
+#include "cache/cache.h"
+
+#include <limits>
+
+#include "cache/lrbu_cache.h"
+#include "cache/lru_cache.h"
+#include "common/check.h"
+
+namespace huge {
+
+const char* ToString(CacheKind k) {
+  switch (k) {
+    case CacheKind::kLrbu:
+      return "LRBU";
+    case CacheKind::kLrbuCopy:
+      return "LRBU-Copy";
+    case CacheKind::kLrbuLock:
+      return "LRBU-Lock";
+    case CacheKind::kLruInf:
+      return "LRU-Inf";
+    case CacheKind::kCncrLru:
+      return "Cncr-LRU";
+  }
+  return "?";
+}
+
+std::unique_ptr<RemoteCache> MakeCache(CacheKind kind, size_t capacity_bytes,
+                                       MemoryTracker* tracker) {
+  switch (kind) {
+    case CacheKind::kLrbu:
+      return std::make_unique<LrbuCache>(capacity_bytes, tracker,
+                                         /*copy_on_read=*/false,
+                                         /*lock_on_read=*/false);
+    case CacheKind::kLrbuCopy:
+      return std::make_unique<LrbuCache>(capacity_bytes, tracker,
+                                         /*copy_on_read=*/true,
+                                         /*lock_on_read=*/false);
+    case CacheKind::kLrbuLock:
+      return std::make_unique<LrbuCache>(capacity_bytes, tracker,
+                                         /*copy_on_read=*/true,
+                                         /*lock_on_read=*/true);
+    case CacheKind::kLruInf:
+      return std::make_unique<LruCache>(std::numeric_limits<size_t>::max(),
+                                        tracker, /*unbounded=*/true,
+                                        /*two_stage=*/true);
+    case CacheKind::kCncrLru:
+      return std::make_unique<LruCache>(capacity_bytes, tracker,
+                                        /*unbounded=*/false,
+                                        /*two_stage=*/false);
+  }
+  HUGE_CHECK(false && "unknown cache kind");
+}
+
+}  // namespace huge

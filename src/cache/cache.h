@@ -1,0 +1,91 @@
+#ifndef HUGE_CACHE_CACHE_H_
+#define HUGE_CACHE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/types.h"
+
+namespace huge {
+
+/// Cache implementations evaluated in Exp-6 (Table 5 of the paper).
+enum class CacheKind : uint8_t {
+  kLrbu,      ///< least-recent-batch-used: lock-free, zero-copy (HUGE)
+  kLrbuCopy,  ///< LRBU with memory copies enforced on reads
+  kLrbuLock,  ///< LRBU with both copies and a read lock enforced
+  kLruInf,    ///< classic LRU with unbounded capacity (lock + copy)
+  kCncrLru,   ///< concurrent locked LRU, no two-stage execution (fetch on
+              ///< demand inside the intersection, as BENU-style runtimes do)
+};
+
+const char* ToString(CacheKind k);
+
+/// Cache of remote vertices' adjacency lists used by PULL-EXTEND
+/// (Section 4.4). The engine drives two-stage caches as:
+///
+///   fetch stage (single writer): Contains / Seal misses fetched via RPC /
+///   Insert;   intersect stage (all workers): TryGet (read-only);
+///   end of batch: Release.
+///
+/// A cache with `TwoStage() == false` (Cncr-LRU) is instead probed with
+/// TryGet directly during the intersection; a miss makes the worker issue
+/// an on-demand single-vertex RPC followed by Insert.
+class RemoteCache {
+ public:
+  virtual ~RemoteCache() = default;
+
+  /// True iff `v` is cached (fetch stage).
+  virtual bool Contains(VertexId v) const = 0;
+
+  /// Inserts `v` with its adjacency list, evicting per policy. The new
+  /// entry is pinned (sealed) until the next Release() on two-stage caches.
+  virtual void Insert(VertexId v, std::span<const VertexId> nbrs) = 0;
+
+  /// Pins `v` so it cannot be evicted while the current batch is processed
+  /// (Algorithm 3). No-op for caches without seal semantics.
+  virtual void Seal(VertexId v) = 0;
+
+  /// Unpins all sealed entries and moves them to the most-recent batch
+  /// order (Algorithm 3 Release).
+  virtual void Release() = 0;
+
+  /// Reads the adjacency list of `v`. Returns false on a miss (only
+  /// possible when TwoStage() is false). On success `*out` references
+  /// either cache-internal storage (zero-copy variants; stable until the
+  /// entry is released) or `scratch` (copying variants).
+  virtual bool TryGet(VertexId v, std::vector<VertexId>* scratch,
+                      std::span<const VertexId>* out) = 0;
+
+  /// Whether the engine should run the two-stage fetch/intersect protocol.
+  virtual bool TwoStage() const { return true; }
+
+  /// Bytes currently held.
+  virtual size_t SizeBytes() const = 0;
+
+  /// Drops all entries (between runs).
+  virtual void Clear() = 0;
+
+  // --- statistics (batch-level hit accounting is done by the engine for
+  // two-stage caches; Cncr-LRU records per-probe) ---
+  void RecordHit(uint64_t n = 1) { hits_.fetch_add(n, std::memory_order_relaxed); }
+  void RecordMiss(uint64_t n = 1) { misses_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// Factory. `capacity_bytes` is ignored by kLruInf. `tracker` (optional)
+/// accounts the cache's bytes against the run's peak-memory metric.
+std::unique_ptr<RemoteCache> MakeCache(CacheKind kind, size_t capacity_bytes,
+                                       MemoryTracker* tracker);
+
+}  // namespace huge
+
+#endif  // HUGE_CACHE_CACHE_H_

@@ -1,0 +1,93 @@
+#include "cache/lrbu_cache.h"
+
+#include "common/check.h"
+
+namespace huge {
+
+void LrbuCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+
+  if (map_.find(v) != map_.end()) return;  // already present
+
+  // Algorithm 3, Insert: while the cache is full and S_free is non-empty,
+  // evict the vertex with the smallest order (least-recent batch). If
+  // S_free is empty the insertion proceeds regardless; the overflow is
+  // bounded by the remote vertices of one batch (Section 4.4).
+  while (IsFull() && !free_by_order_.empty()) {
+    auto it = free_by_order_.begin();
+    const VertexId victim = it->second;
+    free_by_order_.erase(it);
+    order_of_.erase(victim);
+    auto mit = map_.find(victim);
+    HUGE_CHECK(mit != map_.end());
+    const size_t freed = EntryBytes(mit->second.size());
+    bytes_ -= freed;
+    if (tracker_ != nullptr) tracker_->Release(freed);
+    map_.erase(mit);
+  }
+
+  map_.emplace(v, std::vector<VertexId>(nbrs.begin(), nbrs.end()));
+  const size_t added = EntryBytes(nbrs.size());
+  bytes_ += added;
+  if (tracker_ != nullptr) tracker_->Allocate(added);
+  // Freshly inserted entries are in use by the current batch: pin them
+  // until Release() (they join S_free with a most-recent order then).
+  sealed_.push_back(v);
+}
+
+void LrbuCache::Seal(VertexId v) {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+  auto it = order_of_.find(v);
+  if (it == order_of_.end()) return;  // already sealed or not present
+  free_by_order_.erase(it->second);
+  order_of_.erase(it);
+  sealed_.push_back(v);
+}
+
+void LrbuCache::Release() {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+  // Released vertices receive orders larger than everything in S_free, so
+  // they become the *most* recent batch (Algorithm 3, Release).
+  for (VertexId v : sealed_) {
+    const uint64_t order = next_order_++;
+    free_by_order_.emplace(order, v);
+    order_of_.emplace(v, order);
+  }
+  sealed_.clear();
+}
+
+bool LrbuCache::TryGet(VertexId v, std::vector<VertexId>* scratch,
+                       std::span<const VertexId>* out) {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+  auto it = map_.find(v);
+  if (it == map_.end()) return false;
+  if (copy_on_read_) {
+    // LRBU-Copy / LRBU-Lock: pay the memory copy traditional caches incur
+    // to avoid dangling pointers (Section 4.4, "Memory copies").
+    scratch->assign(it->second.begin(), it->second.end());
+    *out = {scratch->data(), scratch->size()};
+  } else {
+    // Zero-copy: the entry is sealed for the duration of the batch, so the
+    // reference cannot dangle.
+    *out = {it->second.data(), it->second.size()};
+  }
+  return true;
+}
+
+void LrbuCache::Clear() {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+  if (tracker_ != nullptr) tracker_->Release(bytes_);
+  map_.clear();
+  free_by_order_.clear();
+  order_of_.clear();
+  sealed_.clear();
+  bytes_ = 0;
+  next_order_ = 0;
+}
+
+}  // namespace huge

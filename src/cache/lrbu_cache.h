@@ -1,0 +1,86 @@
+#ifndef HUGE_CACHE_LRBU_CACHE_H_
+#define HUGE_CACHE_LRBU_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace huge {
+
+/// The least-recent-batch-used (LRBU) cache of Section 4.4, Algorithm 3.
+///
+/// Data members mirror the paper: `map_` is M_cache; `free_by_order_` plus
+/// `order_of_` realise the ordered set S_free (vertices replaceable when
+/// the cache is full, smallest order evicted first); `sealed_` is S_sealed
+/// (vertices pinned while the current batch is processed). `Release()`
+/// moves every sealed vertex to the back of the order, so eviction always
+/// removes vertices of the least-recent batch.
+///
+/// With `copy_on_read = false` and `lock_on_read = false` this is HUGE's
+/// lock-free, zero-copy configuration: reads (`TryGet`, `Contains`) take
+/// only immutable references; all mutation happens in the fetch stage with
+/// a single writer. The two flags enforce the LRBU-Copy / LRBU-Lock
+/// ablations of Exp-6.
+class LrbuCache : public RemoteCache {
+ public:
+  LrbuCache(size_t capacity_bytes, MemoryTracker* tracker, bool copy_on_read,
+            bool lock_on_read)
+      : capacity_(capacity_bytes),
+        tracker_(tracker),
+        copy_on_read_(copy_on_read),
+        lock_on_read_(lock_on_read) {}
+
+  ~LrbuCache() override { Clear(); }
+
+  bool Contains(VertexId v) const override {
+    if (lock_on_read_) {
+      std::lock_guard<std::mutex> guard(mu_);
+      return map_.find(v) != map_.end();
+    }
+    return map_.find(v) != map_.end();
+  }
+
+  void Insert(VertexId v, std::span<const VertexId> nbrs) override;
+  void Seal(VertexId v) override;
+  void Release() override;
+  bool TryGet(VertexId v, std::vector<VertexId>* scratch,
+              std::span<const VertexId>* out) override;
+
+  size_t SizeBytes() const override { return bytes_; }
+  void Clear() override;
+
+  /// Entries currently replaceable (S_free) — exposed for tests.
+  size_t FreeCount() const { return free_by_order_.size(); }
+  /// Entries currently pinned (S_sealed) — exposed for tests.
+  size_t SealedCount() const { return sealed_.size(); }
+  /// Total entries.
+  size_t EntryCount() const { return map_.size(); }
+
+ private:
+  static constexpr size_t kEntryOverhead = 48;  // map node + bookkeeping
+
+  static size_t EntryBytes(size_t degree) {
+    return degree * kVertexBytes + kEntryOverhead;
+  }
+  bool IsFull() const { return bytes_ >= capacity_; }
+
+  const size_t capacity_;
+  MemoryTracker* tracker_;
+  const bool copy_on_read_;
+  const bool lock_on_read_;
+
+  std::unordered_map<VertexId, std::vector<VertexId>> map_;
+  std::map<uint64_t, VertexId> free_by_order_;
+  std::unordered_map<VertexId, uint64_t> order_of_;
+  std::vector<VertexId> sealed_;
+  uint64_t next_order_ = 0;
+  size_t bytes_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_CACHE_LRBU_CACHE_H_

@@ -1,0 +1,55 @@
+#include "cache/lru_cache.h"
+
+namespace huge {
+
+void LruCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (map_.find(v) != map_.end()) return;
+  lru_.push_front(v);
+  map_.emplace(v, Entry{{nbrs.begin(), nbrs.end()}, lru_.begin()});
+  const size_t added = EntryBytes(nbrs.size());
+  bytes_ += added;
+  if (tracker_ != nullptr) tracker_->Allocate(added);
+  if (!unbounded_) EvictLocked();
+}
+
+void LruCache::EvictLocked() {
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    const VertexId victim = lru_.back();
+    lru_.pop_back();
+    auto it = map_.find(victim);
+    const size_t freed = EntryBytes(it->second.nbrs.size());
+    bytes_ -= freed;
+    if (tracker_ != nullptr) tracker_->Release(freed);
+    map_.erase(it);
+  }
+}
+
+bool LruCache::TryGet(VertexId v, std::vector<VertexId>* scratch,
+                      std::span<const VertexId>* out) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = map_.find(v);
+  if (it == map_.end()) {
+    if (!two_stage_) RecordMiss();
+    return false;
+  }
+  if (!two_stage_) RecordHit();
+  // Touch: move to the front of the recency list.
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(v);
+  it->second.lru_it = lru_.begin();
+  // Copy under the lock: the entry may be evicted the moment we unlock.
+  scratch->assign(it->second.nbrs.begin(), it->second.nbrs.end());
+  *out = {scratch->data(), scratch->size()};
+  return true;
+}
+
+void LruCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (tracker_ != nullptr) tracker_->Release(bytes_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace huge

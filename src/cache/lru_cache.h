@@ -1,0 +1,78 @@
+#ifndef HUGE_CACHE_LRU_CACHE_H_
+#define HUGE_CACHE_LRU_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace huge {
+
+/// A classic locked LRU cache used for the Exp-6 baselines:
+///   * `unbounded = true`  -> LRU-Inf (infinite capacity; still pays the
+///     lock and the copy that traditional cache structures require);
+///   * `two_stage = false` -> Cncr-LRU (capacity-bounded concurrent LRU,
+///     probed on demand inside the intersection stage: the design BENU-like
+///     runtimes use, with lock contention on every read).
+///
+/// Seal/Release are no-ops: a traditional LRU has no batch pinning, which
+/// is exactly why it cannot offer zero-copy reads — an entry may be evicted
+/// while another worker holds it, so Get must copy under the lock.
+class LruCache : public RemoteCache {
+ public:
+  LruCache(size_t capacity_bytes, MemoryTracker* tracker, bool unbounded,
+           bool two_stage)
+      : capacity_(capacity_bytes),
+        tracker_(tracker),
+        unbounded_(unbounded),
+        two_stage_(two_stage) {}
+
+  ~LruCache() override { Clear(); }
+
+  bool Contains(VertexId v) const override {
+    std::lock_guard<std::mutex> guard(mu_);
+    return map_.find(v) != map_.end();
+  }
+
+  void Insert(VertexId v, std::span<const VertexId> nbrs) override;
+  void Seal(VertexId) override {}
+  void Release() override {}
+  bool TryGet(VertexId v, std::vector<VertexId>* scratch,
+              std::span<const VertexId>* out) override;
+
+  bool TwoStage() const override { return two_stage_; }
+  size_t SizeBytes() const override {
+    std::lock_guard<std::mutex> guard(mu_);
+    return bytes_;
+  }
+  void Clear() override;
+
+ private:
+  static constexpr size_t kEntryOverhead = 64;
+
+  struct Entry {
+    std::vector<VertexId> nbrs;
+    std::list<VertexId>::iterator lru_it;
+  };
+
+  size_t EntryBytes(size_t degree) const {
+    return degree * kVertexBytes + kEntryOverhead;
+  }
+  void EvictLocked();
+
+  const size_t capacity_;
+  MemoryTracker* tracker_;
+  const bool unbounded_;
+  const bool two_stage_;
+
+  std::unordered_map<VertexId, Entry> map_;
+  std::list<VertexId> lru_;  // front = most recent
+  size_t bytes_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_CACHE_LRU_CACHE_H_

@@ -1,0 +1,36 @@
+#ifndef HUGE_COMMON_CHECK_H_
+#define HUGE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace huge::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "HUGE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace huge::internal
+
+/// Always-on invariant check. The engine is a research system reproducing a
+/// paper: violated invariants are programming errors, so we abort loudly
+/// rather than attempting recovery (no exceptions, per style guide).
+#define HUGE_CHECK(expr)                                         \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::huge::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                            \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define HUGE_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define HUGE_DCHECK(expr) HUGE_CHECK(expr)
+#endif
+
+#endif  // HUGE_COMMON_CHECK_H_

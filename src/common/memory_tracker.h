@@ -1,0 +1,53 @@
+#ifndef HUGE_COMMON_MEMORY_TRACKER_H_
+#define HUGE_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace huge {
+
+/// Tracks the bytes held by the engine's dynamic state (operator output
+/// queues, join buffers, caches) and records the peak, which is the paper's
+/// metric `M` (Table 1). Thread-safe; updated by all workers.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Registers `bytes` of newly held memory and updates the peak.
+  void Allocate(size_t bytes) {
+    size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Releases previously registered memory.
+  void Release(size_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes currently held.
+  size_t current() const { return current_.load(std::memory_order_relaxed); }
+
+  /// Highest value `current()` has reached.
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Clears both counters (between runs).
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace huge
+
+#endif  // HUGE_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,37 @@
+#ifndef HUGE_COMMON_RANDOM_H_
+#define HUGE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace huge {
+
+/// Deterministic, fast 64-bit PRNG (splitmix64). All synthetic data in the
+/// repository is generated through this class so that every test and bench
+/// is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in `[0, bound)`. `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in `[0, 1)`.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_COMMON_RANDOM_H_

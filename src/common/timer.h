@@ -1,0 +1,31 @@
+#ifndef HUGE_COMMON_TIMER_H_
+#define HUGE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace huge {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_COMMON_TIMER_H_

@@ -1,0 +1,28 @@
+#ifndef HUGE_COMMON_TYPES_H_
+#define HUGE_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace huge {
+
+/// Identifier of a data-graph vertex. Vertices are densely numbered
+/// `0 .. |V|-1` (Section 2 of the paper).
+using VertexId = uint32_t;
+
+/// Identifier of a query-graph vertex (query graphs are tiny).
+using QueryVertexId = uint8_t;
+
+/// Index of a machine in the simulated cluster.
+using MachineId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNullVertex = std::numeric_limits<VertexId>::max();
+
+/// Number of bytes used to ship one vertex id over the simulated network.
+inline constexpr size_t kVertexBytes = sizeof(VertexId);
+
+}  // namespace huge
+
+#endif  // HUGE_COMMON_TYPES_H_

@@ -1,0 +1,142 @@
+#ifndef HUGE_ENGINE_BATCH_H_
+#define HUGE_ENGINE_BATCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/memory_tracker.h"
+#include "common/types.h"
+
+namespace huge {
+
+/// A batch of partial results: a row-major `rows x width` matrix of data
+/// vertex ids ("HUGE stores each partial result as a compact array",
+/// Lemma 5.2). Batches are the minimum data processing unit (Section 4.2).
+class Batch {
+ public:
+  Batch() : width_(0) {}
+  explicit Batch(uint32_t width) : width_(width) { HUGE_CHECK(width >= 1); }
+  Batch(uint32_t width, std::vector<VertexId> data)
+      : width_(width), data_(std::move(data)) {
+    HUGE_CHECK(width >= 1 && data_.size() % width == 0);
+  }
+
+  Batch(Batch&&) = default;
+  Batch& operator=(Batch&&) = default;
+  Batch(const Batch&) = delete;
+  Batch& operator=(const Batch&) = delete;
+
+  uint32_t width() const { return width_; }
+  size_t rows() const { return width_ == 0 ? 0 : data_.size() / width_; }
+  bool empty() const { return data_.empty(); }
+  size_t bytes() const { return data_.size() * sizeof(VertexId); }
+
+  std::span<const VertexId> Row(size_t i) const {
+    return {data_.data() + i * width_, width_};
+  }
+
+  void AppendRow(std::span<const VertexId> row) {
+    HUGE_DCHECK(row.size() == width_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+
+  /// Appends `row` followed by one extra value (grow-extension output).
+  void AppendRowPlus(std::span<const VertexId> row, VertexId extra) {
+    HUGE_DCHECK(row.size() + 1 == width_);
+    data_.insert(data_.end(), row.begin(), row.end());
+    data_.push_back(extra);
+  }
+
+  std::span<const VertexId> data() const { return data_; }
+  std::vector<VertexId>& mutable_data() { return data_; }
+
+ private:
+  uint32_t width_;
+  std::vector<VertexId> data_;
+};
+
+/// A thread-safe FIFO of batches: the fixed-capacity output queue attached
+/// to every operator (Section 5.2). `Push` never fails — the scheduler
+/// checks `Full()` between batches, so a queue can overflow by at most the
+/// results of one batch, which is exactly the slack Lemma 5.2 bounds.
+/// Thieves (intra- or inter-machine) pop from the front like the owner.
+class BatchQueue {
+ public:
+  /// `capacity` in batches; 0 = unbounded. `tracker` accounts held bytes.
+  BatchQueue(uint32_t capacity, MemoryTracker* tracker)
+      : capacity_(capacity), tracker_(tracker) {}
+
+  ~BatchQueue() { Clear(); }
+
+  void Push(Batch&& b) {
+    const size_t bytes = b.bytes();
+    std::lock_guard<std::mutex> guard(mu_);
+    queue_.push_back(std::move(b));
+    bytes_ += bytes;
+    if (tracker_ != nullptr) tracker_->Allocate(bytes);
+  }
+
+  std::optional<Batch> Pop() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (queue_.empty()) return std::nullopt;
+    Batch b = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= b.bytes();
+    if (tracker_ != nullptr) tracker_->Release(b.bytes());
+    return b;
+  }
+
+  /// Steals up to `max_batches` batches from the front (StealWork).
+  std::vector<Batch> Steal(size_t max_batches) {
+    std::vector<Batch> out;
+    std::lock_guard<std::mutex> guard(mu_);
+    while (out.size() < max_batches && !queue_.empty()) {
+      Batch b = std::move(queue_.front());
+      queue_.pop_front();
+      bytes_ -= b.bytes();
+      if (tracker_ != nullptr) tracker_->Release(b.bytes());
+      out.push_back(std::move(b));
+    }
+    return out;
+  }
+
+  bool Full() const {
+    if (capacity_ == 0) return false;
+    std::lock_guard<std::mutex> guard(mu_);
+    return queue_.size() >= capacity_;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return queue_.empty();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return queue_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+    queue_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  const uint32_t capacity_;
+  MemoryTracker* tracker_;
+  mutable std::mutex mu_;
+  std::deque<Batch> queue_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_BATCH_H_

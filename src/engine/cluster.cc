@@ -1,0 +1,426 @@
+#include "engine/cluster.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "engine/intersect.h"
+
+namespace huge {
+
+Cluster::Cluster(std::shared_ptr<const Graph> graph, Config config)
+    : graph_(std::move(graph)),
+      config_(std::move(config)),
+      pgraph_(graph_, config_.num_machines),
+      net_(config_.net, config_.num_machines) {
+  HUGE_CHECK(config_.num_machines >= 1);
+  HUGE_CHECK(config_.batch_size >= 1);
+  shared_.pgraph = &pgraph_;
+  shared_.config = &config_;
+  shared_.net = &net_;
+  shared_.tracker = &tracker_;
+  shared_.joins = &joins_;
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    machines_.push_back(std::make_unique<MachineRuntime>(m, &shared_));
+    shared_.machines.push_back(machines_.back().get());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<SegmentPlan> Cluster::BuildSegments(const Dataflow& df) const {
+  std::vector<SegmentPlan> segments;
+  for (size_t head = 0; head < df.ops.size(); ++head) {
+    const OpKind kind = df.ops[head].kind;
+    if (kind != OpKind::kScan && kind != OpKind::kPushJoin) continue;
+    SegmentPlan seg;
+    int cur = static_cast<int>(head);
+    seg.ops.push_back(cur);
+    while (true) {
+      const int succ = df.SuccessorOf(cur);
+      if (succ < 0) break;
+      if (df.ops[succ].kind == OpKind::kPushJoin) {
+        seg.feeds_join = succ;
+        seg.feeds_left = (df.ops[succ].left_input == cur);
+        break;
+      }
+      seg.ops.push_back(succ);
+      cur = succ;
+    }
+    for (int op : seg.ops) {
+      if (df.ops[op].kind == OpKind::kPushExtend) seg.bsp = true;
+    }
+    // Counting-sink fusion: drop the SINK and let the final grow-extension
+    // count candidates without materialising rows.
+    const int last = seg.ops.back();
+    if (df.ops[last].kind == OpKind::kSink && config_.count_fusion &&
+        !config_.match_sink && seg.ops.size() >= 2) {
+      const OpKind prev = df.ops[seg.ops[seg.ops.size() - 2]].kind;
+      if (prev == OpKind::kPullExtend || prev == OpKind::kPushExtend) {
+        seg.ops.pop_back();
+        seg.fused_count = true;
+      }
+    }
+    segments.push_back(std::move(seg));
+  }
+  // Dataflow ops are in topological order, so ordering segments by head
+  // op id puts every join's children before the join's own segment.
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentPlan& a, const SegmentPlan& b) {
+              return a.ops[0] < b.ops[0];
+            });
+  return segments;
+}
+
+RunResult Cluster::Run(const Dataflow& df) {
+  shared_.dataflow = &df;
+  tracker_.Reset();
+  net_.Reset();
+  joins_.clear();
+  shared_.intermediate_rows.store(0);
+  shared_.aborted.store(false);
+  shared_.abort_status.store(static_cast<uint8_t>(RunStatus::kOk));
+  shared_.has_deadline = config_.time_limit_seconds > 0;
+  if (shared_.has_deadline) {
+    shared_.run_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            static_cast<int64_t>(config_.time_limit_seconds * 1e3));
+  }
+
+  // Create join buffers for every PUSH-JOIN.
+  for (size_t i = 0; i < df.ops.size(); ++i) {
+    const OpDesc& op = df.ops[i];
+    if (op.kind != OpKind::kPushJoin) continue;
+    JoinBuffers jb;
+    const OpDesc& left = df.ops[op.left_input];
+    const OpDesc& right = df.ops[op.right_input];
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      jb.left.push_back(std::make_unique<JoinSideBuffer>(
+          static_cast<uint32_t>(left.schema.size()), op.left_key,
+          config_.join_spill_threshold, config_.spill_dir, &tracker_));
+      jb.right.push_back(std::make_unique<JoinSideBuffer>(
+          static_cast<uint32_t>(right.schema.size()), op.right_key,
+          config_.join_spill_threshold, config_.spill_dir, &tracker_));
+    }
+    joins_.emplace(static_cast<int>(i), std::move(jb));
+  }
+
+  for (auto& m : machines_) m->PrepareRun();
+
+  WallTimer timer;
+  const std::vector<SegmentPlan> segments = BuildSegments(df);
+  for (const SegmentPlan& seg : segments) {
+    // A segment whose source is a PUSH-JOIN starts after its children
+    // finished (segments are ordered); seal the join's buffers first.
+    const OpDesc& source = df.ops[seg.ops[0]];
+    if (source.kind == OpKind::kPushJoin) {
+      JoinBuffers& jb = joins_.at(seg.ops[0]);
+      for (auto& b : jb.left) b->FinishWrites();
+      for (auto& b : jb.right) b->FinishWrites();
+    }
+    if (seg.bsp) {
+      RunSegmentBsp(seg);
+    } else {
+      RunSegmentAdaptive(seg);
+    }
+  }
+  const double wall = timer.Seconds();
+
+  RunResult result;
+  result.status = shared_.aborted.load()
+                      ? static_cast<RunStatus>(shared_.abort_status.load())
+                      : RunStatus::kOk;
+  for (auto& m : machines_) result.matches += m->matches();
+  RunMetrics& mm = result.metrics;
+  mm.compute_seconds = wall;
+  mm.comm_seconds = net_.CommSeconds();
+  mm.bytes_communicated = net_.TotalBytes();
+  mm.peak_memory_bytes = tracker_.peak();
+  mm.intermediate_rows = shared_.intermediate_rows.load();
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    const MachineTraffic& t = net_.traffic(m);
+    mm.rpc_requests += t.rpc_requests();
+    mm.push_messages += t.push_messages();
+    if (machines_[m]->cache() != nullptr) {
+      mm.cache_hits += machines_[m]->cache()->hits();
+      mm.cache_misses += machines_[m]->cache()->misses();
+    }
+    mm.intra_steals += machines_[m]->pool().steal_count();
+    mm.inter_steals += machines_[m]->inter_steals();
+    mm.fetch_seconds += machines_[m]->fetch_seconds();
+    for (double b : machines_[m]->pool().BusySeconds()) {
+      mm.worker_busy_seconds.push_back(b);
+    }
+    mm.machine_busy_seconds.push_back(machines_[m]->bsp_busy_seconds());
+  }
+  joins_.clear();
+  shared_.dataflow = nullptr;
+  return result;
+}
+
+void Cluster::RunSegmentAdaptive(const SegmentPlan& seg) {
+  shared_.idle_count.store(0);
+  for (auto& m : machines_) m->SetupSegment(&seg);
+  std::vector<std::thread> threads;
+  threads.reserve(machines_.size());
+  for (auto& m : machines_) {
+    threads.emplace_back([&m] { m->ExecuteSegment(); });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& m : machines_) m->TeardownSegment();
+}
+
+// ---------------------------------------------------------------------------
+// BSP runner: level-synchronous execution of pushing wco plans (the
+// BiGJoin profile). Each PUSH-EXTEND ships partial results (and running
+// candidate sets) to the owner of the next extension vertex, hop by hop
+// (Section 3.2), with a global barrier per hop — the BFS-style execution
+// that makes pushing systems memory-hungry (Section 5.1).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-row heap overhead of a HopBox entry (vector header + allocator
+/// bookkeeping) — included in the tracked bytes so the memory budget
+/// reflects actual process usage.
+constexpr size_t kHopRowOverhead = 64;
+
+/// Rows-in-flight of one PUSH-EXTEND hop on one machine: a row matrix plus
+/// one candidate list per row.
+struct HopBox {
+  uint32_t width = 0;
+  std::vector<VertexId> rows;
+  std::vector<std::vector<VertexId>> cands;
+  std::mutex mu;
+
+  size_t NumRows() const { return width == 0 ? 0 : rows.size() / width; }
+
+  void Add(std::span<const VertexId> row, std::vector<VertexId>&& c) {
+    std::lock_guard<std::mutex> guard(mu);
+    rows.insert(rows.end(), row.begin(), row.end());
+    cands.push_back(std::move(c));
+  }
+};
+
+/// Runs `fn(machine_id)` on one thread per machine and joins (a global
+/// barrier).
+void ParallelMachines(MachineId k, const std::function<void(MachineId)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (MachineId m = 0; m < k; ++m) threads.emplace_back([&fn, m] { fn(m); });
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
+  const Dataflow& df = *shared_.dataflow;
+  const MachineId k = config_.num_machines;
+  const size_t batch_rows = config_.batch_size;
+
+  for (auto& m : machines_) m->SetupSegment(&seg);
+
+  // Per-machine current-level inputs.
+  std::vector<std::vector<Batch>> level_in(k);
+  auto level_bytes = [&]() {
+    size_t b = 0;
+    for (const auto& v : level_in) {
+      for (const Batch& batch : v) b += batch.bytes();
+    }
+    return b;
+  };
+
+  bool more_regions = true;
+  while (more_regions && !shared_.OverBudget()) {
+    // Level 0: SCAN a region (or everything when regions are disabled).
+    const OpDesc& scan = df.ops[seg.ops[0]];
+    HUGE_CHECK(scan.kind == OpKind::kScan);
+    ParallelMachines(k, [&](MachineId m) {
+      WallTimer busy;
+      MachineRuntime& mr = *machines_[m];
+      mr.region_emitted_ = 0;
+      while (true) {
+        Batch b = mr.NextScanBatch(scan);
+        if (b.empty()) break;
+        shared_.intermediate_rows.fetch_add(b.rows());
+        level_in[m].push_back(std::move(b));
+        if (config_.region_group_rows > 0 &&
+            mr.region_emitted_ >= config_.region_group_rows) {
+          break;
+        }
+      }
+      mr.AddBspBusy(busy.Seconds());
+    });
+    size_t level_tracked = level_bytes();
+    tracker_.Allocate(level_tracked);
+
+    for (size_t lvl = 1; lvl < seg.ops.size(); ++lvl) {
+      if (shared_.OverBudget()) break;
+      const OpDesc& op = df.ops[seg.ops[lvl]];
+      if (op.kind == OpKind::kSink) {
+        for (MachineId m = 0; m < k; ++m) {
+          uint64_t rows = 0;
+          for (const Batch& b : level_in[m]) rows += b.rows();
+          machines_[m]->AddMatches(rows);
+          if (config_.match_sink) {
+            std::vector<VertexId> match(op.schema.size());
+            for (const Batch& b : level_in[m]) {
+              for (size_t i = 0; i < b.rows(); ++i) {
+                auto r = b.Row(i);
+                for (size_t c = 0; c < op.schema.size(); ++c) {
+                  match[op.schema[c]] = r[c];
+                }
+                config_.match_sink(match);
+              }
+            }
+          }
+        }
+        break;
+      }
+      HUGE_CHECK(op.kind == OpKind::kPushExtend &&
+                 "BSP segments support SCAN + PUSH-EXTEND + SINK");
+      const bool fused =
+          seg.fused_count && seg.ops[lvl] == seg.ops.back();
+      const uint32_t in_width = static_cast<uint32_t>(op.schema.size()) - 1;
+
+      // Hop 0 routing: ship every row to the owner of its first extension
+      // vertex, paying the pushing communication of wco joins
+      // (d_G |R(q'_l)| in Remark 3.1 accumulates over the hops).
+      std::vector<HopBox> inbox(k);
+      for (MachineId m = 0; m < k; ++m) inbox[m].width = in_width;
+      std::atomic<size_t> inbox_bytes{0};
+      ParallelMachines(k, [&](MachineId m) {
+        WallTimer busy;
+        std::vector<uint64_t> sent_bytes(k, 0);
+        size_t appended = 0;
+        for (Batch& b : level_in[m]) {
+          if (shared_.OverBudget()) break;
+          for (size_t i = 0; i < b.rows(); ++i) {
+            auto row = b.Row(i);
+            const MachineId dst = pgraph_.Owner(row[op.ext[0]]);
+            inbox[dst].Add(row, {});
+            appended += row.size() * kVertexBytes + kHopRowOverhead;
+            if (dst != m) sent_bytes[dst] += row.size() * kVertexBytes;
+          }
+        }
+        tracker_.Allocate(appended);
+        inbox_bytes.fetch_add(appended);
+        for (MachineId dst = 0; dst < k; ++dst) {
+          if (sent_bytes[dst] > 0) {
+            net_.Push(m, sent_bytes[dst],
+                      1 + sent_bytes[dst] / (batch_rows * kVertexBytes));
+          }
+        }
+        level_in[m].clear();
+        machines_[m]->AddBspBusy(busy.Seconds());
+      });
+
+      // Intersection hops. The in-flight candidate lists ARE the memory
+      // cost of BFS-style pushing (Section 5.1); track them incrementally
+      // so a configured budget aborts before the process itself OOMs.
+      for (size_t j = 0; j < op.ext.size() && !shared_.OverBudget(); ++j) {
+        const bool last_hop = (j + 1 == op.ext.size());
+        std::vector<HopBox> next(k);
+        for (MachineId m = 0; m < k; ++m) next[m].width = in_width;
+        std::atomic<size_t> next_bytes{0};
+        ParallelMachines(k, [&](MachineId m) {
+          WallTimer busy;
+          HopBox& box = inbox[m];
+          std::vector<uint64_t> sent_bytes(k, 0);
+          Batch out(in_width + 1);
+          std::vector<VertexId> isect;
+          size_t appended = 0;
+          for (size_t i = 0; i < box.NumRows(); ++i) {
+            if ((i & 255u) == 0) {
+              tracker_.Allocate(appended);
+              next_bytes.fetch_add(appended);
+              appended = 0;
+              if (shared_.OverBudget()) break;
+            }
+            std::span<const VertexId> row{box.rows.data() + i * in_width,
+                                          in_width};
+            const VertexId pivot = row[op.ext[j]];
+            HUGE_DCHECK(pgraph_.Owner(pivot) == m);
+            auto nbrs = graph_->Neighbors(pivot);
+            if (j == 0) {
+              isect.assign(nbrs.begin(), nbrs.end());
+            } else {
+              IntersectSorted(box.cands[i], nbrs, &isect);
+            }
+            if (isect.empty()) continue;
+            if (!last_hop) {
+              const MachineId dst = pgraph_.Owner(row[op.ext[j + 1]]);
+              if (dst != m) {
+                sent_bytes[dst] += (row.size() + isect.size()) * kVertexBytes;
+              }
+              next[dst].Add(row, std::vector<VertexId>(isect));
+              appended += (row.size() + isect.size()) * kVertexBytes +
+                          kHopRowOverhead;
+            } else {
+              uint64_t count = 0;
+              for (VertexId v : isect) {
+                if (op.target_label != QueryGraph::kAnyLabel &&
+                    graph_->Label(v) != op.target_label) {
+                  continue;
+                }
+                if (!PassesExtendFilters(op, row, v)) continue;
+                if (fused) {
+                  ++count;
+                } else {
+                  out.AppendRowPlus(row, v);
+                  if (out.rows() >= batch_rows) {
+                    shared_.intermediate_rows.fetch_add(out.rows());
+                    appended += out.bytes();
+                    level_in[m].push_back(std::move(out));
+                    out = Batch(in_width + 1);
+                  }
+                }
+              }
+              if (count > 0) machines_[m]->AddMatches(count);
+            }
+          }
+          if (!out.empty()) {
+            shared_.intermediate_rows.fetch_add(out.rows());
+            level_in[m].push_back(std::move(out));
+          }
+          tracker_.Allocate(appended);
+          next_bytes.fetch_add(appended);
+          for (MachineId dst = 0; dst < k; ++dst) {
+            if (sent_bytes[dst] > 0) {
+              net_.Push(m, sent_bytes[dst],
+                        1 + sent_bytes[dst] / (batch_rows * kVertexBytes));
+            }
+          }
+          machines_[m]->AddBspBusy(busy.Seconds());
+        });
+        // The previous hop's inbox is freed by the swap; its tracked bytes
+        // go with it.
+        tracker_.Release(inbox_bytes.load());
+        inbox_bytes.store(next_bytes.load());
+        inbox.swap(next);
+      }
+      tracker_.Release(inbox_bytes.load());
+      // The new level's outputs replace the old level's (cleared during
+      // hop-0 routing); keep the tracker in sync.
+      tracker_.Release(level_tracked);
+      level_tracked = level_bytes();
+      tracker_.Allocate(level_tracked);
+    }
+    for (auto& v : level_in) v.clear();
+    tracker_.Release(level_tracked);
+
+    more_regions = false;
+    if (config_.region_group_rows > 0) {
+      for (auto& m : machines_) {
+        if (!m->ScanExhausted()) more_regions = true;
+      }
+    }
+  }
+
+  for (auto& m : machines_) m->TeardownSegment();
+}
+
+}  // namespace huge

@@ -1,0 +1,65 @@
+#ifndef HUGE_ENGINE_CLUSTER_H_
+#define HUGE_ENGINE_CLUSTER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "engine/config.h"
+#include "engine/machine_runtime.h"
+#include "engine/metrics.h"
+#include "graph/partition.h"
+#include "net/network.h"
+#include "plan/dataflow.h"
+
+namespace huge {
+
+/// The simulated shared-nothing cluster (Figure 2): `k` machine runtimes,
+/// each with its own partition view, worker pool, LRBU cache and scheduler,
+/// connected by the accounted network. `Run` executes a translated
+/// dataflow and returns the match count plus the paper's metrics.
+///
+/// Execution follows Section 5.4: the dataflow is split into chain
+/// segments at PUSH-JOIN boundaries; segments run in topological order
+/// with a global barrier at each join. Pull-only segments run under the
+/// BFS/DFS-adaptive scheduler with two-layer work stealing; segments
+/// containing PUSH-EXTENDs (the BiGJoin pushing profile) run
+/// level-synchronously (BSP), which is how BFS-style pushing systems
+/// actually execute.
+class Cluster {
+ public:
+  Cluster(std::shared_ptr<const Graph> graph, Config config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Executes `df` and returns counts + metrics. Reentrant across calls
+  /// (state is reset per run), not thread-safe.
+  RunResult Run(const Dataflow& df);
+
+  const PartitionedGraph& pgraph() const { return pgraph_; }
+  const Config& config() const { return config_; }
+  Network& network() { return net_; }
+
+  /// Splits a dataflow into executable segments (exposed for tests).
+  std::vector<SegmentPlan> BuildSegments(const Dataflow& df) const;
+
+ private:
+  void RunSegmentAdaptive(const SegmentPlan& seg);
+  void RunSegmentBsp(const SegmentPlan& seg);
+
+  std::shared_ptr<const Graph> graph_;
+  Config config_;
+  PartitionedGraph pgraph_;
+  Network net_;
+  MemoryTracker tracker_;
+  std::unordered_map<int, JoinBuffers> joins_;
+  SharedState shared_;
+  std::vector<std::unique_ptr<MachineRuntime>> machines_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_CLUSTER_H_

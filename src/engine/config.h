@@ -1,0 +1,86 @@
+#ifndef HUGE_ENGINE_CONFIG_H_
+#define HUGE_ENGINE_CONFIG_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "cache/cache.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace huge {
+
+/// Runtime configuration of the HUGE engine. Defaults follow Section 7.1
+/// ("batch size: 512K, cache capacity: 30% of the data graph, output queue
+/// size: 5x10^7"), scaled for a single-box simulated cluster.
+struct Config {
+  /// Number of simulated machines k in the shared-nothing cluster.
+  MachineId num_machines = 4;
+
+  /// Workers per machine performing the de-facto computation (Section 4.1).
+  int workers_per_machine = 2;
+
+  /// Rows per batch, the minimum data processing unit (Section 4.2).
+  uint32_t batch_size = 4096;
+
+  /// Capacity of each operator's output queue, in batches. 0 means
+  /// unbounded, which degenerates the adaptive scheduler to pure BFS; 1 is
+  /// effectively DFS (Exp-7, Figure 9).
+  uint32_t queue_capacity = 16;
+
+  /// LRBU cache capacity in bytes; 0 selects 30% of the data-graph size.
+  size_t cache_capacity_bytes = 0;
+
+  /// Cache implementation (Exp-6, Table 5).
+  CacheKind cache_kind = CacheKind::kLrbu;
+
+  /// Intra-machine work stealing between workers (Section 5.3).
+  bool intra_stealing = true;
+
+  /// Inter-machine StealWork RPC (Section 5.3).
+  bool inter_stealing = true;
+
+  /// Row-chunk granularity of intra-machine stealing deques.
+  uint32_t chunk_rows = 256;
+
+  /// Region-group emulation (the static heuristic of RADS / BiGJoin's
+  /// batching): the SCAN emits at most this many rows, then waits until
+  /// the pipeline fully drains before emitting more. 0 disables.
+  uint64_t region_group_rows = 0;
+
+  /// Fuse counting into the final extension: the last grow-extension counts
+  /// candidates instead of materialising result rows (the standard wco
+  /// counting optimisation; applied uniformly across systems in benches).
+  bool count_fusion = true;
+
+  /// Per-machine, per-side in-memory budget of a PUSH-JOIN buffer before
+  /// it spills sorted runs to disk (Section 4.3).
+  size_t join_spill_threshold = 64u << 20;
+
+  /// Directory for PUSH-JOIN spill files.
+  std::string spill_dir = "/tmp";
+
+  /// Engine memory budget in bytes (queues + caches + join buffers +
+  /// BSP state). When the tracked usage exceeds it the run aborts and the
+  /// result reports Status::kOom — the graceful analogue of the paper's
+  /// OOM entries. 0 disables the limit.
+  size_t memory_limit_bytes = 0;
+
+  /// Wall-clock budget per run; exceeded runs abort with RunStatus::kTimeout
+  /// (the paper's OT entries, Section 7.1: "We allow 3 hours for each
+  /// query"). 0 disables the limit.
+  double time_limit_seconds = 0;
+
+  /// Simulated interconnect profile.
+  NetworkProfile net;
+
+  /// Optional per-match callback (examples, tests): receives `match` with
+  /// match[i] = data vertex bound to query vertex i. Setting it disables
+  /// count fusion so every full match row is materialised.
+  std::function<void(std::span<const VertexId>)> match_sink;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_CONFIG_H_

@@ -1,0 +1,78 @@
+#include "engine/intersect.h"
+
+#include <algorithm>
+
+namespace huge {
+namespace {
+
+/// Galloping (exponential) search: first index in `a[lo..]` with
+/// a[i] >= x.
+size_t Gallop(std::span<const VertexId> a, size_t lo, VertexId x) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < a.size() && a[hi] < x) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  hi = std::min(hi, a.size());
+  return std::lower_bound(a.begin() + lo, a.begin() + hi, x) - a.begin();
+}
+
+}  // namespace
+
+void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() / std::max<size_t>(a.size(), 1) >= 32) {
+    // Skewed: gallop through the large list.
+    size_t j = 0;
+    for (VertexId x : a) {
+      j = Gallop(b, j, x);
+      if (j == b.size()) break;
+      if (b[j] == x) {
+        out->push_back(x);
+        ++j;
+      }
+    }
+    return;
+  }
+  // Balanced: linear merge.
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void IntersectAll(std::vector<std::span<const VertexId>>& lists,
+                  std::vector<VertexId>* out, std::vector<VertexId>* tmp) {
+  out->clear();
+  if (lists.empty()) return;
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  if (lists.size() == 1) {
+    out->assign(lists[0].begin(), lists[0].end());
+    return;
+  }
+  IntersectSorted(lists[0], lists[1], out);
+  for (size_t i = 2; i < lists.size() && !out->empty(); ++i) {
+    tmp->swap(*out);
+    IntersectSorted({tmp->data(), tmp->size()}, lists[i], out);
+  }
+}
+
+bool SortedContains(std::span<const VertexId> a, VertexId x) {
+  return std::binary_search(a.begin(), a.end(), x);
+}
+
+}  // namespace huge

@@ -1,0 +1,28 @@
+#ifndef HUGE_ENGINE_INTERSECT_H_
+#define HUGE_ENGINE_INTERSECT_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace huge {
+
+/// Sorted-set intersection kernels used by the wco extension (Equation 2).
+/// Lists are sorted ascending (CSR invariant).
+
+/// out = a ∩ b. Uses galloping when the sizes are very skewed.
+void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out);
+
+/// Intersection of all `lists` into `out`; `tmp` is reused scratch.
+/// Processes the smallest lists first to shrink the working set early.
+void IntersectAll(std::vector<std::span<const VertexId>>& lists,
+                  std::vector<VertexId>* out, std::vector<VertexId>* tmp);
+
+/// True iff sorted list `a` contains `x` (binary search).
+bool SortedContains(std::span<const VertexId> a, VertexId x);
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_INTERSECT_H_

@@ -1,0 +1,164 @@
+#include "engine/join_state.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace huge {
+namespace {
+
+std::string UniqueSpillName(const std::string& dir) {
+  static std::atomic<uint64_t> counter{0};
+  return dir + "/huge_spill_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".run";
+}
+
+}  // namespace
+
+JoinSideBuffer::JoinSideBuffer(uint32_t width, std::vector<int> key_positions,
+                               size_t spill_threshold_bytes,
+                               std::string spill_path, MemoryTracker* tracker)
+    : width_(width),
+      key_positions_(std::move(key_positions)),
+      spill_threshold_(spill_threshold_bytes),
+      spill_path_(std::move(spill_path)),
+      tracker_(tracker) {
+  HUGE_CHECK(width_ >= 1 && !key_positions_.empty());
+}
+
+JoinSideBuffer::~JoinSideBuffer() {
+  for (const auto& f : run_files_) std::remove(f.c_str());
+  if (tracker_ != nullptr) {
+    tracker_->Release(rows_.size() * sizeof(VertexId));
+  }
+}
+
+int JoinSideBuffer::CompareKeys(std::span<const VertexId> a,
+                                const std::vector<int>& a_keys,
+                                std::span<const VertexId> b,
+                                const std::vector<int>& b_keys) {
+  HUGE_DCHECK(a_keys.size() == b_keys.size());
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    const VertexId av = a[a_keys[i]];
+    const VertexId bv = b[b_keys[i]];
+    if (av < bv) return -1;
+    if (av > bv) return 1;
+  }
+  return 0;
+}
+
+void JoinSideBuffer::Add(const Batch& batch) {
+  HUGE_CHECK(batch.width() == width_);
+  std::lock_guard<std::mutex> guard(mu_);
+  HUGE_CHECK(!finished_);
+  const size_t added = batch.data().size() * sizeof(VertexId);
+  rows_.insert(rows_.end(), batch.data().begin(), batch.data().end());
+  row_count_ += batch.rows();
+  if (tracker_ != nullptr) tracker_->Allocate(added);
+  if (rows_.size() * sizeof(VertexId) >= spill_threshold_) SpillLocked();
+}
+
+void JoinSideBuffer::SortMemoryLocked() {
+  const size_t n = rows_.size() / width_;
+  std::vector<uint32_t> index(n);
+  for (size_t i = 0; i < n; ++i) index[i] = static_cast<uint32_t>(i);
+  std::sort(index.begin(), index.end(), [this](uint32_t x, uint32_t y) {
+    std::span<const VertexId> rx{rows_.data() + size_t{x} * width_, width_};
+    std::span<const VertexId> ry{rows_.data() + size_t{y} * width_, width_};
+    const int c = CompareKeys(rx, key_positions_, ry, key_positions_);
+    if (c != 0) return c < 0;
+    return std::lexicographical_compare(rx.begin(), rx.end(), ry.begin(),
+                                        ry.end());
+  });
+  std::vector<VertexId> sorted;
+  sorted.reserve(rows_.size());
+  for (uint32_t i : index) {
+    sorted.insert(sorted.end(), rows_.begin() + size_t{i} * width_,
+                  rows_.begin() + size_t{i + 1} * width_);
+  }
+  rows_.swap(sorted);
+}
+
+void JoinSideBuffer::SpillLocked() {
+  if (rows_.empty()) return;
+  SortMemoryLocked();
+  const std::string name = UniqueSpillName(spill_path_);
+  std::FILE* f = std::fopen(name.c_str(), "wb");
+  HUGE_CHECK(f != nullptr && "cannot open spill file");
+  const size_t written =
+      std::fwrite(rows_.data(), sizeof(VertexId), rows_.size(), f);
+  HUGE_CHECK(written == rows_.size());
+  std::fclose(f);
+  run_files_.push_back(name);
+  if (tracker_ != nullptr) {
+    tracker_->Release(rows_.size() * sizeof(VertexId));
+  }
+  rows_.clear();
+  rows_.shrink_to_fit();
+}
+
+void JoinSideBuffer::FinishWrites() {
+  std::lock_guard<std::mutex> guard(mu_);
+  HUGE_CHECK(!finished_);
+  SortMemoryLocked();
+  finished_ = true;
+}
+
+// ---- Stream ----
+
+JoinSideBuffer::Stream::Stream(JoinSideBuffer* buf) : buf_(buf) {
+  HUGE_CHECK(buf_->finished_);
+  runs_.resize(buf_->run_files_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    runs_[i].file = std::fopen(buf_->run_files_[i].c_str(), "rb");
+    HUGE_CHECK(runs_[i].file != nullptr);
+    runs_[i].row.resize(buf_->width_);
+    RefillRun(i);
+  }
+  PickNext();
+}
+
+void JoinSideBuffer::Stream::RefillRun(size_t i) {
+  RunCursor& rc = runs_[i];
+  const size_t read =
+      std::fread(rc.row.data(), sizeof(VertexId), buf_->width_, rc.file);
+  if (read != buf_->width_) {
+    rc.done = true;
+    std::fclose(rc.file);
+    rc.file = nullptr;
+  }
+}
+
+void JoinSideBuffer::Stream::PickNext() {
+  // Smallest-key row among the in-memory tail and all run cursors.
+  current_.clear();
+  int best_run = -1;
+  std::span<const VertexId> best;
+  if (mem_index_ * buf_->width_ < buf_->rows_.size()) {
+    best = {buf_->rows_.data() + mem_index_ * buf_->width_, buf_->width_};
+    best_run = -2;  // memory tail
+  }
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].done) continue;
+    std::span<const VertexId> candidate{runs_[i].row.data(), buf_->width_};
+    if (best_run == -1 ||
+        CompareKeys(candidate, buf_->key_positions_, best,
+                    buf_->key_positions_) < 0) {
+      best = candidate;
+      best_run = static_cast<int>(i);
+    }
+  }
+  if (best_run == -1) return;  // exhausted
+  current_.assign(best.begin(), best.end());
+  if (best_run == -2) {
+    ++mem_index_;
+  } else {
+    RefillRun(static_cast<size_t>(best_run));
+  }
+}
+
+void JoinSideBuffer::Stream::Advance() { PickNext(); }
+
+}  // namespace huge

@@ -1,0 +1,98 @@
+#ifndef HUGE_ENGINE_JOIN_STATE_H_
+#define HUGE_ENGINE_JOIN_STATE_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/types.h"
+#include "engine/batch.h"
+#include "plan/dataflow.h"
+
+namespace huge {
+
+/// One side of a PUSH-JOIN's buffered input on one machine
+/// (Section 4.3): shuffled rows are buffered in memory; when the buffer
+/// exceeds its threshold the rows are sorted by join key and spilled to
+/// disk as a sorted run. Reading back merges the runs so the join streams
+/// rows in key order with constant memory.
+class JoinSideBuffer {
+ public:
+  JoinSideBuffer(uint32_t width, std::vector<int> key_positions,
+                 size_t spill_threshold_bytes, std::string spill_path,
+                 MemoryTracker* tracker);
+  ~JoinSideBuffer();
+
+  JoinSideBuffer(const JoinSideBuffer&) = delete;
+  JoinSideBuffer& operator=(const JoinSideBuffer&) = delete;
+
+  /// Appends a shuffled batch (thread-safe; called by all machines'
+  /// routers).
+  void Add(const Batch& batch);
+
+  /// Seals the buffer: sorts the in-memory tail. Must be called once,
+  /// after the producing segment's global barrier.
+  void FinishWrites();
+
+  /// Key-ordered stream over the buffered rows (memory tail + spilled
+  /// runs, merged). Only valid after FinishWrites().
+  class Stream {
+   public:
+    explicit Stream(JoinSideBuffer* buf);
+    /// True while a current row is available.
+    bool HasRow() const { return !current_.empty(); }
+    std::span<const VertexId> Row() const { return current_; }
+    void Advance();
+
+   private:
+    struct RunCursor {
+      std::FILE* file = nullptr;
+      std::vector<VertexId> row;
+      bool done = false;
+    };
+    void RefillRun(size_t i);
+    void PickNext();
+
+    JoinSideBuffer* buf_;
+    size_t mem_index_ = 0;
+    std::vector<RunCursor> runs_;
+    std::vector<VertexId> current_;
+  };
+
+  Stream OpenStream() { return Stream(this); }
+
+  uint32_t width() const { return width_; }
+  const std::vector<int>& key_positions() const { return key_positions_; }
+  size_t spilled_runs() const { return run_files_.size(); }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Compares the keys of two rows (possibly from different buffers with
+  /// different key positions).
+  static int CompareKeys(std::span<const VertexId> a,
+                         const std::vector<int>& a_keys,
+                         std::span<const VertexId> b,
+                         const std::vector<int>& b_keys);
+
+ private:
+  void SpillLocked();
+  void SortMemoryLocked();
+
+  const uint32_t width_;
+  const std::vector<int> key_positions_;
+  const size_t spill_threshold_;
+  const std::string spill_path_;
+  MemoryTracker* tracker_;
+
+  std::mutex mu_;
+  std::vector<VertexId> rows_;  // row-major in-memory tail
+  std::vector<std::string> run_files_;
+  uint64_t row_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_JOIN_STATE_H_

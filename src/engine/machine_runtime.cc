@@ -1,0 +1,649 @@
+#include "engine/machine_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "engine/intersect.h"
+
+namespace huge {
+namespace {
+
+/// FNV-1a over the join-key values: the routing index of the router.
+uint64_t HashKey(std::span<const VertexId> row, const std::vector<int>& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int p : key) {
+    h ^= row[p];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Streaming sort-merge join over the two buffered, key-ordered inputs of
+/// a PUSH-JOIN (Section 4.3: data is read back "in a streaming manner (as
+/// the data is sorted), process the join by conventional nested-loop").
+struct MachineRuntime::MergeJoinSource {
+  const OpDesc* op;
+  SharedState* shared;
+  JoinSideBuffer::Stream left;
+  JoinSideBuffer::Stream right;
+  uint32_t left_width;
+  uint32_t right_width;
+
+  std::vector<VertexId> lgroup;  // rows of the current key group
+  std::vector<VertexId> rgroup;
+  size_t li = 0;  // cross-product cursors (row indices)
+  size_t rj = 0;
+  bool in_group = false;
+  bool done = false;
+
+  MergeJoinSource(const OpDesc* o, SharedState* sh, JoinSideBuffer* lb,
+                  JoinSideBuffer* rb)
+      : op(o),
+        shared(sh),
+        left(lb->OpenStream()),
+        right(rb->OpenStream()),
+        left_width(lb->width()),
+        right_width(rb->width()) {}
+
+  bool Exhausted() const { return done && !in_group; }
+
+  void CollectGroups() {
+    // Key groups can be enormous on hub keys (the nested-loop cost of a
+    // hash join); track them and stop growing once the run is aborted.
+    shared->tracker->Release((lgroup.size() + rgroup.size()) *
+                             sizeof(VertexId));
+    lgroup.clear();
+    rgroup.clear();
+    li = rj = 0;
+    const std::vector<VertexId> key_row(left.Row().begin(), left.Row().end());
+    size_t rows_in = 0;
+    while (left.HasRow() &&
+           JoinSideBuffer::CompareKeys(left.Row(), op->left_key, key_row,
+                                       op->left_key) == 0) {
+      if ((++rows_in & 4095u) == 0 && shared->OverBudget()) break;
+      lgroup.insert(lgroup.end(), left.Row().begin(), left.Row().end());
+      left.Advance();
+      shared->tracker->Allocate(left_width * sizeof(VertexId));
+    }
+    while (right.HasRow() &&
+           JoinSideBuffer::CompareKeys(right.Row(), op->right_key, key_row,
+                                       op->left_key) == 0) {
+      if ((++rows_in & 4095u) == 0 && shared->OverBudget()) break;
+      rgroup.insert(rgroup.end(), right.Row().begin(), right.Row().end());
+      right.Advance();
+      shared->tracker->Allocate(right_width * sizeof(VertexId));
+    }
+    in_group = true;
+  }
+
+  ~MergeJoinSource() {
+    shared->tracker->Release((lgroup.size() + rgroup.size()) *
+                             sizeof(VertexId));
+  }
+
+  /// Produces up to `max_rows` joined rows. Returns rows appended.
+  /// Bounded in *attempted* pairs as well: on skewed keys a group's
+  /// cross-product can dwarf its output (most pairs fail the injectivity
+  /// and order filters), and the run's time/memory budgets must still be
+  /// honoured mid-group.
+  size_t NextBatch(Batch* out, size_t max_rows) {
+    const size_t lw = left_width;
+    const size_t rw = right_width;
+    std::vector<VertexId> out_row(op->schema.size());
+    size_t produced = 0;
+    size_t attempted = 0;
+    while (produced < max_rows) {
+      if (in_group) {
+        if (shared->OverBudget()) {
+          in_group = false;
+          done = true;
+          return produced;
+        }
+        const size_t lrows = lgroup.size() / lw;
+        const size_t rrows = rgroup.size() / rw;
+        bool emitted_full = false;
+        while (li < lrows) {
+          std::span<const VertexId> lrow{lgroup.data() + li * lw, lw};
+          while (rj < rrows) {
+            if ((++attempted & 65535u) == 0 && shared->OverBudget()) {
+              return produced;  // abort: cursors stay resumable
+            }
+            std::span<const VertexId> rrow{rgroup.data() + rj * rw, rw};
+            ++rj;
+            // Build output: left row + carried right columns.
+            std::copy(lrow.begin(), lrow.end(), out_row.begin());
+            for (size_t c = 0; c < op->right_carry.size(); ++c) {
+              out_row[lw + c] = rrow[op->right_carry[c]];
+            }
+            bool ok = true;
+            for (const auto& [a, b] : op->join_neq) {
+              if (out_row[a] == out_row[b]) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) {
+              for (const auto& [a, b] : op->join_less) {
+                if (!(out_row[a] < out_row[b])) {
+                  ok = false;
+                  break;
+                }
+              }
+            }
+            if (ok) {
+              out->AppendRow(out_row);
+              ++produced;
+              if (produced >= max_rows) {
+                emitted_full = true;
+                break;
+              }
+            }
+          }
+          if (emitted_full) break;
+          rj = 0;
+          ++li;
+        }
+        if (!emitted_full) in_group = false;
+        if (emitted_full) return produced;
+        continue;
+      }
+      if (!left.HasRow() || !right.HasRow()) {
+        done = true;
+        return produced;
+      }
+      const int c = JoinSideBuffer::CompareKeys(left.Row(), op->left_key,
+                                                right.Row(), op->right_key);
+      if (c < 0) {
+        left.Advance();
+      } else if (c > 0) {
+        right.Advance();
+      } else {
+        CollectGroups();
+      }
+    }
+    return produced;
+  }
+};
+
+MachineRuntime::MachineRuntime(MachineId id, SharedState* shared)
+    : id_(id),
+      shared_(shared),
+      graph_(&shared->pgraph->graph()),
+      rpc_(shared->pgraph, shared->net),
+      local_vertices_(shared->pgraph->LocalVertices(id)) {
+  pool_ = std::make_unique<WorkerPool>(shared->config->workers_per_machine,
+                                       shared->config->intra_stealing);
+}
+
+MachineRuntime::~MachineRuntime() = default;
+
+void MachineRuntime::PrepareRun() {
+  size_t capacity = shared_->config->cache_capacity_bytes;
+  if (capacity == 0) {
+    capacity = static_cast<size_t>(0.3 * graph_->SizeBytes());  // paper default
+  }
+  cache_ = MakeCache(shared_->config->cache_kind, capacity, shared_->tracker);
+  matches_.store(0);
+  inter_steals_.store(0);
+  fetch_nanos_.store(0);
+  bsp_busy_nanos_.store(0);
+  pool_->ResetStats();
+}
+
+void MachineRuntime::SetupSegment(const SegmentPlan* seg) {
+  seg_ = seg;
+  queues_.clear();
+  // queues_[i] is the output queue of segment position i; the terminal
+  // writes to the sink / join router / fused counter instead.
+  const int last = static_cast<int>(seg->ops.size()) - 1;
+  for (int i = 0; i < last; ++i) {
+    queues_.push_back(std::make_unique<BatchQueue>(
+        shared_->config->queue_capacity, shared_->tracker));
+  }
+  scan_vertex_ = 0;
+  scan_offset_ = 0;
+  region_emitted_ = 0;
+  registered_idle_ = false;
+
+  const OpDesc& source = shared_->dataflow->ops[seg->ops[0]];
+  join_source_.reset();
+  if (source.kind == OpKind::kPushJoin) {
+    JoinBuffers& jb = shared_->joins->at(seg->ops[0]);
+    join_source_ = std::make_unique<MergeJoinSource>(
+        &source, shared_, jb.left[id_].get(), jb.right[id_].get());
+  }
+
+  join_staging_.clear();
+  if (seg->feeds_join >= 0) {
+    const OpDesc& term = shared_->dataflow->ops[seg->ops.back()];
+    for (MachineId m = 0; m < shared_->pgraph->num_machines(); ++m) {
+      join_staging_.emplace_back(
+          static_cast<uint32_t>(term.schema.size()));
+    }
+  }
+}
+
+void MachineRuntime::TeardownSegment() {
+  queues_.clear();
+  join_source_.reset();
+  join_staging_.clear();
+  seg_ = nullptr;
+}
+
+bool MachineRuntime::ScanExhausted() const {
+  return scan_vertex_ >= local_vertices_.size();
+}
+
+bool MachineRuntime::JoinSourceExhausted() const {
+  return join_source_ == nullptr || join_source_->Exhausted();
+}
+
+bool MachineRuntime::HasInput(int pos) {
+  if (pos > 0) return !queues_[pos - 1]->Empty();
+  const OpDesc& source = shared_->dataflow->ops[seg_->ops[0]];
+  if (source.kind == OpKind::kPushJoin) return !JoinSourceExhausted();
+  if (ScanExhausted()) return false;
+  const uint64_t region = shared_->config->region_group_rows;
+  if (region > 0 && region_emitted_ >= region) {
+    // Region-group heuristic: do not start the next group of pivot edges
+    // until the pipeline fully drained the current one.
+    for (const auto& q : queues_) {
+      if (!q->Empty()) return false;
+    }
+    region_emitted_ = 0;
+  }
+  return true;
+}
+
+bool MachineRuntime::OutputFull(int pos) {
+  const int last = static_cast<int>(seg_->ops.size()) - 1;
+  if (pos >= last) return false;
+  if (shared_->config->queue_capacity == 0 && pos == last - 1 &&
+      shared_->dataflow->ops[seg_->ops[last]].kind == OpKind::kSink) {
+    // Even BFS-style systems stream final results into the counting sink
+    // rather than materialising them; cap the sink's input queue so the
+    // unbounded-queue profile measures *intermediate* materialisation.
+    return queues_[pos]->size() >= 64;
+  }
+  return queues_[pos]->Full();
+}
+
+bool MachineRuntime::LocallyComplete() {
+  if (shared_->OverBudget()) return true;  // drain out, run is aborted
+  const OpDesc& source = shared_->dataflow->ops[seg_->ops[0]];
+  if (source.kind == OpKind::kPushJoin) {
+    if (!JoinSourceExhausted()) return false;
+  } else if (!ScanExhausted()) {
+    return false;
+  }
+  for (const auto& q : queues_) {
+    if (!q->Empty()) return false;
+  }
+  return true;
+}
+
+Batch MachineRuntime::NextScanBatch(const OpDesc& op) {
+  const uint32_t batch_rows = shared_->config->batch_size;
+  const uint64_t region = shared_->config->region_group_rows;
+  Batch out(2);
+  while (out.rows() < batch_rows && !ScanExhausted()) {
+    if (region > 0 && region_emitted_ >= region) break;
+    const VertexId u = local_vertices_[scan_vertex_];
+    if (op.scan_u_label != QueryGraph::kAnyLabel &&
+        graph_->Label(u) != op.scan_u_label) {
+      ++scan_vertex_;
+      scan_offset_ = 0;
+      continue;
+    }
+    auto nbrs = graph_->Neighbors(u);
+    while (scan_offset_ < nbrs.size() && out.rows() < batch_rows) {
+      if (region > 0 && region_emitted_ >= region) break;
+      const VertexId v = nbrs[scan_offset_++];
+      if (op.scan_filter == 1 && !(u < v)) continue;
+      if (op.scan_filter == -1 && !(u > v)) continue;
+      if (op.scan_v_label != QueryGraph::kAnyLabel &&
+          graph_->Label(v) != op.scan_v_label) {
+        continue;
+      }
+      const VertexId row[2] = {u, v};
+      out.AppendRow({row, 2});
+      ++region_emitted_;
+    }
+    if (scan_offset_ >= nbrs.size()) {
+      ++scan_vertex_;
+      scan_offset_ = 0;
+    }
+    if (region > 0 && region_emitted_ >= region) break;
+  }
+  return out;
+}
+
+Batch MachineRuntime::NextJoinBatch(const OpDesc& op) {
+  Batch out(static_cast<uint32_t>(op.schema.size()));
+  join_source_->NextBatch(&out, shared_->config->batch_size);
+  return out;
+}
+
+std::span<const VertexId> MachineRuntime::NeighborsOf(
+    VertexId v, std::vector<VertexId>* scratch) {
+  if (shared_->pgraph->IsLocal(v, id_)) return graph_->Neighbors(v);
+  std::span<const VertexId> out;
+  if (cache_->TryGet(v, scratch, &out)) return out;
+  // Only reachable without two-stage execution (Cncr-LRU): fetch on
+  // demand with a single-vertex RPC, insert, and use a private copy.
+  HUGE_CHECK(!cache_->TwoStage());
+  const VertexId one[1] = {v};
+  rpc_.Fetch(id_, {one, 1}, [&](VertexId, std::span<const VertexId> nbrs) {
+    cache_->Insert(v, nbrs);
+    scratch->assign(nbrs.begin(), nbrs.end());
+  });
+  return {scratch->data(), scratch->size()};
+}
+
+void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in) {
+  // Algorithm 4, Fetch: collect the remote vertices of this batch, seal
+  // the cached ones, fetch the misses in bulk and insert them with a
+  // single writer (this thread).
+  std::vector<VertexId> remote;
+  for (size_t i = 0; i < in.rows(); ++i) {
+    auto row = in.Row(i);
+    for (int p : op.ext) {
+      const VertexId v = row[p];
+      if (!shared_->pgraph->IsLocal(v, id_)) remote.push_back(v);
+    }
+  }
+  std::sort(remote.begin(), remote.end());
+  remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
+
+  std::vector<VertexId> fetch;
+  uint64_t hits = 0;
+  for (VertexId v : remote) {
+    if (cache_->Contains(v)) {
+      cache_->Seal(v);
+      ++hits;
+    } else {
+      fetch.push_back(v);
+    }
+  }
+  cache_->RecordHit(hits);
+  cache_->RecordMiss(fetch.size());
+  if (!fetch.empty()) {
+    rpc_.Fetch(id_, fetch, [this](VertexId v, std::span<const VertexId> n) {
+      cache_->Insert(v, n);
+    });
+  }
+}
+
+void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
+                                   int pos) {
+  if (cache_->TwoStage()) {
+    // The fetch stage's wall time bounds the two-stage synchronisation
+    // overhead reported in Exp-6 (Table 5, the bracketed t_f).
+    WallTimer fetch_timer;
+    FetchStage(op, in);
+    fetch_nanos_.fetch_add(static_cast<uint64_t>(fetch_timer.Seconds() * 1e9),
+                           std::memory_order_relaxed);
+  }
+
+  const int last = static_cast<int>(seg_->ops.size()) - 1;
+  const bool fused = (pos == last && seg_->fused_count);
+  const bool verify = op.kind == OpKind::kVerifyExtend;
+  const uint32_t out_width = static_cast<uint32_t>(op.schema.size());
+  const uint32_t batch_rows = shared_->config->batch_size;
+
+  const int workers = pool_->num_workers();
+  std::vector<Batch> louts;
+  louts.reserve(workers);
+  for (int w = 0; w < workers; ++w) louts.emplace_back(out_width);
+  std::vector<uint64_t> counts(workers, 0);
+
+  pool_->ParallelChunks(
+      in.rows(), shared_->config->chunk_rows,
+      [&](int wid, size_t begin, size_t end) {
+        static thread_local std::vector<std::vector<VertexId>> scratches;
+        static thread_local std::vector<VertexId> isect, tmp;
+        if (scratches.size() < op.ext.size()) scratches.resize(op.ext.size());
+        std::vector<std::span<const VertexId>> lists(op.ext.size());
+
+        for (size_t i = begin; i < end; ++i) {
+          auto row = in.Row(i);
+          for (size_t j = 0; j < op.ext.size(); ++j) {
+            lists[j] = NeighborsOf(row[op.ext[j]], &scratches[j]);
+          }
+          if (verify) {
+            // Keep the row iff the bound root appears in every pulled
+            // neighbour list (edge verification, Section 5.2).
+            const VertexId root = row[op.verify_pos];
+            bool ok = true;
+            for (const auto& l : lists) {
+              if (!SortedContains(l, root)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) louts[wid].AppendRow(row);
+          } else {
+            IntersectAll(lists, &isect, &tmp);
+            for (VertexId v : isect) {
+              if (op.target_label != QueryGraph::kAnyLabel &&
+                  graph_->Label(v) != op.target_label) {
+                continue;
+              }
+              if (!PassesExtendFilters(op, row, v)) continue;
+              if (fused) {
+                ++counts[wid];
+              } else {
+                louts[wid].AppendRowPlus(row, v);
+              }
+            }
+          }
+          if (louts[wid].rows() >= batch_rows) {
+            Batch flush(out_width);
+            std::swap(flush, louts[wid]);
+            EmitBatch(pos, std::move(flush));
+            louts[wid] = Batch(out_width);
+          }
+        }
+      });
+
+  for (int w = 0; w < workers; ++w) {
+    if (!louts[w].empty()) EmitBatch(pos, std::move(louts[w]));
+    if (counts[w] > 0) matches_.fetch_add(counts[w]);
+  }
+  if (cache_->TwoStage()) cache_->Release();
+}
+
+void MachineRuntime::ProcessSink(const OpDesc& op, const Batch& in) {
+  matches_.fetch_add(in.rows());
+  const auto& sink = shared_->config->match_sink;
+  if (sink) {
+    // Rows travel in operator-schema order; present them to the user in
+    // query-vertex order (match[i] = image of query vertex i).
+    std::vector<VertexId> match(op.schema.size());
+    std::lock_guard<std::mutex> guard(shared_->sink_mu);
+    for (size_t i = 0; i < in.rows(); ++i) {
+      auto row = in.Row(i);
+      for (size_t c = 0; c < op.schema.size(); ++c) {
+        match[op.schema[c]] = row[c];
+      }
+      sink(match);
+    }
+  }
+}
+
+void MachineRuntime::EmitBatch(int pos, Batch&& out) {
+  if (out.empty()) return;
+  shared_->intermediate_rows.fetch_add(out.rows(), std::memory_order_relaxed);
+  const int last = static_cast<int>(seg_->ops.size()) - 1;
+  if (pos >= last) {
+    HUGE_CHECK(seg_->feeds_join >= 0);
+    RouteToJoin(out);
+    return;
+  }
+  queues_[pos]->Push(std::move(out));
+}
+
+void MachineRuntime::RouteToJoin(const Batch& out) {
+  // The router: hash-partition rows by join key and stage per-destination
+  // batches (Section 4.1, Router).
+  const OpDesc& join = shared_->dataflow->ops[seg_->feeds_join];
+  const auto& key = seg_->feeds_left ? join.left_key : join.right_key;
+  const MachineId k = shared_->pgraph->num_machines();
+
+  std::lock_guard<std::mutex> guard(route_mu_);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.Row(i);
+    const MachineId dst = static_cast<MachineId>(HashKey(row, key) % k);
+    join_staging_[dst].AppendRow(row);
+    if (join_staging_[dst].rows() >= shared_->config->batch_size) {
+      JoinBuffers& jb = shared_->joins->at(seg_->feeds_join);
+      auto& side = seg_->feeds_left ? jb.left : jb.right;
+      if (dst != id_) {
+        shared_->net->Push(id_, join_staging_[dst].bytes(), 1);
+      }
+      side[dst]->Add(join_staging_[dst]);
+      join_staging_[dst] =
+          Batch(static_cast<uint32_t>(out.width()));
+    }
+  }
+}
+
+void MachineRuntime::FlushJoinStaging() {
+  if (seg_ == nullptr || seg_->feeds_join < 0) return;
+  JoinBuffers& jb = shared_->joins->at(seg_->feeds_join);
+  auto& side = seg_->feeds_left ? jb.left : jb.right;
+  for (MachineId dst = 0; dst < join_staging_.size(); ++dst) {
+    if (join_staging_[dst].empty()) continue;
+    if (dst != id_) {
+      shared_->net->Push(id_, join_staging_[dst].bytes(), 1);
+    }
+    side[dst]->Add(join_staging_[dst]);
+    join_staging_[dst] = Batch(join_staging_[dst].width());
+  }
+}
+
+void MachineRuntime::ProcessOneBatch(int pos) {
+  const OpDesc& op = shared_->dataflow->ops[seg_->ops[pos]];
+  if (pos == 0) {
+    Batch out = op.kind == OpKind::kPushJoin ? NextJoinBatch(op)
+                                             : NextScanBatch(op);
+    EmitBatch(0, std::move(out));
+    return;
+  }
+  std::optional<Batch> in = queues_[pos - 1]->Pop();
+  if (!in.has_value()) return;
+  switch (op.kind) {
+    case OpKind::kPullExtend:
+    case OpKind::kPushExtend:  // executed pull-style inside adaptive mode
+    case OpKind::kVerifyExtend:
+      ProcessExtend(op, *in, pos);
+      break;
+    case OpKind::kSink:
+      ProcessSink(op, *in);
+      break;
+    default:
+      HUGE_CHECK(false && "unexpected operator in adaptive chain");
+  }
+}
+
+std::vector<Batch> MachineRuntime::StealBatches(size_t max_batches,
+                                                int* out_pos) {
+  // StealWork RPC server: hand out batches from the input channel of the
+  // top-most unfinished operator (Section 5.3).
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    std::vector<Batch> got = queues_[i]->Steal(max_batches);
+    if (!got.empty()) {
+      *out_pos = static_cast<int>(i);
+      return got;
+    }
+  }
+  return {};
+}
+
+bool MachineRuntime::TryStealFromPeers() {
+  const MachineId k = shared_->pgraph->num_machines();
+  const uint64_t start = id_ * 2654435761u + inter_steals_.load();
+  for (MachineId off = 1; off < k; ++off) {
+    const MachineId victim = static_cast<MachineId>((start + off) % k);
+    if (victim == id_) continue;
+    int pos = -1;
+    std::vector<Batch> got =
+        shared_->machines[victim]->StealBatches(2, &pos);
+    if (got.empty()) continue;
+    uint64_t bytes = 0;
+    for (auto& b : got) bytes += b.bytes();
+    shared_->net->Pull(id_, bytes + GetNbrsClient::kHeaderBytes, 1);
+    inter_steals_.fetch_add(1);
+    for (auto& b : got) queues_[pos]->Push(std::move(b));
+    return true;
+  }
+  return false;
+}
+
+void MachineRuntime::ExecuteSegment() {
+  const int last = static_cast<int>(seg_->ops.size()) - 1;
+  auto schedule_loop = [&] {
+    // The BFS/DFS-adaptive scheduler (Algorithm 5): run the current
+    // operator until its output queue fills or its input drains; yield to
+    // the successor on a full queue, backtrack to the precursor on an
+    // empty input; SINK always backtracks.
+    int pos = 0;
+    while (!LocallyComplete()) {
+      if (!HasInput(pos)) {
+        if (pos > 0) {
+          --pos;
+          continue;
+        }
+        // Source exhausted or region-blocked: jump to the shallowest
+        // operator with pending input.
+        int next = -1;
+        for (int i = 1; i <= last; ++i) {
+          if (!queues_[i - 1]->Empty()) {
+            next = i;
+            break;
+          }
+        }
+        if (next < 0) continue;  // re-evaluate completion / region reset
+        pos = next;
+        continue;
+      }
+      while (HasInput(pos) && !OutputFull(pos)) ProcessOneBatch(pos);
+      pos = (pos == last) ? std::max(last - 1, 0) : pos + 1;
+    }
+  };
+
+  schedule_loop();
+  FlushJoinStaging();
+
+  const MachineId k = shared_->pgraph->num_machines();
+  if (!shared_->config->inter_stealing || k <= 1) {
+    shared_->idle_count.fetch_add(1);
+    return;
+  }
+  // Inter-machine stealing phase: this machine finished its own job; steal
+  // remote batches until every machine is idle (Section 5.3).
+  while (!shared_->aborted.load(std::memory_order_relaxed)) {
+    if (TryStealFromPeers()) {
+      if (registered_idle_) {
+        shared_->idle_count.fetch_sub(1);
+        registered_idle_ = false;
+      }
+      schedule_loop();
+      FlushJoinStaging();
+      continue;
+    }
+    if (!registered_idle_) {
+      shared_->idle_count.fetch_add(1);
+      registered_idle_ = true;
+    }
+    if (shared_->idle_count.load() >= k) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+}  // namespace huge

@@ -1,0 +1,203 @@
+#ifndef HUGE_ENGINE_MACHINE_RUNTIME_H_
+#define HUGE_ENGINE_MACHINE_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/memory_tracker.h"
+#include "engine/batch.h"
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "engine/join_state.h"
+#include "engine/worker_pool.h"
+#include "graph/partition.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "plan/dataflow.h"
+
+namespace huge {
+
+class MachineRuntime;
+
+/// One executable segment of a dataflow: a maximal operator chain whose
+/// source is a SCAN or a PUSH-JOIN and whose terminal is the SINK, a fused
+/// counting extension, or an operator feeding a PUSH-JOIN input
+/// (Section 5.4: PUSH-JOIN splits the dataflow into sub-graphs executed in
+/// topological order with a global barrier at the join).
+struct SegmentPlan {
+  std::vector<int> ops;   ///< dataflow op ids in chain order
+  bool bsp = false;       ///< contains PUSH-EXTENDs: run level-synchronously
+  int feeds_join = -1;    ///< consuming PUSH-JOIN op id, or -1
+  bool feeds_left = false;
+  bool fused_count = false;  ///< terminal grow-extend counts matches directly
+};
+
+/// Per-machine buffered inputs of one PUSH-JOIN.
+struct JoinBuffers {
+  std::vector<std::unique_ptr<JoinSideBuffer>> left;   // by machine
+  std::vector<std::unique_ptr<JoinSideBuffer>> right;  // by machine
+};
+
+/// State shared by all machines of a run.
+struct SharedState {
+  const Dataflow* dataflow = nullptr;
+  const PartitionedGraph* pgraph = nullptr;
+  const Config* config = nullptr;
+  Network* net = nullptr;
+  MemoryTracker* tracker = nullptr;
+  std::unordered_map<int, JoinBuffers>* joins = nullptr;
+  std::vector<MachineRuntime*> machines;
+
+  /// Machines that announced local completion (termination detection for
+  /// inter-machine stealing). Exit when it reaches the cluster size.
+  std::atomic<uint32_t> idle_count{0};
+  /// Set when a budget is exceeded; every machine drains out as fast as
+  /// possible and the run reports the corresponding non-ok status.
+  std::atomic<bool> aborted{false};
+  std::atomic<uint8_t> abort_status{0};  // RunStatus value
+  std::chrono::steady_clock::time_point run_deadline{};
+  bool has_deadline = false;
+
+  /// Checks the memory and time budgets, latching `aborted` on violation.
+  bool OverBudget() {
+    if (aborted.load(std::memory_order_relaxed)) return true;
+    const size_t limit = config->memory_limit_bytes;
+    if (limit != 0 && tracker->current() > limit) {
+      abort_status.store(static_cast<uint8_t>(RunStatus::kOom),
+                         std::memory_order_relaxed);
+      aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline && std::chrono::steady_clock::now() > run_deadline) {
+      abort_status.store(static_cast<uint8_t>(RunStatus::kTimeout),
+                         std::memory_order_relaxed);
+      aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  std::atomic<uint64_t> intermediate_rows{0};
+  std::mutex sink_mu;  ///< serialises the user match callback
+};
+
+/// The per-machine runtime: local partition view, LRBU cache, RPC client,
+/// worker pool, operator implementations and the BFS/DFS-adaptive
+/// scheduler (Algorithm 5). Lives on its own thread during a segment.
+class MachineRuntime {
+ public:
+  MachineRuntime(MachineId id, SharedState* shared);
+  ~MachineRuntime();
+
+  MachineId id() const { return id_; }
+
+  /// Creates the cache and resets per-run counters. Called once per run.
+  void PrepareRun();
+
+  /// Builds queues and cursors for `seg`. Called by the coordinator for
+  /// every machine *before* segment threads start (so thieves can see each
+  /// other's queues race-free).
+  void SetupSegment(const SegmentPlan* seg);
+
+  /// Runs the adaptive scheduler over the prepared segment (machine
+  /// thread body).
+  void ExecuteSegment();
+
+  /// Releases segment queues. Called by the coordinator after the barrier.
+  void TeardownSegment();
+
+  // --- StealWork RPC (server side): removes batches from the input of
+  // this machine's top-most unfinished operator (Section 5.3).
+  std::vector<Batch> StealBatches(size_t max_batches, int* out_pos);
+
+  // --- results & stats ---
+  uint64_t matches() const { return matches_.load(); }
+  double fetch_seconds() const { return fetch_nanos_.load() * 1e-9; }
+
+  /// Busy time of BSP phases (which bypass the worker pool).
+  double bsp_busy_seconds() const { return bsp_busy_nanos_.load() * 1e-9; }
+  void AddBspBusy(double seconds) {
+    bsp_busy_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                              std::memory_order_relaxed);
+  }
+  uint64_t inter_steals() const { return inter_steals_.load(); }
+  RemoteCache* cache() { return cache_.get(); }
+  WorkerPool& pool() { return *pool_; }
+  const std::vector<VertexId>& local_vertices() const {
+    return local_vertices_;
+  }
+
+  /// BSP mode helpers (used by the cluster's level-synchronous runner for
+  /// PUSH-EXTEND baselines).
+  void AddMatches(uint64_t n) { matches_.fetch_add(n); }
+
+ private:
+  friend class Cluster;
+
+  // Scheduler predicates over the current segment (positions are indices
+  // into seg_->ops).
+  bool HasInput(int pos);
+  bool OutputFull(int pos);
+  bool LocallyComplete();
+  void ProcessOneBatch(int pos);
+
+  // Operator implementations.
+  Batch NextScanBatch(const OpDesc& op);
+  bool ScanExhausted() const;
+  bool JoinSourceExhausted() const;
+  Batch NextJoinBatch(const OpDesc& op);
+  void ProcessExtend(const OpDesc& op, const Batch& in, int pos);
+  void ProcessSink(const OpDesc& op, const Batch& in);
+
+  // Output routing for op at `pos`: queue, fused count, sink or join.
+  void EmitBatch(int pos, Batch&& out);
+  void RouteToJoin(const Batch& out);
+  void FlushJoinStaging();
+
+  // Pull-extend stages.
+  void FetchStage(const OpDesc& op, const Batch& in);
+  std::span<const VertexId> NeighborsOf(VertexId v,
+                                        std::vector<VertexId>* scratch);
+
+  // Inter-machine stealing (client side).
+  bool TryStealFromPeers();
+
+  const MachineId id_;
+  SharedState* shared_;
+  const Graph* graph_;
+  GetNbrsClient rpc_;
+  std::vector<VertexId> local_vertices_;
+
+  std::unique_ptr<RemoteCache> cache_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  // Segment state.
+  const SegmentPlan* seg_ = nullptr;
+  std::vector<std::unique_ptr<BatchQueue>> queues_;  // per op position
+  size_t scan_vertex_ = 0;  ///< cursor into local_vertices_
+  size_t scan_offset_ = 0;  ///< cursor into the neighbour list
+  uint64_t region_emitted_ = 0;
+
+  // PUSH-JOIN source state (segment whose ops[0] is a join).
+  struct MergeJoinSource;
+  std::unique_ptr<MergeJoinSource> join_source_;
+
+  // Per-destination staging batches for shuffling into join buffers.
+  std::vector<Batch> join_staging_;
+
+  std::mutex route_mu_;  ///< guards join_staging_ (workers emit concurrently)
+
+  std::atomic<uint64_t> matches_{0};
+  std::atomic<uint64_t> fetch_nanos_{0};
+  std::atomic<uint64_t> bsp_busy_nanos_{0};
+  std::atomic<uint64_t> inter_steals_{0};
+  bool registered_idle_ = false;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_MACHINE_RUNTIME_H_

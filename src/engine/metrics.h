@@ -1,0 +1,95 @@
+#ifndef HUGE_ENGINE_METRICS_H_
+#define HUGE_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace huge {
+
+/// Metrics of one engine run, matching the measurements the paper reports
+/// (Table 1 and Section 7.1): total time T, computation time T_R,
+/// communication time T_C, transferred volume C, and peak memory M, plus
+/// the cache and load-balancing statistics used by Exps 4-8.
+struct RunMetrics {
+  /// Wall-clock computation time T_R (the in-process run is pure compute;
+  /// network time is modelled, see net/network.h).
+  double compute_seconds = 0;
+  /// Simulated communication time T_C (max per-machine network time).
+  double comm_seconds = 0;
+  /// Total time: the paper's T = T_R + T_C.
+  double TotalSeconds() const { return compute_seconds + comm_seconds; }
+
+  /// Total bytes transferred across the cluster (the paper's C).
+  uint64_t bytes_communicated = 0;
+  uint64_t rpc_requests = 0;
+  uint64_t push_messages = 0;
+
+  /// Peak engine memory M: queues + caches + join buffers.
+  uint64_t peak_memory_bytes = 0;
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+
+  uint64_t intra_steals = 0;
+  uint64_t inter_steals = 0;
+
+  /// Wall time spent in PULL-EXTEND fetch stages, summed over machines
+  /// (upper-bounds the two-stage synchronisation cost, Exp-6).
+  double fetch_seconds = 0;
+
+  /// Intermediate rows produced by all operators (plan-quality signal).
+  uint64_t intermediate_rows = 0;
+
+  /// Per-worker busy seconds across all machines, in machine-major order
+  /// (Exp-8 reports the standard deviation of these).
+  std::vector<double> worker_busy_seconds;
+
+  /// Per-machine busy seconds of BSP phases (pushing baselines bypass the
+  /// worker pools); add to worker_busy_seconds totals for work accounting.
+  std::vector<double> machine_busy_seconds;
+
+  /// Network utilisation as defined in Exp-4: bytes transferred divided by
+  /// what the bandwidth could carry in T_C.
+  double NetworkUtilisation(double bandwidth_bytes_per_sec) const {
+    if (comm_seconds <= 0) return 0.0;
+    return static_cast<double>(bytes_communicated) /
+           (bandwidth_bytes_per_sec * comm_seconds);
+  }
+};
+
+/// Outcome status of a run.
+enum class RunStatus : uint8_t {
+  kOk,       ///< completed; `matches` is exact
+  kOom,      ///< aborted: the engine exceeded Config::memory_limit_bytes
+  kTimeout,  ///< aborted: the run exceeded Config::time_limit_seconds (OT)
+};
+
+/// Short table label: "ok", "OOM" or "OT".
+inline const char* ToString(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kOom:
+      return "OOM";
+    case RunStatus::kTimeout:
+      return "OT";
+  }
+  return "?";
+}
+
+/// A run's outcome: the match count plus metrics.
+struct RunResult {
+  uint64_t matches = 0;
+  RunStatus status = RunStatus::kOk;
+  RunMetrics metrics;
+
+  bool ok() const { return status == RunStatus::kOk; }
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_METRICS_H_

@@ -1,0 +1,153 @@
+#include "engine/worker_pool.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace huge {
+
+WorkerPool::WorkerPool(int num_workers, bool stealing) : stealing_(stealing) {
+  HUGE_CHECK(num_workers >= 1);
+  states_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> guard(job_mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WorkerPool::ParallelChunks(
+    size_t total, size_t chunk_size,
+    const std::function<void(int, size_t, size_t)>& fn) {
+  if (total == 0) return;
+  HUGE_CHECK(chunk_size >= 1);
+
+  // Deal chunks round-robin into the worker deques.
+  size_t num_chunks = 0;
+  {
+    const int n = num_workers();
+    int w = 0;
+    for (size_t begin = 0; begin < total; begin += chunk_size) {
+      const size_t end = std::min(begin + chunk_size, total);
+      std::lock_guard<std::mutex> guard(states_[w]->mu);
+      states_[w]->deque.push_back({begin, end});
+      w = (w + 1) % n;
+      ++num_chunks;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(job_mu_);
+    remaining_chunks_.store(num_chunks, std::memory_order_relaxed);
+    job_fn_ = &fn;
+    ++job_generation_;
+    active_workers_.store(num_workers(), std::memory_order_relaxed);
+  }
+  job_cv_.notify_all();
+
+  std::unique_lock<std::mutex> guard(job_mu_);
+  done_cv_.wait(guard, [this] {
+    return active_workers_.load(std::memory_order_acquire) == 0;
+  });
+  job_fn_ = nullptr;
+}
+
+bool WorkerPool::NextChunk(int id, Chunk* out) {
+  {
+    WorkerState& self = *states_[id];
+    std::lock_guard<std::mutex> guard(self.mu);
+    if (!self.deque.empty()) {
+      *out = self.deque.back();  // own work: pop from the back
+      self.deque.pop_back();
+      return true;
+    }
+  }
+  if (!stealing_) return false;
+  // Steal: pick a random victim and take half of its deque from the front
+  // (Chase-Lev discipline, Section 5.3).
+  const int n = num_workers();
+  const uint64_t r = rng_.fetch_add(0x9E3779B97F4A7C15ULL);
+  for (int attempt = 0; attempt < n; ++attempt) {
+    const int victim = static_cast<int>((r + attempt) % n);
+    if (victim == id) continue;
+    WorkerState& vs = *states_[victim];
+    std::lock_guard<std::mutex> guard(vs.mu);
+    if (vs.deque.empty()) continue;
+    const size_t take = (vs.deque.size() + 1) / 2;
+    Chunk first = vs.deque.front();
+    vs.deque.pop_front();
+    std::vector<Chunk> rest;
+    for (size_t i = 1; i < take; ++i) {
+      rest.push_back(vs.deque.front());
+      vs.deque.pop_front();
+    }
+    if (!rest.empty()) {
+      WorkerState& self = *states_[id];
+      std::lock_guard<std::mutex> self_guard(self.mu);
+      for (const Chunk& c : rest) self.deque.push_back(c);
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    *out = first;
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::WorkerLoop(int id) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int, size_t, size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> guard(job_mu_);
+      job_cv_.wait(guard, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      fn = job_fn_;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    Chunk chunk;
+    while (remaining_chunks_.load(std::memory_order_acquire) > 0 &&
+           NextChunk(id, &chunk)) {
+      (*fn)(id, chunk.begin, chunk.end);
+      remaining_chunks_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    states_[id]->busy_nanos.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count(),
+        std::memory_order_relaxed);
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> guard(job_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<double> WorkerPool::BusySeconds() const {
+  std::vector<double> out;
+  out.reserve(states_.size());
+  for (const auto& s : states_) {
+    out.push_back(static_cast<double>(s->busy_nanos.load()) * 1e-9);
+  }
+  return out;
+}
+
+void WorkerPool::ResetStats() {
+  steals_.store(0);
+  for (auto& s : states_) s->busy_nanos.store(0);
+}
+
+}  // namespace huge

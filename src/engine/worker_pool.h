@@ -1,0 +1,83 @@
+#ifndef HUGE_ENGINE_WORKER_POOL_H_
+#define HUGE_ENGINE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace huge {
+
+/// Per-machine worker pool with intra-machine work stealing
+/// (Section 5.3): each worker owns a deque of row chunks; it pops work
+/// from the back of its own deque and, when empty, picks a random victim
+/// and steals half of the victim's chunks from the front.
+///
+/// Used by the intersect stage of PULL-EXTEND ("we only apply
+/// intra-machine work stealing to the intersect stage") and by the local
+/// phases of PUSH-JOIN.
+class WorkerPool {
+ public:
+  /// `stealing = false` disables stealing (HUGE-NOSTL in Exp-8): workers
+  /// then only process their initially assigned chunks.
+  WorkerPool(int num_workers, bool stealing);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Splits `[0, total)` into chunks of `chunk_size`, deals them
+  /// round-robin to the workers and runs `fn(worker_id, begin, end)` on
+  /// every chunk. Blocks until all chunks are processed.
+  void ParallelChunks(size_t total, size_t chunk_size,
+                      const std::function<void(int, size_t, size_t)>& fn);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Successful steal events since construction.
+  uint64_t steal_count() const { return steals_.load(); }
+
+  /// Per-worker busy seconds (time spent executing chunks).
+  std::vector<double> BusySeconds() const;
+
+  void ResetStats();
+
+ private:
+  struct Chunk {
+    size_t begin;
+    size_t end;
+  };
+  struct WorkerState {
+    std::deque<Chunk> deque;
+    std::mutex mu;
+    std::atomic<uint64_t> busy_nanos{0};
+  };
+
+  void WorkerLoop(int id);
+  bool NextChunk(int id, Chunk* out);
+
+  const bool stealing_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::vector<std::thread> workers_;
+
+  // Job broadcast.
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, size_t, size_t)>* job_fn_ = nullptr;
+  uint64_t job_generation_ = 0;
+  std::atomic<int> active_workers_{0};
+  std::atomic<size_t> remaining_chunks_{0};
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> rng_{0x853c49e6748fea9bULL};
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_WORKER_POOL_H_

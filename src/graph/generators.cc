@@ -1,0 +1,116 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace huge::gen {
+
+Graph ErdosRenyi(VertexId num_vertices, uint64_t num_edges, uint64_t seed) {
+  HUGE_CHECK(num_vertices >= 2);
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    auto u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    auto v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(num_vertices, std::move(edges));
+}
+
+Graph PowerLaw(VertexId num_vertices, double avg_degree, double exponent,
+               uint64_t seed) {
+  HUGE_CHECK(num_vertices >= 2);
+  HUGE_CHECK(exponent > 1.0);
+  Rng rng(seed);
+  // Chung-Lu weights w_i = c * (i+1)^(-1/(exponent-1)).
+  const double gamma = 1.0 / (exponent - 1.0);
+  std::vector<double> weights(num_vertices);
+  double total = 0.0;
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, -gamma);
+    total += weights[i];
+  }
+  const double scale = avg_degree * num_vertices / total;
+  for (double& w : weights) w *= scale;
+
+  // Sample endpoints proportional to weight via the standard "repeated
+  // vertex list" approximation: build a cumulative table and draw edges.
+  std::vector<double> cum(num_vertices);
+  double acc = 0.0;
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    acc += weights[i];
+    cum[i] = acc;
+  }
+  auto draw = [&]() -> VertexId {
+    double x = rng.NextDouble() * acc;
+    auto it = std::lower_bound(cum.begin(), cum.end(), x);
+    return static_cast<VertexId>(it - cum.begin());
+  };
+
+  const auto target_edges =
+      static_cast<uint64_t>(avg_degree * num_vertices / 2.0);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(target_edges);
+  for (uint64_t i = 0; i < target_edges; ++i) {
+    VertexId u = draw();
+    VertexId v = draw();
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(num_vertices, std::move(edges));
+}
+
+Graph Road(uint32_t rows, uint32_t cols, uint64_t extra_edges, uint64_t seed) {
+  HUGE_CHECK(rows >= 2 && cols >= 2);
+  Rng rng(seed);
+  const VertexId n = rows * cols;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(2) * n + extra_edges);
+  auto id = [cols](uint32_t r, uint32_t c) -> VertexId { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  for (uint64_t i = 0; i < extra_edges; ++i) {
+    auto u = static_cast<VertexId>(rng.NextBounded(n));
+    auto v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Complete(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Cycle(VertexId n) {
+  HUGE_CHECK(n >= 3);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Path(VertexId n) {
+  HUGE_CHECK(n >= 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph Star(VertexId leaves) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return Graph::FromEdges(leaves + 1, std::move(edges));
+}
+
+}  // namespace huge::gen

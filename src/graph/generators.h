@@ -1,0 +1,47 @@
+#ifndef HUGE_GRAPH_GENERATORS_H_
+#define HUGE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace huge {
+
+/// Synthetic data-graph generators. The paper evaluates on seven real-world
+/// graphs (Table 3) spanning three structural classes — social networks,
+/// web graphs and road networks. Offline we cannot download SNAP/WebGraph
+/// data, so these generators produce deterministic stand-ins of the same
+/// classes (see DESIGN.md §3).
+namespace gen {
+
+/// Erdős–Rényi G(n, m): `num_edges` uniform random edges.
+Graph ErdosRenyi(VertexId num_vertices, uint64_t num_edges, uint64_t seed);
+
+/// Chung–Lu power-law graph: expected degree of vertex i proportional to
+/// (i+1)^(-1/(exponent-1)), scaled so that the expected average degree is
+/// `avg_degree`. `exponent` ~ 2.1–2.8 matches social/web graphs; lower
+/// exponents give heavier tails (larger D_G), which stresses load balancing
+/// exactly as LJ/UK do in the paper.
+Graph PowerLaw(VertexId num_vertices, double avg_degree, double exponent,
+               uint64_t seed);
+
+/// Road-network-like graph: a 2D grid (rows x cols) with `extra_edges`
+/// random shortcuts. Near-constant small degree like the paper's EU graph.
+Graph Road(uint32_t rows, uint32_t cols, uint64_t extra_edges, uint64_t seed);
+
+/// Complete graph K_n (tests).
+Graph Complete(VertexId n);
+
+/// Cycle C_n (tests).
+Graph Cycle(VertexId n);
+
+/// Path P_n with n vertices (tests).
+Graph Path(VertexId n);
+
+/// Star with one hub and `leaves` leaves (tests).
+Graph Star(VertexId leaves);
+
+}  // namespace gen
+}  // namespace huge
+
+#endif  // HUGE_GRAPH_GENERATORS_H_

@@ -1,0 +1,96 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace huge {
+
+Graph Graph::FromEdges(VertexId num_vertices,
+                       std::vector<std::pair<VertexId, VertexId>> edges) {
+  // Symmetrise: store both directions, drop self loops.
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    HUGE_CHECK(u < num_vertices && v < num_vertices);
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : directed) {
+    (void)v;
+    ++g.offsets_[u + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.reserve(directed.size());
+  for (const auto& [u, v] : directed) {
+    (void)u;
+    g.adjacency_.push_back(v);
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.Degree(v));
+  }
+  return g;
+}
+
+void Graph::AssignLabels(std::vector<uint8_t> labels) {
+  HUGE_CHECK(labels.size() == NumVertices());
+  labels_ = std::move(labels);
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::DegreeMoment(int l) const {
+  HUGE_CHECK(l >= 1 && l <= 5);
+  if (NumVertices() == 0) return 0.0;
+  double sum = 0.0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    sum += std::pow(static_cast<double>(Degree(v)), l);
+  }
+  return sum / NumVertices();
+}
+
+bool Graph::SaveEdgeList(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+Graph Graph::LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Graph();
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_v = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    uint64_t u, v;
+    if (std::sscanf(line.c_str(), "%lu %lu", &u, &v) != 2) continue;
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    max_v = std::max({max_v, static_cast<VertexId>(u),
+                      static_cast<VertexId>(v)});
+  }
+  if (edges.empty()) return Graph();
+  return FromEdges(max_v + 1, std::move(edges));
+}
+
+}  // namespace huge

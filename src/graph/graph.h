@@ -1,0 +1,106 @@
+#ifndef HUGE_GRAPH_GRAPH_H_
+#define HUGE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace huge {
+
+/// An immutable, undirected data graph in compressed-sparse-row (CSR)
+/// format, the storage used by HUGE (Section 7.1: "we partition and store
+/// the data graph in the compressed sparse row (CSR) format and keep them
+/// in-memory"). Adjacency lists are sorted ascending, which the engine's
+/// intersection kernels rely on.
+class Graph {
+ public:
+  /// Builds a graph from an edge list. Self-loops are dropped and duplicate
+  /// edges are merged. `num_vertices` may exceed the largest endpoint to
+  /// allow isolated vertices.
+  static Graph FromEdges(VertexId num_vertices,
+                         std::vector<std::pair<VertexId, VertexId>> edges);
+
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Number of vertices |V|.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges |E|.
+  uint64_t NumEdges() const { return adjacency_.size() / 2; }
+
+  /// Degree of `v`.
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbours of `v` as a read-only view.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff the edge (u, v) exists. O(log d(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Maximum degree D_G.
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  /// Average degree d_G.
+  double AvgDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : static_cast<double>(adjacency_.size()) / NumVertices();
+  }
+
+  /// The l-th raw moment of the degree distribution, `E[d^l]`, used by the
+  /// cost model to estimate star cardinalities. Supports l in [1, 5].
+  double DegreeMoment(int l) const;
+
+  /// Bytes of the in-memory CSR representation (|E_G| term in Remark 3.1).
+  size_t SizeBytes() const {
+    return adjacency_.size() * sizeof(VertexId) +
+           offsets_.size() * sizeof(uint64_t);
+  }
+
+  /// Attaches vertex labels (one per vertex). Labels are optional; an
+  /// unlabelled graph matches any query label (footnote 3 of the paper:
+  /// the techniques seamlessly support labelled graphs).
+  void AssignLabels(std::vector<uint8_t> labels);
+
+  /// True iff labels were assigned.
+  bool HasLabels() const { return !labels_.empty(); }
+
+  /// Label of `v`; 0 for unlabelled graphs.
+  uint8_t Label(VertexId v) const {
+    return labels_.empty() ? 0 : labels_[v];
+  }
+
+  /// Writes the graph as a text edge list ("u v" per line). Returns false on
+  /// I/O failure.
+  bool SaveEdgeList(const std::string& path) const;
+
+  /// Reads a text edge list; ignores comment lines starting with '#'.
+  /// Returns an empty graph on failure (check NumVertices()).
+  static Graph LoadEdgeList(const std::string& path);
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> adjacency_;
+  std::vector<uint8_t> labels_;
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_GRAPH_GRAPH_H_

@@ -1,0 +1,67 @@
+#ifndef HUGE_GRAPH_PARTITION_H_
+#define HUGE_GRAPH_PARTITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace huge {
+
+/// A data graph randomly hash-partitioned across `k` machines (Section 2:
+/// "We randomly partition a data graph G in a distributed context... For
+/// each vertex we store it with its adjacency list in one of the
+/// partitions").
+///
+/// The CSR storage is shared (we simulate the cluster in one process and
+/// partitions are immutable), but *ownership* is real: every adjacency-list
+/// access made by machine `m` for a vertex it does not own must go through
+/// the RPC layer, which charges network bytes and latency. The engine never
+/// reads a remote adjacency list directly.
+class PartitionedGraph {
+ public:
+  PartitionedGraph(std::shared_ptr<const Graph> graph, MachineId num_machines)
+      : graph_(std::move(graph)), num_machines_(num_machines) {
+    HUGE_CHECK(num_machines_ >= 1);
+  }
+
+  const Graph& graph() const { return *graph_; }
+  MachineId num_machines() const { return num_machines_; }
+
+  /// The machine owning vertex `v` (multiplicative hash for spread, which is
+  /// the paper's random partitioning).
+  MachineId Owner(VertexId v) const {
+    return static_cast<MachineId>((v * 0x9E3779B9u) >> 7) % num_machines_;
+  }
+
+  /// True iff `v` is local to machine `m`.
+  bool IsLocal(VertexId v, MachineId m) const { return Owner(v) == m; }
+
+  /// All vertices owned by machine `m`, in ascending order.
+  std::vector<VertexId> LocalVertices(MachineId m) const {
+    std::vector<VertexId> out;
+    for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+      if (Owner(v) == m) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Bytes of the local partition of machine `m` (for cache sizing).
+  size_t PartitionBytes(MachineId m) const {
+    size_t bytes = 0;
+    for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+      if (Owner(v) == m) bytes += graph_->Degree(v) * kVertexBytes;
+    }
+    return bytes;
+  }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  MachineId num_machines_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_GRAPH_PARTITION_H_

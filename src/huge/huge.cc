@@ -1,0 +1,24 @@
+#include "huge/huge.h"
+
+namespace huge {
+
+Runner::Runner(std::shared_ptr<const Graph> graph, Config config)
+    : graph_(graph),
+      stats_(GraphStats::Compute(*graph)),
+      cluster_(std::move(graph), std::move(config)) {}
+
+ExecutionPlan Runner::PlanFor(const QueryGraph& q) const {
+  OptimizerOptions options;
+  options.num_machines = cluster_.config().num_machines;
+  return Optimize(q, stats_, options);
+}
+
+RunResult Runner::Run(const QueryGraph& q) { return RunPlan(PlanFor(q)); }
+
+RunResult Runner::RunPlan(const ExecutionPlan& plan) {
+  return RunDataflow(Translate(plan));
+}
+
+RunResult Runner::RunDataflow(const Dataflow& df) { return cluster_.Run(df); }
+
+}  // namespace huge

@@ -1,0 +1,57 @@
+#ifndef HUGE_HUGE_HUGE_H_
+#define HUGE_HUGE_HUGE_H_
+
+#include <memory>
+
+#include "engine/cluster.h"
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "graph/graph.h"
+#include "plan/cost_model.h"
+#include "plan/optimizer.h"
+#include "plan/translate.h"
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// The public facade of the HUGE system: give it a data graph and a
+/// configuration, then enumerate query graphs.
+///
+/// ```
+///   auto graph = std::make_shared<huge::Graph>(
+///       huge::gen::PowerLaw(100'000, 16, 2.3, /*seed=*/42));
+///   huge::Runner runner(graph, huge::Config{});
+///   huge::RunResult r = runner.Run(huge::queries::Square());
+///   // r.matches, r.metrics.TotalSeconds(), ...
+/// ```
+class Runner {
+ public:
+  Runner(std::shared_ptr<const Graph> graph, Config config = {});
+
+  /// Enumerates `q` using the plan produced by HUGE's optimiser
+  /// (Algorithm 1) and returns the count plus run metrics.
+  RunResult Run(const QueryGraph& q);
+
+  /// Enumerates `q` with a caller-provided execution plan — this is how
+  /// prior systems' logical plans are "plugged into HUGE" (Remark 3.2).
+  RunResult RunPlan(const ExecutionPlan& plan);
+
+  /// Runs an already-translated dataflow.
+  RunResult RunDataflow(const Dataflow& df);
+
+  /// The optimiser's plan for `q` under this runner's cluster size.
+  ExecutionPlan PlanFor(const QueryGraph& q) const;
+
+  const GraphStats& stats() const { return stats_; }
+  Cluster& cluster() { return cluster_; }
+  const Config& config() const { return cluster_.config(); }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  GraphStats stats_;
+  Cluster cluster_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_HUGE_HUGE_H_

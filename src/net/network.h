@@ -1,0 +1,131 @@
+#ifndef HUGE_NET_NETWORK_H_
+#define HUGE_NET_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace huge {
+
+/// Cost profile of the simulated interconnect. The cluster is simulated in
+/// one process, so data movement is an in-memory copy; *time* spent on the
+/// network is modelled analytically: every message costs
+/// `bytes / bandwidth + latency` seconds on its requester. This keeps runs
+/// deterministic and fast while preserving the paper's communication
+/// comparisons (Table 1 columns T_C and C, Figures 7-8).
+struct NetworkProfile {
+  double bandwidth_bytes_per_sec = 1.25e9;  ///< 10 Gbps, the paper's network
+  double rpc_latency_sec = 50e-6;           ///< per RPC round trip
+  double push_latency_sec = 5e-6;           ///< per pushed message (streamed)
+  /// BENU profile (Section 1: "large overhead of pulling ... from the
+  /// external key-value store"): when true, GetNbrs requests are *not*
+  /// merged per machine — every vertex is an individual request — and each
+  /// request pays `external_kv_latency_sec`.
+  bool external_kv = false;
+  double external_kv_latency_sec = 400e-6;  ///< Cassandra-style RTT
+};
+
+/// Per-machine traffic accounting. All counters are atomics because every
+/// worker thread of a machine may charge traffic concurrently.
+class MachineTraffic {
+ public:
+  void ChargePull(uint64_t bytes, uint64_t requests, double seconds) {
+    bytes_pulled_.fetch_add(bytes, std::memory_order_relaxed);
+    rpc_requests_.fetch_add(requests, std::memory_order_relaxed);
+    AddSeconds(seconds);
+  }
+  void ChargePush(uint64_t bytes, uint64_t messages, double seconds) {
+    bytes_pushed_.fetch_add(bytes, std::memory_order_relaxed);
+    push_messages_.fetch_add(messages, std::memory_order_relaxed);
+    AddSeconds(seconds);
+  }
+
+  uint64_t bytes_pulled() const { return bytes_pulled_.load(); }
+  uint64_t bytes_pushed() const { return bytes_pushed_.load(); }
+  uint64_t rpc_requests() const { return rpc_requests_.load(); }
+  uint64_t push_messages() const { return push_messages_.load(); }
+  double comm_seconds() const {
+    return static_cast<double>(comm_nanos_.load()) * 1e-9;
+  }
+
+  void Reset() {
+    bytes_pulled_ = 0;
+    bytes_pushed_ = 0;
+    rpc_requests_ = 0;
+    push_messages_ = 0;
+    comm_nanos_ = 0;
+  }
+
+ private:
+  void AddSeconds(double s) {
+    comm_nanos_.fetch_add(static_cast<uint64_t>(s * 1e9),
+                          std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> bytes_pulled_{0};
+  std::atomic<uint64_t> bytes_pushed_{0};
+  std::atomic<uint64_t> rpc_requests_{0};
+  std::atomic<uint64_t> push_messages_{0};
+  std::atomic<uint64_t> comm_nanos_{0};
+};
+
+/// The cluster interconnect: per-machine traffic with an analytic time
+/// model.
+class Network {
+ public:
+  Network(const NetworkProfile& profile, MachineId num_machines)
+      : profile_(profile), traffic_(num_machines) {}
+
+  const NetworkProfile& profile() const { return profile_; }
+
+  /// Charges machine `m` for pulling `bytes` over `requests` RPCs.
+  void Pull(MachineId m, uint64_t bytes, uint64_t requests) {
+    const double latency = profile_.external_kv
+                               ? profile_.external_kv_latency_sec
+                               : profile_.rpc_latency_sec;
+    traffic_[m].ChargePull(
+        bytes, requests,
+        bytes / profile_.bandwidth_bytes_per_sec + requests * latency);
+  }
+
+  /// Charges machine `m` for pushing `bytes` in `messages` messages.
+  void Push(MachineId m, uint64_t bytes, uint64_t messages) {
+    traffic_[m].ChargePush(bytes, messages,
+                           bytes / profile_.bandwidth_bytes_per_sec +
+                               messages * profile_.push_latency_sec);
+  }
+
+  const MachineTraffic& traffic(MachineId m) const { return traffic_[m]; }
+
+  /// Total bytes transferred across the cluster (the paper's `C`).
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& t : traffic_) {
+      total += t.bytes_pulled() + t.bytes_pushed();
+    }
+    return total;
+  }
+
+  /// Communication time T_C: the maximum per-machine network time (the
+  /// slowest machine gates completion, as in the paper's measurements).
+  double CommSeconds() const {
+    double m = 0;
+    for (const auto& t : traffic_) m = std::max(m, t.comm_seconds());
+    return m;
+  }
+
+  void Reset() {
+    for (auto& t : traffic_) t.Reset();
+  }
+
+ private:
+  NetworkProfile profile_;
+  std::vector<MachineTraffic> traffic_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_NET_NETWORK_H_

@@ -1,0 +1,79 @@
+#ifndef HUGE_NET_RPC_H_
+#define HUGE_NET_RPC_H_
+
+#include <functional>
+#include <span>
+
+#include "graph/partition.h"
+#include "net/network.h"
+
+namespace huge {
+
+/// The `GetNbrs` RPC of HUGE's runtime (Section 4.1): "takes a list of
+/// vertices as its arguments and returns their neighbours. The requested
+/// vertices must reside in the current partition [of the server]".
+///
+/// Partitions are immutable once loaded, so the simulated server work is
+/// executed synchronously by the calling thread against the owner's CSR;
+/// the network charges (bytes + per-request latency) are what distinguish
+/// remote from local access. Requests to the same owner are merged and
+/// "sent in bulk" (Remark 4.1) — unless the external-KV profile is active,
+/// which models BENU's one-request-per-key store access.
+class GetNbrsClient {
+ public:
+  GetNbrsClient(const PartitionedGraph* pgraph, Network* net)
+      : pgraph_(pgraph), net_(net) {}
+
+  /// Per-message fixed framing overhead (headers), in bytes.
+  static constexpr uint64_t kHeaderBytes = 16;
+
+  /// Fetches the adjacency lists of `vertices` on behalf of machine
+  /// `requester`, invoking `sink(v, neighbours)` once per vertex. Local
+  /// vertices are served without network charges.
+  void Fetch(MachineId requester, std::span<const VertexId> vertices,
+             const std::function<void(VertexId, std::span<const VertexId>)>&
+                 sink) const {
+    const Graph& g = pgraph_->graph();
+    const bool merge = !net_->profile().external_kv;
+
+    // Group by owner to count one request per (owner, call) when merging.
+    uint64_t pending_bytes = 0;
+    uint64_t pending_requests = 0;
+    std::vector<uint64_t> owner_bytes(pgraph_->num_machines(), 0);
+    for (VertexId v : vertices) {
+      const MachineId owner = pgraph_->Owner(v);
+      auto nbrs = g.Neighbors(v);
+      if (owner == requester) {
+        sink(v, nbrs);
+        continue;
+      }
+      const uint64_t bytes =
+          kVertexBytes /* request id */ +
+          (1 + nbrs.size()) * kVertexBytes /* response */;
+      if (merge) {
+        if (owner_bytes[owner] == 0) ++pending_requests;
+        owner_bytes[owner] += bytes;
+      } else {
+        pending_bytes += bytes + 2 * kHeaderBytes;
+        ++pending_requests;
+      }
+      sink(v, nbrs);
+    }
+    if (merge) {
+      for (uint64_t b : owner_bytes) {
+        if (b > 0) pending_bytes += b + 2 * kHeaderBytes;
+      }
+    }
+    if (pending_requests > 0) {
+      net_->Pull(requester, pending_bytes, pending_requests);
+    }
+  }
+
+ private:
+  const PartitionedGraph* pgraph_;
+  Network* net_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_NET_RPC_H_

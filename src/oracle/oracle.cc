@@ -1,0 +1,121 @@
+#include "oracle/oracle.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "query/matching_order.h"
+
+namespace huge {
+namespace {
+
+struct Searcher {
+  const Graph& g;
+  const QueryGraph& q;
+  std::vector<QueryVertexId> order;           // position -> query vertex
+  std::vector<int> position;                  // query vertex -> position
+  std::vector<OrderConstraint> constraints;   // symmetry breaking (optional)
+  const Oracle::MatchCallback* cb = nullptr;
+  uint64_t count = 0;
+  std::vector<VertexId> match;  // query vertex -> data vertex
+
+  bool LabelOk(QueryVertexId qv, VertexId u) const {
+    const uint8_t want = q.Label(qv);
+    return want == QueryGraph::kAnyLabel || want == g.Label(u);
+  }
+
+  bool OrdersOk(QueryVertexId qv, VertexId u) const {
+    for (const auto& c : constraints) {
+      if (c.first == qv && position[c.second] < position[qv]) {
+        if (!(u < match[c.second])) return false;
+      }
+      if (c.second == qv && position[c.first] < position[qv]) {
+        if (!(match[c.first] < u)) return false;
+      }
+    }
+    return true;
+  }
+
+  void Recurse(size_t depth) {
+    if (depth == order.size()) {
+      ++count;
+      if (cb != nullptr) (*cb)(match);
+      return;
+    }
+    const QueryVertexId qv = order[depth];
+    // Candidates: intersect neighbour lists of matched neighbours.
+    std::vector<VertexId> cands;
+    bool first = true;
+    for (size_t d = 0; d < depth; ++d) {
+      const QueryVertexId prev = order[d];
+      if (!q.HasEdge(qv, prev)) continue;
+      auto nbrs = g.Neighbors(match[prev]);
+      if (first) {
+        cands.assign(nbrs.begin(), nbrs.end());
+        first = false;
+      } else {
+        std::vector<VertexId> merged;
+        std::set_intersection(cands.begin(), cands.end(), nbrs.begin(),
+                              nbrs.end(), std::back_inserter(merged));
+        cands = std::move(merged);
+      }
+      if (cands.empty()) return;
+    }
+    HUGE_CHECK(!first);  // connected order guarantees a matched neighbour
+    for (VertexId u : cands) {
+      bool dup = false;
+      for (size_t d = 0; d < depth; ++d) {
+        if (match[order[d]] == u) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup || !LabelOk(qv, u) || !OrdersOk(qv, u)) continue;
+      match[qv] = u;
+      Recurse(depth + 1);
+    }
+  }
+
+  uint64_t Run() {
+    match.assign(q.NumVertices(), kNullVertex);
+    position.assign(q.NumVertices(), -1);
+    for (size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
+    if (q.NumVertices() == 1) {
+      count = g.NumVertices();
+      return count;
+    }
+    // Seed the first vertex with every data vertex.
+    const QueryVertexId first_qv = order[0];
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      if (!LabelOk(first_qv, u) || !OrdersOk(first_qv, u)) continue;
+      match[first_qv] = u;
+      Recurse(1);
+    }
+    return count;
+  }
+};
+
+}  // namespace
+
+uint64_t Oracle::Count(const Graph& graph, const QueryGraph& query) {
+  Searcher s{.g = graph, .q = query, .order = ConnectedMatchingOrder(query),
+             .constraints = query.SymmetryBreakingOrders()};
+  return s.Run();
+}
+
+uint64_t Oracle::CountAllMappings(const Graph& graph,
+                                  const QueryGraph& query) {
+  Searcher s{.g = graph, .q = query, .order = ConnectedMatchingOrder(query)};
+  return s.Run();
+}
+
+void Oracle::Enumerate(const Graph& graph, const QueryGraph& query,
+                       const MatchCallback& cb) {
+  Searcher s{.g = graph, .q = query, .order = ConnectedMatchingOrder(query),
+             .constraints = query.SymmetryBreakingOrders()};
+  s.cb = &cb;
+  s.Run();
+}
+
+}  // namespace huge

@@ -1,0 +1,39 @@
+#ifndef HUGE_ORACLE_ORACLE_H_
+#define HUGE_ORACLE_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// Single-threaded reference subgraph enumerator (Ullmann-style backtracking
+/// with worst-case-optimal candidate intersection, [82]). It is the ground
+/// truth every distributed execution is verified against in the test suite.
+class Oracle {
+ public:
+  /// Callback invoked once per match; `match[i]` is the data vertex bound to
+  /// query vertex i.
+  using MatchCallback = std::function<void(std::span<const VertexId>)>;
+
+  /// Counts matches of `query` in `graph` with symmetry breaking applied
+  /// (each subgraph instance counted once).
+  static uint64_t Count(const Graph& graph, const QueryGraph& query);
+
+  /// Counts isomorphic mappings *without* symmetry breaking (each instance
+  /// counted |Aut(query)| times). Used to validate the symmetry-breaking
+  /// constraints themselves.
+  static uint64_t CountAllMappings(const Graph& graph,
+                                   const QueryGraph& query);
+
+  /// Enumerates matches with symmetry breaking, invoking `cb` per match.
+  static void Enumerate(const Graph& graph, const QueryGraph& query,
+                        const MatchCallback& cb);
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ORACLE_ORACLE_H_

@@ -1,0 +1,96 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace huge {
+
+GraphStats GraphStats::Compute(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.NumVertices();
+  s.num_edges = static_cast<double>(g.NumEdges());
+  s.avg_degree = g.AvgDegree();
+  s.max_degree = g.MaxDegree();
+  s.graph_bytes = g.SizeBytes();
+  for (int l = 1; l <= 5; ++l) s.moment[l] = g.DegreeMoment(l);
+  return s;
+}
+
+double EstimateCardinality(const QueryGraph& q, EdgeMask mask,
+                           const GraphStats& stats) {
+  HUGE_CHECK(mask != 0);
+  const auto& edges = q.Edges();
+  const uint32_t vs = subquery::Vertices(q, mask);
+
+  // Connected vertex order within the sub-query.
+  std::vector<int> order;
+  order.push_back(__builtin_ctz(vs));
+  uint32_t placed = 1u << order[0];
+  const int nv = __builtin_popcount(vs);
+  while (static_cast<int>(order.size()) < nv) {
+    for (int v = 0; v < q.NumVertices(); ++v) {
+      if (!((vs >> v) & 1u) || ((placed >> v) & 1u)) continue;
+      bool attached = false;
+      for (int e = 0; e < q.NumEdges(); ++e) {
+        if (!((mask >> e) & 1u)) continue;
+        const auto& [a, b] = edges[e];
+        if ((a == v && ((placed >> b) & 1u)) ||
+            (b == v && ((placed >> a) & 1u))) {
+          attached = true;
+          break;
+        }
+      }
+      if (attached) {
+        order.push_back(v);
+        placed |= 1u << v;
+        break;
+      }
+    }
+  }
+
+  // Size-biased residual degree of a vertex already used `c` times.
+  auto residual = [&stats](int c) {
+    const int l = std::min(c, 4);
+    const double num = stats.moment[l + 1];
+    const double den = std::max(stats.moment[l], 1e-12);
+    return num / den;
+  };
+  // Chung-Lu closure probability between two edge-reached vertices.
+  const double biased = stats.moment[2] / std::max(stats.moment[1], 1e-12);
+  const double closure =
+      std::min(1.0, biased * biased /
+                        std::max(stats.num_vertices * stats.avg_degree, 1.0));
+
+  std::vector<int> usage(q.NumVertices(), 0);
+  double est = stats.num_vertices;
+  placed = 1u << order[0];
+  for (size_t i = 1; i < order.size(); ++i) {
+    const int v = order[i];
+    // Back-neighbours of v among placed vertices, w.r.t. edges in mask.
+    std::vector<int> back;
+    for (int e = 0; e < q.NumEdges(); ++e) {
+      if (!((mask >> e) & 1u)) continue;
+      const auto& [a, b] = edges[e];
+      if (a == v && ((placed >> b) & 1u)) back.push_back(b);
+      if (b == v && ((placed >> a) & 1u)) back.push_back(a);
+    }
+    HUGE_CHECK(!back.empty());
+    // Grow from the least-used back-neighbour; the rest are closure edges.
+    std::sort(back.begin(), back.end(),
+              [&usage](int a, int b) { return usage[a] < usage[b]; });
+    est *= residual(usage[back[0]]);
+    usage[back[0]]++;
+    for (size_t j = 1; j < back.size(); ++j) {
+      est *= closure;
+      usage[back[j]]++;
+    }
+    usage[v] = static_cast<int>(back.size());
+    placed |= 1u << v;
+    est = std::max(est, 1.0);
+  }
+  return est;
+}
+
+}  // namespace huge

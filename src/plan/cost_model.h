@@ -1,0 +1,40 @@
+#ifndef HUGE_PLAN_COST_MODEL_H_
+#define HUGE_PLAN_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "plan/plan.h"
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// Summary statistics of a data graph consumed by the cost model. Computing
+/// them is a single pass over the degree array.
+struct GraphStats {
+  double num_vertices = 0;
+  double num_edges = 0;  ///< undirected edge count |E_G|
+  double avg_degree = 0;
+  double max_degree = 0;
+  /// Raw degree moments E[d^l] for l = 0..5 (moment[0] = 1).
+  double moment[6] = {1, 0, 0, 0, 0, 0};
+  size_t graph_bytes = 0;
+
+  static GraphStats Compute(const Graph& g);
+};
+
+/// Estimates |R(q')| for the sub-query given by `mask`, following the
+/// degree-moment estimation used by join-based optimisers ([46, 51, 58]
+/// in the paper): vertices are attached in a connected order; the expected
+/// fan-out of extending from a vertex used `c` times before is the
+/// size-biased residual `E[d^{c+1}]/E[d^c]`, and every additional back edge
+/// contributes a closure probability derived from the Chung–Lu model.
+///
+/// The estimate is intentionally simple — the optimiser only needs relative
+/// ordering of candidate plans (Section 3.3).
+double EstimateCardinality(const QueryGraph& q, EdgeMask mask,
+                           const GraphStats& stats);
+
+}  // namespace huge
+
+#endif  // HUGE_PLAN_COST_MODEL_H_

@@ -1,0 +1,101 @@
+#include "plan/dataflow.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace huge {
+
+const char* ToString(OpKind k) {
+  switch (k) {
+    case OpKind::kScan:
+      return "SCAN";
+    case OpKind::kPullExtend:
+      return "PULL-EXTEND";
+    case OpKind::kPushExtend:
+      return "PUSH-EXTEND";
+    case OpKind::kVerifyExtend:
+      return "VERIFY-EXTEND";
+    case OpKind::kPushJoin:
+      return "PUSH-JOIN";
+    case OpKind::kSink:
+      return "SINK";
+  }
+  return "?";
+}
+
+bool PassesExtendFilters(const OpDesc& op, std::span<const VertexId> row,
+                         VertexId v) {
+  for (const auto& f : op.filters) {
+    if (f.less ? !(v < row[f.pos]) : !(v > row[f.pos])) return false;
+  }
+  for (VertexId u : row) {
+    if (u == v) return false;  // injectivity
+  }
+  return true;
+}
+
+int Dataflow::SuccessorOf(int i) const {
+  for (size_t j = 0; j < ops.size(); ++j) {
+    const OpDesc& op = ops[j];
+    if (op.input == i || op.left_input == i || op.right_input == i) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+std::string Dataflow::ToString() const {
+  std::ostringstream out;
+  out << "dataflow for " << query.ToString() << "\n";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const OpDesc& op = ops[i];
+    out << "  [" << i << "] " << huge::ToString(op.kind);
+    switch (op.kind) {
+      case OpKind::kScan:
+        out << "(v" << static_cast<int>(op.scan_u) << ", v"
+            << static_cast<int>(op.scan_v) << ")";
+        if (op.scan_filter != 0) {
+          out << (op.scan_filter > 0 ? " [col0<col1]" : " [col0>col1]");
+        }
+        break;
+      case OpKind::kPullExtend:
+      case OpKind::kPushExtend:
+        out << "({";
+        for (size_t j = 0; j < op.ext.size(); ++j) {
+          if (j > 0) out << ",";
+          out << op.ext[j];
+        }
+        out << "} -> v" << static_cast<int>(op.target) << ") from ["
+            << op.input << "]";
+        break;
+      case OpKind::kVerifyExtend:
+        out << "({";
+        for (size_t j = 0; j < op.ext.size(); ++j) {
+          if (j > 0) out << ",";
+          out << op.ext[j];
+        }
+        out << "} contains col" << op.verify_pos << ") from [" << op.input
+            << "]";
+        break;
+      case OpKind::kPushJoin:
+        out << "([" << op.left_input << "] x [" << op.right_input
+            << "], key size " << op.left_key.size() << ")";
+        break;
+      case OpKind::kSink:
+        out << " from [" << op.input << "]";
+        break;
+    }
+    out << "  schema{";
+    for (size_t j = 0; j < op.schema.size(); ++j) {
+      if (j > 0) out << ",";
+      out << "v" << static_cast<int>(op.schema[j]);
+    }
+    out << "}";
+    if (!op.filters.empty()) out << " +" << op.filters.size() << "f";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace huge

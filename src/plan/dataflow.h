@@ -1,0 +1,99 @@
+#ifndef HUGE_PLAN_DATAFLOW_H_
+#define HUGE_PLAN_DATAFLOW_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "plan/plan.h"
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// Kinds of dataflow operators (Section 4.2). `kVerifyExtend` is the
+/// "extension with a hint" of Section 5.2 that verifies connectivity of an
+/// already-bound vertex instead of growing the match; `kPushExtend` is the
+/// pushing-mode wco extension used to emulate BiGJoin (Section 3.2:
+/// "we push each f ∈ R(q'_l) to the remote machine that owns f(v)
+/// continuously for each v ∈ L").
+enum class OpKind : uint8_t {
+  kScan,          ///< SCAN(edge): emits matches of one query edge
+  kPullExtend,    ///< PULL-EXTEND(Ext): wco extension, pulling + LRBU cache
+  kPushExtend,    ///< pushing wco extension (BiGJoin profile)
+  kVerifyExtend,  ///< edge-verification extension (pulling hash join, §5.2)
+  kPushJoin,      ///< PUSH-JOIN(ql, qr): buffered distributed hash join
+  kSink,          ///< SINK: counts or collects final results
+};
+
+const char* ToString(OpKind k);
+
+/// Symmetry-breaking filter applied when a new vertex is bound: the new
+/// data vertex must compare `less`-than (or greater-than) the value at
+/// input-row position `pos`.
+struct ExtOrderFilter {
+  int pos;
+  bool less;  ///< true: new < row[pos]; false: new > row[pos]
+};
+
+/// A dataflow operator descriptor. The engine interprets these at run
+/// time; translation (Algorithm 2) guarantees the vector is topologically
+/// ordered with the SINK last.
+struct OpDesc {
+  OpKind kind = OpKind::kScan;
+  /// Producing operator for chain ops (scan: -1).
+  int input = -1;
+  /// Output schema: schema[i] is the query vertex bound by column i.
+  std::vector<QueryVertexId> schema;
+
+  // --- kScan ---
+  QueryVertexId scan_u = 0;  ///< column 0, enumerated from local vertices
+  QueryVertexId scan_v = 0;  ///< column 1, a neighbour of column 0
+  int scan_filter = 0;       ///< 0: none, 1: col0 < col1, -1: col0 > col1
+  uint8_t scan_u_label = QueryGraph::kAnyLabel;
+  uint8_t scan_v_label = QueryGraph::kAnyLabel;
+
+  // --- extends (kPullExtend / kPushExtend / kVerifyExtend) ---
+  std::vector<int> ext;  ///< input-row positions whose neighbours intersect
+  QueryVertexId target = 0;  ///< new query vertex (grow extends)
+  uint8_t target_label = QueryGraph::kAnyLabel;  ///< label filter on target
+  int verify_pos = -1;  ///< kVerifyExtend: row position that must appear in
+                        ///< the intersection (the star root, §5.2)
+  std::vector<ExtOrderFilter> filters;  ///< SB filters on the new vertex
+
+  // --- kPushJoin ---
+  int left_input = -1;
+  int right_input = -1;
+  std::vector<int> left_key;     ///< key positions in the left schema
+  std::vector<int> right_key;    ///< key positions in the right schema
+  std::vector<int> right_carry;  ///< right positions appended to the output
+  /// Cross-side SB constraints on output positions: out[a] < out[b].
+  std::vector<std::pair<int, int>> join_less;
+  /// Cross-side injectivity checks on output positions: out[a] != out[b].
+  std::vector<std::pair<int, int>> join_neq;
+};
+
+/// A translated dataflow: a DAG of operators (a directed tree rooted at
+/// the SINK, Section 5.4). Operators are stored in topological order.
+struct Dataflow {
+  QueryGraph query{1};
+  std::vector<OpDesc> ops;
+  int sink = -1;
+
+  /// The unique consumer of op `i`, or -1 for the sink.
+  int SuccessorOf(int i) const;
+
+  /// Multi-line rendering (plan-explorer example, logs).
+  std::string ToString() const;
+};
+
+/// True iff candidate `v` may extend `row` under `op`'s symmetry-breaking
+/// filters and the injectivity requirement (Algorithm 4 line 19).
+bool PassesExtendFilters(const OpDesc& op, std::span<const VertexId> row,
+                         VertexId v);
+
+}  // namespace huge
+
+#endif  // HUGE_PLAN_DATAFLOW_H_

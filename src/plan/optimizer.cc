@@ -1,0 +1,199 @@
+#include "plan/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "query/matching_order.h"
+
+namespace huge {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The physical setting chosen for one oriented join (l, r) under the
+/// search options, or nullopt-like invalid result.
+struct PhysicalChoice {
+  bool valid = false;
+  JoinAlgo algo = JoinAlgo::kHash;
+  CommMode comm = CommMode::kPush;
+};
+
+/// Equation 3, generalised to respect OptimizerOptions: prefer
+/// (wco, pulling) for complete star joins, then (hash, pulling) under C1,
+/// then (hash, pushing); (wco, pushing) is admitted only when pulling is
+/// disallowed (used to emulate BiGJoin's physical profile).
+PhysicalChoice Configure(const QueryGraph& q, EdgeMask l, EdgeMask r,
+                         const OptimizerOptions& opt) {
+  QueryVertexId root = 0;
+  if (subquery::IsCompleteStarJoin(q, l, r, &root)) {
+    if (opt.allow_wco && opt.allow_pull) {
+      return {true, JoinAlgo::kWco, CommMode::kPull};
+    }
+    if (opt.allow_wco && opt.allow_push) {
+      return {true, JoinAlgo::kWco, CommMode::kPush};
+    }
+  }
+  if (subquery::SatisfiesC1(q, l, r, &root) && opt.allow_hash &&
+      opt.allow_pull) {
+    return {true, JoinAlgo::kHash, CommMode::kPull};
+  }
+  if (opt.allow_hash && opt.allow_push) {
+    return {true, JoinAlgo::kHash, CommMode::kPush};
+  }
+  return {};
+}
+
+struct DpEntry {
+  double cost = kInf;
+  EdgeMask left = 0, right = 0;  // 0/0 => leaf join unit
+  JoinAlgo algo = JoinAlgo::kWco;
+  CommMode comm = CommMode::kPull;
+};
+
+int BuildTree(const QueryGraph& q, const std::vector<DpEntry>& dp,
+              EdgeMask mask, ExecutionPlan* plan) {
+  const DpEntry& e = dp[mask];
+  PlanNode node;
+  node.edges = mask;
+  if (e.left != 0) {
+    node.left = BuildTree(q, dp, e.left, plan);
+    node.right = BuildTree(q, dp, e.right, plan);
+    node.algo = e.algo;
+    node.comm = e.comm;
+  }
+  plan->nodes.push_back(node);
+  return static_cast<int>(plan->nodes.size()) - 1;
+}
+
+}  // namespace
+
+bool TryOptimize(const QueryGraph& q, const GraphStats& stats,
+                 const OptimizerOptions& options, ExecutionPlan* out) {
+  HUGE_CHECK(q.IsConnected());
+  HUGE_CHECK(q.NumEdges() <= 20 && "edge-subset DP supports <= 20 edges");
+  const int m = q.NumEdges();
+  const EdgeMask full = (m == 32) ? ~0u : ((1u << m) - 1u);
+
+  std::vector<double> card(full + 1, 0.0);
+  std::vector<DpEntry> dp(full + 1);
+
+  for (EdgeMask mask = 1; mask <= full; ++mask) {
+    if (!subquery::IsConnected(q, mask)) continue;
+    card[mask] = EstimateCardinality(q, mask, stats);
+
+    // Join units (stars) are computed directly: cost = |R(q')| (line 4).
+    if (subquery::IsStar(q, mask)) {
+      dp[mask].cost = card[mask];
+      continue;
+    }
+
+    // Enumerate edge-disjoint splits l ∪ r = mask (line 5); each unordered
+    // pair is visited once, both orientations are configured.
+    for (EdgeMask l = (mask - 1) & mask; l != 0; l = (l - 1) & mask) {
+      const EdgeMask r = mask & ~l;
+      if (l < r) continue;  // visit unordered pairs once
+      if (dp[l].cost == kInf || dp[r].cost == kInf) continue;
+      if (!subquery::IsConnected(q, l) || !subquery::IsConnected(q, r)) {
+        continue;
+      }
+      for (int orient = 0; orient < 2; ++orient) {
+        const EdgeMask ql = orient == 0 ? l : r;
+        const EdgeMask qr = orient == 0 ? r : l;
+        if (options.left_deep_only && !subquery::IsStar(q, qr)) continue;
+        PhysicalChoice choice = Configure(q, ql, qr, options);
+        if (!choice.valid) continue;
+        // A wco join computes the star side via intersections (Equation 2)
+        // and never materialises R(q'_r); its cost is part of |R(q')|.
+        const double right_cost =
+            choice.algo == JoinAlgo::kWco ? 0.0 : dp[qr].cost;
+        double cost = dp[ql].cost + right_cost + card[mask];
+        if (!options.computation_only) {
+          if (choice.comm == CommMode::kPull) {
+            // Pull at most the whole graph per machine (Remark 3.1).
+            cost += static_cast<double>(options.num_machines) *
+                    stats.num_edges;
+          } else if (choice.algo == JoinAlgo::kHash) {
+            cost += card[ql] + card[qr];  // shuffle both sides
+          } else {
+            cost += stats.avg_degree * card[ql];  // wco pushing
+          }
+        }
+        if (cost < dp[mask].cost) {
+          dp[mask] = {cost, ql, qr, choice.algo, choice.comm};
+        }
+      }
+    }
+  }
+
+  if (dp[full].cost == kInf) return false;
+  out->query = q;
+  out->nodes.clear();
+  out->estimated_cost = dp[full].cost;
+  out->root = BuildTree(q, dp, full, out);
+  return true;
+}
+
+ExecutionPlan Optimize(const QueryGraph& q, const GraphStats& stats,
+                       const OptimizerOptions& options) {
+  ExecutionPlan plan;
+  const bool ok = TryOptimize(q, stats, options, &plan);
+  HUGE_CHECK(ok && "options admit no valid plan");
+  return plan;
+}
+
+void ReconfigurePhysical(ExecutionPlan* plan,
+                         const OptimizerOptions& options) {
+  for (PlanNode& node : plan->nodes) {
+    if (node.IsLeaf()) continue;
+    const PhysicalChoice choice =
+        Configure(plan->query, plan->nodes[node.left].edges,
+                  plan->nodes[node.right].edges, options);
+    HUGE_CHECK(choice.valid);
+    node.algo = choice.algo;
+    node.comm = choice.comm;
+  }
+}
+
+ExecutionPlan WcoLeftDeepPlan(const QueryGraph& q, CommMode comm) {
+  HUGE_CHECK(q.IsConnected());
+  const std::vector<QueryVertexId> order = ConnectedMatchingOrder(q);
+  const auto& edges = q.Edges();
+
+  auto edge_id = [&](QueryVertexId a, QueryVertexId b) -> int {
+    auto key = std::minmax(a, b);
+    for (int e = 0; e < q.NumEdges(); ++e) {
+      if (edges[e].first == key.first && edges[e].second == key.second) {
+        return e;
+      }
+    }
+    HUGE_CHECK(false && "edge not found");
+  };
+
+  ExecutionPlan plan;
+  plan.query = q;
+
+  // Leaf: the first edge (order[0], order[1]).
+  EdgeMask acc = 1u << edge_id(order[0], order[1]);
+  plan.nodes.push_back({acc, -1, -1, JoinAlgo::kWco, comm});
+  int prev = 0;
+
+  for (size_t i = 2; i < order.size(); ++i) {
+    const QueryVertexId v = order[i];
+    EdgeMask star = 0;
+    for (size_t j = 0; j < i; ++j) {
+      if (q.HasEdge(v, order[j])) star |= 1u << edge_id(v, order[j]);
+    }
+    HUGE_CHECK(star != 0);  // connected order
+    plan.nodes.push_back({star, -1, -1, JoinAlgo::kWco, comm});
+    const int leaf = static_cast<int>(plan.nodes.size()) - 1;
+    acc |= star;
+    plan.nodes.push_back({acc, prev, leaf, JoinAlgo::kWco, comm});
+    prev = static_cast<int>(plan.nodes.size()) - 1;
+  }
+  plan.root = prev;
+  return plan;
+}
+
+}  // namespace huge

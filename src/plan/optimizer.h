@@ -1,0 +1,55 @@
+#ifndef HUGE_PLAN_OPTIMIZER_H_
+#define HUGE_PLAN_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// Constraints on the plan search space. The unconstrained default is
+/// HUGE's optimiser (Algorithm 1); restricted variants reproduce the
+/// logical plans of prior systems (Table 2), which is how "existing works
+/// can be plugged into HUGE via their logical plans" (Remark 3.2).
+struct OptimizerOptions {
+  bool allow_pull = true;       ///< pulling communication permitted
+  bool allow_push = true;       ///< pushing communication permitted
+  bool allow_wco = true;        ///< wco join permitted
+  bool allow_hash = true;       ///< hash join permitted
+  bool left_deep_only = false;  ///< require q'_r to be a join unit
+  /// Ignore communication cost (sequential hybrid optimisers such as
+  /// EmptyHeaded / GraphFlow, Exp-9): plans are chosen on computation only.
+  bool computation_only = false;
+  /// Number of machines k (the pulling cost bound is k·|E_G|, Remark 3.1).
+  uint32_t num_machines = 1;
+};
+
+/// Computes an execution plan for `q` by dynamic programming over connected
+/// edge-subsets (Algorithm 1). Physical settings follow Equation 3 subject
+/// to `options`. Aborts (HUGE_CHECK) if the options admit no valid plan.
+ExecutionPlan Optimize(const QueryGraph& q, const GraphStats& stats,
+                       const OptimizerOptions& options = {});
+
+/// Like Optimize, but returns false instead of aborting when the options
+/// admit no valid plan (restricted baseline profiles may not cover every
+/// query, just as the original systems time out or fail on some).
+bool TryOptimize(const QueryGraph& q, const GraphStats& stats,
+                 const OptimizerOptions& options, ExecutionPlan* out);
+
+/// Keeps the logical plan (join units and join order) but reassigns every
+/// join's physical settings by Equation 3 under `options` — this is how
+/// "existing works can be plugged into HUGE via their logical plans"
+/// (Remark 3.2): derive the prior system's plan first, then reconfigure.
+void ReconfigurePhysical(ExecutionPlan* plan, const OptimizerOptions& options);
+
+/// Builds the left-deep worst-case-optimal plan of BiGJoin / BENU: one
+/// complete star join per query vertex in a greedy connected matching
+/// order (Section 3.1, Example 3.1). `comm` selects pushing (BiGJoin) or
+/// pulling (BENU, HUGE-WCO).
+ExecutionPlan WcoLeftDeepPlan(const QueryGraph& q, CommMode comm);
+
+}  // namespace huge
+
+#endif  // HUGE_PLAN_OPTIMIZER_H_

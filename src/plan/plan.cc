@@ -1,0 +1,145 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace huge {
+
+const char* ToString(JoinAlgo a) {
+  return a == JoinAlgo::kHash ? "hash" : "wco";
+}
+
+const char* ToString(CommMode c) {
+  return c == CommMode::kPush ? "push" : "pull";
+}
+
+namespace subquery {
+
+uint32_t Vertices(const QueryGraph& q, EdgeMask mask) {
+  uint32_t vs = 0;
+  const auto& edges = q.Edges();
+  for (int e = 0; e < q.NumEdges(); ++e) {
+    if ((mask >> e) & 1u) {
+      vs |= 1u << edges[e].first;
+      vs |= 1u << edges[e].second;
+    }
+  }
+  return vs;
+}
+
+bool IsConnected(const QueryGraph& q, EdgeMask mask) {
+  if (mask == 0) return false;
+  const auto& edges = q.Edges();
+  const uint32_t vs = Vertices(q, mask);
+  // BFS over vertices using only edges in `mask`.
+  const int first = __builtin_ctz(vs);
+  uint32_t visited = 1u << first;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (int e = 0; e < q.NumEdges(); ++e) {
+      if (!((mask >> e) & 1u)) continue;
+      const uint32_t a = 1u << edges[e].first;
+      const uint32_t b = 1u << edges[e].second;
+      if ((visited & a) && !(visited & b)) {
+        visited |= b;
+        grew = true;
+      } else if ((visited & b) && !(visited & a)) {
+        visited |= a;
+        grew = true;
+      }
+    }
+  }
+  return visited == vs;
+}
+
+uint32_t StarRoots(const QueryGraph& q, EdgeMask mask) {
+  const auto& edges = q.Edges();
+  uint32_t common = ~0u;
+  for (int e = 0; e < q.NumEdges(); ++e) {
+    if ((mask >> e) & 1u) {
+      common &= (1u << edges[e].first) | (1u << edges[e].second);
+    }
+  }
+  return mask == 0 ? 0 : common;
+}
+
+bool IsCompleteStarJoin(const QueryGraph& q, EdgeMask l, EdgeMask r,
+                        QueryVertexId* root) {
+  uint32_t roots = StarRoots(q, r);
+  if (roots == 0) return false;
+  const uint32_t vl = Vertices(q, l);
+  const uint32_t vr = Vertices(q, r);
+  // Try each root candidate: leaves = V_r \ {root} must be within V_l and
+  // the root itself must be a *new* vertex — a star whose root is already
+  // bound is pure edge verification, handled by the pulling hash join
+  // (C1 + Section 5.2), not by a wco extension.
+  for (int v = 0; v < q.NumVertices(); ++v) {
+    if (!((roots >> v) & 1u)) continue;
+    if ((vl >> v) & 1u) continue;
+    const uint32_t leaves = vr & ~(1u << v);
+    if ((leaves & ~vl) == 0) {
+      *root = static_cast<QueryVertexId>(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SatisfiesC1(const QueryGraph& q, EdgeMask l, EdgeMask r,
+                 QueryVertexId* root) {
+  uint32_t roots = StarRoots(q, r);
+  if (roots == 0) return false;
+  const uint32_t vl = Vertices(q, l);
+  for (int v = 0; v < q.NumVertices(); ++v) {
+    if (((roots >> v) & 1u) && ((vl >> v) & 1u)) {
+      *root = static_cast<QueryVertexId>(v);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace subquery
+
+namespace {
+
+void Render(const ExecutionPlan& plan, int node_id, int depth,
+            std::ostringstream& out) {
+  const PlanNode& node = plan.nodes[node_id];
+  for (int i = 0; i < depth; ++i) out << "  ";
+  const auto& edges = plan.query.Edges();
+  out << (node.IsLeaf() ? "UNIT" : "JOIN");
+  if (!node.IsLeaf()) {
+    out << "(" << ToString(node.algo) << ", " << ToString(node.comm) << ")";
+  }
+  out << " {";
+  bool first = true;
+  for (int e = 0; e < plan.query.NumEdges(); ++e) {
+    if ((node.edges >> e) & 1u) {
+      if (!first) out << ",";
+      first = false;
+      out << static_cast<int>(edges[e].first) << "-"
+          << static_cast<int>(edges[e].second);
+    }
+  }
+  out << "}\n";
+  if (!node.IsLeaf()) {
+    Render(plan, node.left, depth + 1, out);
+    Render(plan, node.right, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExecutionPlan::ToString() const {
+  HUGE_CHECK(root >= 0);
+  std::ostringstream out;
+  out << "plan for " << query.ToString() << " (est cost " << estimated_cost
+      << ")\n";
+  Render(*this, root, 1, out);
+  return out.str();
+}
+
+}  // namespace huge

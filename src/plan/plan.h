@@ -1,0 +1,96 @@
+#ifndef HUGE_PLAN_PLAN_H_
+#define HUGE_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// A subset of the query's edges, identified by bit positions into
+/// `QueryGraph::Edges()`. Sub-queries in the optimiser's DP are edge
+/// subsets: a two-way join (q', q'_l, q'_r) requires
+/// `E_l ∪ E_r = E' ∧ E_l ∩ E_r = ∅` (Algorithm 1 line 5).
+using EdgeMask = uint32_t;
+
+/// Join algorithm of a two-way join (Section 3.2).
+enum class JoinAlgo : uint8_t {
+  kHash,  ///< distributed hash join on the shared vertices
+  kWco,   ///< worst-case-optimal intersection (Equation 2)
+};
+
+/// Communication mode of a two-way join (Section 3.2).
+enum class CommMode : uint8_t {
+  kPush,  ///< ship intermediate results to the machine indexed by join key
+  kPull,  ///< ship (and cache) graph data to the host machine
+};
+
+const char* ToString(JoinAlgo a);
+const char* ToString(CommMode c);
+
+/// One node of an execution-plan tree. Leaves are join units (stars);
+/// internal nodes are two-way joins with their physical settings (Eq. 3).
+/// `right` is always the star side when the join is pull-based or a
+/// complete star join (the paper presents q'_r as the star w.l.o.g.).
+struct PlanNode {
+  EdgeMask edges = 0;  ///< sub-query produced by this node
+  int left = -1;       ///< child index, -1 for a leaf (join unit)
+  int right = -1;
+  JoinAlgo algo = JoinAlgo::kWco;
+  CommMode comm = CommMode::kPull;
+
+  bool IsLeaf() const { return left < 0; }
+};
+
+/// A full execution plan: logical settings (join unit, join order — the
+/// tree) plus physical settings (algorithm, communication per join).
+struct ExecutionPlan {
+  QueryGraph query{1};
+  std::vector<PlanNode> nodes;  ///< nodes[root] produces the whole query
+  int root = -1;
+  double estimated_cost = 0.0;
+
+  /// Multi-line human-readable rendering for logs and the plan explorer
+  /// example.
+  std::string ToString() const;
+};
+
+/// ---- Edge-subset utilities used by the optimiser and translator ----
+namespace subquery {
+
+/// Bitmask of query vertices incident to at least one edge in `mask`.
+uint32_t Vertices(const QueryGraph& q, EdgeMask mask);
+
+/// True iff the edges of `mask` form a connected subgraph.
+bool IsConnected(const QueryGraph& q, EdgeMask mask);
+
+/// Bitmask of vertices shared by *every* edge in `mask`. Non-zero iff the
+/// edge set is a star; a single edge yields both endpoints, a star with
+/// >= 2 edges yields exactly its root.
+uint32_t StarRoots(const QueryGraph& q, EdgeMask mask);
+
+/// True iff `mask` is a star (the default join unit of HUGE, Section 3.3:
+/// "we use stars as the join unit, as our system does not assume any
+/// index data").
+inline bool IsStar(const QueryGraph& q, EdgeMask mask) {
+  return mask != 0 && StarRoots(q, mask) != 0;
+}
+
+/// True iff the join (l, r) is a *complete star join* (Definition 3.1):
+/// r is a star (root; L) with L ⊆ V_l. Returns the root via `root` when
+/// true.
+bool IsCompleteStarJoin(const QueryGraph& q, EdgeMask l, EdgeMask r,
+                        QueryVertexId* root);
+
+/// True iff the join (l, r) satisfies pulling condition C1 of Property
+/// 3.1: r is a star (root; L) with root ∈ V_l. Returns the root.
+bool SatisfiesC1(const QueryGraph& q, EdgeMask l, EdgeMask r,
+                 QueryVertexId* root);
+
+}  // namespace subquery
+
+}  // namespace huge
+
+#endif  // HUGE_PLAN_PLAN_H_

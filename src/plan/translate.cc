@@ -1,0 +1,280 @@
+#include "plan/translate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace huge {
+namespace {
+
+/// Translation context: accumulates operators and knows the query's
+/// symmetry-breaking constraints.
+struct Translator {
+  const ExecutionPlan& plan;
+  const QueryGraph& q;
+  std::vector<OrderConstraint> constraints;
+  Dataflow out;
+
+  explicit Translator(const ExecutionPlan& p)
+      : plan(p), q(p.query), constraints(p.query.SymmetryBreakingOrders()) {
+    out.query = p.query;
+  }
+
+  static int PosOf(const std::vector<QueryVertexId>& schema,
+                   QueryVertexId v) {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Filters for binding `target` after `schema` is bound: every global
+  /// constraint whose other endpoint is already in the schema.
+  std::vector<ExtOrderFilter> FiltersFor(
+      const std::vector<QueryVertexId>& schema, QueryVertexId target) const {
+    std::vector<ExtOrderFilter> fs;
+    for (const auto& c : constraints) {
+      if (c.first == target) {
+        int p = PosOf(schema, c.second);
+        if (p >= 0) fs.push_back({p, /*less=*/true});  // target < row[p]
+      } else if (c.second == target) {
+        int p = PosOf(schema, c.first);
+        if (p >= 0) fs.push_back({p, /*less=*/false});  // target > row[p]
+      }
+    }
+    return fs;
+  }
+
+  int AddOp(OpDesc op) {
+    out.ops.push_back(std::move(op));
+    return static_cast<int>(out.ops.size()) - 1;
+  }
+
+  /// Emits SCAN(edge) + grow-extends for a star join unit (the SCAN
+  /// rewrite of Section 5.2). `comm` decides pull vs push extensions.
+  int EmitUnit(EdgeMask mask, CommMode comm) {
+    const auto& edges = q.Edges();
+    std::vector<int> unit_edges;
+    for (int e = 0; e < q.NumEdges(); ++e) {
+      if ((mask >> e) & 1u) unit_edges.push_back(e);
+    }
+    HUGE_CHECK(!unit_edges.empty());
+
+    // Determine the star root. A single edge admits both endpoints; pick
+    // the one with higher degree in q (cheaper subsequent extensions).
+    uint32_t roots = subquery::StarRoots(q, mask);
+    HUGE_CHECK(roots != 0);
+    QueryVertexId root = 0;
+    int best_deg = -1;
+    for (int v = 0; v < q.NumVertices(); ++v) {
+      if (((roots >> v) & 1u) &&
+          q.Degree(static_cast<QueryVertexId>(v)) > best_deg) {
+        best_deg = q.Degree(static_cast<QueryVertexId>(v));
+        root = static_cast<QueryVertexId>(v);
+      }
+    }
+
+    // Leaves in deterministic order.
+    std::vector<QueryVertexId> leaves;
+    for (int e : unit_edges) {
+      const auto& [a, b] = edges[e];
+      leaves.push_back(a == root ? b : a);
+    }
+    std::sort(leaves.begin(), leaves.end());
+
+    // SCAN(root, leaves[0]).
+    OpDesc scan;
+    scan.kind = OpKind::kScan;
+    scan.scan_u = root;
+    scan.scan_v = leaves[0];
+    scan.schema = {root, leaves[0]};
+    scan.scan_u_label = q.Label(root);
+    scan.scan_v_label = q.Label(leaves[0]);
+    for (const auto& c : constraints) {
+      if (c.first == root && c.second == leaves[0]) scan.scan_filter = 1;
+      if (c.first == leaves[0] && c.second == root) scan.scan_filter = -1;
+    }
+    int prev = AddOp(std::move(scan));
+
+    // Chain PULL-EXTEND(Ext = {0}) per remaining leaf.
+    for (size_t i = 1; i < leaves.size(); ++i) {
+      OpDesc ext;
+      ext.kind =
+          comm == CommMode::kPull ? OpKind::kPullExtend : OpKind::kPushExtend;
+      ext.input = prev;
+      ext.ext = {0};  // the root is always column 0 of a unit chain
+      ext.target = leaves[i];
+      ext.target_label = q.Label(leaves[i]);
+      ext.schema = out.ops[prev].schema;
+      ext.filters = FiltersFor(ext.schema, leaves[i]);
+      ext.schema.push_back(leaves[i]);
+      prev = AddOp(std::move(ext));
+    }
+    return prev;
+  }
+
+  /// Recursively emits operators for a plan node; returns the producing op.
+  int EmitNode(int node_id) {
+    const PlanNode& node = plan.nodes[node_id];
+    if (node.IsLeaf()) {
+      // Pushing inside a unit never happens for HUGE plans; BiGJoin-profile
+      // plans carry the push mode down to unit extensions.
+      return EmitUnit(node.edges, node.comm);
+    }
+
+    const PlanNode& left = plan.nodes[node.left];
+    const PlanNode& right = plan.nodes[node.right];
+
+    if (node.algo == JoinAlgo::kWco) {
+      // Complete star join -> one (PULL|PUSH)-EXTEND (Algorithm 2 line 12).
+      QueryVertexId root = 0;
+      HUGE_CHECK(subquery::IsCompleteStarJoin(q, left.edges, right.edges,
+                                              &root));
+      const int in = EmitNode(node.left);
+      const auto& in_schema = out.ops[in].schema;
+
+      OpDesc ext;
+      ext.kind = node.comm == CommMode::kPull ? OpKind::kPullExtend
+                                              : OpKind::kPushExtend;
+      ext.input = in;
+      const uint32_t leaves =
+          subquery::Vertices(q, right.edges) & ~(1u << root);
+      for (int v = 0; v < q.NumVertices(); ++v) {
+        if ((leaves >> v) & 1u) {
+          int p = PosOf(in_schema, static_cast<QueryVertexId>(v));
+          HUGE_CHECK(p >= 0);
+          ext.ext.push_back(p);
+        }
+      }
+      ext.target = root;
+      ext.target_label = q.Label(root);
+      ext.schema = in_schema;
+      ext.filters = FiltersFor(ext.schema, root);
+      ext.schema.push_back(root);
+      return AddOp(std::move(ext));
+    }
+
+    if (node.comm == CommMode::kPull) {
+      // Pulling-based hash join -> verify + grow extends (Section 5.2).
+      QueryVertexId root = 0;
+      HUGE_CHECK(subquery::SatisfiesC1(q, left.edges, right.edges, &root));
+      int prev = EmitNode(node.left);
+
+      const uint32_t vl = subquery::Vertices(q, left.edges);
+      const uint32_t leaves =
+          subquery::Vertices(q, right.edges) & ~(1u << root);
+      const uint32_t v1 = leaves & vl;
+      const uint32_t v2 = leaves & ~vl;
+
+      if (v1 != 0) {
+        OpDesc verify;
+        verify.kind = OpKind::kVerifyExtend;
+        verify.input = prev;
+        verify.schema = out.ops[prev].schema;
+        for (int v = 0; v < q.NumVertices(); ++v) {
+          if ((v1 >> v) & 1u) {
+            int p = PosOf(verify.schema, static_cast<QueryVertexId>(v));
+            HUGE_CHECK(p >= 0);
+            verify.ext.push_back(p);
+          }
+        }
+        verify.verify_pos = PosOf(verify.schema, root);
+        HUGE_CHECK(verify.verify_pos >= 0);
+        prev = AddOp(std::move(verify));
+      }
+      for (int v = 0; v < q.NumVertices(); ++v) {
+        if (!((v2 >> v) & 1u)) continue;
+        OpDesc ext;
+        ext.kind = OpKind::kPullExtend;
+        ext.input = prev;
+        ext.schema = out.ops[prev].schema;
+        int root_pos = PosOf(ext.schema, root);
+        HUGE_CHECK(root_pos >= 0);
+        ext.ext = {root_pos};
+        ext.target = static_cast<QueryVertexId>(v);
+        ext.target_label = q.Label(ext.target);
+        ext.filters = FiltersFor(ext.schema, ext.target);
+        ext.schema.push_back(ext.target);
+        prev = AddOp(std::move(ext));
+      }
+      return prev;
+    }
+
+    // Pushing-based hash join -> PUSH-JOIN (Algorithm 2 line 5).
+    const int li = EmitNode(node.left);
+    const int ri = EmitNode(node.right);
+    const auto& ls = out.ops[li].schema;
+    const auto& rs = out.ops[ri].schema;
+
+    OpDesc join;
+    join.kind = OpKind::kPushJoin;
+    join.left_input = li;
+    join.right_input = ri;
+    join.schema = ls;
+
+    // Join key: shared query vertices, in ascending vertex order.
+    for (int v = 0; v < q.NumVertices(); ++v) {
+      const auto qv = static_cast<QueryVertexId>(v);
+      const int lp = PosOf(ls, qv);
+      const int rp = PosOf(rs, qv);
+      if (lp >= 0 && rp >= 0) {
+        join.left_key.push_back(lp);
+        join.right_key.push_back(rp);
+      }
+    }
+    HUGE_CHECK(!join.left_key.empty() && "join must share vertices");
+
+    // Carry the right-only vertices.
+    for (size_t i = 0; i < rs.size(); ++i) {
+      if (PosOf(ls, rs[i]) < 0) {
+        join.right_carry.push_back(static_cast<int>(i));
+        join.schema.push_back(rs[i]);
+      }
+    }
+
+    // Cross-side injectivity: every left column vs every carried column.
+    for (size_t a = 0; a < ls.size(); ++a) {
+      for (size_t c = 0; c < join.right_carry.size(); ++c) {
+        join.join_neq.emplace_back(static_cast<int>(a),
+                                   static_cast<int>(ls.size() + c));
+      }
+    }
+
+    // Cross-side symmetry-breaking constraints: one endpoint only in the
+    // left, the other only in the right.
+    for (const auto& c : constraints) {
+      const bool a_l = PosOf(ls, c.first) >= 0;
+      const bool a_r = PosOf(rs, c.first) >= 0;
+      const bool b_l = PosOf(ls, c.second) >= 0;
+      const bool b_r = PosOf(rs, c.second) >= 0;
+      if (a_l && b_l) continue;  // applied in the left chain
+      if (a_r && b_r) continue;  // applied in the right chain
+      const int pa = PosOf(join.schema, c.first);
+      const int pb = PosOf(join.schema, c.second);
+      if (pa >= 0 && pb >= 0) join.join_less.emplace_back(pa, pb);
+    }
+    return AddOp(std::move(join));
+  }
+
+  Dataflow Run() {
+    const int producer = EmitNode(plan.root);
+    OpDesc sink;
+    sink.kind = OpKind::kSink;
+    sink.input = producer;
+    sink.schema = out.ops[producer].schema;
+    out.sink = AddOp(std::move(sink));
+    HUGE_CHECK(out.ops[out.sink].schema.size() ==
+               static_cast<size_t>(q.NumVertices()));
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+Dataflow Translate(const ExecutionPlan& plan) {
+  HUGE_CHECK(plan.root >= 0);
+  Translator t(plan);
+  return t.Run();
+}
+
+}  // namespace huge

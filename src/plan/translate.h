@@ -1,0 +1,25 @@
+#ifndef HUGE_PLAN_TRANSLATE_H_
+#define HUGE_PLAN_TRANSLATE_H_
+
+#include "plan/dataflow.h"
+#include "plan/plan.h"
+
+namespace huge {
+
+/// Translates an execution plan into a dataflow graph (Algorithm 2),
+/// applying the bounded-memory rewrites of Section 5.2:
+///   * a SCAN of a star becomes SCAN(edge) + (|L|-1) PULL-EXTENDs;
+///   * a pulling-based hash join becomes a verify-extension over
+///     V1 = L ∩ V_ql plus one PULL-EXTEND per leaf in V2 = L \ V1;
+///   * a complete star join becomes one PULL-EXTEND (or PUSH-EXTEND when
+///     the plan's communication mode is pushing);
+///   * a pushing-based hash join becomes a PUSH-JOIN with two child chains.
+///
+/// Symmetry-breaking constraints of the query are installed as operator
+/// filters at the earliest operator where both endpoints are bound, so the
+/// dataflow enumerates each subgraph instance exactly once.
+Dataflow Translate(const ExecutionPlan& plan);
+
+}  // namespace huge
+
+#endif  // HUGE_PLAN_TRANSLATE_H_

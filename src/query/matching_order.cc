@@ -1,0 +1,41 @@
+#include "query/matching_order.h"
+
+#include "common/check.h"
+
+namespace huge {
+
+std::vector<QueryVertexId> ConnectedMatchingOrder(const QueryGraph& q) {
+  const int n = q.NumVertices();
+  std::vector<QueryVertexId> order;
+  std::vector<bool> used(n, false);
+  int start = 0;
+  for (int v = 1; v < n; ++v) {
+    if (q.Degree(static_cast<QueryVertexId>(v)) >
+        q.Degree(static_cast<QueryVertexId>(start))) {
+      start = v;
+    }
+  }
+  order.push_back(static_cast<QueryVertexId>(start));
+  used[start] = true;
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    int best_back = -1;
+    for (int v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      int back = 0;
+      for (QueryVertexId u : order) {
+        if (q.HasEdge(static_cast<QueryVertexId>(v), u)) ++back;
+      }
+      if (back > best_back) {
+        best_back = back;
+        best = v;
+      }
+    }
+    HUGE_CHECK(best >= 0 && best_back >= 1 && "query must be connected");
+    order.push_back(static_cast<QueryVertexId>(best));
+    used[best] = true;
+  }
+  return order;
+}
+
+}  // namespace huge

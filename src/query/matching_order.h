@@ -1,0 +1,19 @@
+#ifndef HUGE_QUERY_MATCHING_ORDER_H_
+#define HUGE_QUERY_MATCHING_ORDER_H_
+
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// A connected matching order over the query vertices: starts at a
+/// max-degree vertex and greedily appends the unmatched vertex with the
+/// most back-edges to the prefix (ties by smaller id). Every vertex after
+/// the first has at least one earlier neighbour, which worst-case-optimal
+/// extension requires (Equation 2).
+std::vector<QueryVertexId> ConnectedMatchingOrder(const QueryGraph& q);
+
+}  // namespace huge
+
+#endif  // HUGE_QUERY_MATCHING_ORDER_H_

@@ -1,0 +1,160 @@
+#include "query/pattern_parser.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace huge {
+namespace {
+
+/// Minimal recursive-descent scanner over the pattern text.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Name(std::string* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return false;
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool Integer(int* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::stoi(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+struct VertexSpec {
+  std::string name;
+  int label = -1;  // -1 = unspecified
+};
+
+}  // namespace
+
+ParsedPattern ParsePattern(const std::string& text) {
+  ParsedPattern result;
+  Scanner scan(text);
+
+  // First pass: collect the edge list as (name, name) pairs and per-name
+  // labels, validating syntax.
+  std::vector<std::pair<VertexSpec, VertexSpec>> edges;
+  std::map<std::string, int> labels;
+
+  auto fail = [&](const std::string& message) {
+    result.error = message + " (at offset " +
+                   std::to_string(scan.position()) + ")";
+    return result;
+  };
+
+  auto parse_vertex = [&](VertexSpec* v) -> bool {
+    if (!scan.Consume('(')) return false;
+    if (!scan.Name(&v->name)) return false;
+    if (scan.Consume(':')) {
+      if (!scan.Integer(&v->label) || v->label < 0 || v->label > 254) {
+        return false;
+      }
+    }
+    return scan.Consume(')');
+  };
+
+  auto note_label = [&](const VertexSpec& v) -> bool {
+    if (v.label < 0) return true;
+    auto [it, inserted] = labels.emplace(v.name, v.label);
+    return inserted || it->second == v.label;
+  };
+
+  do {
+    VertexSpec prev;
+    if (!parse_vertex(&prev)) return fail("expected (name[:label])");
+    if (!note_label(prev)) return fail("conflicting label for " + prev.name);
+    bool any_edge = false;
+    while (scan.Consume('-')) {
+      VertexSpec next;
+      if (!parse_vertex(&next)) return fail("expected (name[:label])");
+      if (!note_label(next)) {
+        return fail("conflicting label for " + next.name);
+      }
+      if (next.name == prev.name) return fail("self loop on " + next.name);
+      edges.emplace_back(prev, next);
+      prev = std::move(next);
+      any_edge = true;
+    }
+    if (!any_edge) return fail("vertex without an edge");
+  } while (scan.Consume(','));
+
+  if (!scan.AtEnd()) return fail("trailing input");
+
+  // Second pass: assign dense vertex ids in order of first appearance.
+  std::map<std::string, QueryVertexId> ids;
+  for (const auto& [a, b] : edges) {
+    for (const auto* v : {&a, &b}) {
+      if (ids.find(v->name) == ids.end()) {
+        ids.emplace(v->name, static_cast<QueryVertexId>(ids.size()));
+      }
+    }
+  }
+  if (ids.size() > QueryGraph::kMaxVertices) {
+    result.error = "too many pattern variables";
+    return result;
+  }
+
+  QueryGraph q(static_cast<int>(ids.size()), "pattern");
+  for (const auto& [a, b] : edges) q.AddEdge(ids.at(a.name), ids.at(b.name));
+  for (const auto& [name, label] : labels) {
+    q.SetLabel(ids.at(name), static_cast<uint8_t>(label));
+  }
+  if (!q.IsConnected()) {
+    result.error = "pattern must be connected";
+    return result;
+  }
+  result.query = std::move(q);
+  result.bindings = std::move(ids);
+  return result;
+}
+
+}  // namespace huge

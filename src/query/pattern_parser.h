@@ -1,0 +1,40 @@
+#ifndef HUGE_QUERY_PATTERN_PARSER_H_
+#define HUGE_QUERY_PATTERN_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// Result of parsing a pattern expression: the query graph plus the map
+/// from user-facing variable names to query vertex ids.
+struct ParsedPattern {
+  QueryGraph query{1};
+  std::map<std::string, QueryVertexId> bindings;
+  std::string error;  ///< empty on success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a Cypher-flavoured undirected pattern expression (Section 6:
+/// HUGE as the enumeration core of a Cypher-based graph database):
+///
+///   (a)-(b), (b)-(c), (a:2)-(c)
+///
+/// Grammar:
+///   pattern  := chain (',' chain)*
+///   chain    := vertex ('-' vertex)+
+///   vertex   := '(' name (':' label)? ')'
+///   name     := [A-Za-z_][A-Za-z0-9_]*
+///   label    := integer in [0, 254]
+///
+/// Each '-' adds an undirected edge; a variable may appear many times and
+/// may state its label at any occurrence (conflicting labels are an
+/// error). Whitespace is ignored.
+ParsedPattern ParsePattern(const std::string& text);
+
+}  // namespace huge
+
+#endif  // HUGE_QUERY_PATTERN_PARSER_H_

@@ -1,0 +1,245 @@
+#include "query/query_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace huge {
+
+QueryGraph::QueryGraph(int n, std::string name)
+    : num_vertices_(n),
+      name_(std::move(name)),
+      adj_(n, 0),
+      labels_(n, kAnyLabel) {
+  HUGE_CHECK(n >= 1 && n <= kMaxVertices);
+}
+
+void QueryGraph::AddEdge(QueryVertexId u, QueryVertexId v) {
+  HUGE_CHECK(u < num_vertices_ && v < num_vertices_ && u != v);
+  if (HasEdge(u, v)) return;
+  adj_[u] |= 1u << v;
+  adj_[v] |= 1u << u;
+  auto e = std::minmax(u, v);
+  edges_.emplace_back(e.first, e.second);
+  std::sort(edges_.begin(), edges_.end());
+}
+
+bool QueryGraph::IsConnected() const {
+  if (num_vertices_ == 0) return false;
+  for (int v = 0; v < num_vertices_; ++v) {
+    if (adj_[v] == 0) return false;  // isolated vertex
+  }
+  uint32_t visited = 1u;  // start BFS at vertex 0
+  uint32_t frontier = 1u;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    for (int v = 0; v < num_vertices_; ++v) {
+      if ((frontier >> v) & 1u) next |= adj_[v];
+    }
+    frontier = next & ~visited;
+    visited |= next;
+  }
+  return visited == (1u << num_vertices_) - 1u;
+}
+
+std::vector<std::vector<QueryVertexId>> QueryGraph::Automorphisms() const {
+  std::vector<std::vector<QueryVertexId>> autos;
+  std::vector<QueryVertexId> perm(num_vertices_);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    bool ok = true;
+    for (int v = 0; v < num_vertices_; ++v) {
+      if (labels_[v] != labels_[perm[v]]) {
+        ok = false;
+        break;
+      }
+    }
+    for (const auto& [u, v] : edges_) {
+      if (!ok) break;
+      if (!HasEdge(perm[u], perm[v])) {
+        ok = false;
+        break;
+      }
+    }
+    // Degree-preserving permutations of an equal-size edge set: checking
+    // edges map to edges suffices (|E| is preserved by a bijection).
+    if (ok) autos.emplace_back(perm.begin(), perm.end());
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return autos;
+}
+
+std::vector<OrderConstraint> QueryGraph::SymmetryBreakingOrders() const {
+  std::vector<OrderConstraint> orders;
+  auto group = Automorphisms();
+  // Grochow-Kellis: while the group is non-trivial, pick the vertex with the
+  // largest orbit, emit v < u for every other u in its orbit, and restrict
+  // the group to the stabiliser of v.
+  while (group.size() > 1) {
+    int best_v = -1;
+    uint32_t best_orbit = 0;
+    for (int v = 0; v < num_vertices_; ++v) {
+      uint32_t orbit = 0;
+      for (const auto& p : group) orbit |= 1u << p[v];
+      if (__builtin_popcount(orbit) > __builtin_popcount(best_orbit)) {
+        best_orbit = orbit;
+        best_v = v;
+      }
+    }
+    HUGE_CHECK(best_v >= 0);
+    for (int u = 0; u < num_vertices_; ++u) {
+      if (u != best_v && ((best_orbit >> u) & 1u)) {
+        orders.push_back({static_cast<QueryVertexId>(best_v),
+                          static_cast<QueryVertexId>(u)});
+      }
+    }
+    std::vector<std::vector<QueryVertexId>> stabiliser;
+    for (auto& p : group) {
+      if (p[best_v] == best_v) stabiliser.push_back(std::move(p));
+    }
+    group = std::move(stabiliser);
+  }
+  return orders;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string s = name_.empty() ? "query" : name_;
+  s += "{";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(edges_[i].first) + "-" +
+         std::to_string(edges_[i].second);
+  }
+  s += "}";
+  return s;
+}
+
+namespace queries {
+
+QueryGraph Triangle() {
+  QueryGraph q(3, "triangle");
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  return q;
+}
+
+QueryGraph Square() {
+  QueryGraph q(4, "square");
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(0, 3);
+  return q;
+}
+
+QueryGraph Diamond() {
+  QueryGraph q(4, "diamond");
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(0, 3);
+  q.AddEdge(1, 3);
+  return q;
+}
+
+QueryGraph Clique(int k) {
+  QueryGraph q(k, std::to_string(k) + "-clique");
+  for (int u = 0; u < k; ++u) {
+    for (int v = u + 1; v < k; ++v) {
+      q.AddEdge(static_cast<QueryVertexId>(u), static_cast<QueryVertexId>(v));
+    }
+  }
+  return q;
+}
+
+QueryGraph House() {
+  QueryGraph q(5, "house");
+  // Square 1-2-3-4 plus roof apex 0 adjacent to 1 and 4.
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 4);
+  q.AddEdge(1, 4);
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 4);
+  return q;
+}
+
+QueryGraph TailedClique() {
+  QueryGraph q(5, "tailed-4-clique");
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) {
+      q.AddEdge(static_cast<QueryVertexId>(u), static_cast<QueryVertexId>(v));
+    }
+  }
+  q.AddEdge(3, 4);
+  return q;
+}
+
+QueryGraph DoubleSquare() {
+  QueryGraph q(6, "double-square");
+  // Squares 0-1-2-3 and 2-3-4-5 sharing edge (2,3).
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(0, 3);
+  q.AddEdge(2, 4);
+  q.AddEdge(4, 5);
+  q.AddEdge(3, 5);
+  return q;
+}
+
+QueryGraph Path(int n) {
+  QueryGraph q(n, std::to_string(n - 1) + "-path");
+  for (int v = 0; v + 1 < n; ++v) {
+    q.AddEdge(static_cast<QueryVertexId>(v), static_cast<QueryVertexId>(v + 1));
+  }
+  return q;
+}
+
+QueryGraph ChainedTriangles() {
+  QueryGraph q(6, "chained-triangles");
+  // Triangles 0-1-2 and 3-4-5 bridged by edge (2,3).
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  q.AddEdge(3, 4);
+  q.AddEdge(4, 5);
+  q.AddEdge(3, 5);
+  q.AddEdge(2, 3);
+  return q;
+}
+
+QueryGraph FiveCycle() {
+  QueryGraph q(5, "5-cycle");
+  for (int v = 0; v < 5; ++v) {
+    q.AddEdge(static_cast<QueryVertexId>(v), static_cast<QueryVertexId>((v + 1) % 5));
+  }
+  return q;
+}
+
+QueryGraph Q(int i) {
+  switch (i) {
+    case 1:
+      return Square();
+    case 2:
+      return Diamond();
+    case 3:
+      return Clique(4);
+    case 4:
+      return House();
+    case 5:
+      return TailedClique();
+    case 6:
+      return DoubleSquare();
+    case 7:
+      return Path(6);
+    case 8:
+      return ChainedTriangles();
+    default:
+      HUGE_CHECK(false && "query index must be in [1, 8]");
+  }
+}
+
+}  // namespace queries
+}  // namespace huge

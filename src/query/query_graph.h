@@ -1,0 +1,120 @@
+#ifndef HUGE_QUERY_QUERY_GRAPH_H_
+#define HUGE_QUERY_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace huge {
+
+/// An order constraint `match[first] < match[second]` used for symmetry
+/// breaking (Section 2, [28]): with these constraints each automorphism
+/// class of embeddings is enumerated exactly once.
+struct OrderConstraint {
+  QueryVertexId first;
+  QueryVertexId second;
+
+  friend bool operator==(const OrderConstraint&,
+                         const OrderConstraint&) = default;
+};
+
+/// A small, connected, undirected query graph (pattern). Query graphs have
+/// at most 16 vertices; adjacency is stored as bitmasks for O(1) edge tests
+/// during enumeration and plan search.
+class QueryGraph {
+ public:
+  static constexpr int kMaxVertices = 16;
+
+  /// Wildcard label: matches every data vertex.
+  static constexpr uint8_t kAnyLabel = 255;
+
+  /// Creates a query graph with `n` isolated vertices.
+  explicit QueryGraph(int n, std::string name = "");
+
+  /// Adds the undirected edge (u, v). Duplicate additions are idempotent.
+  void AddEdge(QueryVertexId u, QueryVertexId v);
+
+  int NumVertices() const { return num_vertices_; }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  const std::string& name() const { return name_; }
+
+  bool HasEdge(QueryVertexId u, QueryVertexId v) const {
+    return (adj_[u] >> v) & 1u;
+  }
+
+  /// Bitmask of neighbours of `v`.
+  uint32_t NeighborMask(QueryVertexId v) const { return adj_[v]; }
+
+  int Degree(QueryVertexId v) const { return __builtin_popcount(adj_[v]); }
+
+  /// Constrains query vertex `v` to match only data vertices with `label`.
+  void SetLabel(QueryVertexId v, uint8_t label) { labels_[v] = label; }
+
+  /// The label constraint of `v` (kAnyLabel when unconstrained).
+  uint8_t Label(QueryVertexId v) const { return labels_[v]; }
+
+  /// True iff any vertex carries a label constraint.
+  bool HasLabels() const {
+    for (uint8_t l : labels_) {
+      if (l != kAnyLabel) return true;
+    }
+    return false;
+  }
+
+  /// Edges in canonical order (u < v, lexicographically sorted). The edge
+  /// index in this vector is the edge id used by the plan optimiser's
+  /// edge-subset DP.
+  const std::vector<std::pair<QueryVertexId, QueryVertexId>>& Edges() const {
+    return edges_;
+  }
+
+  /// True iff the graph (restricted to vertices incident to at least one
+  /// edge) is connected and has no isolated vertices.
+  bool IsConnected() const;
+
+  /// All automorphisms as permutations p with p[v] = image of v.
+  std::vector<std::vector<QueryVertexId>> Automorphisms() const;
+
+  /// A minimal set of order constraints that breaks all automorphisms
+  /// (Grochow–Kellis style: repeatedly fix the vertex with the largest
+  /// orbit). The result, applied as filters during enumeration, yields each
+  /// subgraph instance exactly once.
+  std::vector<OrderConstraint> SymmetryBreakingOrders() const;
+
+  /// Human-readable description, e.g. "square{0-1,1-2,2-3,0-3}".
+  std::string ToString() const;
+
+ private:
+  int num_vertices_;
+  std::string name_;
+  std::vector<uint32_t> adj_;
+  std::vector<uint8_t> labels_;
+  std::vector<std::pair<QueryVertexId, QueryVertexId>> edges_;
+};
+
+/// Library of the paper's benchmark queries (Figure 4; shapes documented in
+/// DESIGN.md §4) plus a few extras used by tests and examples.
+namespace queries {
+
+QueryGraph Triangle();
+QueryGraph Square();         ///< q1: 4-cycle, the Table-1 query.
+QueryGraph Diamond();        ///< q2: 4-cycle plus one chord.
+QueryGraph Clique(int k);    ///< q3 = Clique(4).
+QueryGraph House();          ///< q4: square + roof apex.
+QueryGraph TailedClique();   ///< q5: 4-clique with a pendant vertex.
+QueryGraph DoubleSquare();   ///< q6: two squares sharing an edge.
+QueryGraph Path(int n);      ///< q7 = Path(6), the "5-path".
+QueryGraph ChainedTriangles();  ///< q8: two triangles + bridge edge.
+QueryGraph FiveCycle();
+
+/// Returns the paper's query q_i for i in [1, 8].
+QueryGraph Q(int i);
+
+}  // namespace queries
+
+}  // namespace huge
+
+#endif  // HUGE_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+#include <functional>
+#include <set>
+
+#include "apps/motif_census.h"
+#include "apps/paths.h"
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+
+namespace huge {
+namespace {
+
+TEST(MotifCensusTest, ThreeVertexMotifs) {
+  const auto motifs = apps::ConnectedMotifs(3);
+  ASSERT_EQ(motifs.size(), 2u);  // wedge, triangle
+  EXPECT_EQ(motifs[0].NumEdges(), 2);
+  EXPECT_EQ(motifs[1].NumEdges(), 3);
+}
+
+TEST(MotifCensusTest, FourVertexMotifs) {
+  const auto motifs = apps::ConnectedMotifs(4);
+  ASSERT_EQ(motifs.size(), 6u);  // the six connected 4-vertex graphs
+  // Edge counts of the canonical list: path/star (3), square/paw (4),
+  // diamond (5), clique (6).
+  std::multiset<int> edge_counts;
+  for (const auto& m : motifs) edge_counts.insert(m.NumEdges());
+  EXPECT_EQ(edge_counts, (std::multiset<int>{3, 3, 4, 4, 5, 6}));
+}
+
+TEST(MotifCensusTest, FiveVertexMotifCount) {
+  // There are 21 connected graphs on 5 unlabelled vertices.
+  EXPECT_EQ(apps::ConnectedMotifs(5).size(), 21u);
+}
+
+TEST(MotifCensusTest, CensusMatchesOracle) {
+  auto g = std::make_shared<Graph>(gen::ErdosRenyi(200, 800, 3));
+  Config cfg;
+  cfg.num_machines = 2;
+  Runner runner(g, cfg);
+  for (const auto& row : apps::MotifCensus(runner, 3)) {
+    EXPECT_EQ(row.count, Oracle::Count(*g, row.motif))
+        << row.motif.ToString();
+  }
+  for (const auto& row : apps::MotifCensus(runner, 4)) {
+    EXPECT_EQ(row.count, Oracle::Count(*g, row.motif))
+        << row.motif.ToString();
+  }
+}
+
+// ---- paths ----
+
+/// Naive simple-path counter for cross-checking.
+uint64_t NaivePathCount(const Graph& g, VertexId s, VertexId t, int hops) {
+  uint64_t count = 0;
+  std::vector<VertexId> stack = {s};
+  std::function<void()> rec = [&] {
+    if (static_cast<int>(stack.size()) == hops + 1) {
+      if (stack.back() == t) ++count;
+      return;
+    }
+    for (VertexId n : g.Neighbors(stack.back())) {
+      bool seen = false;
+      for (VertexId v : stack) {
+        if (v == n) seen = true;
+      }
+      if (seen) continue;
+      stack.push_back(n);
+      rec();
+      stack.pop_back();
+    }
+  };
+  rec();
+  return count;
+}
+
+class PathsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathsPropertyTest, BidirectionalMatchesNaive) {
+  const Graph g = gen::ErdosRenyi(120, 480, GetParam());
+  for (int hops = 1; hops <= 4; ++hops) {
+    EXPECT_EQ(apps::EnumerateHopConstrainedPaths(g, 5, 17, hops),
+              NaivePathCount(g, 5, 17, hops))
+        << "hops " << hops << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathsPropertyTest, ::testing::Range(1, 6));
+
+TEST(PathsTest, EmittedPathsAreValid) {
+  const Graph g = gen::ErdosRenyi(80, 320, 9);
+  const VertexId s = 2, t = 31;
+  const int hops = 3;
+  uint64_t seen = 0;
+  const uint64_t count = apps::EnumerateHopConstrainedPaths(
+      g, s, t, hops, [&](std::span<const VertexId> path) {
+        ++seen;
+        ASSERT_EQ(path.size(), static_cast<size_t>(hops + 1));
+        EXPECT_EQ(path.front(), s);
+        EXPECT_EQ(path.back(), t);
+        std::set<VertexId> uniq(path.begin(), path.end());
+        EXPECT_EQ(uniq.size(), path.size()) << "path must be simple";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          EXPECT_TRUE(g.HasEdge(path[i], path[i + 1]));
+        }
+      });
+  EXPECT_EQ(seen, count);
+}
+
+TEST(PathsTest, PathGraphCases) {
+  const Graph g = gen::Path(10);  // 0-1-2-...-9
+  EXPECT_EQ(apps::EnumerateHopConstrainedPaths(g, 0, 4, 4), 1u);
+  EXPECT_EQ(apps::EnumerateHopConstrainedPaths(g, 0, 4, 3), 0u);
+  EXPECT_EQ(apps::EnumerateHopConstrainedPaths(g, 0, 9, 9), 1u);
+}
+
+TEST(PathsTest, CycleHasTwoDirections) {
+  const Graph g = gen::Cycle(6);
+  // Between opposite vertices there are two 3-hop paths.
+  EXPECT_EQ(apps::EnumerateHopConstrainedPaths(g, 0, 3, 3), 2u);
+}
+
+TEST(ShortestPathTest, KnownDistances) {
+  const Graph path = gen::Path(10);
+  EXPECT_EQ(apps::ShortestPathLength(path, 0, 9), 9);
+  EXPECT_EQ(apps::ShortestPathLength(path, 3, 3), 0);
+  const Graph cyc = gen::Cycle(10);
+  EXPECT_EQ(apps::ShortestPathLength(cyc, 0, 5), 5);
+  EXPECT_EQ(apps::ShortestPathLength(cyc, 0, 7), 3);
+}
+
+TEST(ShortestPathTest, DisconnectedReturnsMinusOne) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  EXPECT_EQ(apps::ShortestPathLength(g, 0, 5), -1);
+}
+
+TEST(LimitsTest, MemoryLimitReportsOom) {
+  auto g = std::make_shared<Graph>(gen::PowerLaw(3000, 14, 2.2, 21));
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.queue_capacity = 0;      // BFS: materialise everything
+  cfg.count_fusion = false;
+  cfg.memory_limit_bytes = 1 << 20;  // 1 MB: guaranteed violation
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Path(4));
+  EXPECT_EQ(r.status, RunStatus::kOom);
+  EXPECT_FALSE(r.ok());
+  // The runner survives an aborted run and can execute again.
+  cfg.memory_limit_bytes = 0;
+  Runner runner2(g, cfg);
+  EXPECT_TRUE(runner2.Run(queries::Triangle()).ok());
+}
+
+TEST(LimitsTest, TimeLimitReportsOt) {
+  auto g = std::make_shared<Graph>(gen::PowerLaw(4000, 14, 2.2, 22));
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.time_limit_seconds = 0.02;  // far below the real runtime
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Q(6));
+  EXPECT_EQ(r.status, RunStatus::kTimeout);
+  EXPECT_STREQ(ToString(r.status), "OT");
+}
+
+TEST(LimitsTest, PushJoinPlanHonoursTimeLimit) {
+  // Skewed hub keys can make a hash join's cross-product dwarf its output;
+  // the time budget must interrupt the run mid-group rather than hang
+  // (the merge join checks the budget per attempted pair).
+  auto g = std::make_shared<Graph>(gen::PowerLaw(2000, 10, 2.3, 33));
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.workers_per_machine = 1;
+  cfg.time_limit_seconds = 0.2;
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Path(6));  // PUSH-JOIN plan
+  if (!r.ok()) {
+    EXPECT_EQ(r.status, RunStatus::kTimeout);
+  }
+  // No wall-clock assertion: abort latency depends on machine load; the
+  // suite-level ctest timeout guards against real hangs.
+}
+
+TEST(LimitsTest, NoLimitsMeansOk) {
+  auto g = std::make_shared<Graph>(gen::Complete(12));
+  Config cfg;
+  cfg.num_machines = 2;
+  Runner runner(g, cfg);
+  EXPECT_TRUE(runner.Run(queries::Clique(4)).ok());
+}
+
+}  // namespace
+}  // namespace huge

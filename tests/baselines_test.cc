@@ -1,0 +1,169 @@
+#include "baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+
+namespace huge {
+namespace {
+
+std::shared_ptr<Graph> TestGraph() {
+  static std::shared_ptr<Graph> g =
+      std::make_shared<Graph>(gen::PowerLaw(600, 8, 2.5, 17));
+  return g;
+}
+
+Config SmallConfig() {
+  Config cfg;
+  cfg.num_machines = 3;
+  cfg.workers_per_machine = 2;
+  cfg.batch_size = 128;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+const System kAllSystems[] = {
+    System::kHuge,     System::kHugeWco, System::kHugeBenu,
+    System::kHugeSeed, System::kHugeRads, System::kHugeEh,
+    System::kHugeGf,   System::kSeed,    System::kBiGJoin,
+    System::kBenu,     System::kRads,    System::kStarJoin,
+};
+
+struct SystemQueryCase {
+  System system;
+  int query;
+};
+
+class SystemCorrectnessTest
+    : public ::testing::TestWithParam<SystemQueryCase> {};
+
+TEST_P(SystemCorrectnessTest, MatchesOracle) {
+  const auto& c = GetParam();
+  auto g = TestGraph();
+  const QueryGraph q = queries::Q(c.query);
+  RunResult r;
+  if (!RunSystem(c.system, g, q, SmallConfig(), &r)) {
+    GTEST_SKIP() << ToString(c.system) << " does not plan q" << c.query;
+  }
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+}
+
+std::vector<SystemQueryCase> SystemCases() {
+  std::vector<SystemQueryCase> cases;
+  for (System s : kAllSystems) {
+    for (int q : {1, 2, 3, 4}) cases.push_back({s, q});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SystemCorrectnessTest, ::testing::ValuesIn(SystemCases()),
+    [](const auto& info) {
+      std::string name = ToString(info.param.system);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_q" + std::to_string(info.param.query);
+    });
+
+TEST(SystemProfileTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (System s : kAllSystems) {
+    EXPECT_TRUE(names.insert(ToString(s)).second) << ToString(s);
+  }
+}
+
+TEST(SystemProfileTest, BenuProfileUsesExternalKvAndDfs) {
+  const Config cfg = ConfigForSystem(System::kBenu, Config{});
+  EXPECT_TRUE(cfg.net.external_kv);
+  EXPECT_EQ(cfg.queue_capacity, 1u);
+  EXPECT_EQ(cfg.cache_kind, CacheKind::kCncrLru);
+  EXPECT_FALSE(cfg.inter_stealing);
+}
+
+TEST(SystemProfileTest, SeedProfileIsBfsPushing) {
+  const Config cfg = ConfigForSystem(System::kSeed, Config{});
+  EXPECT_EQ(cfg.queue_capacity, 0u);  // unbounded queues = BFS
+  EXPECT_FALSE(cfg.inter_stealing);
+}
+
+TEST(SystemProfileTest, BigJoinUsesBatchingHeuristic) {
+  const Config cfg = ConfigForSystem(System::kBiGJoin, Config{});
+  EXPECT_GT(cfg.region_group_rows, 0u);
+}
+
+TEST(SystemProfileTest, HugeVariantsKeepBaseConfig) {
+  Config base;
+  base.queue_capacity = 7;
+  for (System s : {System::kHuge, System::kHugeWco, System::kHugeSeed,
+                   System::kHugeRads, System::kHugeEh}) {
+    EXPECT_EQ(ConfigForSystem(s, base).queue_capacity, 7u) << ToString(s);
+  }
+}
+
+TEST(SystemPlanTest, PhysicalProfilesAsExpected) {
+  const GraphStats stats = GraphStats::Compute(*TestGraph());
+  ExecutionPlan plan;
+
+  // BiGJoin: all joins are pushing wco.
+  ASSERT_TRUE(PlanForSystem(System::kBiGJoin, queries::Q(3), stats, 3, &plan));
+  for (const auto& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_EQ(n.algo, JoinAlgo::kWco);
+    EXPECT_EQ(n.comm, CommMode::kPush);
+  }
+
+  // HUGE-WCO: same logical plan, pulling.
+  ASSERT_TRUE(PlanForSystem(System::kHugeWco, queries::Q(3), stats, 3, &plan));
+  for (const auto& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_EQ(n.comm, CommMode::kPull);
+  }
+
+  // SEED: hash joins, pushing.
+  ASSERT_TRUE(PlanForSystem(System::kSeed, queries::Q(4), stats, 3, &plan));
+  for (const auto& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_EQ(n.algo, JoinAlgo::kHash);
+    EXPECT_EQ(n.comm, CommMode::kPush);
+  }
+
+  // RADS: never pushes.
+  ASSERT_TRUE(PlanForSystem(System::kRads, queries::Q(2), stats, 3, &plan));
+  for (const auto& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_EQ(n.comm, CommMode::kPull);
+  }
+}
+
+TEST(SystemComparisonTest, BenuEmulationSlowerCommThanHugeWco) {
+  // Exp-1's diagnosis: same logical plan, but BENU's external-KV pulling
+  // pays far more simulated communication time than HUGE's runtime.
+  auto g = TestGraph();
+  const QueryGraph q = queries::Q(1);
+  RunResult benu, hwco;
+  ASSERT_TRUE(RunSystem(System::kBenu, g, q, SmallConfig(), &benu));
+  ASSERT_TRUE(RunSystem(System::kHugeWco, g, q, SmallConfig(), &hwco));
+  EXPECT_EQ(benu.matches, hwco.matches);
+  EXPECT_GT(benu.metrics.comm_seconds, hwco.metrics.comm_seconds);
+  EXPECT_GT(benu.metrics.rpc_requests, hwco.metrics.rpc_requests);
+}
+
+TEST(SystemComparisonTest, PushingSystemsMoveMoreBytesThanHuge) {
+  // The Table-1 shape: join-based pushing systems transfer more than the
+  // hybrid HUGE on the square query.
+  auto g = TestGraph();
+  const QueryGraph q = queries::Q(1);
+  RunResult huge_r, seed, big;
+  ASSERT_TRUE(RunSystem(System::kHuge, g, q, SmallConfig(), &huge_r));
+  ASSERT_TRUE(RunSystem(System::kSeed, g, q, SmallConfig(), &seed));
+  ASSERT_TRUE(RunSystem(System::kBiGJoin, g, q, SmallConfig(), &big));
+  EXPECT_LT(huge_r.metrics.bytes_communicated,
+            seed.metrics.bytes_communicated);
+  EXPECT_LT(huge_r.metrics.bytes_communicated,
+            big.metrics.bytes_communicated);
+}
+
+}  // namespace
+}  // namespace huge

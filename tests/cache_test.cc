@@ -1,0 +1,222 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cache/lrbu_cache.h"
+#include "cache/lru_cache.h"
+
+namespace huge {
+namespace {
+
+std::vector<VertexId> Nbrs(std::initializer_list<VertexId> v) { return v; }
+
+std::span<const VertexId> Get(RemoteCache& c, VertexId v,
+                              std::vector<VertexId>* scratch) {
+  std::span<const VertexId> out;
+  EXPECT_TRUE(c.TryGet(v, scratch, &out)) << "vertex " << v;
+  return out;
+}
+
+// Two 52-byte entries (48 overhead + one neighbour) fit below 150 bytes;
+// a third makes the cache full.
+constexpr size_t kSmallCapacity = 150;
+
+TEST(LrbuTest, InsertAndGetZeroCopy) {
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  const auto n = Nbrs({1, 2, 3});
+  cache.Insert(7, n);
+  std::vector<VertexId> scratch;
+  auto got = Get(cache, 7, &scratch);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[1], 2u);
+  EXPECT_TRUE(scratch.empty()) << "zero-copy reads must not copy";
+}
+
+TEST(LrbuTest, CopyVariantCopies) {
+  LrbuCache cache(1 << 20, nullptr, /*copy_on_read=*/true, false);
+  cache.Insert(7, Nbrs({1, 2, 3}));
+  std::vector<VertexId> scratch;
+  auto got = Get(cache, 7, &scratch);
+  EXPECT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(got.data(), scratch.data());
+}
+
+TEST(LrbuTest, FreshInsertsArePinnedUntilRelease) {
+  LrbuCache cache(kSmallCapacity, nullptr, false, false);
+  cache.Insert(1, Nbrs({10}));
+  cache.Insert(2, Nbrs({20}));
+  EXPECT_EQ(cache.SealedCount(), 2u);
+  EXPECT_EQ(cache.FreeCount(), 0u);
+  cache.Release();
+  EXPECT_EQ(cache.SealedCount(), 0u);
+  EXPECT_EQ(cache.FreeCount(), 2u);
+}
+
+TEST(LrbuTest, EvictsLeastRecentBatchFirst) {
+  LrbuCache cache(kSmallCapacity, nullptr, false, false);
+  // Batch 1: vertices 1, 2.
+  cache.Insert(1, Nbrs({10}));
+  cache.Insert(2, Nbrs({20}));
+  cache.Release();
+  // Batch 2: vertex 3 (cache now full: 3 entries = 156 >= 150 bytes).
+  cache.Insert(3, Nbrs({30}));
+  cache.Release();
+  // Batch 3: inserting vertex 4 must evict from batch 1 (vertex 1 first).
+  cache.Insert(4, Nbrs({40}));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LrbuTest, SealPreventsEviction) {
+  LrbuCache cache(kSmallCapacity, nullptr, false, false);
+  cache.Insert(1, Nbrs({10}));
+  cache.Insert(2, Nbrs({20}));
+  cache.Insert(3, Nbrs({30}));
+  cache.Release();
+  // Current batch reuses vertex 1: seal it. Cache is full, so inserting 4
+  // must evict 2 (the oldest *unsealed*), never 1.
+  cache.Seal(1);
+  cache.Insert(4, Nbrs({40}));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LrbuTest, ReleaseMovesSealedToMostRecent) {
+  LrbuCache cache(kSmallCapacity, nullptr, false, false);
+  cache.Insert(1, Nbrs({10}));
+  cache.Insert(2, Nbrs({20}));
+  cache.Insert(3, Nbrs({30}));
+  cache.Release();
+  cache.Seal(1);  // vertex 1 used again in this batch
+  cache.Release();
+  // Eviction order should now be 2, 3, then 1.
+  cache.Insert(5, Nbrs({50}));  // evicts 2
+  cache.Insert(6, Nbrs({60}));  // evicts 3
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LrbuTest, OverflowBoundedByOneBatch) {
+  // When S_free is empty the insert proceeds regardless (Algorithm 3):
+  // the overflow is at most the remote vertices of the current batch.
+  LrbuCache cache(kSmallCapacity, nullptr, false, false);
+  for (VertexId v = 0; v < 10; ++v) cache.Insert(v, Nbrs({v * 10}));
+  EXPECT_EQ(cache.EntryCount(), 10u);  // all pinned, none evictable
+  EXPECT_GT(cache.SizeBytes(), kSmallCapacity);
+  cache.Release();
+  // Next batch: inserts evict down toward capacity again.
+  cache.Insert(100, Nbrs({1}));
+  EXPECT_LE(cache.SizeBytes(), kSmallCapacity + 2 * (48 + 4));
+}
+
+TEST(LrbuTest, DuplicateInsertIgnored) {
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  cache.Insert(1, Nbrs({10, 11}));
+  cache.Insert(1, Nbrs({99}));
+  std::vector<VertexId> scratch;
+  EXPECT_EQ(Get(cache, 1, &scratch).size(), 2u);
+}
+
+TEST(LrbuTest, TracksMemory) {
+  MemoryTracker tracker;
+  {
+    LrbuCache cache(1 << 20, &tracker, false, false);
+    cache.Insert(1, Nbrs({10, 11, 12}));
+    EXPECT_GT(tracker.current(), 0u);
+    cache.Clear();
+    EXPECT_EQ(tracker.current(), 0u);
+  }
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+TEST(LrbuTest, ConcurrentReadersWithSingleWriter) {
+  // The LRBU protocol: one writer inserts during fetch, many readers call
+  // TryGet during intersect while all read entries are sealed.
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  for (VertexId v = 0; v < 64; ++v) {
+    cache.Insert(v, Nbrs({v, v + 1, v + 2}));
+  }
+  // All entries are sealed (fresh): spawn readers.
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> sum{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&cache, &sum] {
+      std::vector<VertexId> scratch;
+      uint64_t local = 0;
+      for (int round = 0; round < 1000; ++round) {
+        for (VertexId v = 0; v < 64; ++v) {
+          std::span<const VertexId> out;
+          ASSERT_TRUE(cache.TryGet(v, &scratch, &out));
+          local += out[0];
+        }
+      }
+      sum += local;
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(sum, 4ull * 1000 * (64 * 63 / 2));
+}
+
+TEST(LruTest, InfiniteCapacityNeverEvicts) {
+  LruCache cache(std::numeric_limits<size_t>::max(), nullptr,
+                 /*unbounded=*/true, /*two_stage=*/true);
+  for (VertexId v = 0; v < 1000; ++v) cache.Insert(v, Nbrs({v}));
+  for (VertexId v = 0; v < 1000; ++v) EXPECT_TRUE(cache.Contains(v));
+}
+
+TEST(LruTest, BoundedEvictsLeastRecentlyUsed) {
+  LruCache cache(180, nullptr, /*unbounded=*/false, /*two_stage=*/false);
+  cache.Insert(1, Nbrs({10}));
+  cache.Insert(2, Nbrs({20}));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGet(1, &scratch, &out));  // touch 1: recency 1 > 2
+  cache.Insert(3, Nbrs({30}));                   // evicts 2 (the LRU)
+  EXPECT_FALSE(cache.Contains(2));
+  ASSERT_TRUE(cache.TryGet(1, &scratch, &out));  // touch 1 again
+  cache.Insert(4, Nbrs({40}));                   // evicts 3
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(3));
+}
+
+TEST(LruTest, CopiesUnderLock) {
+  LruCache cache(1 << 20, nullptr, true, true);
+  cache.Insert(5, Nbrs({1, 2, 3, 4}));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGet(5, &scratch, &out));
+  EXPECT_EQ(out.data(), scratch.data());
+  EXPECT_EQ(scratch.size(), 4u);
+}
+
+TEST(LruTest, MissReturnsFalseAndCounts) {
+  LruCache cache(1 << 20, nullptr, false, /*two_stage=*/false);
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  EXPECT_FALSE(cache.TryGet(42, &scratch, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(42, Nbrs({1}));
+  EXPECT_TRUE(cache.TryGet(42, &scratch, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheFactoryTest, MakesAllKinds) {
+  MemoryTracker tracker;
+  for (CacheKind kind :
+       {CacheKind::kLrbu, CacheKind::kLrbuCopy, CacheKind::kLrbuLock,
+        CacheKind::kLruInf, CacheKind::kCncrLru}) {
+    auto cache = MakeCache(kind, 1 << 16, &tracker);
+    ASSERT_NE(cache, nullptr) << ToString(kind);
+    cache->Insert(1, Nbrs({2, 3}));
+    EXPECT_TRUE(cache->Contains(1)) << ToString(kind);
+    EXPECT_EQ(cache->TwoStage(), kind != CacheKind::kCncrLru);
+  }
+}
+
+}  // namespace
+}  // namespace huge

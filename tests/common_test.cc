@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "engine/batch.h"
+
+namespace huge {
+namespace {
+
+TEST(RngTest, DeterministicAndSpread) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng d(1);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) values.insert(d.Next());
+  EXPECT_EQ(values.size(), 1000u);
+  (void)c;
+}
+
+TEST(RngTest, BoundedAndDouble) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker t;
+  t.Allocate(100);
+  t.Allocate(200);
+  EXPECT_EQ(t.current(), 300u);
+  EXPECT_EQ(t.peak(), 300u);
+  t.Release(250);
+  EXPECT_EQ(t.current(), 50u);
+  EXPECT_EQ(t.peak(), 300u);
+  t.Allocate(100);
+  EXPECT_EQ(t.peak(), 300u);  // 150 < 300
+  t.Reset();
+  EXPECT_EQ(t.current(), 0u);
+  EXPECT_EQ(t.peak(), 0u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentUpdatesConsistent) {
+  MemoryTracker t;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&t] {
+      for (int j = 0; j < 10000; ++j) {
+        t.Allocate(3);
+        t.Release(3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current(), 0u);
+  EXPECT_GE(t.peak(), 3u);
+}
+
+TEST(TimerTest, Advances) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(t.Seconds(), 0.0);
+  EXPECT_GT(t.Micros(), t.Seconds());
+}
+
+TEST(BatchTest, RowsAndAppend) {
+  Batch b(3);
+  EXPECT_TRUE(b.empty());
+  const VertexId r1[3] = {1, 2, 3};
+  b.AppendRow({r1, 3});
+  const VertexId r2[2] = {4, 5};
+  b.AppendRowPlus({r2, 2}, 6);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.Row(1)[2], 6u);
+  EXPECT_EQ(b.bytes(), 6 * sizeof(VertexId));
+}
+
+TEST(BatchQueueTest, FifoAndCapacity) {
+  MemoryTracker t;
+  BatchQueue q(2, &t);
+  Batch b1(1, {1});
+  Batch b2(1, {2});
+  Batch b3(1, {3});
+  q.Push(std::move(b1));
+  EXPECT_FALSE(q.Full());
+  q.Push(std::move(b2));
+  EXPECT_TRUE(q.Full());
+  q.Push(std::move(b3));  // overflow allowed (Lemma 5.2 slack)
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_GT(t.current(), 0u);
+  auto out = q.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->Row(0)[0], 1u);  // FIFO
+  q.Clear();
+  EXPECT_EQ(t.current(), 0u);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BatchQueueTest, StealTakesFromFront) {
+  BatchQueue q(0, nullptr);
+  for (VertexId v = 0; v < 5; ++v) q.Push(Batch(1, {v}));
+  auto stolen = q.Steal(2);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0].Row(0)[0], 0u);
+  EXPECT_EQ(stolen[1].Row(0)[0], 1u);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(BatchQueueTest, UnboundedNeverFull) {
+  BatchQueue q(0, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    q.Push(Batch(1, {1}));
+    EXPECT_FALSE(q.Full());
+  }
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,316 @@
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+
+namespace huge {
+namespace {
+
+std::shared_ptr<Graph> SmallPowerLaw() {
+  static std::shared_ptr<Graph> g =
+      std::make_shared<Graph>(gen::PowerLaw(800, 8, 2.5, 7));
+  return g;
+}
+
+std::shared_ptr<Graph> SmallEr() {
+  static std::shared_ptr<Graph> g =
+      std::make_shared<Graph>(gen::ErdosRenyi(400, 1600, 13));
+  return g;
+}
+
+uint64_t OracleCount(const Graph& g, const QueryGraph& q) {
+  static std::map<std::pair<const Graph*, std::string>, uint64_t> memo;
+  auto key = std::make_pair(&g, q.ToString());
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const uint64_t c = Oracle::Count(g, q);
+  memo.emplace(key, c);
+  return c;
+}
+
+/// The central correctness matrix: the distributed engine must agree with
+/// the sequential oracle for every query, under any cluster shape.
+struct MatrixCase {
+  int query;
+  MachineId machines;
+  int workers;
+  uint32_t batch;
+  uint32_t queue;
+};
+
+class EngineMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(EngineMatrixTest, MatchesOracle) {
+  const MatrixCase& c = GetParam();
+  const QueryGraph q = queries::Q(c.query);
+  auto g = SmallPowerLaw();
+  Config cfg;
+  cfg.num_machines = c.machines;
+  cfg.workers_per_machine = c.workers;
+  cfg.batch_size = c.batch;
+  cfg.queue_capacity = c.queue;
+  Runner runner(g, cfg);
+  EXPECT_EQ(runner.Run(q).matches, OracleCount(*g, q));
+}
+
+std::vector<MatrixCase> MatrixCases() {
+  std::vector<MatrixCase> cases;
+  for (int query : {1, 2, 3, 4, 5}) {
+    for (MachineId machines : {1u, 2u, 4u}) {
+      cases.push_back({query, machines, 2, 256, 4});
+    }
+  }
+  // Batch and queue extremes on the square.
+  for (uint32_t batch : {1u, 7u, 64u, 100000u}) {
+    cases.push_back({1, 3, 2, batch, 4});
+  }
+  for (uint32_t queue : {1u, 2u, 0u}) {  // DFS-ish, tiny, unbounded BFS
+    cases.push_back({2, 3, 2, 256, queue});
+  }
+  // Worker counts.
+  for (int workers : {1, 4}) {
+    cases.push_back({3, 2, workers, 256, 4});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineMatrixTest, ::testing::ValuesIn(MatrixCases()),
+    [](const auto& info) {
+      const MatrixCase& c = info.param;
+      return "q" + std::to_string(c.query) + "_m" +
+             std::to_string(c.machines) + "_w" + std::to_string(c.workers) +
+             "_b" + std::to_string(c.batch) + "_q" + std::to_string(c.queue);
+    });
+
+class CacheKindTest : public ::testing::TestWithParam<CacheKind> {};
+
+TEST_P(CacheKindTest, AllCachesGiveCorrectCounts) {
+  auto g = SmallPowerLaw();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 128;
+  cfg.cache_kind = GetParam();
+  cfg.cache_capacity_bytes = 4096;  // tiny: forces constant eviction
+  Runner runner(g, cfg);
+  const QueryGraph q = queries::Q(1);
+  EXPECT_EQ(runner.Run(q).matches, OracleCount(*g, q));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, CacheKindTest,
+    ::testing::Values(CacheKind::kLrbu, CacheKind::kLrbuCopy,
+                      CacheKind::kLrbuLock, CacheKind::kLruInf,
+                      CacheKind::kCncrLru),
+    [](const auto& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(EngineTest, StealingOnOffSameCounts) {
+  auto g = SmallPowerLaw();
+  const QueryGraph q = queries::Q(2);
+  uint64_t expect = OracleCount(*g, q);
+  for (bool intra : {false, true}) {
+    for (bool inter : {false, true}) {
+      Config cfg;
+      cfg.num_machines = 4;
+      cfg.batch_size = 64;  // many batches so stealing has targets
+      cfg.intra_stealing = intra;
+      cfg.inter_stealing = inter;
+      Runner runner(g, cfg);
+      EXPECT_EQ(runner.Run(q).matches, expect)
+          << "intra=" << intra << " inter=" << inter;
+    }
+  }
+}
+
+TEST(EngineTest, CountFusionOnOffSameCounts) {
+  auto g = SmallEr();
+  const QueryGraph q = queries::Q(4);
+  Config on;
+  on.count_fusion = true;
+  Config off;
+  off.count_fusion = false;
+  EXPECT_EQ(Runner(g, on).Run(q).matches, Runner(g, off).Run(q).matches);
+}
+
+TEST(EngineTest, RegionGroupsSameCounts) {
+  auto g = SmallEr();
+  const QueryGraph q = queries::Q(1);
+  const uint64_t expect = OracleCount(*g, q);
+  for (uint64_t region : {64ull, 1000ull, 1000000ull}) {
+    Config cfg;
+    cfg.num_machines = 3;
+    cfg.batch_size = 128;
+    cfg.region_group_rows = region;
+    cfg.inter_stealing = false;  // region groups replace stealing (RADS)
+    Runner runner(g, cfg);
+    EXPECT_EQ(runner.Run(q).matches, expect) << "region " << region;
+  }
+}
+
+TEST(EngineTest, PushJoinPlanCorrectWithSpill) {
+  auto g = SmallEr();
+  const QueryGraph q = queries::Path(6);  // optimal plan uses PUSH-JOIN
+  const uint64_t expect = OracleCount(*g, q);
+  for (size_t threshold : {size_t{1} << 12, size_t{64} << 20}) {
+    Config cfg;
+    cfg.num_machines = 3;
+    cfg.batch_size = 256;
+    cfg.join_spill_threshold = threshold;  // 4 KiB forces external sort
+    Runner runner(g, cfg);
+    EXPECT_EQ(runner.Run(q).matches, expect) << "threshold " << threshold;
+  }
+}
+
+TEST(EngineTest, MatchSinkReceivesValidRows) {
+  auto g = SmallEr();
+  const QueryGraph q = queries::Triangle();
+  std::set<std::set<VertexId>> instances;
+  uint64_t rows = 0;
+  Config cfg;
+  cfg.num_machines = 3;
+  cfg.match_sink = [&](std::span<const VertexId> row) {
+    ++rows;
+    ASSERT_EQ(row.size(), 3u);
+    std::set<VertexId> inst(row.begin(), row.end());
+    ASSERT_EQ(inst.size(), 3u) << "match must be injective";
+    EXPECT_TRUE(instances.insert(inst).second) << "duplicate match";
+  };
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(q);
+  EXPECT_EQ(rows, r.matches);
+  EXPECT_EQ(r.matches, OracleCount(*g, q));
+  // Every reported instance is a real triangle.
+  for (const auto& inst : instances) {
+    std::vector<VertexId> v(inst.begin(), inst.end());
+    EXPECT_TRUE(g->HasEdge(v[0], v[1]));
+    EXPECT_TRUE(g->HasEdge(v[1], v[2]));
+    EXPECT_TRUE(g->HasEdge(v[0], v[2]));
+  }
+}
+
+TEST(EngineTest, MatchSinkRowsInQueryVertexOrder) {
+  // Rows travel the dataflow in operator-schema order; the sink must
+  // re-order them so match[i] binds query vertex i. The wedge catches
+  // this: its scan is rooted at the centre vertex (v1), so schema order
+  // differs from query order.
+  auto g = SmallEr();
+  QueryGraph wedge(3, "wedge");
+  wedge.AddEdge(0, 1);
+  wedge.AddEdge(1, 2);
+  Config cfg;
+  cfg.num_machines = 2;
+  uint64_t rows = 0;
+  cfg.match_sink = [&](std::span<const VertexId> match) {
+    ++rows;
+    ASSERT_EQ(match.size(), 3u);
+    // Every query edge maps to a data edge *under query-vertex indexing*.
+    EXPECT_TRUE(g->HasEdge(match[0], match[1]));
+    EXPECT_TRUE(g->HasEdge(match[1], match[2]));
+    // v0 < v2 is the wedge's symmetry-breaking constraint.
+    EXPECT_LT(match[0], match[2]);
+  };
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(wedge);
+  EXPECT_EQ(rows, r.matches);
+  EXPECT_EQ(r.matches, OracleCount(*g, wedge));
+}
+
+TEST(EngineTest, RunnerReusableAcrossQueriesAndRuns) {
+  auto g = SmallEr();
+  Config cfg;
+  cfg.num_machines = 2;
+  Runner runner(g, cfg);
+  const uint64_t tri = runner.Run(queries::Triangle()).matches;
+  const uint64_t sq = runner.Run(queries::Square()).matches;
+  EXPECT_EQ(tri, OracleCount(*g, queries::Triangle()));
+  EXPECT_EQ(sq, OracleCount(*g, queries::Square()));
+  // Re-running is deterministic.
+  EXPECT_EQ(runner.Run(queries::Triangle()).matches, tri);
+}
+
+TEST(EngineTest, RoadGraphAndDenseGraph) {
+  auto road = std::make_shared<Graph>(gen::Road(20, 20, 50, 3));
+  auto dense = std::make_shared<Graph>(gen::Complete(16));
+  for (auto& g : {road, dense}) {
+    for (int qi : {1, 3}) {
+      const QueryGraph q = queries::Q(qi);
+      Config cfg;
+      cfg.num_machines = 3;
+      cfg.batch_size = 64;
+      Runner runner(g, cfg);
+      EXPECT_EQ(runner.Run(q).matches, OracleCount(*g, q)) << "q" << qi;
+    }
+  }
+}
+
+TEST(EngineTest, EmptyResultGraphs) {
+  // A star has no triangles; a path has no squares.
+  auto star = std::make_shared<Graph>(gen::Star(50));
+  Config cfg;
+  cfg.num_machines = 2;
+  EXPECT_EQ(Runner(star, cfg).Run(queries::Triangle()).matches, 0u);
+  auto path = std::make_shared<Graph>(gen::Path(100));
+  EXPECT_EQ(Runner(path, cfg).Run(queries::Square()).matches, 0u);
+}
+
+TEST(EngineTest, MetricsArePopulated) {
+  auto g = SmallPowerLaw();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.workers_per_machine = 2;
+  cfg.batch_size = 128;
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Q(1));
+  const RunMetrics& m = r.metrics;
+  EXPECT_GT(m.compute_seconds, 0.0);
+  EXPECT_GT(m.comm_seconds, 0.0);  // 4 machines must talk
+  EXPECT_GT(m.bytes_communicated, 0u);
+  EXPECT_GT(m.rpc_requests, 0u);
+  EXPECT_GT(m.peak_memory_bytes, 0u);
+  EXPECT_GT(m.cache_hits + m.cache_misses, 0u);
+  EXPECT_GT(m.intermediate_rows, 0u);
+  EXPECT_EQ(m.worker_busy_seconds.size(), 8u);  // 4 machines x 2 workers
+}
+
+TEST(EngineTest, SingleMachinePullsNothing) {
+  auto g = SmallPowerLaw();
+  Config cfg;
+  cfg.num_machines = 1;
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Q(1));
+  EXPECT_EQ(r.metrics.bytes_communicated, 0u);
+  EXPECT_EQ(r.metrics.rpc_requests, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.comm_seconds, 0.0);
+}
+
+TEST(EngineTest, SegmentsBuiltCorrectlyForPushJoinPlans) {
+  auto g = SmallEr();
+  Runner runner(g, Config{});
+  const Dataflow df = Translate(runner.PlanFor(queries::Path(6)));
+  Cluster& cluster = runner.cluster();
+  const auto segments = cluster.BuildSegments(df);
+  // The 5-path plan has one PUSH-JOIN: two child segments + one join
+  // segment.
+  int feeding = 0, join_sourced = 0;
+  for (const auto& seg : segments) {
+    if (seg.feeds_join >= 0) ++feeding;
+    if (df.ops[seg.ops[0]].kind == OpKind::kPushJoin) ++join_sourced;
+  }
+  EXPECT_EQ(feeding, 2);
+  EXPECT_EQ(join_sourced, 1);
+}
+
+}  // namespace
+}  // namespace huge

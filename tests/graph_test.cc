@@ -1,0 +1,165 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+
+namespace huge {
+namespace {
+
+TEST(GraphTest, BuildsFromEdges) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, DeduplicatesAndDropsSelfLoops) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+}
+
+TEST(GraphTest, AdjacencyIsSorted) {
+  Graph g = Graph::FromEdges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  auto nbrs = g.Neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphTest, IsolatedVerticesAllowed) {
+  Graph g = Graph::FromEdges(10, {{0, 1}});
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.Degree(5), 0u);
+  EXPECT_TRUE(g.Neighbors(5).empty());
+}
+
+TEST(GraphTest, MaxAndAvgDegree) {
+  Graph g = gen::Star(7);
+  EXPECT_EQ(g.MaxDegree(), 7u);
+  EXPECT_DOUBLE_EQ(g.AvgDegree(), 14.0 / 8.0);
+}
+
+TEST(GraphTest, DegreeMoments) {
+  Graph g = gen::Complete(5);  // every degree is 4
+  EXPECT_DOUBLE_EQ(g.DegreeMoment(1), 4.0);
+  EXPECT_DOUBLE_EQ(g.DegreeMoment(2), 16.0);
+  EXPECT_DOUBLE_EQ(g.DegreeMoment(3), 64.0);
+}
+
+TEST(GraphTest, SizeBytesMatchesCsr) {
+  Graph g = gen::Cycle(10);
+  // 20 directed entries * 4 bytes + 11 offsets * 8 bytes.
+  EXPECT_EQ(g.SizeBytes(), 20 * sizeof(VertexId) + 11 * sizeof(uint64_t));
+}
+
+TEST(GraphTest, SaveAndLoadEdgeList) {
+  Graph g = gen::ErdosRenyi(100, 300, 5);
+  const std::string path = "/tmp/huge_graph_test.txt";
+  ASSERT_TRUE(g.SaveEdgeList(path));
+  Graph g2 = Graph::LoadEdgeList(path);
+  ASSERT_EQ(g2.NumVertices(), g.NumVertices());
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(g.Degree(v), g2.Degree(v)) << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphTest, LoadMissingFileReturnsEmpty) {
+  Graph g = Graph::LoadEdgeList("/tmp/definitely_missing_file_8231.txt");
+  EXPECT_EQ(g.NumVertices(), 0u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  Graph a = gen::ErdosRenyi(500, 2000, 42);
+  Graph b = gen::ErdosRenyi(500, 2000, 42);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  Graph c = gen::ErdosRenyi(500, 2000, 43);
+  EXPECT_NE(a.NumEdges(), c.NumEdges());  // overwhelmingly likely
+}
+
+TEST(GeneratorsTest, PowerLawHasHeavyTail) {
+  Graph g = gen::PowerLaw(5000, 10, 2.2, 1);
+  // Heavy-tailed: the max degree far exceeds the average.
+  EXPECT_GT(g.MaxDegree(), 10 * g.AvgDegree());
+  // Average degree approximately as requested (within a factor of 2;
+  // duplicate edges are merged).
+  EXPECT_GT(g.AvgDegree(), 3.0);
+  EXPECT_LT(g.AvgDegree(), 20.0);
+}
+
+TEST(GeneratorsTest, PowerLawExponentControlsSkew) {
+  Graph heavy = gen::PowerLaw(5000, 10, 2.1, 1);
+  Graph light = gen::PowerLaw(5000, 10, 3.5, 1);
+  EXPECT_GT(heavy.MaxDegree(), light.MaxDegree());
+}
+
+TEST(GeneratorsTest, RoadIsNearlyConstantDegree) {
+  Graph g = gen::Road(50, 50, 100, 3);
+  EXPECT_EQ(g.NumVertices(), 2500u);
+  EXPECT_LE(g.MaxDegree(), 10u);  // grid degree 4 + a few shortcuts
+  EXPECT_GE(g.AvgDegree(), 3.0);
+}
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Graph g = gen::Complete(6);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  EXPECT_EQ(g.MaxDegree(), 5u);
+}
+
+TEST(GeneratorsTest, CycleAndPath) {
+  EXPECT_EQ(gen::Cycle(7).NumEdges(), 7u);
+  EXPECT_EQ(gen::Path(7).NumEdges(), 6u);
+  EXPECT_EQ(gen::Path(7).Degree(0), 1u);
+  EXPECT_EQ(gen::Path(7).Degree(3), 2u);
+}
+
+TEST(PartitionTest, CoversAllVerticesDisjointly) {
+  auto g = std::make_shared<Graph>(gen::ErdosRenyi(1000, 4000, 9));
+  PartitionedGraph pg(g, 4);
+  std::vector<bool> seen(g->NumVertices(), false);
+  for (MachineId m = 0; m < 4; ++m) {
+    for (VertexId v : pg.LocalVertices(m)) {
+      EXPECT_FALSE(seen[v]) << "vertex " << v << " owned twice";
+      seen[v] = true;
+      EXPECT_EQ(pg.Owner(v), m);
+      EXPECT_TRUE(pg.IsLocal(v, m));
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(PartitionTest, RoughlyBalanced) {
+  auto g = std::make_shared<Graph>(gen::ErdosRenyi(10000, 40000, 1));
+  PartitionedGraph pg(g, 8);
+  for (MachineId m = 0; m < 8; ++m) {
+    const size_t n = pg.LocalVertices(m).size();
+    EXPECT_GT(n, 10000u / 8 / 2);
+    EXPECT_LT(n, 10000u / 8 * 2);
+  }
+}
+
+TEST(PartitionTest, PartitionBytesSumToGraphAdjacency) {
+  auto g = std::make_shared<Graph>(gen::ErdosRenyi(500, 1500, 2));
+  PartitionedGraph pg(g, 3);
+  size_t total = 0;
+  for (MachineId m = 0; m < 3; ++m) total += pg.PartitionBytes(m);
+  EXPECT_EQ(total, 2 * g->NumEdges() * sizeof(VertexId));
+}
+
+TEST(PartitionTest, SingleMachineOwnsEverything) {
+  auto g = std::make_shared<Graph>(gen::Cycle(10));
+  PartitionedGraph pg(g, 1);
+  EXPECT_EQ(pg.LocalVertices(0).size(), 10u);
+}
+
+}  // namespace
+}  // namespace huge

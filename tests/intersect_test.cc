@@ -1,0 +1,130 @@
+#include "engine/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace huge {
+namespace {
+
+std::vector<VertexId> V(std::initializer_list<VertexId> v) { return v; }
+
+TEST(IntersectTest, Basic) {
+  auto a = V({1, 3, 5, 7});
+  auto b = V({2, 3, 5, 8});
+  std::vector<VertexId> out;
+  IntersectSorted(a, b, &out);
+  EXPECT_EQ(out, V({3, 5}));
+}
+
+TEST(IntersectTest, EmptyInputs) {
+  std::vector<VertexId> out{99};
+  IntersectSorted({}, V({1, 2}), &out);
+  EXPECT_TRUE(out.empty());
+  IntersectSorted(V({1, 2}), {}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, DisjointAndIdentical) {
+  std::vector<VertexId> out;
+  IntersectSorted(V({1, 2, 3}), V({4, 5, 6}), &out);
+  EXPECT_TRUE(out.empty());
+  IntersectSorted(V({1, 2, 3}), V({1, 2, 3}), &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(IntersectTest, GallopingPathMatchesLinear) {
+  // Very skewed sizes trigger the galloping branch; cross-check against
+  // std::set_intersection.
+  Rng rng(99);
+  std::vector<VertexId> small, large;
+  for (int i = 0; i < 20; ++i) {
+    small.push_back(static_cast<VertexId>(rng.NextBounded(100000)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    large.push_back(static_cast<VertexId>(rng.NextBounded(100000)));
+  }
+  std::sort(small.begin(), small.end());
+  small.erase(std::unique(small.begin(), small.end()), small.end());
+  std::sort(large.begin(), large.end());
+  large.erase(std::unique(large.begin(), large.end()), large.end());
+
+  std::vector<VertexId> expected;
+  std::set_intersection(small.begin(), small.end(), large.begin(),
+                        large.end(), std::back_inserter(expected));
+  std::vector<VertexId> got;
+  IntersectSorted(small, large, &got);
+  EXPECT_EQ(got, expected);
+  IntersectSorted(large, small, &got);  // argument order irrelevant
+  EXPECT_EQ(got, expected);
+}
+
+TEST(IntersectTest, MultiListIntersection) {
+  auto a = V({1, 2, 3, 4, 5, 6});
+  auto b = V({2, 4, 6, 8});
+  auto c = V({1, 2, 4, 6, 7});
+  std::vector<std::span<const VertexId>> lists = {a, b, c};
+  std::vector<VertexId> out, tmp;
+  IntersectAll(lists, &out, &tmp);
+  EXPECT_EQ(out, V({2, 4, 6}));
+}
+
+TEST(IntersectTest, SingleList) {
+  auto a = V({3, 1, 4});
+  std::sort(a.begin(), a.end());
+  std::vector<std::span<const VertexId>> lists = {a};
+  std::vector<VertexId> out, tmp;
+  IntersectAll(lists, &out, &tmp);
+  EXPECT_EQ(out, V({1, 3, 4}));
+}
+
+TEST(IntersectTest, MultiListShortCircuitsOnEmpty) {
+  auto a = V({1, 2});
+  auto b = V({3, 4});
+  auto c = V({1, 2, 3, 4});
+  std::vector<std::span<const VertexId>> lists = {a, b, c};
+  std::vector<VertexId> out, tmp;
+  IntersectAll(lists, &out, &tmp);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SortedContainsTest, Works) {
+  auto a = V({2, 4, 6, 8});
+  EXPECT_TRUE(SortedContains(a, 6));
+  EXPECT_FALSE(SortedContains(a, 5));
+  EXPECT_FALSE(SortedContains({}, 5));
+}
+
+class IntersectPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntersectPropertyTest, MatchesStdSetIntersection) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::vector<VertexId> a, b;
+    const size_t na = rng.NextBounded(200);
+    const size_t nb = rng.NextBounded(2000) + 1;
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<VertexId>(rng.NextBounded(500)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<VertexId>(rng.NextBounded(500)));
+    }
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    std::vector<VertexId> expected, got;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    IntersectSorted(a, b, &got);
+    ASSERT_EQ(got, expected) << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace huge

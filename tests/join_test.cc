@@ -1,0 +1,116 @@
+#include "engine/join_state.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/random.h"
+
+namespace huge {
+namespace {
+
+Batch MakeBatch(uint32_t width, std::vector<VertexId> data) {
+  return Batch(width, std::move(data));
+}
+
+std::vector<std::vector<VertexId>> Drain(JoinSideBuffer* buf) {
+  std::vector<std::vector<VertexId>> rows;
+  auto stream = buf->OpenStream();
+  while (stream.HasRow()) {
+    rows.emplace_back(stream.Row().begin(), stream.Row().end());
+    stream.Advance();
+  }
+  return rows;
+}
+
+TEST(JoinSideBufferTest, SortsByKey) {
+  JoinSideBuffer buf(2, {0}, 1 << 20, "/tmp", nullptr);
+  buf.Add(MakeBatch(2, {5, 50, 1, 10, 3, 30}));
+  buf.Add(MakeBatch(2, {2, 20, 4, 40}));
+  buf.FinishWrites();
+  auto rows = Drain(&buf);
+  ASSERT_EQ(rows.size(), 5u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1][0], rows[i][0]);
+  }
+  EXPECT_EQ(buf.spilled_runs(), 0u);
+  EXPECT_EQ(buf.row_count(), 5u);
+}
+
+TEST(JoinSideBufferTest, SecondKeyColumnBreaksTies) {
+  JoinSideBuffer buf(3, {1, 2}, 1 << 20, "/tmp", nullptr);
+  buf.Add(MakeBatch(3, {9, 2, 7, 8, 2, 3, 7, 1, 9}));
+  buf.FinishWrites();
+  auto rows = Drain(&buf);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], 1u);
+  EXPECT_EQ(rows[1][2], 3u);  // (2,3) before (2,7)
+  EXPECT_EQ(rows[2][2], 7u);
+}
+
+TEST(JoinSideBufferTest, SpillsAndMergesRuns) {
+  // 8-byte rows with a 64-byte threshold: many spills.
+  JoinSideBuffer buf(2, {0}, 64, "/tmp", nullptr);
+  Rng rng(5);
+  std::vector<VertexId> keys;
+  for (int i = 0; i < 200; ++i) {
+    const auto key = static_cast<VertexId>(rng.NextBounded(1000));
+    keys.push_back(key);
+    buf.Add(MakeBatch(2, {key, static_cast<VertexId>(i)}));
+  }
+  buf.FinishWrites();
+  EXPECT_GT(buf.spilled_runs(), 1u);
+  auto rows = Drain(&buf);
+  ASSERT_EQ(rows.size(), 200u);
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][0], keys[i]) << "row " << i;
+  }
+}
+
+TEST(JoinSideBufferTest, EmptyBufferEmptyStream) {
+  JoinSideBuffer buf(2, {0}, 1 << 20, "/tmp", nullptr);
+  buf.FinishWrites();
+  EXPECT_TRUE(Drain(&buf).empty());
+}
+
+TEST(JoinSideBufferTest, ReleasesTrackedMemoryOnSpill) {
+  MemoryTracker tracker;
+  JoinSideBuffer buf(2, {0}, 256, "/tmp", &tracker);
+  for (VertexId i = 0; i < 100; ++i) buf.Add(MakeBatch(2, {i, i}));
+  // Spills keep the in-memory tail small.
+  EXPECT_LT(tracker.current(), 512u);
+  buf.FinishWrites();
+  EXPECT_EQ(buf.row_count(), 100u);
+}
+
+TEST(JoinSideBufferTest, CompareKeysAcrossDifferentPositions) {
+  // Left keys at {1}, right keys at {0}.
+  const VertexId a[2] = {9, 5};
+  const VertexId b[2] = {5, 9};
+  EXPECT_EQ(JoinSideBuffer::CompareKeys({a, 2}, {1}, {b, 2}, {0}), 0);
+  EXPECT_LT(JoinSideBuffer::CompareKeys({a, 2}, {1}, {b, 2}, {1}), 0);
+  EXPECT_GT(JoinSideBuffer::CompareKeys({a, 2}, {0}, {b, 2}, {0}), 0);
+}
+
+TEST(JoinSideBufferTest, ConcurrentAdds) {
+  JoinSideBuffer buf(1, {0}, 1 << 20, "/tmp", nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&buf, t] {
+      for (VertexId i = 0; i < 500; ++i) {
+        buf.Add(Batch(1, {static_cast<VertexId>(t * 1000 + i)}));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  buf.FinishWrites();
+  EXPECT_EQ(buf.row_count(), 2000u);
+  auto rows = Drain(&buf);
+  EXPECT_EQ(rows.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,146 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "net/rpc.h"
+
+namespace huge {
+namespace {
+
+TEST(NetworkTest, PullAccountsBytesAndLatency) {
+  NetworkProfile profile;
+  profile.bandwidth_bytes_per_sec = 1e9;
+  profile.rpc_latency_sec = 1e-4;
+  Network net(profile, 2);
+  net.Pull(0, 1000000, 10);
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), 1000000u);
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 10u);
+  EXPECT_NEAR(net.traffic(0).comm_seconds(), 1e-3 + 10 * 1e-4, 1e-6);
+  EXPECT_EQ(net.traffic(1).bytes_pulled(), 0u);
+  EXPECT_EQ(net.TotalBytes(), 1000000u);
+}
+
+TEST(NetworkTest, CommSecondsIsMaxOverMachines) {
+  Network net(NetworkProfile{}, 3);
+  net.Pull(0, 1000, 1);
+  net.Pull(1, 5000000, 50);
+  EXPECT_NEAR(net.CommSeconds(), net.traffic(1).comm_seconds(), 1e-9);
+}
+
+TEST(NetworkTest, ExternalKvChargesHigherLatency) {
+  NetworkProfile kv;
+  kv.external_kv = true;
+  Network a(NetworkProfile{}, 1);
+  Network b(kv, 1);
+  a.Pull(0, 100, 1);
+  b.Pull(0, 100, 1);
+  EXPECT_GT(b.traffic(0).comm_seconds(), a.traffic(0).comm_seconds());
+}
+
+TEST(GetNbrsTest, LocalRequestsAreFree) {
+  auto g = std::make_shared<Graph>(gen::Cycle(16));
+  PartitionedGraph pg(g, 2);
+  Network net(NetworkProfile{}, 2);
+  GetNbrsClient client(&pg, &net);
+  const auto locals = pg.LocalVertices(0);
+  size_t served = 0;
+  client.Fetch(0, locals, [&](VertexId, std::span<const VertexId> nbrs) {
+    EXPECT_EQ(nbrs.size(), 2u);
+    ++served;
+  });
+  EXPECT_EQ(served, locals.size());
+  EXPECT_EQ(net.TotalBytes(), 0u);
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 0u);
+}
+
+TEST(GetNbrsTest, RemoteRequestsMergedPerOwner) {
+  auto g = std::make_shared<Graph>(gen::Cycle(64));
+  PartitionedGraph pg(g, 4);
+  Network net(NetworkProfile{}, 4);
+  GetNbrsClient client(&pg, &net);
+  // Fetch everything machine 0 does not own: merged mode sends at most
+  // one request per remote owner (3 requests).
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 64; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  client.Fetch(0, remote, [](VertexId, std::span<const VertexId>) {});
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 3u);
+  EXPECT_GT(net.traffic(0).bytes_pulled(), remote.size() * kVertexBytes);
+}
+
+TEST(GetNbrsTest, ExternalKvSendsPerVertexRequests) {
+  auto g = std::make_shared<Graph>(gen::Cycle(64));
+  PartitionedGraph pg(g, 4);
+  NetworkProfile kv;
+  kv.external_kv = true;
+  Network net(kv, 4);
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 64; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  client.Fetch(0, remote, [](VertexId, std::span<const VertexId>) {});
+  EXPECT_EQ(net.traffic(0).rpc_requests(), remote.size());
+}
+
+TEST(EngineNetworkTest, LargerBatchesFewerRpcs) {
+  // Exp-4 (Figure 7): batching aggregates GetNbrs requests.
+  auto g = std::make_shared<Graph>(gen::PowerLaw(2000, 10, 2.4, 5));
+  auto run = [&](uint32_t batch) {
+    Config cfg;
+    cfg.num_machines = 4;
+    cfg.batch_size = batch;
+    cfg.cache_capacity_bytes = 1;  // no reuse: isolate batching effect
+    Runner runner(g, cfg);
+    return runner.Run(queries::Triangle()).metrics.rpc_requests;
+  };
+  EXPECT_LT(run(4096), run(16));
+}
+
+TEST(EngineNetworkTest, LargerCacheFewerBytes) {
+  // Exp-5 (Figure 8): growing the cache cuts pulled volume.
+  auto g = std::make_shared<Graph>(gen::PowerLaw(2000, 10, 2.4, 5));
+  auto run = [&](size_t cache_bytes) {
+    Config cfg;
+    cfg.num_machines = 4;
+    cfg.batch_size = 512;
+    cfg.cache_capacity_bytes = cache_bytes;
+    Runner runner(g, cfg);
+    return runner.Run(queries::Square()).metrics;
+  };
+  const RunMetrics small = run(1 << 10);
+  const RunMetrics large = run(64 << 20);
+  EXPECT_LT(large.bytes_communicated, small.bytes_communicated);
+  EXPECT_GT(large.CacheHitRate(), small.CacheHitRate());
+}
+
+TEST(EngineNetworkTest, PullingBeatsPushingOnVolume) {
+  // The core Table-1 claim: pulling-based wco moves less data than
+  // pushing-based wco on the same plan.
+  auto g = std::make_shared<Graph>(gen::PowerLaw(2000, 10, 2.4, 5));
+  const QueryGraph q = queries::Square();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 512;
+  Runner runner(g, cfg);
+  const auto pull =
+      runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull)).metrics;
+  const auto push =
+      runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush)).metrics;
+  EXPECT_LT(pull.bytes_communicated, push.bytes_communicated);
+}
+
+TEST(EngineNetworkTest, UtilisationDefinition) {
+  RunMetrics m;
+  m.bytes_communicated = 500;
+  m.comm_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(m.NetworkUtilisation(1000.0), 0.5);
+  m.comm_seconds = 0;
+  EXPECT_DOUBLE_EQ(m.NetworkUtilisation(1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,103 @@
+#include "oracle/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "query/query_graph.h"
+
+namespace huge {
+namespace {
+
+/// n choose k.
+uint64_t Choose(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  uint64_t r = 1;
+  for (uint64_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(OracleTest, TrianglesInCompleteGraphs) {
+  for (int n = 3; n <= 8; ++n) {
+    Graph g = gen::Complete(n);
+    EXPECT_EQ(Oracle::Count(g, queries::Triangle()), Choose(n, 3)) << n;
+  }
+}
+
+TEST(OracleTest, CliquesInCompleteGraphs) {
+  Graph g = gen::Complete(8);
+  EXPECT_EQ(Oracle::Count(g, queries::Clique(4)), Choose(8, 4));
+  EXPECT_EQ(Oracle::Count(g, queries::Clique(5)), Choose(8, 5));
+}
+
+TEST(OracleTest, SquaresInCompleteGraph) {
+  // 4-cycles in K_n: choose 4 vertices, 3 distinct cycles each.
+  Graph g = gen::Complete(6);
+  EXPECT_EQ(Oracle::Count(g, queries::Square()), Choose(6, 4) * 3);
+}
+
+TEST(OracleTest, SquareInSingleCycle) {
+  Graph g = gen::Cycle(4);
+  EXPECT_EQ(Oracle::Count(g, queries::Square()), 1u);
+  EXPECT_EQ(Oracle::Count(gen::Cycle(5), queries::Square()), 0u);
+  EXPECT_EQ(Oracle::Count(gen::Cycle(5), queries::FiveCycle()), 1u);
+}
+
+TEST(OracleTest, PathsInPathGraph) {
+  // A path graph with 10 vertices contains 10-k instances of a path with
+  // k edges (as subgraphs, counted once).
+  Graph g = gen::Path(10);
+  EXPECT_EQ(Oracle::Count(g, queries::Path(2)), 9u);
+  EXPECT_EQ(Oracle::Count(g, queries::Path(3)), 8u);
+  EXPECT_EQ(Oracle::Count(g, queries::Path(6)), 5u);
+}
+
+TEST(OracleTest, StarHasNoTriangles) {
+  Graph g = gen::Star(20);
+  EXPECT_EQ(Oracle::Count(g, queries::Triangle()), 0u);
+  EXPECT_EQ(Oracle::Count(g, queries::Path(3)), Choose(20, 2));
+}
+
+TEST(OracleTest, HouseInHouseGraph) {
+  Graph g = Graph::FromEdges(
+      5, {{1, 2}, {2, 3}, {3, 4}, {1, 4}, {0, 1}, {0, 4}});
+  EXPECT_EQ(Oracle::Count(g, queries::House()), 1u);
+}
+
+TEST(OracleTest, EnumerateProducesValidMatches) {
+  const Graph g = gen::ErdosRenyi(50, 200, 3);
+  const QueryGraph q = queries::Triangle();
+  uint64_t seen = 0;
+  std::set<std::set<VertexId>> instances;
+  Oracle::Enumerate(g, q, [&](std::span<const VertexId> match) {
+    ++seen;
+    ASSERT_EQ(match.size(), 3u);
+    // Every query edge maps to a data edge.
+    for (const auto& [a, b] : q.Edges()) {
+      EXPECT_TRUE(g.HasEdge(match[a], match[b]));
+    }
+    // Injective and each instance reported once.
+    std::set<VertexId> vs(match.begin(), match.end());
+    EXPECT_EQ(vs.size(), 3u);
+    EXPECT_TRUE(instances.insert(vs).second) << "duplicate instance";
+  });
+  EXPECT_EQ(seen, Oracle::Count(g, q));
+}
+
+TEST(OracleTest, CountAllMappingsIsAutMultiple) {
+  const Graph g = gen::ErdosRenyi(40, 160, 5);
+  for (int i = 1; i <= 4; ++i) {
+    const QueryGraph q = queries::Q(i);
+    EXPECT_EQ(Oracle::CountAllMappings(g, q),
+              Oracle::Count(g, q) * q.Automorphisms().size());
+  }
+}
+
+TEST(OracleTest, EmptyGraphEmptyResult) {
+  Graph g = Graph::FromEdges(5, {});
+  EXPECT_EQ(Oracle::Count(g, queries::Triangle()), 0u);
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,110 @@
+#include "query/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+
+namespace huge {
+namespace {
+
+TEST(PatternParserTest, ParsesTriangle) {
+  auto p = ParsePattern("(a)-(b)-(c)-(a)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.query.NumVertices(), 3);
+  EXPECT_EQ(p.query.NumEdges(), 3);
+  EXPECT_EQ(p.bindings.size(), 3u);
+  EXPECT_TRUE(p.query.HasEdge(p.bindings.at("a"), p.bindings.at("b")));
+  EXPECT_TRUE(p.query.HasEdge(p.bindings.at("b"), p.bindings.at("c")));
+  EXPECT_TRUE(p.query.HasEdge(p.bindings.at("c"), p.bindings.at("a")));
+}
+
+TEST(PatternParserTest, MultipleChains) {
+  auto p = ParsePattern("(a)-(b), (b)-(c), (c)-(d), (d)-(a)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.query.NumVertices(), 4);
+  EXPECT_EQ(p.query.NumEdges(), 4);
+  // Same shape as the square.
+  EXPECT_EQ(p.query.Automorphisms().size(), 8u);
+}
+
+TEST(PatternParserTest, LabelsAttach) {
+  auto p = ParsePattern("(a:1)-(b)-(c:2)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.query.Label(p.bindings.at("a")), 1);
+  EXPECT_EQ(p.query.Label(p.bindings.at("b")), QueryGraph::kAnyLabel);
+  EXPECT_EQ(p.query.Label(p.bindings.at("c")), 2);
+  EXPECT_TRUE(p.query.HasLabels());
+}
+
+TEST(PatternParserTest, LabelRepeatedConsistently) {
+  auto p = ParsePattern("(a:3)-(b), (b)-(a:3)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.query.Label(p.bindings.at("a")), 3);
+}
+
+TEST(PatternParserTest, WhitespaceTolerant) {
+  auto p = ParsePattern("  ( a ) - ( b_2 )\t-\n( c )  ");
+  ASSERT_TRUE(p.ok()) << p.error;
+  EXPECT_EQ(p.query.NumVertices(), 3);
+  EXPECT_EQ(p.bindings.count("b_2"), 1u);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+};
+
+class PatternErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(PatternErrorTest, Rejected) {
+  auto p = ParsePattern(GetParam().text);
+  EXPECT_FALSE(p.ok()) << "should reject: " << GetParam().text;
+  EXPECT_FALSE(p.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bad, PatternErrorTest,
+    ::testing::Values(BadCase{"empty", ""}, BadCase{"lone_vertex", "(a)"},
+                      BadCase{"self_loop", "(a)-(a)"},
+                      BadCase{"bad_label", "(a:999)-(b)"},
+                      BadCase{"conflicting_labels", "(a:1)-(b)-(a:2)"},
+                      BadCase{"disconnected", "(a)-(b), (c)-(d)"},
+                      BadCase{"trailing", "(a)-(b) x"},
+                      BadCase{"missing_paren", "(a)-(b"},
+                      BadCase{"no_name", "()-(b)"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(PatternParserTest, ParsedPatternEnumerable) {
+  // End-to-end: a parsed pattern runs through the oracle like any query.
+  auto p = ParsePattern("(x)-(y), (y)-(z), (x)-(z)");
+  ASSERT_TRUE(p.ok());
+  const Graph g = gen::Complete(5);
+  EXPECT_EQ(Oracle::Count(g, p.query), 10u);  // C(5,3) triangles
+}
+
+TEST(LabelledOracleTest, LabelsRestrictMatches) {
+  // K4 with labels {0,0,1,1}: labelled triangles (0,0,1) = pick both 0s and
+  // one 1 = 2 instances.
+  Graph g = gen::Complete(4);
+  g.AssignLabels({0, 0, 1, 1});
+  QueryGraph tri = queries::Triangle();
+  EXPECT_EQ(Oracle::Count(g, tri), 4u);  // unlabelled: all C(4,3)
+  tri.SetLabel(0, 0);
+  tri.SetLabel(1, 0);
+  tri.SetLabel(2, 1);
+  EXPECT_EQ(Oracle::Count(g, tri), 2u);
+}
+
+TEST(LabelledOracleTest, LabelsBreakAutomorphisms) {
+  QueryGraph tri = queries::Triangle();
+  EXPECT_EQ(tri.Automorphisms().size(), 6u);
+  tri.SetLabel(0, 1);
+  // Only the swap of the two unlabelled corners remains.
+  EXPECT_EQ(tri.Automorphisms().size(), 2u);
+  tri.SetLabel(1, 2);
+  EXPECT_EQ(tri.Automorphisms().size(), 1u);
+}
+
+}  // namespace
+}  // namespace huge

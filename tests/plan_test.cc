@@ -1,0 +1,260 @@
+#include "plan/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/query_graph.h"
+
+namespace huge {
+namespace {
+
+GraphStats TestStats() {
+  static const Graph g = gen::PowerLaw(20000, 12, 2.4, 123);
+  return GraphStats::Compute(g);
+}
+
+int EdgeId(const QueryGraph& q, QueryVertexId a, QueryVertexId b) {
+  auto key = std::minmax(a, b);
+  for (int e = 0; e < q.NumEdges(); ++e) {
+    if (q.Edges()[e] == std::pair<QueryVertexId, QueryVertexId>(
+                            key.first, key.second)) {
+      return e;
+    }
+  }
+  return -1;
+}
+
+TEST(SubqueryTest, VerticesOfEdgeMask) {
+  QueryGraph q = queries::Square();  // edges 0-1, 0-3, 1-2, 2-3
+  const EdgeMask m = 1u << EdgeId(q, 0, 1) | 1u << EdgeId(q, 2, 3);
+  EXPECT_EQ(subquery::Vertices(q, m), 0b1111u);
+  EXPECT_EQ(subquery::Vertices(q, 1u << EdgeId(q, 0, 1)), 0b0011u);
+}
+
+TEST(SubqueryTest, Connectivity) {
+  QueryGraph q = queries::Square();
+  EXPECT_TRUE(subquery::IsConnected(
+      q, (1u << EdgeId(q, 0, 1)) | (1u << EdgeId(q, 1, 2))));
+  EXPECT_FALSE(subquery::IsConnected(
+      q, (1u << EdgeId(q, 0, 1)) | (1u << EdgeId(q, 2, 3))));
+  EXPECT_FALSE(subquery::IsConnected(q, 0));
+  EXPECT_TRUE(subquery::IsConnected(q, (1u << q.NumEdges()) - 1));
+}
+
+TEST(SubqueryTest, StarDetection) {
+  QueryGraph q = queries::Diamond();  // 0-1,0-3,1-2,1-3,2-3
+  // Edges 0-1 and 1-2 share vertex 1: a 2-star rooted at 1.
+  const EdgeMask star = (1u << EdgeId(q, 0, 1)) | (1u << EdgeId(q, 1, 2));
+  EXPECT_TRUE(subquery::IsStar(q, star));
+  EXPECT_EQ(subquery::StarRoots(q, star), 1u << 1);
+  // A triangle is not a star.
+  const EdgeMask tri = (1u << EdgeId(q, 0, 1)) | (1u << EdgeId(q, 1, 3)) |
+                       (1u << EdgeId(q, 0, 3));
+  EXPECT_FALSE(subquery::IsStar(q, tri));
+  // A single edge is a star with two root candidates.
+  EXPECT_EQ(__builtin_popcount(
+                subquery::StarRoots(q, 1u << EdgeId(q, 0, 1))),
+            2);
+}
+
+TEST(SubqueryTest, CompleteStarJoinDetection) {
+  QueryGraph q = queries::Square();
+  // l = path 1-0-3 (star at 0); r = star at 2 with leaves {1,3}.
+  const EdgeMask l = (1u << EdgeId(q, 0, 1)) | (1u << EdgeId(q, 0, 3));
+  const EdgeMask r = (1u << EdgeId(q, 1, 2)) | (1u << EdgeId(q, 2, 3));
+  QueryVertexId root = 0;
+  EXPECT_TRUE(subquery::IsCompleteStarJoin(q, l, r, &root));
+  EXPECT_EQ(root, 2);
+  // Reverse is also a complete star join (root 0).
+  EXPECT_TRUE(subquery::IsCompleteStarJoin(q, r, l, &root));
+  EXPECT_EQ(root, 0);
+}
+
+TEST(SubqueryTest, CompleteStarJoinRequiresNewRoot) {
+  QueryGraph q = queries::Diamond();
+  // l = square 0-1-2-3 (4 edges), r = chord 1-3: both endpoints bound, so
+  // this is verification, not a complete star join.
+  const EdgeMask r = 1u << EdgeId(q, 1, 3);
+  const EdgeMask l = ((1u << q.NumEdges()) - 1) & ~r;
+  QueryVertexId root = 0;
+  EXPECT_FALSE(subquery::IsCompleteStarJoin(q, l, r, &root));
+  EXPECT_TRUE(subquery::SatisfiesC1(q, l, r, &root));
+}
+
+// ---- plan validity: every node's children partition its edges ----
+
+void CheckPlanNode(const ExecutionPlan& plan, int id) {
+  const PlanNode& n = plan.nodes[id];
+  EXPECT_TRUE(subquery::IsConnected(plan.query, n.edges));
+  if (n.IsLeaf()) {
+    EXPECT_TRUE(subquery::IsStar(plan.query, n.edges))
+        << "join units must be stars";
+    return;
+  }
+  const PlanNode& l = plan.nodes[n.left];
+  const PlanNode& r = plan.nodes[n.right];
+  EXPECT_EQ(l.edges | r.edges, n.edges);
+  EXPECT_EQ(l.edges & r.edges, 0u) << "children must be edge-disjoint";
+  if (n.comm == CommMode::kPull) {
+    QueryVertexId root = 0;
+    EXPECT_TRUE(subquery::IsCompleteStarJoin(plan.query, l.edges, r.edges,
+                                             &root) ||
+                subquery::SatisfiesC1(plan.query, l.edges, r.edges, &root))
+        << "pulling requires Property 3.1";
+  }
+  CheckPlanNode(plan, n.left);
+  CheckPlanNode(plan, n.right);
+}
+
+class OptimizerValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerValidityTest, PlanIsWellFormed) {
+  const QueryGraph q = queries::Q(GetParam());
+  OptimizerOptions opt;
+  opt.num_machines = 4;
+  const ExecutionPlan plan = Optimize(q, TestStats(), opt);
+  ASSERT_GE(plan.root, 0);
+  EXPECT_EQ(plan.nodes[plan.root].edges, (1u << q.NumEdges()) - 1u);
+  CheckPlanNode(plan, plan.root);
+  EXPECT_GT(plan.estimated_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, OptimizerValidityTest,
+                         ::testing::Range(1, 9));
+
+TEST(OptimizerTest, CliquePlanIsPullWcoOnly) {
+  // Equation 3: every join of the 4-clique plan should be a complete star
+  // join executed as (wco, pulling) — the BiGJoin-style plan of Fig. 1b.
+  const ExecutionPlan plan =
+      Optimize(queries::Clique(4), TestStats(), {.num_machines = 4});
+  for (const PlanNode& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_EQ(n.algo, JoinAlgo::kWco);
+    EXPECT_EQ(n.comm, CommMode::kPull);
+  }
+}
+
+TEST(OptimizerTest, LongPathPlanUsesPushJoin) {
+  // The 5-path's optimal plan joins two sub-paths with a pushing hash join
+  // (Figure 1d): a pure wco plan would materialise a huge mid-path.
+  const ExecutionPlan plan =
+      Optimize(queries::Path(6), TestStats(), {.num_machines = 4});
+  bool has_push_hash = false;
+  for (const PlanNode& n : plan.nodes) {
+    if (!n.IsLeaf() && n.algo == JoinAlgo::kHash &&
+        n.comm == CommMode::kPush) {
+      has_push_hash = true;
+    }
+  }
+  EXPECT_TRUE(has_push_hash);
+}
+
+TEST(OptimizerTest, RestrictionsRespected) {
+  const GraphStats stats = TestStats();
+  // SEED profile: hash joins + pushing only.
+  OptimizerOptions seed;
+  seed.allow_wco = false;
+  seed.allow_pull = false;
+  const ExecutionPlan plan = Optimize(queries::Q(4), stats, seed);
+  for (const PlanNode& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_EQ(n.algo, JoinAlgo::kHash);
+    EXPECT_EQ(n.comm, CommMode::kPush);
+  }
+}
+
+TEST(OptimizerTest, LeftDeepOnlyYieldsUnitRightChildren) {
+  OptimizerOptions opt;
+  opt.left_deep_only = true;
+  const ExecutionPlan plan = Optimize(queries::Q(6), TestStats(), opt);
+  for (const PlanNode& n : plan.nodes) {
+    if (n.IsLeaf()) continue;
+    EXPECT_TRUE(plan.nodes[n.right].IsLeaf())
+        << "left-deep plans join a unit on the right";
+  }
+}
+
+TEST(OptimizerTest, StarQueryIsSingleUnit) {
+  QueryGraph star(4, "3-star");
+  star.AddEdge(0, 1);
+  star.AddEdge(0, 2);
+  star.AddEdge(0, 3);
+  const ExecutionPlan plan = Optimize(star, TestStats(), {});
+  EXPECT_EQ(plan.nodes.size(), 1u);
+  EXPECT_TRUE(plan.nodes[plan.root].IsLeaf());
+}
+
+TEST(OptimizerTest, TryOptimizeFailsGracefully) {
+  // Pull-only, hash-only, left-deep cannot express a triangle-closing join
+  // for every query; whatever happens it must not abort.
+  OptimizerOptions opt;
+  opt.allow_push = false;
+  opt.allow_wco = false;
+  opt.allow_hash = false;  // nothing allowed -> no plan
+  ExecutionPlan plan;
+  EXPECT_FALSE(TryOptimize(queries::Q(1), TestStats(), opt, &plan));
+}
+
+TEST(WcoLeftDeepPlanTest, CoversAllEdgesWithCompleteStarJoins) {
+  for (int i = 1; i <= 8; ++i) {
+    const QueryGraph q = queries::Q(i);
+    const ExecutionPlan plan = WcoLeftDeepPlan(q, CommMode::kPull);
+    EXPECT_EQ(plan.nodes[plan.root].edges, (1u << q.NumEdges()) - 1u);
+    for (const PlanNode& n : plan.nodes) {
+      if (n.IsLeaf()) continue;
+      QueryVertexId root = 0;
+      EXPECT_TRUE(subquery::IsCompleteStarJoin(
+          q, plan.nodes[n.left].edges, plan.nodes[n.right].edges, &root))
+          << "q" << i;
+      EXPECT_EQ(n.algo, JoinAlgo::kWco);
+    }
+  }
+}
+
+TEST(CostModelTest, StarCardinalityUsesMoments) {
+  const GraphStats stats = TestStats();
+  QueryGraph star3(4);
+  star3.AddEdge(0, 1);
+  star3.AddEdge(0, 2);
+  star3.AddEdge(0, 3);
+  const double est =
+      EstimateCardinality(star3, (1u << 3) - 1u, stats);
+  // Ordered 3-star estimate is |V| * E[d^3] (within rounding).
+  const double expected = stats.num_vertices * stats.moment[3];
+  EXPECT_NEAR(est / expected, 1.0, 0.01);
+}
+
+TEST(CostModelTest, MoreEdgesDoNotIncreaseEstimate) {
+  // Adding a closure edge multiplies by a probability <= 1.
+  const GraphStats stats = TestStats();
+  const QueryGraph sq = queries::Square();
+  const QueryGraph di = queries::Diamond();
+  const double open_est =
+      EstimateCardinality(sq, (1u << sq.NumEdges()) - 1u, stats);
+  const double closed_est =
+      EstimateCardinality(di, (1u << di.NumEdges()) - 1u, stats);
+  EXPECT_LE(closed_est, open_est * 1.01);
+}
+
+TEST(CostModelTest, GraphStatsBasics) {
+  const Graph g = gen::Complete(10);
+  const GraphStats s = GraphStats::Compute(g);
+  EXPECT_DOUBLE_EQ(s.num_vertices, 10);
+  EXPECT_DOUBLE_EQ(s.num_edges, 45);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 9);
+  EXPECT_DOUBLE_EQ(s.max_degree, 9);
+  EXPECT_DOUBLE_EQ(s.moment[2], 81);
+}
+
+TEST(PlanToStringTest, RendersTree) {
+  const ExecutionPlan plan =
+      Optimize(queries::Q(1), TestStats(), {.num_machines = 2});
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("JOIN"), std::string::npos);
+  EXPECT_NE(s.find("UNIT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace huge

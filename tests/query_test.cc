@@ -1,0 +1,157 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "oracle/oracle.h"
+#include "query/matching_order.h"
+
+namespace huge {
+namespace {
+
+TEST(QueryGraphTest, BasicAccessors) {
+  QueryGraph q = queries::Square();
+  EXPECT_EQ(q.NumVertices(), 4);
+  EXPECT_EQ(q.NumEdges(), 4);
+  EXPECT_TRUE(q.HasEdge(0, 1));
+  EXPECT_TRUE(q.HasEdge(1, 0));
+  EXPECT_FALSE(q.HasEdge(0, 2));
+  EXPECT_EQ(q.Degree(0), 2);
+}
+
+TEST(QueryGraphTest, DuplicateEdgeIdempotent) {
+  QueryGraph q(3);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 0);
+  EXPECT_EQ(q.NumEdges(), 1);
+}
+
+TEST(QueryGraphTest, EdgesCanonicallyOrdered) {
+  QueryGraph q(4);
+  q.AddEdge(3, 2);
+  q.AddEdge(1, 0);
+  const auto& edges = q.Edges();
+  EXPECT_EQ(edges[0], (std::pair<QueryVertexId, QueryVertexId>(0, 1)));
+  EXPECT_EQ(edges[1], (std::pair<QueryVertexId, QueryVertexId>(2, 3)));
+}
+
+TEST(QueryGraphTest, Connectivity) {
+  EXPECT_TRUE(queries::Square().IsConnected());
+  EXPECT_TRUE(queries::Clique(5).IsConnected());
+  QueryGraph disconnected(4);
+  disconnected.AddEdge(0, 1);
+  disconnected.AddEdge(2, 3);
+  EXPECT_FALSE(disconnected.IsConnected());
+  QueryGraph isolated(3);
+  isolated.AddEdge(0, 1);
+  EXPECT_FALSE(isolated.IsConnected());
+}
+
+struct AutCase {
+  const char* name;
+  QueryGraph query;
+  size_t aut;
+};
+
+class AutomorphismTest : public ::testing::TestWithParam<AutCase> {};
+
+TEST_P(AutomorphismTest, GroupOrder) {
+  EXPECT_EQ(GetParam().query.Automorphisms().size(), GetParam().aut);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownGroups, AutomorphismTest,
+    ::testing::Values(
+        AutCase{"triangle", queries::Triangle(), 6},
+        AutCase{"square", queries::Square(), 8},        // dihedral D4
+        AutCase{"diamond", queries::Diamond(), 4},
+        AutCase{"clique4", queries::Clique(4), 24},
+        AutCase{"house", queries::House(), 2},
+        AutCase{"tailed", queries::TailedClique(), 6},  // S3 on free clique
+        AutCase{"path6", queries::Path(6), 2},
+        AutCase{"cycle5", queries::FiveCycle(), 10},
+        AutCase{"dsq", queries::DoubleSquare(), 4},
+        AutCase{"chained", queries::ChainedTriangles(), 8}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+class SymmetryBreakTest : public ::testing::TestWithParam<int> {};
+
+/// The defining property of symmetry breaking: with the order constraints
+/// applied, each subgraph instance is counted exactly once, so
+/// count_with_orders * |Aut(q)| == count_of_all_isomorphic_mappings.
+TEST_P(SymmetryBreakTest, CountsEachInstanceOnce) {
+  const QueryGraph q = queries::Q(GetParam());
+  const Graph g = gen::ErdosRenyi(60, 240, 77);
+  const uint64_t with_orders = Oracle::Count(g, q);
+  const uint64_t all = Oracle::CountAllMappings(g, q);
+  const uint64_t aut = q.Automorphisms().size();
+  EXPECT_EQ(with_orders * aut, all) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, SymmetryBreakTest,
+                         ::testing::Range(1, 9));
+
+TEST(SymmetryBreakTest, CliqueGetsTotalOrder) {
+  const auto orders = queries::Clique(4).SymmetryBreakingOrders();
+  // A 4-clique needs its automorphisms fully broken: the constraint set
+  // must force a unique assignment per instance (C(4,2)=6 pairwise or a
+  // transitive subset; the greedy algorithm emits orbit-based chains).
+  EXPECT_GE(orders.size(), 3u);
+}
+
+TEST(SymmetryBreakTest, AsymmetricQueryNeedsNoOrders) {
+  // A triangle with a pendant on one corner and a 2-path on another has a
+  // trivial automorphism group (all three corners are distinguishable).
+  QueryGraph q(6, "asymmetric");
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  q.AddEdge(0, 3);
+  q.AddEdge(1, 4);
+  q.AddEdge(4, 5);
+  EXPECT_EQ(q.Automorphisms().size(), 1u);
+  EXPECT_TRUE(q.SymmetryBreakingOrders().empty());
+}
+
+TEST(QueryLibraryTest, PaperQueryShapes) {
+  EXPECT_EQ(queries::Q(1).NumVertices(), 4);
+  EXPECT_EQ(queries::Q(1).NumEdges(), 4);
+  EXPECT_EQ(queries::Q(2).NumEdges(), 5);
+  EXPECT_EQ(queries::Q(3).NumEdges(), 6);
+  EXPECT_EQ(queries::Q(4).NumVertices(), 5);
+  EXPECT_EQ(queries::Q(5).NumEdges(), 7);
+  EXPECT_EQ(queries::Q(6).NumVertices(), 6);
+  EXPECT_EQ(queries::Q(7).NumEdges(), 5);  // the "5-path"
+  EXPECT_EQ(queries::Q(8).NumVertices(), 6);
+  for (int i = 1; i <= 8; ++i) EXPECT_TRUE(queries::Q(i).IsConnected());
+}
+
+TEST(MatchingOrderTest, ConnectedAndComplete) {
+  for (int i = 1; i <= 8; ++i) {
+    const QueryGraph q = queries::Q(i);
+    const auto order = ConnectedMatchingOrder(q);
+    ASSERT_EQ(order.size(), static_cast<size_t>(q.NumVertices()));
+    std::vector<bool> seen(q.NumVertices(), false);
+    seen[order[0]] = true;
+    for (size_t j = 1; j < order.size(); ++j) {
+      bool attached = false;
+      for (int v = 0; v < q.NumVertices(); ++v) {
+        if (seen[v] && q.HasEdge(order[j], static_cast<QueryVertexId>(v))) {
+          attached = true;
+        }
+      }
+      EXPECT_TRUE(attached) << "q" << i << " order position " << j;
+      EXPECT_FALSE(seen[order[j]]);
+      seen[order[j]] = true;
+    }
+  }
+}
+
+TEST(MatchingOrderTest, StartsAtMaxDegree) {
+  const QueryGraph q = queries::TailedClique();
+  // Vertex 3 has degree 4 (clique + tail); the order must start there.
+  EXPECT_EQ(ConnectedMatchingOrder(q)[0], 3);
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+
+namespace huge {
+namespace {
+
+/// Scheduling-focused tests for the BFS/DFS-adaptive scheduler (Section 5,
+/// Exp-7): correctness across the whole DFS <-> adaptive <-> BFS spectrum,
+/// and the memory-boundedness claims of Theorem 5.4.
+
+std::shared_ptr<Graph> MemHeavyGraph() {
+  // Moderately dense power-law graph: the open 4-path below explodes
+  // intermediate results relative to the graph size.
+  static std::shared_ptr<Graph> g =
+      std::make_shared<Graph>(gen::PowerLaw(3000, 14, 2.2, 21));
+  return g;
+}
+
+TEST(SchedulerTest, QueueCapacitySpectrumSameCounts) {
+  auto g = MemHeavyGraph();
+  const QueryGraph q = queries::Square();
+  const uint64_t expect = Oracle::Count(*g, q);
+  for (uint32_t capacity : {1u, 2u, 8u, 64u, 0u}) {
+    Config cfg;
+    cfg.num_machines = 3;
+    cfg.batch_size = 256;
+    cfg.queue_capacity = capacity;
+    Runner runner(g, cfg);
+    EXPECT_EQ(runner.Run(q).matches, expect) << "capacity " << capacity;
+  }
+}
+
+TEST(SchedulerTest, AdaptiveBoundsMemoryVsBfs) {
+  // Exp-7 (Figure 9): BFS (unbounded queues) holds all intermediate
+  // results; the adaptive scheduler with small queues holds a constant
+  // number of batches per operator. Disable count fusion so the final
+  // level is materialised, and disable the cache contribution by making
+  // it tiny.
+  auto g = MemHeavyGraph();
+  const QueryGraph q = queries::Path(4);  // 3-path: huge mid results
+
+  auto run_with_capacity = [&](uint32_t capacity) {
+    Config cfg;
+    cfg.num_machines = 2;
+    cfg.workers_per_machine = 1;
+    cfg.batch_size = 512;
+    cfg.queue_capacity = capacity;
+    cfg.count_fusion = false;
+    cfg.cache_capacity_bytes = 1 << 14;
+    cfg.inter_stealing = false;
+    Runner runner(g, cfg);
+    return runner.Run(q).metrics.peak_memory_bytes;
+  };
+
+  const uint64_t adaptive = run_with_capacity(4);
+  const uint64_t bfs = run_with_capacity(0);
+  // BFS materialises the full intermediate level (the final level streams
+  // into the counting sink in every mode); adaptive holds a constant
+  // number of batches per operator.
+  EXPECT_LT(adaptive * 3, bfs)
+      << "adaptive peak " << adaptive << " vs BFS peak " << bfs;
+}
+
+TEST(SchedulerTest, AdaptivePeakRespectsTheoremBound) {
+  // Theorem 5.4: O(|Vq|^2 * D_G) rows in flight. With batch size b and
+  // queue capacity c, each of the O(|Vq|) operators holds <= (c+1) batches
+  // plus one batch's overflow of b * D_G rows of width <= |Vq|.
+  auto g = MemHeavyGraph();
+  const QueryGraph q = queries::Square();
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.batch_size = 256;
+  cfg.queue_capacity = 4;
+  cfg.count_fusion = false;
+  cfg.cache_capacity_bytes = 1 << 14;
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(q);
+
+  const uint64_t ops = q.NumVertices();  // chain length is O(|Vq|)
+  const uint64_t row_bytes = q.NumVertices() * sizeof(VertexId);
+  const uint64_t batch_rows_bound =
+      uint64_t{cfg.batch_size} * (cfg.queue_capacity + 1) +
+      uint64_t{cfg.batch_size} * g->MaxDegree();
+  const uint64_t bound = cfg.num_machines *
+                         (ops * batch_rows_bound * row_bytes +
+                          2 * (1 << 14) /* caches */);
+  EXPECT_LE(r.metrics.peak_memory_bytes, bound);
+}
+
+TEST(SchedulerTest, DfsStyleStillCorrectUnderStealing) {
+  auto g = MemHeavyGraph();
+  const QueryGraph q = queries::Triangle();
+  const uint64_t expect = Oracle::Count(*g, q);
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.queue_capacity = 1;
+  cfg.batch_size = 64;
+  cfg.inter_stealing = true;
+  Runner runner(g, cfg);
+  EXPECT_EQ(runner.Run(q).matches, expect);
+}
+
+TEST(SchedulerTest, InterStealingActuallySteals) {
+  // A star graph puts all the square-counting work on the hub's owner;
+  // other machines must steal to help.
+  auto g = std::make_shared<Graph>(gen::PowerLaw(2000, 10, 2.05, 3));
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 16;  // many small batches -> stealable units
+  cfg.queue_capacity = 0;
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Q(1));
+  EXPECT_GT(r.metrics.inter_steals, 0u);
+  EXPECT_EQ(r.matches, Oracle::Count(*g, queries::Q(1)));
+}
+
+TEST(SchedulerTest, IntraStealingBalancesWorkers) {
+  auto g = MemHeavyGraph();
+  Config cfg;
+  cfg.num_machines = 1;
+  cfg.workers_per_machine = 4;
+  cfg.batch_size = 4096;
+  cfg.chunk_rows = 32;
+  Runner runner(g, cfg);
+  RunResult r = runner.Run(queries::Q(1));
+  EXPECT_GT(r.metrics.intra_steals, 0u);
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+#include "plan/translate.h"
+
+namespace huge {
+namespace {
+
+/// Cross-dataset-class sweep: the engine must agree with the oracle on
+/// every structural class the paper evaluates (social/web power-law with
+/// different tails, road grids, uniform random), for every paper query
+/// that is cheap enough to oracle-check.
+
+struct SweepCase {
+  const char* graph_name;
+  std::function<Graph()> make;
+  int query;
+};
+
+class DatasetSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DatasetSweepTest, EngineMatchesOracle) {
+  const SweepCase& c = GetParam();
+  auto g = std::make_shared<Graph>(c.make());
+  const QueryGraph q = queries::Q(c.query);
+  const uint64_t expect = Oracle::Count(*g, q);
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.workers_per_machine = 2;
+  cfg.batch_size = 512;
+  Runner runner(g, cfg);
+  EXPECT_EQ(runner.Run(q).matches, expect);
+}
+
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> cases;
+  const std::pair<const char*, std::function<Graph()>> graphs[] = {
+      {"social", [] { return gen::PowerLaw(900, 10, 2.5, 41); }},
+      {"web", [] { return gen::PowerLaw(900, 7, 2.15, 42); }},
+      {"road", [] { return gen::Road(30, 30, 80, 43); }},
+      {"uniform", [] { return gen::ErdosRenyi(700, 2800, 44); }},
+  };
+  for (const auto& [name, make] : graphs) {
+    for (int query : {1, 2, 3, 4, 8}) {
+      cases.push_back({name, make, query});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, DatasetSweepTest, ::testing::ValuesIn(SweepCases()),
+    [](const auto& info) {
+      return std::string(info.param.graph_name) + "_q" +
+             std::to_string(info.param.query);
+    });
+
+/// Every system profile must produce a *valid* plan for every query it can
+/// plan: units are stars, children partition edges, pull joins satisfy
+/// Property 3.1, and translation round-trips into a well-formed dataflow.
+struct SystemPlanCase {
+  System system;
+  int query;
+};
+
+class SystemPlanValidityTest
+    : public ::testing::TestWithParam<SystemPlanCase> {};
+
+TEST_P(SystemPlanValidityTest, PlanAndDataflowWellFormed) {
+  static const Graph g = gen::PowerLaw(10000, 10, 2.4, 77);
+  const GraphStats stats = GraphStats::Compute(g);
+  const auto& c = GetParam();
+  const QueryGraph q = queries::Q(c.query);
+  ExecutionPlan plan;
+  if (!PlanForSystem(c.system, q, stats, 4, &plan)) {
+    GTEST_SKIP() << ToString(c.system) << " cannot plan q" << c.query;
+  }
+  ASSERT_GE(plan.root, 0);
+  EXPECT_EQ(plan.nodes[plan.root].edges, (1u << q.NumEdges()) - 1u);
+  // Structural validity of every node.
+  for (const PlanNode& n : plan.nodes) {
+    EXPECT_TRUE(subquery::IsConnected(q, n.edges));
+    if (n.IsLeaf()) {
+      EXPECT_TRUE(subquery::IsStar(q, n.edges));
+      continue;
+    }
+    const PlanNode& l = plan.nodes[n.left];
+    const PlanNode& r = plan.nodes[n.right];
+    EXPECT_EQ(l.edges | r.edges, n.edges);
+    EXPECT_EQ(l.edges & r.edges, 0u);
+    if (n.comm == CommMode::kPull) {
+      QueryVertexId root = 0;
+      EXPECT_TRUE(
+          subquery::IsCompleteStarJoin(q, l.edges, r.edges, &root) ||
+          subquery::SatisfiesC1(q, l.edges, r.edges, &root));
+    }
+  }
+  // Translation must produce a dataflow binding all vertices at the sink.
+  const Dataflow df = Translate(plan);
+  EXPECT_EQ(df.ops[df.sink].schema.size(),
+            static_cast<size_t>(q.NumVertices()));
+}
+
+std::vector<SystemPlanCase> SystemPlanCases() {
+  std::vector<SystemPlanCase> cases;
+  for (System s : {System::kHuge, System::kHugeWco, System::kHugeSeed,
+                   System::kHugeRads, System::kHugeEh, System::kHugeGf,
+                   System::kSeed, System::kBiGJoin, System::kBenu,
+                   System::kRads, System::kStarJoin}) {
+    for (int q = 1; q <= 8; ++q) cases.push_back({s, q});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, SystemPlanValidityTest,
+    ::testing::ValuesIn(SystemPlanCases()), [](const auto& info) {
+      std::string name = ToString(info.param.system);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_q" + std::to_string(info.param.query);
+    });
+
+TEST(SweepTest, ScaledDatasetDeterminism) {
+  // Generators must be bit-deterministic so every bench is replayable.
+  const Graph a = gen::PowerLaw(5000, 12, 2.3, 1002);
+  const Graph b = gen::PowerLaw(5000, 12, 2.3, 1002);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); v += 97) {
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,226 @@
+#include "plan/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "plan/cost_model.h"
+#include "plan/optimizer.h"
+#include "query/query_graph.h"
+
+namespace huge {
+namespace {
+
+GraphStats TestStats() {
+  static const Graph g = gen::PowerLaw(20000, 12, 2.4, 123);
+  return GraphStats::Compute(g);
+}
+
+class TranslateValidityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranslateValidityTest, DataflowIsWellFormed) {
+  const QueryGraph q = queries::Q(GetParam());
+  const Dataflow df =
+      Translate(Optimize(q, TestStats(), {.num_machines = 4}));
+
+  ASSERT_GE(df.sink, 0);
+  const OpDesc& sink = df.ops[df.sink];
+  EXPECT_EQ(sink.kind, OpKind::kSink);
+  // The sink binds every query vertex exactly once.
+  ASSERT_EQ(sink.schema.size(), static_cast<size_t>(q.NumVertices()));
+  uint32_t bound = 0;
+  for (QueryVertexId v : sink.schema) bound |= 1u << v;
+  EXPECT_EQ(bound, (1u << q.NumVertices()) - 1u);
+
+  for (size_t i = 0; i < df.ops.size(); ++i) {
+    const OpDesc& op = df.ops[i];
+    // Topological order: inputs precede consumers.
+    EXPECT_LT(op.input, static_cast<int>(i));
+    EXPECT_LT(op.left_input, static_cast<int>(i));
+    EXPECT_LT(op.right_input, static_cast<int>(i));
+    switch (op.kind) {
+      case OpKind::kScan:
+        EXPECT_EQ(op.schema.size(), 2u);
+        EXPECT_TRUE(q.HasEdge(op.scan_u, op.scan_v));
+        break;
+      case OpKind::kPullExtend:
+      case OpKind::kPushExtend: {
+        ASSERT_GE(op.input, 0);
+        const OpDesc& in = df.ops[op.input];
+        EXPECT_EQ(op.schema.size(), in.schema.size() + 1);
+        EXPECT_EQ(op.schema.back(), op.target);
+        // Every extension index refers to a neighbour of the target.
+        for (int p : op.ext) {
+          EXPECT_TRUE(q.HasEdge(in.schema[p], op.target));
+        }
+        break;
+      }
+      case OpKind::kVerifyExtend: {
+        ASSERT_GE(op.input, 0);
+        EXPECT_EQ(op.schema.size(), df.ops[op.input].schema.size());
+        EXPECT_GE(op.verify_pos, 0);
+        for (int p : op.ext) {
+          EXPECT_TRUE(q.HasEdge(op.schema[p], op.schema[op.verify_pos]));
+        }
+        break;
+      }
+      case OpKind::kPushJoin: {
+        ASSERT_GE(op.left_input, 0);
+        ASSERT_GE(op.right_input, 0);
+        EXPECT_EQ(op.left_key.size(), op.right_key.size());
+        EXPECT_FALSE(op.left_key.empty());
+        EXPECT_EQ(op.schema.size(), df.ops[op.left_input].schema.size() +
+                                        op.right_carry.size());
+        break;
+      }
+      case OpKind::kSink:
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, TranslateValidityTest,
+                         ::testing::Range(1, 9));
+
+TEST(TranslateTest, EveryQueryEdgeIsEnforcedExactlyOnce) {
+  // Each query edge must be realised by exactly one operator: a scan pair,
+  // a (target, ext) pair of a grow extension, a (verify_pos, ext) pair of
+  // a verification, or implicitly by a join's shared key (edges are only
+  // *checked*, never re-checked).
+  for (int qi = 1; qi <= 8; ++qi) {
+    const QueryGraph q = queries::Q(qi);
+    const Dataflow df =
+        Translate(Optimize(q, TestStats(), {.num_machines = 4}));
+    std::map<std::pair<int, int>, int> covered;
+    auto cover = [&](QueryVertexId a, QueryVertexId b) {
+      covered[{std::min<int>(a, b), std::max<int>(a, b)}]++;
+    };
+    for (const OpDesc& op : df.ops) {
+      switch (op.kind) {
+        case OpKind::kScan:
+          cover(op.scan_u, op.scan_v);
+          break;
+        case OpKind::kPullExtend:
+        case OpKind::kPushExtend: {
+          const OpDesc& in = df.ops[op.input];
+          for (int p : op.ext) cover(in.schema[p], op.target);
+          break;
+        }
+        case OpKind::kVerifyExtend:
+          for (int p : op.ext) cover(op.schema[p], op.schema[op.verify_pos]);
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& [a, b] : q.Edges()) {
+      auto it = covered.find({a, b});
+      ASSERT_NE(it, covered.end())
+          << "q" << qi << " edge " << int(a) << "-" << int(b)
+          << " never enforced";
+      EXPECT_EQ(it->second, 1)
+          << "q" << qi << " edge " << int(a) << "-" << int(b)
+          << " enforced more than once";
+    }
+  }
+}
+
+TEST(TranslateTest, StarUnitRewrittenAsScanPlusExtends) {
+  // A 3-star join unit becomes SCAN(edge) + 2 PULL-EXTENDs ({0}) per
+  // Section 5.2.
+  QueryGraph star(4, "3-star");
+  star.AddEdge(0, 1);
+  star.AddEdge(0, 2);
+  star.AddEdge(0, 3);
+  const Dataflow df = Translate(Optimize(star, TestStats(), {}));
+  ASSERT_EQ(df.ops.size(), 4u);  // scan + 2 extends + sink
+  EXPECT_EQ(df.ops[0].kind, OpKind::kScan);
+  EXPECT_EQ(df.ops[0].scan_u, 0);  // rooted at the hub
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_EQ(df.ops[i].kind, OpKind::kPullExtend);
+    ASSERT_EQ(df.ops[i].ext.size(), 1u);
+    EXPECT_EQ(df.ops[i].ext[0], 0);  // always extends from the root column
+  }
+}
+
+TEST(TranslateTest, SymmetryFiltersInstalled) {
+  // The square has non-trivial automorphisms; its dataflow must carry
+  // order filters (scan filter or extension filters).
+  const Dataflow df =
+      Translate(Optimize(queries::Square(), TestStats(), {}));
+  size_t filters = 0;
+  for (const OpDesc& op : df.ops) {
+    filters += op.filters.size();
+    if (op.scan_filter != 0) ++filters;
+    filters += op.join_less.size();
+  }
+  EXPECT_GE(filters, 3u);  // |Aut(square)| = 8 needs three generators
+}
+
+TEST(TranslateTest, RadsPlanProducesVerifyExtends) {
+  // RADS-profile plans (pull hash joins) must include verification
+  // extensions for the leaves already bound on the left side.
+  OptimizerOptions opt;
+  opt.allow_wco = false;
+  opt.allow_push = false;
+  opt.left_deep_only = true;
+  ExecutionPlan plan;
+  ASSERT_TRUE(TryOptimize(queries::Diamond(), TestStats(), opt, &plan));
+  const Dataflow df = Translate(plan);
+  bool has_verify = false;
+  for (const OpDesc& op : df.ops) {
+    if (op.kind == OpKind::kVerifyExtend) has_verify = true;
+    EXPECT_NE(op.kind, OpKind::kPushJoin) << "RADS never pushes";
+  }
+  EXPECT_TRUE(has_verify);
+}
+
+TEST(TranslateTest, PushJoinKeysMatchSharedVertices) {
+  const Dataflow df =
+      Translate(Optimize(queries::Path(6), TestStats(), {.num_machines = 4}));
+  for (const OpDesc& op : df.ops) {
+    if (op.kind != OpKind::kPushJoin) continue;
+    const OpDesc& l = df.ops[op.left_input];
+    const OpDesc& r = df.ops[op.right_input];
+    for (size_t i = 0; i < op.left_key.size(); ++i) {
+      EXPECT_EQ(l.schema[op.left_key[i]], r.schema[op.right_key[i]])
+          << "key columns must bind the same query vertex";
+    }
+  }
+}
+
+TEST(TranslateTest, SuccessorChainReachesSink) {
+  const Dataflow df =
+      Translate(Optimize(queries::Q(3), TestStats(), {.num_machines = 2}));
+  int cur = 0;
+  int hops = 0;
+  while (df.SuccessorOf(cur) >= 0 && hops < 32) {
+    cur = df.SuccessorOf(cur);
+    ++hops;
+  }
+  EXPECT_EQ(cur, df.sink);
+}
+
+TEST(TranslateTest, ToStringMentionsAllOps) {
+  const Dataflow df =
+      Translate(Optimize(queries::Q(1), TestStats(), {.num_machines = 2}));
+  const std::string s = df.ToString();
+  EXPECT_NE(s.find("SCAN"), std::string::npos);
+  EXPECT_NE(s.find("PULL-EXTEND"), std::string::npos);
+  EXPECT_NE(s.find("SINK"), std::string::npos);
+}
+
+TEST(PassesExtendFiltersTest, InjectivityAndOrders) {
+  OpDesc op;
+  op.filters = {{0, /*less=*/false}};  // new > row[0]
+  const VertexId row_data[2] = {5, 9};
+  std::span<const VertexId> row{row_data, 2};
+  EXPECT_TRUE(PassesExtendFilters(op, row, 7));
+  EXPECT_FALSE(PassesExtendFilters(op, row, 3));   // violates order
+  EXPECT_FALSE(PassesExtendFilters(op, row, 9));   // duplicate vertex
+  op.filters.push_back({1, /*less=*/true});        // new < row[1]
+  EXPECT_TRUE(PassesExtendFilters(op, row, 8));
+  EXPECT_FALSE(PassesExtendFilters(op, row, 10));
+}
+
+}  // namespace
+}  // namespace huge

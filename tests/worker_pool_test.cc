@@ -1,0 +1,95 @@
+#include "engine/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace huge {
+namespace {
+
+TEST(WorkerPoolTest, ProcessesEveryIndexExactlyOnce) {
+  WorkerPool pool(4, true);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelChunks(1000, 7, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ZeroTotalIsNoop) {
+  WorkerPool pool(2, true);
+  pool.ParallelChunks(0, 16, [](int, size_t, size_t) { FAIL(); });
+}
+
+TEST(WorkerPoolTest, SingleWorkerWorks) {
+  WorkerPool pool(1, true);
+  std::atomic<size_t> sum{0};
+  pool.ParallelChunks(100, 3, [&](int wid, size_t begin, size_t end) {
+    EXPECT_EQ(wid, 0);
+    sum += end - begin;
+  });
+  EXPECT_EQ(sum.load(), 100u);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossJobs) {
+  WorkerPool pool(3, true);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelChunks(50, 5, [&](int, size_t begin, size_t end) {
+      count += end - begin;
+    });
+    ASSERT_EQ(count.load(), 50u) << "round " << round;
+  }
+}
+
+TEST(WorkerPoolTest, StealingBalancesSkewedWork) {
+  // Chunks are dealt round-robin, so chunk begins with begin % 4 == 0 all
+  // land on worker 0's deque; the sleep makes them heavy and the other
+  // workers drain their own deques and then steal.
+  WorkerPool stealing(4, true);
+  std::atomic<uint64_t> done{0};
+  stealing.ParallelChunks(64, 1, [&](int, size_t begin, size_t) {
+    if (begin % 4 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64u);
+  EXPECT_GT(stealing.steal_count(), 0u);
+
+  WorkerPool no_steal(4, false);
+  no_steal.ParallelChunks(64, 1, [&](int, size_t, size_t) {});
+  EXPECT_EQ(no_steal.steal_count(), 0u);
+}
+
+TEST(WorkerPoolTest, BusySecondsAccumulate) {
+  WorkerPool pool(2, true);
+  pool.ParallelChunks(16, 1, [](int, size_t, size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  const auto busy = pool.BusySeconds();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_GT(busy[0] + busy[1], 0.008);
+  pool.ResetStats();
+  const auto after = pool.BusySeconds();
+  EXPECT_EQ(after[0], 0.0);
+}
+
+TEST(WorkerPoolTest, ConcurrentChunkWritersDoNotRace) {
+  WorkerPool pool(4, true);
+  std::vector<int> data(10000, 0);
+  pool.ParallelChunks(data.size(), 64, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data[i] = static_cast<int>(i);
+  });
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace huge
