@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "engine/batch.h"
 #include "engine/intersect.h"
+#include "engine/simd_intersect.h"
 
 namespace huge {
 namespace {
@@ -62,6 +63,81 @@ void BM_IntersectThreeWay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntersectThreeWay)->Arg(1024)->Arg(16384);
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar kernel shoot-out on balanced random lists (the acceptance
+// benchmark: the SIMD path must beat the scalar merge at 4096x4096).
+// Fixed-level entry points bypass the adaptive router so each bench
+// measures exactly one kernel.
+// ---------------------------------------------------------------------------
+
+void BM_IntersectKernelScalar(benchmark::State& state) {
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            simd::kIntersectOutSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::IntersectScalar(a, b, out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectKernelScalar)->Arg(4096)->Arg(65536);
+
+void BM_IntersectKernelSse41(benchmark::State& state) {
+  if (simd::DetectedLevel() < simd::IsaLevel::kSse41) {
+    state.SkipWithError("CPU lacks SSE4.1");
+    return;
+  }
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            simd::kIntersectOutSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::IntersectSse41(a, b, out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectKernelSse41)->Arg(4096)->Arg(65536);
+
+void BM_IntersectKernelAvx2(benchmark::State& state) {
+  if (simd::DetectedLevel() < simd::IsaLevel::kAvx2) {
+    state.SkipWithError("CPU lacks AVX2");
+    return;
+  }
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            simd::kIntersectOutSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::IntersectAvx2(a, b, out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectKernelAvx2)->Arg(4096)->Arg(65536);
+
+void BM_IntersectCountScalar(benchmark::State& state) {
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::IntersectCountScalar(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCountScalar)->Arg(4096)->Arg(65536);
+
+void BM_IntersectCountSimd(benchmark::State& state) {
+  if (simd::DetectedLevel() == simd::IsaLevel::kScalar) {
+    state.SkipWithError("CPU lacks SSE4.1/AVX2");
+    return;
+  }
+  const auto a = RandomSorted(state.range(0), 1);
+  const auto b = RandomSorted(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::IntersectCountV(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCountSimd)->Arg(4096)->Arg(65536);
 
 /// Zero-copy lock-free LRBU reads (the Exp-6 argument at kernel level).
 void BM_LrbuRead(benchmark::State& state) {

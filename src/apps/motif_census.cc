@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "engine/intersect.h"
 
 namespace huge::apps {
 namespace {
@@ -79,6 +81,25 @@ std::vector<QueryGraph> ConnectedMotifs(int num_vertices) {
     named.push_back(std::move(q));
   }
   return named;
+}
+
+uint64_t TriangleCount(const Graph& graph) {
+  uint64_t total = 0;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const auto nu = graph.Neighbors(u);
+    for (const VertexId v : nu) {
+      if (v <= u) continue;
+      const auto nv = graph.Neighbors(v);
+      // Clamp both lists to neighbours strictly above v: each triangle
+      // {u < v < w} is counted exactly once, at its smallest two vertices.
+      const auto wu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      const auto wv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      total += IntersectCountSorted(
+          nu.subspan(static_cast<size_t>(wu - nu.begin())),
+          nv.subspan(static_cast<size_t>(wv - nv.begin())));
+    }
+  }
+  return total;
 }
 
 std::vector<MotifCount> MotifCensus(Runner& runner, int num_vertices) {

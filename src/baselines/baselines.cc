@@ -128,6 +128,7 @@ Config ConfigForSystem(System sys, Config base) {
       // inter-machine stealing (load distributed by hash only).
       base.queue_capacity = 0;
       base.inter_stealing = false;
+      base.intersect_kernel = IntersectKernel::kScalarMerge;
       return base;
 
     case System::kBiGJoin:
@@ -135,6 +136,7 @@ Config ConfigForSystem(System sys, Config base) {
       // bounded number of initial edges flows through the whole pipeline
       // per round.
       base.inter_stealing = false;
+      base.intersect_kernel = IntersectKernel::kScalarMerge;
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }
@@ -148,6 +150,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.inter_stealing = false;
       base.intra_stealing = false;
       base.net.external_kv = true;
+      base.intersect_kernel = IntersectKernel::kScalarMerge;
       return base;
 
     case System::kRads:
@@ -155,6 +158,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.queue_capacity = 0;
       base.inter_stealing = false;
       base.cache_kind = CacheKind::kCncrLru;
+      base.intersect_kernel = IntersectKernel::kScalarMerge;
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }

@@ -75,6 +75,7 @@ std::vector<SegmentPlan> Cluster::BuildSegments(const Dataflow& df) const {
 }
 
 RunResult Cluster::Run(const Dataflow& df) {
+  SetIntersectKernelPolicy(config_.intersect_kernel);
   shared_.dataflow = &df;
   tracker_.Reset();
   net_.Reset();
@@ -331,7 +332,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           HopBox& box = inbox[m];
           std::vector<uint64_t> sent_bytes(k, 0);
           Batch out(in_width + 1);
-          std::vector<VertexId> isect;
+          IntersectScratch isect;
           size_t appended = 0;
           for (size_t i = 0; i < box.NumRows(); ++i) {
             if ((i & 255u) == 0) {
@@ -345,23 +346,34 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
             const VertexId pivot = row[op.ext[j]];
             HUGE_DCHECK(pgraph_.Owner(pivot) == m);
             auto nbrs = graph_->Neighbors(pivot);
+            std::span<const VertexId> cands;
             if (j == 0) {
-              isect.assign(nbrs.begin(), nbrs.end());
+              cands = nbrs;  // hop 0: the CSR span itself, no copy
             } else {
-              IntersectSorted(box.cands[i], nbrs, &isect);
+              IntersectSorted(box.cands[i], nbrs, &isect.out);
+              cands = {isect.out.data(), isect.out.size()};
             }
-            if (isect.empty()) continue;
+            if (cands.empty()) continue;
             if (!last_hop) {
               const MachineId dst = pgraph_.Owner(row[op.ext[j + 1]]);
               if (dst != m) {
-                sent_bytes[dst] += (row.size() + isect.size()) * kVertexBytes;
+                sent_bytes[dst] += (row.size() + cands.size()) * kVertexBytes;
               }
-              next[dst].Add(row, std::vector<VertexId>(isect));
-              appended += (row.size() + isect.size()) * kVertexBytes +
+              next[dst].Add(row,
+                            std::vector<VertexId>(cands.begin(), cands.end()));
+              appended += (row.size() + cands.size()) * kVertexBytes +
                           kHopRowOverhead;
+            } else if (fused && op.target_label == QueryGraph::kAnyLabel) {
+              // Fused unlabelled counting: count-only kernels, no per-v
+              // loop. A single staged list never touches the arena's out
+              // buffer, so `cands` aliasing isect.out is safe.
+              isect.lists.assign(1, cands);
+              const uint64_t count =
+                  CountExtendCandidates(isect.lists, op, row, &isect);
+              if (count > 0) machines_[m]->AddMatches(count);
             } else {
               uint64_t count = 0;
-              for (VertexId v : isect) {
+              for (VertexId v : cands) {
                 if (op.target_label != QueryGraph::kAnyLabel &&
                     graph_->Label(v) != op.target_label) {
                   continue;

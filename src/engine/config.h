@@ -7,6 +7,7 @@
 
 #include "cache/cache.h"
 #include "common/types.h"
+#include "engine/intersect.h"
 #include "net/network.h"
 
 namespace huge {
@@ -53,6 +54,11 @@ struct Config {
   /// candidates instead of materialising result rows (the standard wco
   /// counting optimisation; applied uniformly across systems in benches).
   bool count_fusion = true;
+
+  /// Intersection kernel policy applied at the start of each run. HUGE
+  /// defaults to adaptive (merge/gallop/SIMD routing); baseline system
+  /// profiles pin kScalarMerge to model their published scalar kernels.
+  IntersectKernel intersect_kernel = IntersectKernel::kAdaptive;
 
   /// Per-machine, per-side in-memory budget of a PUSH-JOIN buffer before
   /// it spills sorted runs to disk (Section 4.3).

@@ -1,9 +1,21 @@
 #include "engine/intersect.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "engine/simd_intersect.h"
 
 namespace huge {
 namespace {
+
+/// Skew ratio at which galloping through the larger list beats scanning it.
+constexpr size_t kGallopRatio = 32;
+
+/// Below this size the SIMD block loop never fills a register pair; the
+/// scalar merge wins on setup cost.
+constexpr size_t kSimdMinSize = 16;
+
+std::atomic<IntersectKernel> g_policy{IntersectKernel::kAdaptive};
 
 /// Galloping (exponential) search: first index in `a[lo..]` with
 /// a[i] >= x.
@@ -19,27 +31,29 @@ size_t Gallop(std::span<const VertexId> a, size_t lo, VertexId x) {
   return std::lower_bound(a.begin() + lo, a.begin() + hi, x) - a.begin();
 }
 
-}  // namespace
-
-void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
-                     std::vector<VertexId>* out) {
-  out->clear();
-  if (a.empty() || b.empty()) return;
-  if (a.size() > b.size()) std::swap(a, b);
-  if (b.size() / std::max<size_t>(a.size(), 1) >= 32) {
-    // Skewed: gallop through the large list.
-    size_t j = 0;
-    for (VertexId x : a) {
-      j = Gallop(b, j, x);
-      if (j == b.size()) break;
-      if (b[j] == x) {
-        out->push_back(x);
-        ++j;
-      }
+/// Gallop `a` (the smaller list) through `b`. When `out` is null only the
+/// count is produced.
+uint64_t GallopIntersect(std::span<const VertexId> a,
+                         std::span<const VertexId> b,
+                         std::vector<VertexId>* out) {
+  uint64_t n = 0;
+  size_t j = 0;
+  for (VertexId x : a) {
+    j = Gallop(b, j, x);
+    if (j == b.size()) break;
+    if (b[j] == x) {
+      if (out != nullptr) out->push_back(x);
+      ++n;
+      ++j;
     }
-    return;
   }
-  // Balanced: linear merge.
+  return n;
+}
+
+uint64_t MergeIntersect(std::span<const VertexId> a,
+                        std::span<const VertexId> b,
+                        std::vector<VertexId>* out) {
+  if (out == nullptr) return simd::IntersectCountScalar(a, b);
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {
@@ -52,23 +66,141 @@ void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
       ++j;
     }
   }
+  return out->size();
+}
+
+uint64_t SimdIntersect(std::span<const VertexId> a, std::span<const VertexId> b,
+                       std::vector<VertexId>* out) {
+  if (out == nullptr) return simd::IntersectCountV(a, b);
+  // The kernel writes through a persistent per-thread buffer: resizing
+  // `out` directly would value-initialize min+slack elements on every
+  // call, a full extra pass over the data. The buffer only pays that
+  // cost when it grows; the copy-out is O(result) <= O(min).
+  static thread_local std::vector<VertexId> buf;
+  const size_t need = std::min(a.size(), b.size()) + simd::kIntersectOutSlack;
+  if (buf.size() < need) buf.resize(need);
+  const size_t n = simd::IntersectV(a, b, buf.data());
+  out->assign(buf.data(), buf.data() + n);
+  return n;
+}
+
+/// Shared routing core. `a` is the smaller list on entry. `out`, when
+/// present, is cleared-and-reserved by the caller.
+uint64_t IntersectRouted(std::span<const VertexId> a,
+                         std::span<const VertexId> b,
+                         std::vector<VertexId>* out) {
+  switch (g_policy.load(std::memory_order_relaxed)) {
+    case IntersectKernel::kScalarMerge:
+      return MergeIntersect(a, b, out);
+    case IntersectKernel::kGallop:
+      return GallopIntersect(a, b, out);
+    case IntersectKernel::kSimd:
+      return SimdIntersect(a, b, out);
+    case IntersectKernel::kAdaptive:
+      break;
+  }
+  if (b.size() / std::max<size_t>(a.size(), 1) >= kGallopRatio) {
+    return GallopIntersect(a, b, out);
+  }
+  if (a.size() >= kSimdMinSize &&
+      simd::ActiveLevel() != simd::IsaLevel::kScalar) {
+    return SimdIntersect(a, b, out);
+  }
+  return MergeIntersect(a, b, out);
+}
+
+void SortBySize(std::vector<std::span<const VertexId>>& lists) {
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+}
+
+/// Pairwise-folds `lists[0..k)` (pre-sorted by size, k >= 2) into `*out`,
+/// using `*tmp` as the swap buffer. Stops early on an empty result.
+void FoldSorted(const std::vector<std::span<const VertexId>>& lists, size_t k,
+                std::vector<VertexId>* out, std::vector<VertexId>* tmp) {
+  IntersectSorted(lists[0], lists[1], out);
+  for (size_t i = 2; i < k && !out->empty(); ++i) {
+    tmp->swap(*out);
+    IntersectSorted({tmp->data(), tmp->size()}, lists[i], out);
+  }
+}
+
+}  // namespace
+
+const char* ToString(IntersectKernel k) {
+  switch (k) {
+    case IntersectKernel::kAdaptive:
+      return "adaptive";
+    case IntersectKernel::kScalarMerge:
+      return "scalar-merge";
+    case IntersectKernel::kGallop:
+      return "gallop";
+    case IntersectKernel::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+void SetIntersectKernelPolicy(IntersectKernel k) {
+  g_policy.store(k, std::memory_order_relaxed);
+}
+
+IntersectKernel GetIntersectKernelPolicy() {
+  return g_policy.load(std::memory_order_relaxed);
+}
+
+void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
+                     std::vector<VertexId>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  if (a.size() > b.size()) std::swap(a, b);
+  out->reserve(a.size());
+  IntersectRouted(a, b, out);
+}
+
+uint64_t IntersectCountSorted(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  if (a.empty() || b.empty()) return 0;
+  if (a.size() > b.size()) std::swap(a, b);
+  return IntersectRouted(a, b, nullptr);
 }
 
 void IntersectAll(std::vector<std::span<const VertexId>>& lists,
                   std::vector<VertexId>* out, std::vector<VertexId>* tmp) {
   out->clear();
   if (lists.empty()) return;
-  std::sort(lists.begin(), lists.end(),
-            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  SortBySize(lists);
   if (lists.size() == 1) {
     out->assign(lists[0].begin(), lists[0].end());
     return;
   }
-  IntersectSorted(lists[0], lists[1], out);
-  for (size_t i = 2; i < lists.size() && !out->empty(); ++i) {
-    tmp->swap(*out);
-    IntersectSorted({tmp->data(), tmp->size()}, lists[i], out);
+  FoldSorted(lists, lists.size(), out, tmp);
+}
+
+std::span<const VertexId> IntersectAll(
+    std::vector<std::span<const VertexId>>& lists, IntersectScratch* scratch) {
+  if (lists.empty()) return {};
+  SortBySize(lists);
+  if (lists.size() == 1) {
+    // The intersection of one list is the list: hand back the caller's
+    // span instead of copying it into the arena.
+    return lists[0];
   }
+  FoldSorted(lists, lists.size(), &scratch->out, &scratch->tmp);
+  return {scratch->out.data(), scratch->out.size()};
+}
+
+uint64_t IntersectCountAll(std::vector<std::span<const VertexId>>& lists,
+                           IntersectScratch* scratch) {
+  if (lists.empty()) return 0;
+  SortBySize(lists);
+  if (lists.size() == 1) return lists[0].size();
+  if (lists.size() == 2) return IntersectCountSorted(lists[0], lists[1]);
+  // Materialize all but the final pairing, then count the last step.
+  FoldSorted(lists, lists.size() - 1, &scratch->out, &scratch->tmp);
+  if (scratch->out.empty()) return 0;
+  return IntersectCountSorted({scratch->out.data(), scratch->out.size()},
+                              lists.back());
 }
 
 bool SortedContains(std::span<const VertexId> a, VertexId x) {

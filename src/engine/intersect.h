@@ -1,6 +1,7 @@
 #ifndef HUGE_ENGINE_INTERSECT_H_
 #define HUGE_ENGINE_INTERSECT_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -9,16 +10,65 @@
 namespace huge {
 
 /// Sorted-set intersection kernels used by the wco extension (Equation 2).
-/// Lists are sorted ascending (CSR invariant).
+/// Lists are sorted ascending and duplicate-free (CSR invariant).
+///
+/// The entry points below route adaptively between three physical
+/// kernels — linear merge, galloping, and the SIMD shuffle kernels of
+/// engine/simd_intersect.h — based on the size ratio and absolute sizes
+/// of the inputs. See src/engine/README.md for the dispatch design.
 
-/// out = a ∩ b. Uses galloping when the sizes are very skewed.
+/// Kernel-selection policy. kAdaptive is the engine default; the pinned
+/// policies model systems without vectorized/adaptive kernels (baselines)
+/// and drive differential tests and benches.
+enum class IntersectKernel : uint8_t {
+  kAdaptive = 0,   ///< size-ratio routing + runtime ISA dispatch (default)
+  kScalarMerge,    ///< always the scalar linear merge
+  kGallop,         ///< always galloping search over the larger list
+  kSimd,           ///< always the vector kernel (best detected ISA)
+};
+
+const char* ToString(IntersectKernel k);
+
+/// Sets/reads the process-wide kernel policy. The engine applies the
+/// configured policy at the start of each Cluster::Run; races with
+/// in-flight intersections affect only speed, never results.
+void SetIntersectKernelPolicy(IntersectKernel k);
+IntersectKernel GetIntersectKernelPolicy();
+
+/// Reusable scratch for k-way intersections: call sites keep one arena
+/// per worker (or per recursion depth) so repeated IntersectAll /
+/// IntersectCountAll calls stop reallocating.
+struct IntersectScratch {
+  std::vector<std::span<const VertexId>> lists;  ///< caller-staged inputs
+  std::vector<VertexId> out;                     ///< result storage
+  std::vector<VertexId> tmp;                     ///< intermediate storage
+};
+
+/// out = a ∩ b. Reserves min(|a|, |b|) on `out` up front.
 void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
                      std::vector<VertexId>* out);
 
+/// |a ∩ b| without materializing the result.
+uint64_t IntersectCountSorted(std::span<const VertexId> a,
+                              std::span<const VertexId> b);
+
 /// Intersection of all `lists` into `out`; `tmp` is reused scratch.
 /// Processes the smallest lists first to shrink the working set early.
+/// Sorts `lists` by size in place.
 void IntersectAll(std::vector<std::span<const VertexId>>& lists,
                   std::vector<VertexId>* out, std::vector<VertexId>* tmp);
+
+/// Arena variant: returns a view of the intersection. For a single input
+/// list the view aliases the list itself (no copy); otherwise it aliases
+/// `scratch->out`. The view stays valid until the next call on the same
+/// arena. Sorts `lists` by size in place.
+std::span<const VertexId> IntersectAll(
+    std::vector<std::span<const VertexId>>& lists, IntersectScratch* scratch);
+
+/// |∩ lists| without materializing the final result (intermediate k-way
+/// steps still materialize into the arena). Sorts `lists` by size in place.
+uint64_t IntersectCountAll(std::vector<std::span<const VertexId>>& lists,
+                           IntersectScratch* scratch);
 
 /// True iff sorted list `a` contains `x` (binary search).
 bool SortedContains(std::span<const VertexId> a, VertexId x);

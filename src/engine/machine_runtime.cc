@@ -406,30 +406,34 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
       in.rows(), shared_->config->chunk_rows,
       [&](int wid, size_t begin, size_t end) {
         static thread_local std::vector<std::vector<VertexId>> scratches;
-        static thread_local std::vector<VertexId> isect, tmp;
+        static thread_local IntersectScratch isect;
         if (scratches.size() < op.ext.size()) scratches.resize(op.ext.size());
-        std::vector<std::span<const VertexId>> lists(op.ext.size());
 
         for (size_t i = begin; i < end; ++i) {
           auto row = in.Row(i);
+          isect.lists.resize(op.ext.size());
           for (size_t j = 0; j < op.ext.size(); ++j) {
-            lists[j] = NeighborsOf(row[op.ext[j]], &scratches[j]);
+            isect.lists[j] = NeighborsOf(row[op.ext[j]], &scratches[j]);
           }
           if (verify) {
             // Keep the row iff the bound root appears in every pulled
             // neighbour list (edge verification, Section 5.2).
             const VertexId root = row[op.verify_pos];
             bool ok = true;
-            for (const auto& l : lists) {
+            for (const auto& l : isect.lists) {
               if (!SortedContains(l, root)) {
                 ok = false;
                 break;
               }
             }
             if (ok) louts[wid].AppendRow(row);
+          } else if (fused && op.target_label == QueryGraph::kAnyLabel) {
+            // Count fusion without a label predicate: skip candidate
+            // materialization entirely (count-only kernels).
+            counts[wid] += CountExtendCandidates(isect.lists, op, row, &isect);
           } else {
-            IntersectAll(lists, &isect, &tmp);
-            for (VertexId v : isect) {
+            const auto cands = IntersectAll(isect.lists, &isect);
+            for (VertexId v : cands) {
               if (op.target_label != QueryGraph::kAnyLabel &&
                   graph_->Label(v) != op.target_label) {
                 continue;

@@ -1,0 +1,370 @@
+// Vectorized sorted-set intersection kernels.
+//
+// The SSE4.1 and AVX2 paths use the classic shuffle-based block algorithm
+// (EmptyHeaded / Lemire-style): load one lane-width block from each list,
+// compare every pair via lane rotations of the second block, then advance
+// whichever block has the smaller maximum. Matches are compacted to the
+// output with a mask-indexed permutation table. Because the lists are
+// strictly increasing, a value can match at most once, so the per-block
+// popcount is exact.
+//
+// The kernels are compiled with per-function `target` attributes instead
+// of file-level -mavx2, so the translation unit stays legal on any x86-64
+// baseline and the AVX2 code is only ever *executed* after a CPUID probe
+// (runtime dispatch, see DetectedLevel).
+
+#include "engine/simd_intersect.h"
+
+#include <algorithm>
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HUGE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HUGE_SIMD_X86 0
+#endif
+
+namespace huge::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernel (also the tail handler for the vector paths).
+// ---------------------------------------------------------------------------
+
+size_t MergeScalar(const VertexId* a, size_t na, const VertexId* b, size_t nb,
+                   VertexId* out) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < na && j < nb) {
+    const VertexId x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (x > y) {
+      ++j;
+    } else {
+      out[n++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+uint64_t MergeCountScalar(const VertexId* a, size_t na, const VertexId* b,
+                          size_t nb) {
+  size_t i = 0, j = 0;
+  uint64_t n = 0;
+  while (i < na && j < nb) {
+    const VertexId x = a[i], y = b[j];
+    i += (x <= y);
+    j += (y <= x);
+    n += (x == y);
+  }
+  return n;
+}
+
+#if HUGE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Compaction tables.
+// ---------------------------------------------------------------------------
+
+/// SSE: byte-shuffle control for _mm_shuffle_epi8 packing the lanes named
+/// by a 4-bit match mask to the front of the register.
+struct Sse41Table {
+  alignas(16) uint8_t ctrl[16][16];
+};
+
+constexpr Sse41Table MakeSse41Table() {
+  Sse41Table t{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int k = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!((mask >> lane) & 1)) continue;
+      for (int byte = 0; byte < 4; ++byte) {
+        t.ctrl[mask][4 * k + byte] = static_cast<uint8_t>(4 * lane + byte);
+      }
+      ++k;
+    }
+    for (; k < 4; ++k) {
+      for (int byte = 0; byte < 4; ++byte) {
+        t.ctrl[mask][4 * k + byte] = 0x80;  // zero the unused lanes
+      }
+    }
+  }
+  return t;
+}
+
+constexpr Sse41Table kSse41Tbl = MakeSse41Table();
+
+/// AVX2: dword-permutation control for _mm256_permutevar8x32_epi32 packing
+/// the lanes named by an 8-bit match mask to the front.
+struct Avx2Table {
+  alignas(32) uint32_t ctrl[256][8];
+};
+
+constexpr Avx2Table MakeAvx2Table() {
+  Avx2Table t{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int k = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1) t.ctrl[mask][k++] = static_cast<uint32_t>(lane);
+    }
+    for (; k < 8; ++k) t.ctrl[mask][k] = 0;
+  }
+  return t;
+}
+
+constexpr Avx2Table kAvx2Tbl = MakeAvx2Table();
+
+/// AVX2 cross-lane rotation controls: kRot[r] rotates dwords left by r.
+struct Avx2Rotations {
+  alignas(32) uint32_t idx[8][8];
+};
+
+constexpr Avx2Rotations MakeAvx2Rotations() {
+  Avx2Rotations t{};
+  for (int r = 0; r < 8; ++r) {
+    for (int lane = 0; lane < 8; ++lane) {
+      t.idx[r][lane] = static_cast<uint32_t>((lane + r) & 7);
+    }
+  }
+  return t;
+}
+
+constexpr Avx2Rotations kAvx2Rot = MakeAvx2Rotations();
+
+// ---------------------------------------------------------------------------
+// SSE4.1 kernel: 4x4 block compare via three dword rotations.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.1"))) inline int Sse41BlockMask(__m128i va,
+                                                            __m128i vb) {
+  __m128i cmp = _mm_cmpeq_epi32(va, vb);
+  cmp = _mm_or_si128(
+      cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+  cmp = _mm_or_si128(
+      cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+  cmp = _mm_or_si128(
+      cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+  return _mm_movemask_ps(_mm_castsi128_ps(cmp));
+}
+
+__attribute__((target("sse4.1"))) size_t IntersectSse41Impl(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb,
+    VertexId* out) {
+  size_t i = 0, j = 0, n = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const int mask = Sse41BlockMask(va, vb);
+    const __m128i ctrl = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kSse41Tbl.ctrl[mask]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n),
+                     _mm_shuffle_epi8(va, ctrl));
+    n += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+    const VertexId amax = a[i + 3], bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return n + MergeScalar(a + i, na - i, b + j, nb - j, out + n);
+}
+
+__attribute__((target("sse4.1"))) uint64_t IntersectCountSse41Impl(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb) {
+  size_t i = 0, j = 0;
+  uint64_t n = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    n += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(Sse41BlockMask(va, vb))));
+    const VertexId amax = a[i + 3], bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return n + MergeCountScalar(a + i, na - i, b + j, nb - j);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernel: 8x8 block compare via seven cross-lane rotations.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline int Avx2BlockMask(__m256i va,
+                                                         __m256i vb) {
+  __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+  for (int r = 1; r < 8; ++r) {
+    const __m256i rot = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kAvx2Rot.idx[r]));
+    cmp = _mm256_or_si256(
+        cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot)));
+  }
+  return _mm256_movemask_ps(_mm256_castsi256_ps(cmp));
+}
+
+__attribute__((target("avx2"))) size_t IntersectAvx2Impl(const VertexId* a,
+                                                         size_t na,
+                                                         const VertexId* b,
+                                                         size_t nb,
+                                                         VertexId* out) {
+  size_t i = 0, j = 0, n = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int mask = Avx2BlockMask(va, vb);
+    // Full-register store: only the first popcount(mask) lanes are kept;
+    // the spilled garbage lanes land in the kIntersectOutSlack tail of
+    // the buffer or are overwritten by the next block.
+    const __m256i ctrl = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kAvx2Tbl.ctrl[mask]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + n),
+                        _mm256_permutevar8x32_epi32(va, ctrl));
+    n += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+    const VertexId amax = a[i + 7], bmax = b[j + 7];
+    i += (amax <= bmax) ? 8 : 0;
+    j += (bmax <= amax) ? 8 : 0;
+  }
+  return n + IntersectSse41Impl(a + i, na - i, b + j, nb - j, out + n);
+}
+
+__attribute__((target("avx2"))) uint64_t IntersectCountAvx2Impl(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb) {
+  size_t i = 0, j = 0;
+  uint64_t n = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    n += static_cast<uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(Avx2BlockMask(va, vb))));
+    const VertexId amax = a[i + 7], bmax = b[j + 7];
+    i += (amax <= bmax) ? 8 : 0;
+    j += (bmax <= amax) ? 8 : 0;
+  }
+  return n + IntersectCountSse41Impl(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // HUGE_SIMD_X86
+
+std::atomic<IsaLevel>& ActiveLevelSlot() {
+  static std::atomic<IsaLevel> slot{DetectedLevel()};
+  return slot;
+}
+
+}  // namespace
+
+const char* ToString(IsaLevel l) {
+  switch (l) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSse41:
+      return "sse4.1";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+IsaLevel DetectedLevel() {
+#if HUGE_SIMD_X86
+  static const IsaLevel detected = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+    if (__builtin_cpu_supports("sse4.1")) return IsaLevel::kSse41;
+    return IsaLevel::kScalar;
+  }();
+  return detected;
+#else
+  return IsaLevel::kScalar;
+#endif
+}
+
+IsaLevel ActiveLevel() {
+  return ActiveLevelSlot().load(std::memory_order_relaxed);
+}
+
+void ForceLevel(IsaLevel l) {
+  ActiveLevelSlot().store(std::min(l, DetectedLevel()),
+                          std::memory_order_relaxed);
+}
+
+size_t IntersectScalar(std::span<const VertexId> a, std::span<const VertexId> b,
+                       VertexId* out) {
+  return MergeScalar(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+uint64_t IntersectCountScalar(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  return MergeCountScalar(a.data(), a.size(), b.data(), b.size());
+}
+
+size_t IntersectSse41(std::span<const VertexId> a, std::span<const VertexId> b,
+                      VertexId* out) {
+#if HUGE_SIMD_X86
+  return IntersectSse41Impl(a.data(), a.size(), b.data(), b.size(), out);
+#else
+  return IntersectScalar(a, b, out);
+#endif
+}
+
+uint64_t IntersectCountSse41(std::span<const VertexId> a,
+                             std::span<const VertexId> b) {
+#if HUGE_SIMD_X86
+  return IntersectCountSse41Impl(a.data(), a.size(), b.data(), b.size());
+#else
+  return IntersectCountScalar(a, b);
+#endif
+}
+
+size_t IntersectAvx2(std::span<const VertexId> a, std::span<const VertexId> b,
+                     VertexId* out) {
+#if HUGE_SIMD_X86
+  return IntersectAvx2Impl(a.data(), a.size(), b.data(), b.size(), out);
+#else
+  return IntersectScalar(a, b, out);
+#endif
+}
+
+uint64_t IntersectCountAvx2(std::span<const VertexId> a,
+                            std::span<const VertexId> b) {
+#if HUGE_SIMD_X86
+  return IntersectCountAvx2Impl(a.data(), a.size(), b.data(), b.size());
+#else
+  return IntersectCountScalar(a, b);
+#endif
+}
+
+size_t IntersectV(std::span<const VertexId> a, std::span<const VertexId> b,
+                  VertexId* out) {
+  switch (ActiveLevel()) {
+    case IsaLevel::kAvx2:
+      return IntersectAvx2(a, b, out);
+    case IsaLevel::kSse41:
+      return IntersectSse41(a, b, out);
+    case IsaLevel::kScalar:
+      break;
+  }
+  return IntersectScalar(a, b, out);
+}
+
+uint64_t IntersectCountV(std::span<const VertexId> a,
+                         std::span<const VertexId> b) {
+  switch (ActiveLevel()) {
+    case IsaLevel::kAvx2:
+      return IntersectCountAvx2(a, b);
+    case IsaLevel::kSse41:
+      return IntersectCountSse41(a, b);
+    case IsaLevel::kScalar:
+      break;
+  }
+  return IntersectCountScalar(a, b);
+}
+
+}  // namespace huge::simd

@@ -1,0 +1,68 @@
+#ifndef HUGE_ENGINE_SIMD_INTERSECT_H_
+#define HUGE_ENGINE_SIMD_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace huge::simd {
+
+/// Instruction-set level of the vectorized intersection kernels. Levels
+/// are ordered: a higher level implies the lower ones are usable.
+enum class IsaLevel : uint8_t { kScalar = 0, kSse41 = 1, kAvx2 = 2 };
+
+const char* ToString(IsaLevel l);
+
+/// Best level supported by the executing CPU (CPUID probe, cached).
+IsaLevel DetectedLevel();
+
+/// The level the dispatcher actually uses. Defaults to DetectedLevel();
+/// never rises above it.
+IsaLevel ActiveLevel();
+
+/// Caps the dispatcher at `l` (clamped to DetectedLevel()). Process-wide;
+/// intended for tests and benches, not concurrent re-tuning.
+void ForceLevel(IsaLevel l);
+
+/// Vector kernels compact matches with full-register stores, so the last
+/// store may spill up to one lane-width past the final kept element.
+/// Writing variants therefore need `out` buffers with room for
+/// min(a.size(), b.size()) + kIntersectOutSlack elements.
+inline constexpr size_t kIntersectOutSlack = 8;
+
+/// All kernels below require strictly increasing inputs (the CSR
+/// adjacency invariant: sorted, duplicate-free) and, for the writing
+/// variants, an `out` buffer with room for
+/// min(a.size(), b.size()) + kIntersectOutSlack elements. `out` may alias
+/// neither input. Each returns the size of a ∩ b; the writing variants
+/// also store the intersection to `out`.
+
+/// Dispatches to the best kernel for ActiveLevel().
+size_t IntersectV(std::span<const VertexId> a, std::span<const VertexId> b,
+                  VertexId* out);
+
+/// |a ∩ b| without materializing the result.
+uint64_t IntersectCountV(std::span<const VertexId> a,
+                         std::span<const VertexId> b);
+
+// Fixed-level entry points for differential tests and benches. The SSE4.1
+// and AVX2 variants must only be called when DetectedLevel() admits them;
+// on non-x86 builds they compile to the scalar kernel.
+size_t IntersectScalar(std::span<const VertexId> a,
+                       std::span<const VertexId> b, VertexId* out);
+uint64_t IntersectCountScalar(std::span<const VertexId> a,
+                              std::span<const VertexId> b);
+size_t IntersectSse41(std::span<const VertexId> a,
+                      std::span<const VertexId> b, VertexId* out);
+uint64_t IntersectCountSse41(std::span<const VertexId> a,
+                             std::span<const VertexId> b);
+size_t IntersectAvx2(std::span<const VertexId> a,
+                     std::span<const VertexId> b, VertexId* out);
+uint64_t IntersectCountAvx2(std::span<const VertexId> a,
+                            std::span<const VertexId> b);
+
+}  // namespace huge::simd
+
+#endif  // HUGE_ENGINE_SIMD_INTERSECT_H_

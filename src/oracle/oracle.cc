@@ -1,10 +1,12 @@
 #include "oracle/oracle.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "engine/intersect.h"
 #include "query/matching_order.h"
 
 namespace huge {
@@ -19,6 +21,9 @@ struct Searcher {
   const Oracle::MatchCallback* cb = nullptr;
   uint64_t count = 0;
   std::vector<VertexId> match;  // query vertex -> data vertex
+  // One intersection arena per recursion depth: siblings at a depth reuse
+  // the same buffers while deeper levels keep their candidate views alive.
+  std::vector<IntersectScratch> scratch;
 
   bool LabelOk(QueryVertexId qv, VertexId u) const {
     const uint8_t want = q.Label(qv);
@@ -44,25 +49,39 @@ struct Searcher {
       return;
     }
     const QueryVertexId qv = order[depth];
-    // Candidates: intersect neighbour lists of matched neighbours.
-    std::vector<VertexId> cands;
-    bool first = true;
+    // Candidates: k-way intersection of the matched neighbours' lists.
+    // The oracle is the independent correctness reference for the engine's
+    // differential tests, so it deliberately folds with
+    // std::set_intersection instead of the engine's routed kernels — a
+    // kernel bug must not cancel out on both sides of an oracle-vs-engine
+    // comparison. The per-depth arena still amortizes allocations, and
+    // single-backward-edge levels alias the CSR span without copying.
+    IntersectScratch& s = scratch[depth];
+    s.lists.clear();
     for (size_t d = 0; d < depth; ++d) {
       const QueryVertexId prev = order[d];
-      if (!q.HasEdge(qv, prev)) continue;
-      auto nbrs = g.Neighbors(match[prev]);
-      if (first) {
-        cands.assign(nbrs.begin(), nbrs.end());
-        first = false;
-      } else {
-        std::vector<VertexId> merged;
-        std::set_intersection(cands.begin(), cands.end(), nbrs.begin(),
-                              nbrs.end(), std::back_inserter(merged));
-        cands = std::move(merged);
-      }
-      if (cands.empty()) return;
+      if (q.HasEdge(qv, prev)) s.lists.push_back(g.Neighbors(match[prev]));
     }
-    HUGE_CHECK(!first);  // connected order guarantees a matched neighbour
+    HUGE_CHECK(!s.lists.empty());  // connected order: a matched neighbour
+    std::span<const VertexId> cands;
+    if (s.lists.size() == 1) {
+      cands = s.lists[0];
+    } else {
+      std::sort(s.lists.begin(), s.lists.end(),
+                [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      s.out.clear();
+      std::set_intersection(s.lists[0].begin(), s.lists[0].end(),
+                            s.lists[1].begin(), s.lists[1].end(),
+                            std::back_inserter(s.out));
+      for (size_t i = 2; i < s.lists.size() && !s.out.empty(); ++i) {
+        s.tmp.swap(s.out);
+        s.out.clear();
+        std::set_intersection(s.tmp.begin(), s.tmp.end(), s.lists[i].begin(),
+                              s.lists[i].end(), std::back_inserter(s.out));
+      }
+      cands = {s.out.data(), s.out.size()};
+    }
+    if (cands.empty()) return;
     for (VertexId u : cands) {
       bool dup = false;
       for (size_t d = 0; d < depth; ++d) {
@@ -79,6 +98,7 @@ struct Searcher {
 
   uint64_t Run() {
     match.assign(q.NumVertices(), kNullVertex);
+    scratch.resize(q.NumVertices());
     position.assign(q.NumVertices(), -1);
     for (size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
     if (q.NumVertices() == 1) {

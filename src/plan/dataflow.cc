@@ -1,5 +1,6 @@
 #include "plan/dataflow.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
@@ -33,6 +34,55 @@ bool PassesExtendFilters(const OpDesc& op, std::span<const VertexId> row,
     if (u == v) return false;  // injectivity
   }
   return true;
+}
+
+uint64_t CountExtendCandidates(std::vector<std::span<const VertexId>>& lists,
+                               const OpDesc& op, std::span<const VertexId> row,
+                               IntersectScratch* scratch) {
+  // Fold the symmetry-breaking filters into a half-open window [lo, hi).
+  VertexId lo = 0;
+  VertexId hi = kNullVertex;  // exclusive; never a real vertex id
+  for (const auto& f : op.filters) {
+    if (f.less) {
+      hi = std::min(hi, row[f.pos]);
+    } else {
+      lo = std::max(lo, row[f.pos] + 1);
+    }
+  }
+  if (lo >= hi) return 0;
+  // Clamp every list to the window: spans shrink, nothing is copied.
+  for (auto& l : lists) {
+    const auto begin = std::lower_bound(l.begin(), l.end(), lo);
+    const auto end = std::lower_bound(begin, l.end(), hi);
+    l = l.subspan(static_cast<size_t>(begin - l.begin()),
+                  static_cast<size_t>(end - begin));
+    if (l.empty()) return 0;
+  }
+  uint64_t count = IntersectCountAll(lists, scratch);
+  if (count == 0) return 0;
+  // Injectivity: subtract each distinct row vertex that falls inside the
+  // window and survives every list.
+  for (size_t p = 0; p < row.size() && count > 0; ++p) {
+    const VertexId u = row[p];
+    if (u < lo || u >= hi) continue;
+    bool repeated = false;
+    for (size_t q = 0; q < p; ++q) {
+      if (row[q] == u) {
+        repeated = true;
+        break;
+      }
+    }
+    if (repeated) continue;
+    bool in_all = true;
+    for (const auto& l : lists) {
+      if (!SortedContains(l, u)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) --count;
+  }
+  return count;
 }
 
 int Dataflow::SuccessorOf(int i) const {

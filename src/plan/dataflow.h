@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "engine/intersect.h"
 #include "plan/plan.h"
 #include "query/query_graph.h"
 
@@ -93,6 +94,18 @@ struct Dataflow {
 /// filters and the injectivity requirement (Algorithm 4 line 19).
 bool PassesExtendFilters(const OpDesc& op, std::span<const VertexId> row,
                          VertexId v);
+
+/// Count-only fused extension: the number of candidates in ∩ lists that
+/// pass `op`'s symmetry-breaking filters and the injectivity requirement,
+/// computed without materializing per-candidate output. The SB filters
+/// become a clamp window applied to the input spans (mutating `lists`),
+/// and injectivity becomes a per-row-vertex membership correction, so the
+/// engine's count-fusion path runs entirely on the count-only kernels.
+/// Only valid for unlabelled targets (label predicates need per-candidate
+/// checks); callers fall back to the materializing path otherwise.
+uint64_t CountExtendCandidates(std::vector<std::span<const VertexId>>& lists,
+                               const OpDesc& op, std::span<const VertexId> row,
+                               IntersectScratch* scratch);
 
 }  // namespace huge
 

@@ -50,6 +50,21 @@ TEST(MotifCensusTest, CensusMatchesOracle) {
   }
 }
 
+TEST(TriangleCountTest, MatchesOracleOnRandomGraphs) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    const Graph g = gen::ErdosRenyi(300, 1800, seed);
+    EXPECT_EQ(apps::TriangleCount(g),
+              Oracle::Count(g, queries::Triangle()))
+        << "seed " << seed;
+  }
+}
+
+TEST(TriangleCountTest, KnownShapes) {
+  EXPECT_EQ(apps::TriangleCount(gen::Complete(5)), 10u);  // C(5,3)
+  EXPECT_EQ(apps::TriangleCount(gen::Cycle(6)), 0u);
+  EXPECT_EQ(apps::TriangleCount(gen::Path(8)), 0u);
+}
+
 // ---- paths ----
 
 /// Naive simple-path counter for cross-checking.

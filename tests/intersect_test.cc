@@ -5,11 +5,44 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "engine/simd_intersect.h"
+#include "plan/dataflow.h"
 
 namespace huge {
 namespace {
 
 std::vector<VertexId> V(std::initializer_list<VertexId> v) { return v; }
+
+/// Sorted duplicate-free random list of roughly `n` elements drawn from
+/// [0, universe).
+std::vector<VertexId> RandomSorted(Rng& rng, size_t n, uint32_t universe) {
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<VertexId> Reference(const std::vector<VertexId>& a,
+                                const std::vector<VertexId>& b) {
+  std::vector<VertexId> expected;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+  return expected;
+}
+
+/// RAII guard restoring the global kernel policy and ISA level.
+struct KernelGuard {
+  IntersectKernel policy = GetIntersectKernelPolicy();
+  simd::IsaLevel level = simd::ActiveLevel();
+  ~KernelGuard() {
+    SetIntersectKernelPolicy(policy);
+    simd::ForceLevel(level);
+  }
+};
 
 TEST(IntersectTest, Basic) {
   auto a = V({1, 3, 5, 7});
@@ -125,6 +158,178 @@ TEST_P(IntersectPropertyTest, MatchesStdSetIntersection) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntersectPropertyTest,
                          ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Differential coverage of every kernel variant against
+// std::set_intersection across adversarial shapes: empty, singleton,
+// disjoint, identical, 32x+ skew, and non-multiple-of-lane lengths.
+// ---------------------------------------------------------------------------
+
+/// The adversarial (|a|, |b|) grid. 4095/4097 straddle the 8-lane AVX2
+/// blocks; 33x sizes trigger the galloping ratio.
+const std::pair<size_t, size_t> kAdversarialSizes[] = {
+    {0, 0},     {0, 100},    {1, 1},       {1, 1000},    {3, 5},
+    {7, 9},     {15, 17},    {31, 33},     {100, 3300},  {64, 4096},
+    {1000, 1000}, {4095, 4097}, {4096, 4096}, {129, 4133},
+};
+
+class KernelDifferentialTest
+    : public ::testing::TestWithParam<IntersectKernel> {};
+
+TEST_P(KernelDifferentialTest, MatchesStdSetIntersection) {
+  KernelGuard guard;
+  SetIntersectKernelPolicy(GetParam());
+  Rng rng(20260730);
+  for (const auto& [na, nb] : kAdversarialSizes) {
+    for (int round = 0; round < 4; ++round) {
+      const uint32_t universe =
+          static_cast<uint32_t>(std::max<size_t>(na + nb, 4) *
+                                (round % 2 == 0 ? 2 : 16));
+      auto a = RandomSorted(rng, na, universe);
+      auto b = RandomSorted(rng, nb, universe);
+      if (round == 2) b = a;                       // identical lists
+      if (round == 3) {                            // fully disjoint lists
+        for (auto& x : b) x += universe + 1;
+      }
+      const auto expected = Reference(a, b);
+      std::vector<VertexId> got;
+      IntersectSorted(a, b, &got);
+      ASSERT_EQ(got, expected)
+          << ToString(GetParam()) << " |a|=" << a.size()
+          << " |b|=" << b.size() << " round " << round;
+      IntersectSorted(b, a, &got);  // argument order irrelevant
+      ASSERT_EQ(got, expected);
+      ASSERT_EQ(IntersectCountSorted(a, b), expected.size());
+      ASSERT_EQ(IntersectCountSorted(b, a), expected.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelDifferentialTest,
+                         ::testing::Values(IntersectKernel::kAdaptive,
+                                           IntersectKernel::kScalarMerge,
+                                           IntersectKernel::kGallop,
+                                           IntersectKernel::kSimd),
+                         [](const auto& info) {
+                           std::string name = ToString(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+class IsaDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsaDifferentialTest, FixedLevelKernelsMatchScalar) {
+  const auto level = static_cast<simd::IsaLevel>(GetParam());
+  if (level > simd::DetectedLevel()) {
+    GTEST_SKIP() << "CPU lacks " << simd::ToString(level);
+  }
+  Rng rng(7 + GetParam());
+  for (const auto& [na, nb] : kAdversarialSizes) {
+    const auto a = RandomSorted(rng, na, 8 * static_cast<uint32_t>(na) + 64);
+    const auto b = RandomSorted(rng, nb, 8 * static_cast<uint32_t>(nb) + 64);
+    const auto expected = Reference(a, b);
+    std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                              simd::kIntersectOutSlack);
+    size_t n = 0;
+    switch (level) {
+      case simd::IsaLevel::kScalar:
+        n = simd::IntersectScalar(a, b, out.data());
+        ASSERT_EQ(simd::IntersectCountScalar(a, b), expected.size());
+        break;
+      case simd::IsaLevel::kSse41:
+        n = simd::IntersectSse41(a, b, out.data());
+        ASSERT_EQ(simd::IntersectCountSse41(a, b), expected.size());
+        break;
+      case simd::IsaLevel::kAvx2:
+        n = simd::IntersectAvx2(a, b, out.data());
+        ASSERT_EQ(simd::IntersectCountAvx2(a, b), expected.size());
+        break;
+    }
+    out.resize(n);
+    ASSERT_EQ(out, expected) << simd::ToString(level) << " |a|=" << a.size()
+                             << " |b|=" << b.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, IsaDifferentialTest, ::testing::Range(0, 3));
+
+TEST(IntersectScratchTest, KWayMatchesIterativeReference) {
+  Rng rng(17);
+  IntersectScratch scratch;
+  for (int round = 0; round < 30; ++round) {
+    const size_t k = 2 + rng.NextBounded(4);
+    std::vector<std::vector<VertexId>> storage;
+    for (size_t i = 0; i < k; ++i) {
+      storage.push_back(RandomSorted(rng, 20 + rng.NextBounded(600), 800));
+    }
+    std::vector<VertexId> expected = storage[0];
+    for (size_t i = 1; i < k; ++i) {
+      std::vector<VertexId> merged;
+      std::set_intersection(expected.begin(), expected.end(),
+                            storage[i].begin(), storage[i].end(),
+                            std::back_inserter(merged));
+      expected = std::move(merged);
+    }
+    std::vector<std::span<const VertexId>> lists(storage.begin(),
+                                                 storage.end());
+    const auto got = IntersectAll(lists, &scratch);
+    ASSERT_EQ(std::vector<VertexId>(got.begin(), got.end()), expected)
+        << "k=" << k << " round " << round;
+    auto lists2 = std::vector<std::span<const VertexId>>(storage.begin(),
+                                                         storage.end());
+    ASSERT_EQ(IntersectCountAll(lists2, &scratch), expected.size());
+  }
+}
+
+TEST(IntersectScratchTest, SingleListAliasesInputWithoutCopy) {
+  const auto a = V({1, 3, 4, 9});
+  std::vector<std::span<const VertexId>> lists = {a};
+  IntersectScratch scratch;
+  const auto got = IntersectAll(lists, &scratch);
+  EXPECT_EQ(got.data(), a.data());  // the view IS the input, no copy
+  EXPECT_EQ(got.size(), a.size());
+  auto lists2 = std::vector<std::span<const VertexId>>{std::span(a)};
+  EXPECT_EQ(IntersectCountAll(lists2, &scratch), a.size());
+}
+
+TEST(CountExtendCandidatesTest, MatchesMaterializedFiltering) {
+  Rng rng(23);
+  IntersectScratch scratch;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::vector<VertexId>> storage;
+    const size_t k = 1 + rng.NextBounded(3);
+    for (size_t i = 0; i < k; ++i) {
+      storage.push_back(RandomSorted(rng, 30 + rng.NextBounded(300), 400));
+    }
+    std::vector<VertexId> row;
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(static_cast<VertexId>(rng.NextBounded(400)));
+    }
+    OpDesc op;
+    op.schema.resize(row.size() + 1);
+    if (round % 3 == 1) op.filters.push_back({.pos = 0, .less = false});
+    if (round % 3 == 2) {
+      op.filters.push_back({.pos = 1, .less = true});
+      op.filters.push_back({.pos = 2, .less = false});
+    }
+    // Reference: materialize the intersection, then apply the per-v path.
+    std::vector<VertexId> isect = storage[0];
+    for (size_t i = 1; i < k; ++i) {
+      std::vector<VertexId> merged;
+      std::set_intersection(isect.begin(), isect.end(), storage[i].begin(),
+                            storage[i].end(), std::back_inserter(merged));
+      isect = std::move(merged);
+    }
+    uint64_t expected = 0;
+    for (VertexId v : isect) {
+      if (PassesExtendFilters(op, row, v)) ++expected;
+    }
+    std::vector<std::span<const VertexId>> lists(storage.begin(),
+                                                 storage.end());
+    ASSERT_EQ(CountExtendCandidates(lists, op, row, &scratch), expected)
+        << "k=" << k << " round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace huge
