@@ -7,6 +7,7 @@
 
 #include "cache/lrbu_cache.h"
 #include "cache/lru_cache.h"
+#include "common/dense_bitmap.h"
 #include "common/random.h"
 #include "engine/batch.h"
 #include "engine/intersect.h"
@@ -15,16 +16,22 @@
 namespace huge {
 namespace {
 
-std::vector<VertexId> RandomSorted(size_t n, uint64_t seed) {
+/// Sorted duplicate-free draw of `n` values from [0, universe).
+std::vector<VertexId> RandomSortedIn(size_t n, uint64_t universe,
+                                     uint64_t seed) {
   Rng rng(seed);
   std::vector<VertexId> v;
   v.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    v.push_back(static_cast<VertexId>(rng.NextBounded(n * 8)));
+    v.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
   }
   std::sort(v.begin(), v.end());
   v.erase(std::unique(v.begin(), v.end()), v.end());
   return v;
+}
+
+std::vector<VertexId> RandomSorted(size_t n, uint64_t seed) {
+  return RandomSortedIn(n, n * 8, seed);
 }
 
 void BM_IntersectBalanced(benchmark::State& state) {
@@ -138,6 +145,179 @@ void BM_IntersectCountSimd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
 }
 BENCHMARK(BM_IntersectCountSimd)->Arg(4096)->Arg(65536);
+
+// ---------------------------------------------------------------------------
+// Dense-neighbourhood bitmap kernels (the PR-2 acceptance benchmark: the
+// bitmap kernel must beat the SIMD merge >= 3x on dense >= 1/32-density
+// 4096x4096 neighbourhoods). Arg(0) = list size, Arg(1) = inverse density
+// (id range = size * inv_density).
+// ---------------------------------------------------------------------------
+
+/// Cached-bitmap form (the graph hub-cache scenario): both neighbourhoods
+/// already live as bitmaps; the kernel is a pure word-wise AND + popcount.
+void BM_IntersectBitmapAndCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint64_t universe = n * static_cast<uint64_t>(state.range(1));
+  const auto a = RandomSortedIn(n, universe, 1);
+  const auto b = RandomSortedIn(n, universe, 2);
+  const DenseBitmap abm = DenseBitmap::Build(a);
+  const DenseBitmap bbm = DenseBitmap::Build(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitmapAndCount(abm, bbm, 0, kNullVertex));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectBitmapAndCount)
+    ->Args({4096, 2})
+    ->Args({4096, 8})
+    ->Args({4096, 32})
+    ->Args({65536, 32});
+
+/// On-the-fly form (what the adaptive router does without cached
+/// bitmaps): build the window-clamped bitmap of one side, probe the
+/// other.
+void BM_IntersectBitmapBuildProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint64_t universe = n * static_cast<uint64_t>(state.range(1));
+  const auto a = RandomSortedIn(n, universe, 1);
+  const auto b = RandomSortedIn(n, universe, 2);
+  SetIntersectKernelPolicy(IntersectKernel::kBitmap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCountSorted(a, b));
+  }
+  SetIntersectKernelPolicy(IntersectKernel::kAdaptive);
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectBitmapBuildProbe)
+    ->Args({4096, 2})
+    ->Args({4096, 32})
+    ->Args({65536, 32});
+
+/// The comparison target: the best SIMD count kernel on the same dense
+/// lists.
+void BM_IntersectCountSimdDense(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint64_t universe = n * static_cast<uint64_t>(state.range(1));
+  const auto a = RandomSortedIn(n, universe, 1);
+  const auto b = RandomSortedIn(n, universe, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::IntersectCountV(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCountSimdDense)
+    ->Args({4096, 2})
+    ->Args({4096, 32})
+    ->Args({65536, 32});
+
+// ---------------------------------------------------------------------------
+// Galloping-crossover sweep (satellite task): forced gallop vs forced
+// SIMD merge at |small| = 256 and |large| = 256 * ratio. The crossover
+// ratio read off this sweep sets kGallopSkewRatio in intersect.cc.
+// ---------------------------------------------------------------------------
+
+void GallopCrossover(benchmark::State& state, IntersectKernel kernel) {
+  const size_t small_n = 256;
+  const size_t ratio = static_cast<size_t>(state.range(0));
+  const auto small = RandomSortedIn(small_n, small_n * ratio * 8, 1);
+  const auto large = RandomSortedIn(small_n * ratio, small_n * ratio * 8, 2);
+  SetIntersectKernelPolicy(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCountSorted(small, large));
+  }
+  SetIntersectKernelPolicy(IntersectKernel::kAdaptive);
+}
+void BM_GallopCrossoverGallop(benchmark::State& state) {
+  GallopCrossover(state, IntersectKernel::kGallop);
+}
+void BM_GallopCrossoverSimd(benchmark::State& state) {
+  GallopCrossover(state, IntersectKernel::kSimd);
+}
+BENCHMARK(BM_GallopCrossoverGallop)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Arg(512)->Arg(1024);
+BENCHMARK(BM_GallopCrossoverSimd)
+    ->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Arg(512)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Label-fused count vs materialize-then-filter (the path labelled
+// CountExtendCandidates used to take).
+// ---------------------------------------------------------------------------
+
+void BM_IntersectCountLabelFused(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomSorted(n, 1);
+  const auto b = RandomSorted(n, 2);
+  std::vector<uint8_t> labels(n * 8 + simd::kLabelGatherPad, 0);
+  Rng rng(3);
+  for (size_t i = 0; i < n * 8; ++i) {
+    labels[i] = static_cast<uint8_t>(rng.NextBounded(4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntersectCountSortedLabel(a, b, labels.data(), 2));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCountLabelFused)->Arg(4096)->Arg(65536);
+
+void BM_IntersectCountLabelMaterialize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomSorted(n, 1);
+  const auto b = RandomSorted(n, 2);
+  std::vector<uint8_t> labels(n * 8 + simd::kLabelGatherPad, 0);
+  Rng rng(3);
+  for (size_t i = 0; i < n * 8; ++i) {
+    labels[i] = static_cast<uint8_t>(rng.NextBounded(4));
+  }
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    IntersectSorted(a, b, &out);
+    uint64_t count = 0;
+    for (VertexId v : out) count += labels[v] == 2;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCountLabelMaterialize)->Arg(4096)->Arg(65536);
+
+/// High-overlap variant (b == a): every block is match-heavy, which is
+/// where the AVX2 masked-gather broadcast-compare arm kicks in.
+void BM_IntersectCountLabelFusedOverlap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomSorted(n, 1);
+  std::vector<uint8_t> labels(n * 8 + simd::kLabelGatherPad, 0);
+  Rng rng(3);
+  for (size_t i = 0; i < n * 8; ++i) {
+    labels[i] = static_cast<uint8_t>(rng.NextBounded(4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntersectCountSortedLabel(a, a, labels.data(), 2));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * a.size());
+}
+BENCHMARK(BM_IntersectCountLabelFusedOverlap)->Arg(4096)->Arg(65536);
+
+void BM_IntersectCountLabelMaterializeOverlap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomSorted(n, 1);
+  std::vector<uint8_t> labels(n * 8 + simd::kLabelGatherPad, 0);
+  Rng rng(3);
+  for (size_t i = 0; i < n * 8; ++i) {
+    labels[i] = static_cast<uint8_t>(rng.NextBounded(4));
+  }
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    IntersectSorted(a, a, &out);
+    uint64_t count = 0;
+    for (VertexId v : out) count += labels[v] == 2;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * a.size());
+}
+BENCHMARK(BM_IntersectCountLabelMaterializeOverlap)->Arg(4096)->Arg(65536);
 
 /// Zero-copy lock-free LRBU reads (the Exp-6 argument at kernel level).
 void BM_LrbuRead(benchmark::State& state) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmark set — bench_micro (kernel-level) plus
+# the tier-1 bench_table1 (system-level) — and emits BENCH_<date>.json in
+# the repo root. Intended to be run per PR so the perf trajectory of the
+# hot kernels is recorded alongside the code.
+#
+# Usage: bench/run_bench.sh [build-dir]
+#   build-dir: a configured build with HUGE_BUILD_BENCHES=ON
+#              (default: ./build-bench, configured automatically if absent)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+out_file="$repo_root/BENCH_$(date +%Y%m%d).json"
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DHUGE_BUILD_BENCHES=ON
+fi
+cmake --build "$build_dir" -j --target bench_table1
+
+# bench_micro needs google-benchmark; the target only exists when CMake
+# found it. A missing target is skippable — a broken build is not, so
+# only the existence check is forgiving.
+micro_json="{}"
+# (grep without -q: it must drain the pipe, or pipefail turns the
+# build tool's SIGPIPE into a spurious "target absent".)
+if cmake --build "$build_dir" --target help 2>/dev/null \
+    | grep '\bbench_micro\b' >/dev/null; then
+  cmake --build "$build_dir" -j --target bench_micro
+  micro_json="$("$build_dir/bench_micro" \
+      --benchmark_format=json \
+      --benchmark_filter='Intersect|Gallop|Bitmap|Label' 2>/dev/null)"
+else
+  echo "warning: bench_micro target absent (google-benchmark not found" \
+       "at configure time); recording system bench only" >&2
+fi
+
+table1_txt="$("$build_dir/bench_table1")"
+
+# Assemble the trajectory record: metadata + raw kernel benches + the
+# Table-1 rows reparsed into JSON.
+python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt"
+import json
+import subprocess
+import sys
+from datetime import date
+
+out_file, micro_raw, table1_txt = sys.argv[1], sys.argv[2], sys.argv[3]
+
+rows = []
+for line in table1_txt.splitlines():
+    parts = line.split()
+    if len(parts) == 8 and parts[0] in ("Pushing", "Pulling", "Hybrid"):
+        rows.append({
+            "mode": parts[0], "system": parts[1],
+            "total_s": float(parts[2]), "compute_s": float(parts[3]),
+            "comm_s": float(parts[4]), "comm_mb": float(parts[5]),
+            "peak_mb": float(parts[6]), "matches": int(parts[7]),
+        })
+
+try:
+    git_rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True).stdout.strip()
+except OSError:
+    git_rev = ""
+
+record = {
+    "date": date.today().isoformat(),
+    "git_rev": git_rev,
+    "bench_micro": json.loads(micro_raw) if micro_raw.strip() else {},
+    "bench_table1": rows,
+}
+with open(out_file, "w") as f:
+    json.dump(record, f, indent=2)
+print(f"wrote {out_file} ({len(rows)} table1 rows)")
+EOF

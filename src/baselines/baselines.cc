@@ -129,6 +129,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.queue_capacity = 0;
       base.inter_stealing = false;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
+      base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       return base;
 
     case System::kBiGJoin:
@@ -137,6 +138,7 @@ Config ConfigForSystem(System sys, Config base) {
       // per round.
       base.inter_stealing = false;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
+      base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }
@@ -151,6 +153,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.intra_stealing = false;
       base.net.external_kv = true;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
+      base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       return base;
 
     case System::kRads:
@@ -159,6 +162,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.inter_stealing = false;
       base.cache_kind = CacheKind::kCncrLru;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
+      base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }

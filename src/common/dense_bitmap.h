@@ -1,0 +1,91 @@
+#ifndef HUGE_COMMON_DENSE_BITMAP_H_
+#define HUGE_COMMON_DENSE_BITMAP_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace huge {
+
+/// A range-clamped, uncompressed bitset over a contiguous vertex-id window.
+/// The window starts at a 64-aligned `base` and spans `words.size() * 64`
+/// ids; ids outside the window are implicitly absent. This is the physical
+/// representation behind the engine's dense-neighbourhood intersection
+/// kernels (word-wise AND + popcount) and the graph's cached hub bitmaps:
+/// a neighbourhood whose density within its id range is at least 1/64
+/// costs no more memory as a bitmap than as a sorted list.
+///
+/// Because every bitmap's base is 64-aligned, two bitmaps always agree on
+/// word boundaries and the AND kernels never need cross-word shifts.
+class DenseBitmap {
+ public:
+  DenseBitmap() = default;
+
+  /// Rebuilds this bitmap from `list` (sorted, duplicate-free) restricted
+  /// to the id window [lo, hi), reusing the word storage — the form the
+  /// intersection kernels call per-intersection on scratch bitmaps.
+  void AssignClamped(std::span<const VertexId> list, VertexId lo,
+                     VertexId hi) {
+    words_.clear();
+    base_ = 0;
+    if (list.empty() || lo >= hi) return;
+    const auto first = std::lower_bound(list.begin(), list.end(), lo);
+    const auto last = std::lower_bound(first, list.end(), hi);
+    if (first == last) return;
+    base_ = *first & ~static_cast<VertexId>(63);
+    words_.assign((*(last - 1) - base_) / 64 + 1, 0);
+    for (auto it = first; it != last; ++it) {
+      const VertexId off = *it - base_;
+      words_[off >> 6] |= 1ull << (off & 63);
+    }
+  }
+
+  /// Builds the bitmap of `list` restricted to the id window [lo, hi).
+  static DenseBitmap BuildClamped(std::span<const VertexId> list, VertexId lo,
+                                  VertexId hi) {
+    DenseBitmap bm;
+    bm.AssignClamped(list, lo, hi);
+    return bm;
+  }
+
+  /// Builds the bitmap of the full list.
+  static DenseBitmap Build(std::span<const VertexId> list) {
+    return list.empty() ? DenseBitmap()
+                        : BuildClamped(list, list.front(), list.back() + 1);
+  }
+
+  bool empty() const { return words_.empty(); }
+  VertexId base() const { return base_; }
+  /// One past the last id the window can represent.
+  VertexId RangeEnd() const {
+    return base_ + static_cast<VertexId>(words_.size() * 64);
+  }
+  std::span<const uint64_t> words() const { return words_; }
+
+  /// O(1) membership test; ids outside the window return false.
+  bool Contains(VertexId x) const {
+    if (x < base_) return false;
+    const VertexId off = x - base_;
+    const size_t w = off >> 6;
+    if (w >= words_.size()) return false;
+    return (words_[w] >> (off & 63)) & 1u;
+  }
+
+  /// Bytes of the bitmap storage (hub-cache accounting).
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  VertexId base_ = 0;  ///< 64-aligned start of the window
+  std::vector<uint64_t> words_;
+};
+
+// The word-wise AND + popcount / materialize / probe kernels over
+// DenseBitmaps live in engine/intersect.h — they dispatch to the best
+// available ISA (AVX2 nibble-LUT popcount, scalar POPCNT) like the other
+// intersection kernels.
+
+}  // namespace huge
+
+#endif  // HUGE_COMMON_DENSE_BITMAP_H_

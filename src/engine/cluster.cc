@@ -76,6 +76,7 @@ std::vector<SegmentPlan> Cluster::BuildSegments(const Dataflow& df) const {
 
 RunResult Cluster::Run(const Dataflow& df) {
   SetIntersectKernelPolicy(config_.intersect_kernel);
+  SetBitmapDensityPolicy(config_.bitmap_density_inv);
   shared_.dataflow = &df;
   tracker_.Reset();
   net_.Reset();
@@ -152,6 +153,8 @@ RunResult Cluster::Run(const Dataflow& df) {
     mm.intra_steals += machines_[m]->pool().steal_count();
     mm.inter_steals += machines_[m]->inter_steals();
     mm.fetch_seconds += machines_[m]->fetch_seconds();
+    mm.fused_count_rows += machines_[m]->fused_count_rows();
+    mm.materialized_count_rows += machines_[m]->materialized_count_rows();
     for (double b : machines_[m]->pool().BusySeconds()) {
       mm.worker_busy_seconds.push_back(b);
     }
@@ -363,16 +366,30 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
                             std::vector<VertexId>(cands.begin(), cands.end()));
               appended += (row.size() + cands.size()) * kVertexBytes +
                           kHopRowOverhead;
-            } else if (fused && op.target_label == QueryGraph::kAnyLabel) {
-              // Fused unlabelled counting: count-only kernels, no per-v
+            } else if (fused &&
+                       (op.target_label == QueryGraph::kAnyLabel ||
+                        graph_->HasLabels() || op.target_label == 0)) {
+              // Fused counting, labelled or not: count-only kernels with
+              // the label predicate fused into the final count, no per-v
               // loop. A single staged list never touches the arena's out
-              // buffer, so `cands` aliasing isect.out is safe.
+              // buffer, so `cands` aliasing isect.out is safe. (On an
+              // unlabelled graph every vertex reports label 0, so a
+              // label-0 target degenerates to the unlabelled count and
+              // any other label is handled by the fallback loop, which
+              // matches nothing.)
               isect.lists.assign(1, cands);
+              const uint8_t* labels =
+                  (op.target_label != QueryGraph::kAnyLabel &&
+                   graph_->HasLabels())
+                      ? graph_->LabelData()
+                      : nullptr;
               const uint64_t count =
-                  CountExtendCandidates(isect.lists, op, row, &isect);
+                  CountExtendCandidates(isect.lists, op, row, &isect, labels);
               if (count > 0) machines_[m]->AddMatches(count);
+              machines_[m]->AddFusedCountRows(1);
             } else {
               uint64_t count = 0;
+              if (fused) machines_[m]->AddMaterializedCountRows(1);
               for (VertexId v : cands) {
                 if (op.target_label != QueryGraph::kAnyLabel &&
                     graph_->Label(v) != op.target_label) {

@@ -56,9 +56,19 @@ struct Config {
   bool count_fusion = true;
 
   /// Intersection kernel policy applied at the start of each run. HUGE
-  /// defaults to adaptive (merge/gallop/SIMD routing); baseline system
-  /// profiles pin kScalarMerge to model their published scalar kernels.
+  /// defaults to adaptive (merge/gallop/SIMD/bitmap routing); baseline
+  /// system profiles pin kScalarMerge to model their published scalar
+  /// kernels.
   IntersectKernel intersect_kernel = IntersectKernel::kAdaptive;
+
+  /// Density threshold of the adaptive router's bitmap kernels, as an
+  /// inverse density: a neighbourhood is bitmap-eligible when its id range
+  /// is at most this multiple of its size (default 32, i.e. density >=
+  /// 1/32 — see src/engine/README.md for the derivation). 0 disables
+  /// bitmap routing; the pinned-scalar baseline profiles set 0 so their
+  /// kernels stay faithful to the modelled systems. Applied per run, like
+  /// intersect_kernel.
+  uint32_t bitmap_density_inv = 32;
 
   /// Per-machine, per-side in-memory budget of a PUSH-JOIN buffer before
   /// it spills sorted runs to disk (Section 4.3).

@@ -8,14 +8,47 @@
 namespace huge {
 namespace {
 
-/// Skew ratio at which galloping through the larger list beats scanning it.
-constexpr size_t kGallopRatio = 32;
+/// Skew ratio at which galloping through the larger list beats scanning
+/// it. Re-derived for the SIMD kernels with bench_micro's
+/// BM_GallopCrossover sweep (ratios 4..1024 at |small|=256, AVX2, -O3,
+/// one-core container): forced-SIMD vs forced-gallop measures
+///   ratio:   16      32      64      128     1024
+///   simd:    1.6us   3.1us   6.4us   12.9us  95.8us
+///   gallop:  2.2us   2.6us   3.0us   3.4us   4.6us
+/// The break-even interpolates to ~24x (SIMD wins at 16x by 25%, gallop
+/// wins at 32x by 19%), so the crossover is 24x — below the pre-SIMD 32x:
+/// the vector merge still pays O(|a|+|b|) while galloping pays
+/// O(|a| log |b|), so a faster merge only shifts, not removes, the
+/// break-even.
+constexpr size_t kGallopSkewRatio = 24;
 
 /// Below this size the SIMD block loop never fills a register pair; the
 /// scalar merge wins on setup cost.
 constexpr size_t kSimdMinSize = 16;
 
+/// Bitmap-kernel floors: both lists must have at least this many elements
+/// (below it, building a bitmap costs more than any merge saves) ...
+constexpr size_t kBitmapMinSize = 128;
+
+/// Above this smaller-list size the adaptive label path materializes the
+/// intersection into a per-thread scratch and sweeps labels once, instead
+/// of fusing the check into each vector block (see IntersectLabelRouted).
+constexpr size_t kLabelFuseMaxSize = 16384;
+
 std::atomic<IntersectKernel> g_policy{IntersectKernel::kAdaptive};
+
+/// ... and each list's id range must be at most `g_bitmap_inv_density`
+/// times its size (density >= 1/32 by default; 0 disables the bitmap
+/// path). See README.md for the derivation of the default.
+std::atomic<uint32_t> g_bitmap_inv_density{32};
+
+/// True when `l` is dense enough for the bitmap kernels under the current
+/// policy. O(1): density is read off the span's endpoints.
+bool BitmapDense(std::span<const VertexId> l, uint32_t inv_density) {
+  if (l.size() < kBitmapMinSize) return false;
+  const uint64_t range = static_cast<uint64_t>(l.back()) - l.front() + 1;
+  return range <= static_cast<uint64_t>(inv_density) * l.size();
+}
 
 /// Galloping (exponential) search: first index in `a[lo..]` with
 /// a[i] >= x.
@@ -69,6 +102,31 @@ uint64_t MergeIntersect(std::span<const VertexId> a,
   return out->size();
 }
 
+/// Bitmap kernel, on-the-fly variant: clamp both lists to their
+/// overlapping id window, build the bitmap of `b`'s window slice
+/// (range-clamped 64-bit words) and run `a`'s slice through it — a probe
+/// per element for materializing, branch-free adds for counting. All work
+/// is proportional to the window slices plus the window's word count,
+/// which is what makes the kernel win on dense high-degree
+/// neighbourhoods where merge pays for the whole lists.
+uint64_t BitmapIntersect(std::span<const VertexId> a,
+                         std::span<const VertexId> b,
+                         std::vector<VertexId>* out) {
+  const VertexId lo = std::max(a.front(), b.front());
+  const VertexId hi = std::min(a.back(), b.back());
+  if (lo > hi) return 0;  // disjoint id ranges
+  const auto a_begin = std::lower_bound(a.begin(), a.end(), lo);
+  const auto a_end = std::upper_bound(a_begin, a.end(), hi);
+  if (a_begin == a_end) return 0;
+  static thread_local DenseBitmap bm;
+  bm.AssignClamped(b, lo, hi + 1);
+  const std::span<const VertexId> aw{&*a_begin,
+                                     static_cast<size_t>(a_end - a_begin)};
+  if (out == nullptr) return BitmapProbeCount(bm, aw);
+  BitmapProbeMaterialize(bm, aw, out);
+  return out->size();
+}
+
 uint64_t SimdIntersect(std::span<const VertexId> a, std::span<const VertexId> b,
                        std::vector<VertexId>* out) {
   if (out == nullptr) return simd::IntersectCountV(a, b);
@@ -96,11 +154,27 @@ uint64_t IntersectRouted(std::span<const VertexId> a,
       return GallopIntersect(a, b, out);
     case IntersectKernel::kSimd:
       return SimdIntersect(a, b, out);
+    case IntersectKernel::kBitmap:
+      return BitmapIntersect(a, b, out);
     case IntersectKernel::kAdaptive:
       break;
   }
-  if (b.size() / std::max<size_t>(a.size(), 1) >= kGallopRatio) {
+  if (b.size() / a.size() >= kGallopSkewRatio) {
     return GallopIntersect(a, b, out);
+  }
+  // Dense neighbourhoods: bitmap build + probe touches only the lists'
+  // overlapping window with branch-free per-element work. bench_micro
+  // (BM_IntersectBitmapBuildProbe vs the merge kernels, 4096x4096 at
+  // 1/32 density) puts the on-the-fly build at ~7.4us vs ~21us scalar and
+  // ~11us SSE4.1 but ~3.1us AVX2 — the build pass dominates — so the
+  // router only takes it below AVX2. (CACHED bitmaps — the graph's hub
+  // cache — skip the build and win at any ISA level; they enter through
+  // the bitmap-aware IntersectCountSorted overload instead.)
+  const uint32_t inv_density =
+      g_bitmap_inv_density.load(std::memory_order_relaxed);
+  if (inv_density != 0 && simd::ActiveLevel() != simd::IsaLevel::kAvx2 &&
+      BitmapDense(a, inv_density) && BitmapDense(b, inv_density)) {
+    return BitmapIntersect(a, b, out);
   }
   if (a.size() >= kSimdMinSize &&
       simd::ActiveLevel() != simd::IsaLevel::kScalar) {
@@ -109,9 +183,71 @@ uint64_t IntersectRouted(std::span<const VertexId> a,
   return MergeIntersect(a, b, out);
 }
 
+/// Label-fused routing core (count-only). `a` is the smaller list.
+uint64_t IntersectLabelRouted(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              const uint8_t* labels, uint8_t label) {
+  const IntersectKernel policy = g_policy.load(std::memory_order_relaxed);
+  if (policy == IntersectKernel::kGallop ||
+      (policy == IntersectKernel::kAdaptive &&
+       b.size() / a.size() >= kGallopSkewRatio)) {
+    uint64_t n = 0;
+    size_t j = 0;
+    for (VertexId x : a) {
+      j = Gallop(b, j, x);
+      if (j == b.size()) break;
+      if (b[j] == x) {
+        n += labels[x] == label;
+        ++j;
+      }
+    }
+    return n;
+  }
+  if (policy == IntersectKernel::kBitmap) {
+    const VertexId lo = std::max(a.front(), b.front());
+    const VertexId hi = std::min(a.back(), b.back());
+    if (lo > hi) return 0;
+    static thread_local DenseBitmap bm;
+    bm.AssignClamped(b, lo, hi + 1);
+    uint64_t n = 0;
+    for (VertexId x : a) n += (bm.Contains(x) && labels[x] == label) ? 1 : 0;
+    return n;
+  }
+  if (policy == IntersectKernel::kScalarMerge ||
+      (policy == IntersectKernel::kAdaptive && a.size() < kSimdMinSize)) {
+    return simd::IntersectCountLabelScalar(a, b, labels, label);
+  }
+  if (policy == IntersectKernel::kAdaptive && a.size() >= kLabelFuseMaxSize) {
+    // Large sparse inputs: the per-block label checks cost an
+    // unpredictable branch per vector block, which overtakes the fused
+    // kernel's savings past ~16k elements (bench_micro
+    // BM_IntersectCountLabelFused, 65536: 132us fused vs 65us
+    // materialize+filter). Run the branch-free vector intersection into a
+    // per-thread scratch and sweep the labels once instead.
+    static thread_local std::vector<VertexId> buf;
+    const size_t need = a.size() + simd::kIntersectOutSlack;
+    if (buf.size() < need) buf.resize(need);
+    const size_t n = simd::IntersectV(a, b, buf.data());
+    return CountLabel({buf.data(), n}, labels, label);
+  }
+  return simd::IntersectCountLabelV(a, b, labels, label);
+}
+
 void SortBySize(std::vector<std::span<const VertexId>>& lists) {
   std::sort(lists.begin(), lists.end(),
             [](const auto& a, const auto& b) { return a.size() < b.size(); });
+}
+
+/// Joint sort keeping the staged cached bitmaps aligned with their lists.
+/// Insertion sort: k is tiny (the extend arity) and this allocates nothing.
+void SortBySizeWithBitmaps(std::vector<std::span<const VertexId>>& lists,
+                           std::vector<const DenseBitmap*>& bitmaps) {
+  for (size_t i = 1; i < lists.size(); ++i) {
+    for (size_t j = i; j > 0 && lists[j].size() < lists[j - 1].size(); --j) {
+      std::swap(lists[j], lists[j - 1]);
+      std::swap(bitmaps[j], bitmaps[j - 1]);
+    }
+  }
 }
 
 /// Pairwise-folds `lists[0..k)` (pre-sorted by size, k >= 2) into `*out`,
@@ -137,6 +273,8 @@ const char* ToString(IntersectKernel k) {
       return "gallop";
     case IntersectKernel::kSimd:
       return "simd";
+    case IntersectKernel::kBitmap:
+      return "bitmap";
   }
   return "?";
 }
@@ -147,6 +285,14 @@ void SetIntersectKernelPolicy(IntersectKernel k) {
 
 IntersectKernel GetIntersectKernelPolicy() {
   return g_policy.load(std::memory_order_relaxed);
+}
+
+void SetBitmapDensityPolicy(uint32_t inv_density) {
+  g_bitmap_inv_density.store(inv_density, std::memory_order_relaxed);
+}
+
+uint32_t GetBitmapDensityPolicy() {
+  return g_bitmap_inv_density.load(std::memory_order_relaxed);
 }
 
 void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
@@ -163,6 +309,131 @@ uint64_t IntersectCountSorted(std::span<const VertexId> a,
   if (a.empty() || b.empty()) return 0;
   if (a.size() > b.size()) std::swap(a, b);
   return IntersectRouted(a, b, nullptr);
+}
+
+uint64_t IntersectCountSorted(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              const DenseBitmap* a_bm,
+                              const DenseBitmap* b_bm) {
+  if (a.empty() || b.empty()) return 0;
+  // Cached bitmaps bypass the routed kernels only under the adaptive (or
+  // pinned-bitmap) policy, so the pinned scalar/gallop/simd profiles keep
+  // measuring exactly the kernel they name.
+  const IntersectKernel policy = g_policy.load(std::memory_order_relaxed);
+  const bool use_bitmaps =
+      policy == IntersectKernel::kBitmap ||
+      (policy == IntersectKernel::kAdaptive &&
+       g_bitmap_inv_density.load(std::memory_order_relaxed) != 0);
+  if (!use_bitmaps || (a_bm == nullptr && b_bm == nullptr)) {
+    return IntersectCountSorted(a, b);
+  }
+  // The spans may be window-clamped subspans of the cached lists; the
+  // window the caller kept is exactly [lo, hi].
+  const VertexId lo = std::max(a.front(), b.front());
+  const VertexId hi = std::min(a.back(), b.back());
+  if (lo > hi) return 0;
+  if (a_bm != nullptr && b_bm != nullptr) {
+    // Both neighbourhoods cached: pure word-wise AND + popcount.
+    return BitmapAndCount(*a_bm, *b_bm, lo, hi + 1);
+  }
+  // One cached side: probe the listed side's window slice against it —
+  // O(slice), independent of the cached neighbourhood's size.
+  const DenseBitmap& bm = a_bm != nullptr ? *a_bm : *b_bm;
+  const std::span<const VertexId> probe = a_bm != nullptr ? b : a;
+  const auto begin = std::lower_bound(probe.begin(), probe.end(), lo);
+  const auto end = std::upper_bound(begin, probe.end(), hi);
+  return BitmapProbeCount(
+      bm, probe.subspan(static_cast<size_t>(begin - probe.begin()),
+                        static_cast<size_t>(end - begin)));
+}
+
+uint64_t IntersectCountSortedLabel(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   const uint8_t* labels, uint8_t label) {
+  if (a.empty() || b.empty()) return 0;
+  if (a.size() > b.size()) std::swap(a, b);
+  return IntersectLabelRouted(a, b, labels, label);
+}
+
+uint64_t CountLabel(std::span<const VertexId> a, const uint8_t* labels,
+                    uint8_t label) {
+  uint64_t n = 0;
+  for (VertexId x : a) n += labels[x] == label;
+  return n;
+}
+
+uint64_t BitmapAndCount(const DenseBitmap& a, const DenseBitmap& b,
+                        VertexId lo, VertexId hi) {
+  if (a.empty() || b.empty() || lo >= hi) return 0;
+  // Clamp the window to both bitmaps' ranges. Bases are 64-aligned, so
+  // the two word arrays line up exactly and boundary masking is confined
+  // to the first and last word — the inner loop is the dispatched pure
+  // AND + popcount.
+  const VertexId begin = std::max({lo, a.base(), b.base()});
+  const VertexId end = std::min({hi, a.RangeEnd(), b.RangeEnd()});
+  if (begin >= end) return 0;
+  const size_t w0 = (begin - a.base()) >> 6;  // first overlapping word in a
+  const size_t w1 = ((end - 1) - a.base()) >> 6;
+  const uint64_t* wa = a.words().data();
+  // wb[w] lines up with wa[w] after shifting by the (word-granular) base
+  // difference.
+  const uint64_t* wb = b.words().data() +
+                       (static_cast<ptrdiff_t>(a.base() / 64) -
+                        static_cast<ptrdiff_t>(b.base() / 64));
+  // Bases are 64-aligned, so the in-word offsets of the window bounds are
+  // just their low bits.
+  const uint64_t head_mask = ~0ull << (begin & 63);
+  const uint64_t tail_mask =
+      (end & 63) == 0 ? ~0ull : ~0ull >> (64 - (end & 63));
+  if (w0 == w1) {
+    return static_cast<uint64_t>(
+        __builtin_popcountll(wa[w0] & wb[w0] & head_mask & tail_mask));
+  }
+  return static_cast<uint64_t>(
+             __builtin_popcountll(wa[w0] & wb[w0] & head_mask)) +
+         static_cast<uint64_t>(
+             __builtin_popcountll(wa[w1] & wb[w1] & tail_mask)) +
+         simd::AndPopcountWords(wa + w0 + 1, wb + w0 + 1, w1 - w0 - 1);
+}
+
+void BitmapAndMaterialize(const DenseBitmap& a, const DenseBitmap& b,
+                          VertexId lo, VertexId hi,
+                          std::vector<VertexId>* out) {
+  if (a.empty() || b.empty() || lo >= hi) return;
+  const VertexId begin = std::max({lo, a.base(), b.base()});
+  const VertexId end = std::min({hi, a.RangeEnd(), b.RangeEnd()});
+  if (begin >= end) return;
+  const size_t w0 = (begin - a.base()) >> 6;
+  const size_t w1 = ((end - 1) - a.base()) >> 6;
+  const uint64_t* wa = a.words().data();
+  const uint64_t* wb = b.words().data() +
+                       (static_cast<ptrdiff_t>(a.base() / 64) -
+                        static_cast<ptrdiff_t>(b.base() / 64));
+  for (size_t w = w0; w <= w1; ++w) {
+    uint64_t x = wa[w] & wb[w];
+    const VertexId word_base = a.base() + static_cast<VertexId>(w * 64);
+    if (w == w0) x &= ~0ull << (begin & 63);
+    if (w == w1 && (end & 63) != 0) x &= ~0ull >> (64 - (end & 63));
+    while (x != 0) {
+      out->push_back(word_base + static_cast<VertexId>(__builtin_ctzll(x)));
+      x &= x - 1;
+    }
+  }
+}
+
+uint64_t BitmapProbeCount(const DenseBitmap& bm,
+                          std::span<const VertexId> list) {
+  uint64_t n = 0;
+  for (VertexId x : list) n += bm.Contains(x) ? 1 : 0;
+  return n;
+}
+
+void BitmapProbeMaterialize(const DenseBitmap& bm,
+                            std::span<const VertexId> list,
+                            std::vector<VertexId>* out) {
+  for (VertexId x : list) {
+    if (bm.Contains(x)) out->push_back(x);
+  }
 }
 
 void IntersectAll(std::vector<std::span<const VertexId>>& lists,
@@ -193,14 +464,42 @@ std::span<const VertexId> IntersectAll(
 uint64_t IntersectCountAll(std::vector<std::span<const VertexId>>& lists,
                            IntersectScratch* scratch) {
   if (lists.empty()) return 0;
-  SortBySize(lists);
+  const bool with_bitmaps = scratch->bitmaps.size() == lists.size();
+  if (with_bitmaps) {
+    SortBySizeWithBitmaps(lists, scratch->bitmaps);
+  } else {
+    SortBySize(lists);
+  }
   if (lists.size() == 1) return lists[0].size();
-  if (lists.size() == 2) return IntersectCountSorted(lists[0], lists[1]);
-  // Materialize all but the final pairing, then count the last step.
+  if (lists.size() == 2) {
+    return IntersectCountSorted(lists[0], lists[1],
+                                with_bitmaps ? scratch->bitmaps[0] : nullptr,
+                                with_bitmaps ? scratch->bitmaps[1] : nullptr);
+  }
+  // Materialize all but the final pairing, then count the last step (the
+  // largest list, which is where a cached hub bitmap pays the most).
   FoldSorted(lists, lists.size() - 1, &scratch->out, &scratch->tmp);
   if (scratch->out.empty()) return 0;
   return IntersectCountSorted({scratch->out.data(), scratch->out.size()},
-                              lists.back());
+                              lists.back(), nullptr,
+                              with_bitmaps ? scratch->bitmaps.back() : nullptr);
+}
+
+uint64_t IntersectCountAllLabel(std::vector<std::span<const VertexId>>& lists,
+                                IntersectScratch* scratch,
+                                const uint8_t* labels, uint8_t label) {
+  if (lists.empty()) return 0;
+  SortBySize(lists);
+  if (lists.size() == 1) return CountLabel(lists[0], labels, label);
+  if (lists.size() == 2) {
+    return IntersectCountSortedLabel(lists[0], lists[1], labels, label);
+  }
+  // Materialize all but the final pairing, then label-fuse the last
+  // (largest) count step.
+  FoldSorted(lists, lists.size() - 1, &scratch->out, &scratch->tmp);
+  if (scratch->out.empty()) return 0;
+  return IntersectCountSortedLabel({scratch->out.data(), scratch->out.size()},
+                                   lists.back(), labels, label);
 }
 
 bool SortedContains(std::span<const VertexId> a, VertexId x) {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/dense_bitmap.h"
 #include "common/types.h"
 
 namespace huge {
@@ -12,19 +13,22 @@ namespace huge {
 /// Sorted-set intersection kernels used by the wco extension (Equation 2).
 /// Lists are sorted ascending and duplicate-free (CSR invariant).
 ///
-/// The entry points below route adaptively between three physical
-/// kernels — linear merge, galloping, and the SIMD shuffle kernels of
-/// engine/simd_intersect.h — based on the size ratio and absolute sizes
-/// of the inputs. See src/engine/README.md for the dispatch design.
+/// The entry points below route adaptively between four physical
+/// kernels — linear merge, galloping, the SIMD shuffle kernels of
+/// engine/simd_intersect.h, and the dense-neighbourhood bitmap kernels of
+/// common/dense_bitmap.h — based on the size ratio, absolute sizes and
+/// id-range density of the inputs. See src/engine/README.md for the
+/// dispatch design.
 
 /// Kernel-selection policy. kAdaptive is the engine default; the pinned
 /// policies model systems without vectorized/adaptive kernels (baselines)
 /// and drive differential tests and benches.
 enum class IntersectKernel : uint8_t {
-  kAdaptive = 0,   ///< size-ratio routing + runtime ISA dispatch (default)
+  kAdaptive = 0,   ///< density + size-ratio routing, runtime ISA dispatch
   kScalarMerge,    ///< always the scalar linear merge
   kGallop,         ///< always galloping search over the larger list
   kSimd,           ///< always the vector kernel (best detected ISA)
+  kBitmap,         ///< always the bitmap kernel (build + probe/AND)
 };
 
 const char* ToString(IntersectKernel k);
@@ -35,11 +39,26 @@ const char* ToString(IntersectKernel k);
 void SetIntersectKernelPolicy(IntersectKernel k);
 IntersectKernel GetIntersectKernelPolicy();
 
+/// Sets/reads the adaptive router's density threshold for the bitmap
+/// kernels, expressed as an inverse density: a list is "dense" when its id
+/// range is at most `inv_density` times its size. 0 disables bitmap
+/// routing entirely (the pinned-scalar baseline profiles). Applied at the
+/// start of each Cluster::Run, like the kernel policy.
+void SetBitmapDensityPolicy(uint32_t inv_density);
+uint32_t GetBitmapDensityPolicy();
+
 /// Reusable scratch for k-way intersections: call sites keep one arena
 /// per worker (or per recursion depth) so repeated IntersectAll /
 /// IntersectCountAll calls stop reallocating.
+///
+/// `bitmaps`, when staged with the same length as `lists`, carries an
+/// optional cached bitmap per list (the graph's hub bitmaps; nullptr for
+/// lists without one). The count-only entry points then skip list probing
+/// for bitmap-backed inputs. Entries correspond positionally to `lists`
+/// and are permuted together with them.
 struct IntersectScratch {
   std::vector<std::span<const VertexId>> lists;  ///< caller-staged inputs
+  std::vector<const DenseBitmap*> bitmaps;       ///< optional, per list
   std::vector<VertexId> out;                     ///< result storage
   std::vector<VertexId> tmp;                     ///< intermediate storage
 };
@@ -51,6 +70,57 @@ void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
 /// |a ∩ b| without materializing the result.
 uint64_t IntersectCountSorted(std::span<const VertexId> a,
                               std::span<const VertexId> b);
+
+/// Bitmap-aware variant: `a_bm` / `b_bm` are cached bitmaps of the FULL
+/// lists that `a` / `b` are (possibly window-clamped) subspans of, or
+/// nullptr. With both bitmaps the count is a pure word-wise AND +
+/// popcount over the spans' id window; with one, the other list probes it
+/// in O(list) time. Falls back to the routed kernels without bitmaps.
+uint64_t IntersectCountSorted(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              const DenseBitmap* a_bm,
+                              const DenseBitmap* b_bm);
+
+/// Label-fused |{x in a ∩ b : labels[x] == label}| on the routed count
+/// kernels (no candidate materialization). `labels` must satisfy the
+/// simd::kLabelGatherPad tail-padding contract (Graph::LabelData() does).
+uint64_t IntersectCountSortedLabel(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   const uint8_t* labels, uint8_t label);
+
+/// |{x in a : labels[x] == label}| — the single-list degenerate of the
+/// label-fused path.
+uint64_t CountLabel(std::span<const VertexId> a, const uint8_t* labels,
+                    uint8_t label);
+
+// --- DenseBitmap kernels (the physical layer behind the bitmap routing;
+// exposed for tests and benches). ---
+
+/// |a ∩ b| restricted to ids in [lo, hi): word-wise AND + popcount over
+/// the overlapping word range (runtime-dispatched to AVX2 / POPCNT), with
+/// the boundary words masked to the window.
+uint64_t BitmapAndCount(const DenseBitmap& a, const DenseBitmap& b,
+                        VertexId lo, VertexId hi);
+
+/// Appends a ∩ b restricted to [lo, hi) to `out` in ascending id order:
+/// word-wise AND, then bit expansion via count-trailing-zeros (the
+/// compressed materializing variant).
+void BitmapAndMaterialize(const DenseBitmap& a, const DenseBitmap& b,
+                          VertexId lo, VertexId hi,
+                          std::vector<VertexId>* out);
+
+/// |list ∩ bm|: probes each element of the sorted list against the
+/// bitmap. O(|list|) regardless of how many ids the bitmap holds — the
+/// win over merge/gallop when the bitmap side is a cached high-degree
+/// hub.
+uint64_t BitmapProbeCount(const DenseBitmap& bm,
+                          std::span<const VertexId> list);
+
+/// Probe variant appending the survivors to `out` (ascending order is
+/// inherited from the list).
+void BitmapProbeMaterialize(const DenseBitmap& bm,
+                            std::span<const VertexId> list,
+                            std::vector<VertexId>* out);
 
 /// Intersection of all `lists` into `out`; `tmp` is reused scratch.
 /// Processes the smallest lists first to shrink the working set early.
@@ -66,9 +136,18 @@ std::span<const VertexId> IntersectAll(
     std::vector<std::span<const VertexId>>& lists, IntersectScratch* scratch);
 
 /// |∩ lists| without materializing the final result (intermediate k-way
-/// steps still materialize into the arena). Sorts `lists` by size in place.
+/// steps still materialize into the arena). Sorts `lists` by size in place
+/// (and `scratch->bitmaps` with them when staged). When cached bitmaps are
+/// staged, the final pairwise count uses the bitmap kernels.
 uint64_t IntersectCountAll(std::vector<std::span<const VertexId>>& lists,
                            IntersectScratch* scratch);
+
+/// Label-fused |{x in ∩ lists : labels[x] == label}|: the same fold shape
+/// as IntersectCountAll with the label predicate fused into the final
+/// (largest-list) count step. Sorts `lists` by size in place.
+uint64_t IntersectCountAllLabel(std::vector<std::span<const VertexId>>& lists,
+                                IntersectScratch* scratch,
+                                const uint8_t* labels, uint8_t label);
 
 /// True iff sorted list `a` contains `x` (binary search).
 bool SortedContains(std::span<const VertexId> a, VertexId x);

@@ -189,6 +189,8 @@ void MachineRuntime::PrepareRun() {
   }
   cache_ = MakeCache(shared_->config->cache_kind, capacity, shared_->tracker);
   matches_.store(0);
+  fused_count_rows_.store(0);
+  materialized_count_rows_.store(0);
   inter_steals_.store(0);
   fetch_nanos_.store(0);
   bsp_busy_nanos_.store(0);
@@ -396,6 +398,20 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
   const uint32_t out_width = static_cast<uint32_t>(op.schema.size());
   const uint32_t batch_rows = shared_->config->batch_size;
 
+  // Label handling for grow extends: with a labelled graph the predicate
+  // is fused into the count kernels (and local lists shrink to their
+  // per-label CSR slices); an unlabelled graph reports label 0 for every
+  // vertex, so a constrained target is either trivially satisfied
+  // (label 0) or unsatisfiable.
+  const bool grow = !verify;
+  const bool labelled_target = grow &&
+                               op.target_label != QueryGraph::kAnyLabel &&
+                               graph_->HasLabels();
+  const bool label_unsatisfiable =
+      grow && op.target_label != QueryGraph::kAnyLabel &&
+      !graph_->HasLabels() && op.target_label != 0;
+  const bool use_slices = labelled_target && graph_->HasLabelSlices();
+
   const int workers = pool_->num_workers();
   std::vector<Batch> louts;
   louts.reserve(workers);
@@ -408,12 +424,31 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
         static thread_local std::vector<std::vector<VertexId>> scratches;
         static thread_local IntersectScratch isect;
         if (scratches.size() < op.ext.size()) scratches.resize(op.ext.size());
+        uint64_t fused_rows = 0;
 
-        for (size_t i = begin; i < end; ++i) {
+        for (size_t i = begin; i < end && !label_unsatisfiable; ++i) {
           auto row = in.Row(i);
           isect.lists.resize(op.ext.size());
+          // Cached hub bitmaps ride along with the staged lists on the
+          // unlabelled fused path (full lists; the kernels clamp them to
+          // the filter window themselves). Label slices are not id-window
+          // subspans, so the two accelerations are mutually exclusive.
+          isect.bitmaps.clear();
+          if (fused && grow && !labelled_target) {
+            isect.bitmaps.resize(op.ext.size(), nullptr);
+          }
           for (size_t j = 0; j < op.ext.size(); ++j) {
-            isect.lists[j] = NeighborsOf(row[op.ext[j]], &scratches[j]);
+            const VertexId src = row[op.ext[j]];
+            const bool local = shared_->pgraph->IsLocal(src, id_);
+            if (use_slices && local) {
+              isect.lists[j] =
+                  graph_->NeighborsWithLabel(src, op.target_label);
+            } else {
+              isect.lists[j] = NeighborsOf(src, &scratches[j]);
+            }
+            if (!isect.bitmaps.empty() && local) {
+              isect.bitmaps[j] = graph_->HubBitmap(src);
+            }
           }
           if (verify) {
             // Keep the row iff the bound root appears in every pulled
@@ -427,11 +462,16 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
               }
             }
             if (ok) louts[wid].AppendRow(row);
-          } else if (fused && op.target_label == QueryGraph::kAnyLabel) {
-            // Count fusion without a label predicate: skip candidate
-            // materialization entirely (count-only kernels).
-            counts[wid] += CountExtendCandidates(isect.lists, op, row, &isect);
+          } else if (fused) {
+            // Count fusion, labelled or not: the label predicate (if any)
+            // is fused into the count-only kernels — no candidate list is
+            // ever materialized.
+            counts[wid] += CountExtendCandidates(
+                isect.lists, op, row, &isect,
+                labelled_target ? graph_->LabelData() : nullptr);
+            ++fused_rows;
           } else {
+            isect.bitmaps.clear();
             const auto cands = IntersectAll(isect.lists, &isect);
             for (VertexId v : cands) {
               if (op.target_label != QueryGraph::kAnyLabel &&
@@ -439,11 +479,7 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
                 continue;
               }
               if (!PassesExtendFilters(op, row, v)) continue;
-              if (fused) {
-                ++counts[wid];
-              } else {
-                louts[wid].AppendRowPlus(row, v);
-              }
+              louts[wid].AppendRowPlus(row, v);
             }
           }
           if (louts[wid].rows() >= batch_rows) {
@@ -453,6 +489,7 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
             louts[wid] = Batch(out_width);
           }
         }
+        if (fused_rows > 0) AddFusedCountRows(fused_rows);
       });
 
   for (int w = 0; w < workers; ++w) {

@@ -135,6 +135,19 @@ class MachineRuntime {
   /// PUSH-EXTEND baselines).
   void AddMatches(uint64_t n) { matches_.fetch_add(n); }
 
+  /// Fused-terminal-extend path accounting (RunMetrics::fused_count_rows /
+  /// materialized_count_rows).
+  uint64_t fused_count_rows() const { return fused_count_rows_.load(); }
+  uint64_t materialized_count_rows() const {
+    return materialized_count_rows_.load();
+  }
+  void AddFusedCountRows(uint64_t n) {
+    fused_count_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddMaterializedCountRows(uint64_t n) {
+    materialized_count_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   friend class Cluster;
 
@@ -192,6 +205,8 @@ class MachineRuntime {
   std::mutex route_mu_;  ///< guards join_staging_ (workers emit concurrently)
 
   std::atomic<uint64_t> matches_{0};
+  std::atomic<uint64_t> fused_count_rows_{0};
+  std::atomic<uint64_t> materialized_count_rows_{0};
   std::atomic<uint64_t> fetch_nanos_{0};
   std::atomic<uint64_t> bsp_busy_nanos_{0};
   std::atomic<uint64_t> inter_steals_{0};

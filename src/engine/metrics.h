@@ -44,6 +44,14 @@ struct RunMetrics {
   /// Intermediate rows produced by all operators (plan-quality signal).
   uint64_t intermediate_rows = 0;
 
+  /// Rows whose terminal fused-count extension ran entirely on count-only
+  /// kernels (no candidate list materialized) vs. rows that fell back to
+  /// the materializing per-candidate loop. With label fusion in place,
+  /// every fused terminal extend — labelled or not — takes the count-only
+  /// path, so materialized_count_rows stays 0 on count queries.
+  uint64_t fused_count_rows = 0;
+  uint64_t materialized_count_rows = 0;
+
   /// Per-worker busy seconds across all machines, in machine-major order
   /// (Exp-8 reports the standard deviation of these).
   std::vector<double> worker_busy_seconds;

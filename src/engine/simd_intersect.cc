@@ -63,6 +63,20 @@ uint64_t MergeCountScalar(const VertexId* a, size_t na, const VertexId* b,
   return n;
 }
 
+uint64_t MergeCountLabelScalar(const VertexId* a, size_t na, const VertexId* b,
+                               size_t nb, const uint8_t* labels,
+                               uint8_t label) {
+  size_t i = 0, j = 0;
+  uint64_t n = 0;
+  while (i < na && j < nb) {
+    const VertexId x = a[i], y = b[j];
+    i += (x <= y);
+    j += (y <= x);
+    n += (x == y) & (labels[x] == label);
+  }
+  return n;
+}
+
 #if HUGE_SIMD_X86
 
 // ---------------------------------------------------------------------------
@@ -172,6 +186,37 @@ __attribute__((target("sse4.1"))) size_t IntersectSse41Impl(
   return n + MergeScalar(a + i, na - i, b + j, nb - j, out + n);
 }
 
+__attribute__((target("sse4.1"))) uint64_t IntersectCountLabelSse41Impl(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb,
+    const uint8_t* labels, uint8_t label) {
+  size_t i = 0, j = 0;
+  uint64_t n = 0;
+  alignas(16) VertexId tmp[4];
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const int mask = Sse41BlockMask(va, vb);
+    if (mask != 0) {
+      // Compact the matched lanes, then apply the label predicate to the
+      // few survivors (SSE4.1 has no gather; the intersection itself still
+      // runs vectorized).
+      const __m128i ctrl = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(kSse41Tbl.ctrl[mask]));
+      _mm_store_si128(reinterpret_cast<__m128i*>(tmp),
+                      _mm_shuffle_epi8(va, ctrl));
+      const int m = __builtin_popcount(static_cast<unsigned>(mask));
+      for (int t = 0; t < m; ++t) n += labels[tmp[t]] == label;
+    }
+    const VertexId amax = a[i + 3], bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return n + MergeCountLabelScalar(a + i, na - i, b + j, nb - j, labels,
+                                   label);
+}
+
 __attribute__((target("sse4.1"))) uint64_t IntersectCountSse41Impl(
     const VertexId* a, size_t na, const VertexId* b, size_t nb) {
   size_t i = 0, j = 0;
@@ -249,6 +294,109 @@ __attribute__((target("avx2"))) uint64_t IntersectCountAvx2Impl(
     j += (bmax <= amax) ? 8 : 0;
   }
   return n + IntersectCountSse41Impl(a + i, na - i, b + j, nb - j);
+}
+
+__attribute__((target("avx2"))) uint64_t IntersectCountLabelAvx2Impl(
+    const VertexId* a, size_t na, const VertexId* b, size_t nb,
+    const uint8_t* labels, uint8_t label) {
+  size_t i = 0, j = 0;
+  uint64_t n = 0;
+  const __m256i lane_idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i target = _mm256_set1_epi32(label);
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const int mask = Avx2BlockMask(va, vb);
+    if (mask != 0) {
+      const int m = __builtin_popcount(static_cast<unsigned>(mask));
+      const __m256i ctrl = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kAvx2Tbl.ctrl[mask]));
+      const __m256i matched = _mm256_permutevar8x32_epi32(va, ctrl);
+      if (m >= 5) {
+        // Match-heavy block: broadcast-compare label fusion. Gather the
+        // matched ids' labels (masked: only the live lanes touch memory,
+        // 4 bytes each — hence the kLabelGatherPad contract) and compare
+        // against the broadcast target label in one sweep.
+        const __m256i active = _mm256_cmpgt_epi32(_mm256_set1_epi32(m),
+                                                  lane_idx);
+        const __m256i gathered = _mm256_mask_i32gather_epi32(
+            _mm256_setzero_si256(), reinterpret_cast<const int*>(labels),
+            matched, active, 1);
+        const __m256i eq = _mm256_cmpeq_epi32(
+            _mm256_and_si256(gathered, byte_mask), target);
+        const int keep = _mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_and_si256(eq, active)));
+        n += static_cast<uint64_t>(
+            __builtin_popcount(static_cast<unsigned>(keep)));
+      } else {
+        // Sparse matches: a vpgatherdd costs more than a couple of scalar
+        // label loads, so spill the compacted ids and check them directly.
+        alignas(32) VertexId tmp[8];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), matched);
+        for (int t = 0; t < m; ++t) n += labels[tmp[t]] == label;
+      }
+    }
+    const VertexId amax = a[i + 7], bmax = b[j + 7];
+    i += (amax <= bmax) ? 8 : 0;
+    j += (bmax <= amax) ? 8 : 0;
+  }
+  return n + IntersectCountLabelSse41Impl(a + i, na - i, b + j, nb - j,
+                                          labels, label);
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap AND + popcount kernels (the dense-neighbourhood intersection's
+// inner loop).
+// ---------------------------------------------------------------------------
+
+/// Muła's nibble-LUT popcount over the AND of two word arrays: per 32-byte
+/// block, split into nibbles, look both up in an in-register table with
+/// vpshufb, then horizontally sum the byte counts into 64-bit lanes with
+/// vpsadbw.
+__attribute__((target("avx2"))) uint64_t AndPopcountWordsAvx2(
+    const uint64_t* x, const uint64_t* y, size_t n) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i)));
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += __builtin_popcountll(x[i] & y[i]);
+  return total;
+}
+
+__attribute__((target("popcnt"))) uint64_t AndPopcountWordsPopcnt(
+    const uint64_t* x, const uint64_t* y, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(x[i] & y[i]));
+  }
+  return total;
+}
+
+bool HasPopcnt() {
+  static const bool has = [] {
+    __builtin_cpu_init();
+    return static_cast<bool>(__builtin_cpu_supports("popcnt"));
+  }();
+  return has;
 }
 
 #endif  // HUGE_SIMD_X86
@@ -365,6 +513,63 @@ uint64_t IntersectCountV(std::span<const VertexId> a,
       break;
   }
   return IntersectCountScalar(a, b);
+}
+
+uint64_t IntersectCountLabelScalar(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   const uint8_t* labels, uint8_t label) {
+  return MergeCountLabelScalar(a.data(), a.size(), b.data(), b.size(), labels,
+                               label);
+}
+
+uint64_t IntersectCountLabelSse41(std::span<const VertexId> a,
+                                  std::span<const VertexId> b,
+                                  const uint8_t* labels, uint8_t label) {
+#if HUGE_SIMD_X86
+  return IntersectCountLabelSse41Impl(a.data(), a.size(), b.data(), b.size(),
+                                      labels, label);
+#else
+  return IntersectCountLabelScalar(a, b, labels, label);
+#endif
+}
+
+uint64_t IntersectCountLabelAvx2(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 const uint8_t* labels, uint8_t label) {
+#if HUGE_SIMD_X86
+  return IntersectCountLabelAvx2Impl(a.data(), a.size(), b.data(), b.size(),
+                                     labels, label);
+#else
+  return IntersectCountLabelScalar(a, b, labels, label);
+#endif
+}
+
+uint64_t AndPopcountWords(const uint64_t* x, const uint64_t* y, size_t n) {
+#if HUGE_SIMD_X86
+  if (ActiveLevel() >= IsaLevel::kAvx2) return AndPopcountWordsAvx2(x, y, n);
+  if (HasPopcnt()) return AndPopcountWordsPopcnt(x, y, n);
+#endif
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(x[i] & y[i]));
+  }
+  return total;
+}
+
+uint64_t IntersectCountLabelV(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              const uint8_t* labels, uint8_t label) {
+  // The gather path indexes labels with signed 32-bit lanes; dense vertex
+  // ids stay far below 2^31 in this system (VertexId is the dense CSR id).
+  switch (ActiveLevel()) {
+    case IsaLevel::kAvx2:
+      return IntersectCountLabelAvx2(a, b, labels, label);
+    case IsaLevel::kSse41:
+      return IntersectCountLabelSse41(a, b, labels, label);
+    case IsaLevel::kScalar:
+      break;
+  }
+  return IntersectCountLabelScalar(a, b, labels, label);
 }
 
 }  // namespace huge::simd

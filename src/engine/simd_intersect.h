@@ -63,6 +63,38 @@ size_t IntersectAvx2(std::span<const VertexId> a,
 uint64_t IntersectCountAvx2(std::span<const VertexId> a,
                             std::span<const VertexId> b);
 
+/// Label-fused count kernels: |{x in a ∩ b : labels[x] == label}| in one
+/// pass, with no candidate materialization. The AVX2 path compacts the
+/// matched lanes, gathers their labels with a masked 4-byte gather and
+/// compares against the broadcast target label, so the predicate costs a
+/// handful of instructions per *matched block* instead of a scalar check
+/// per candidate.
+///
+/// `labels` must be readable at every index occurring in a or b, PLUS
+/// kLabelGatherPad trailing bytes (the gather loads 4 bytes per index);
+/// Graph::LabelData() satisfies this by construction.
+inline constexpr size_t kLabelGatherPad = 3;
+
+uint64_t IntersectCountLabelV(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              const uint8_t* labels, uint8_t label);
+uint64_t IntersectCountLabelScalar(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   const uint8_t* labels, uint8_t label);
+uint64_t IntersectCountLabelSse41(std::span<const VertexId> a,
+                                  std::span<const VertexId> b,
+                                  const uint8_t* labels, uint8_t label);
+uint64_t IntersectCountLabelAvx2(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 const uint8_t* labels, uint8_t label);
+
+/// Σ popcount(x[i] & y[i]) over n 64-bit words — the inner loop of the
+/// dense-neighbourhood bitmap AND kernel. Dispatches to an AVX2
+/// nibble-LUT popcount, then a scalar POPCNT loop, then the portable
+/// builtin (plain x86-64 baseline has no POPCNT instruction, which makes
+/// the builtin ~6x slower than the hardware instruction).
+uint64_t AndPopcountWords(const uint64_t* x, const uint64_t* y, size_t n);
+
 }  // namespace huge::simd
 
 #endif  // HUGE_ENGINE_SIMD_INTERSECT_H_

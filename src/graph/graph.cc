@@ -41,15 +41,77 @@ Graph Graph::FromEdges(VertexId num_vertices,
   for (VertexId v = 0; v < num_vertices; ++v) {
     g.max_degree_ = std::max(g.max_degree_, g.Degree(v));
   }
+  g.BuildHubBitmaps();
   return g;
+}
+
+void Graph::BuildHubBitmaps() {
+  // Select the top-k vertices by degree that clear the degree and density
+  // floors; their neighbourhood bitmaps answer O(1) edge probes and feed
+  // the engine's dense intersection kernels.
+  std::vector<VertexId> hubs;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (Degree(v) >= kHubBitmapMinDegree &&
+        NeighborhoodDensity(v) >= kHubBitmapMinDensity) {
+      hubs.push_back(v);
+    }
+  }
+  if (hubs.empty()) return;
+  if (hubs.size() > kHubBitmapTopK) {
+    std::nth_element(hubs.begin(), hubs.begin() + kHubBitmapTopK, hubs.end(),
+                     [this](VertexId a, VertexId b) {
+                       return Degree(a) > Degree(b);
+                     });
+    hubs.resize(kHubBitmapTopK);
+  }
+  hub_index_.assign(NumVertices(), kNoHub);
+  hub_bitmaps_.reserve(hubs.size());
+  for (VertexId v : hubs) {
+    hub_index_[v] = static_cast<uint32_t>(hub_bitmaps_.size());
+    hub_bitmaps_.push_back(DenseBitmap::Build(Neighbors(v)));
+  }
 }
 
 void Graph::AssignLabels(std::vector<uint8_t> labels) {
   HUGE_CHECK(labels.size() == NumVertices());
+  if (labels.empty()) return;
+  uint32_t max_label = 0;
+  for (uint8_t l : labels) max_label = std::max<uint32_t>(max_label, l);
+  num_label_values_ = max_label + 1;
   labels_ = std::move(labels);
+  // Tail padding so 4-byte-wide SIMD gathers may read past the last label.
+  labels_.insert(labels_.end(), kLabelTailPad, 0);
+
+  // Per-label CSR slices: each vertex's neighbours regrouped by
+  // (label, id). Skipped for wide label alphabets, where the offset table
+  // would dominate memory; callers fall back to the broadcast-compare
+  // kernels on the full lists.
+  label_adjacency_.clear();
+  label_slice_rel_.clear();
+  if (num_label_values_ == 0 || num_label_values_ > kMaxSliceLabels) return;
+  const uint32_t L = num_label_values_;
+  label_adjacency_.resize(adjacency_.size());
+  label_slice_rel_.assign(static_cast<size_t>(NumVertices()) * (L + 1), 0);
+  std::vector<uint32_t> counts(L);
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    const auto nbrs = Neighbors(v);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (VertexId u : nbrs) ++counts[Label(u)];
+    uint32_t* rel = label_slice_rel_.data() + static_cast<size_t>(v) * (L + 1);
+    for (uint32_t l = 0; l < L; ++l) rel[l + 1] = rel[l] + counts[l];
+    // Counting sort by label; within a label the CSR order (ascending id)
+    // is preserved, so every slice is sorted.
+    std::fill(counts.begin(), counts.end(), 0);
+    VertexId* dst = label_adjacency_.data() + offsets_[v];
+    for (VertexId u : nbrs) {
+      const uint8_t l = Label(u);
+      dst[rel[l] + counts[l]++] = u;
+    }
+  }
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (const DenseBitmap* bm = HubBitmap(u)) return bm->Contains(v);
   auto nbrs = Neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/dense_bitmap.h"
 #include "common/types.h"
 
 namespace huge {
@@ -50,8 +51,41 @@ class Graph {
             adjacency_.data() + offsets_[v + 1]};
   }
 
-  /// True iff the edge (u, v) exists. O(log d(u)).
+  /// True iff the edge (u, v) exists. O(1) via the cached hub bitmap when
+  /// `u` is a hub vertex, O(log d(u)) binary search otherwise.
   bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Density of v's neighbourhood within its own id range:
+  /// d(v) / (max_nbr - min_nbr + 1), in (0, 1]. 0 for isolated vertices.
+  /// O(1) from the CSR (the endpoints of the sorted adjacency list); this
+  /// is the statistic the adaptive intersection router thresholds on.
+  double NeighborhoodDensity(VertexId v) const {
+    const auto n = Neighbors(v);
+    if (n.empty()) return 0.0;
+    return static_cast<double>(n.size()) / (n.back() - n.front() + 1);
+  }
+
+  /// Cached bitmap of v's neighbourhood, or nullptr when v is not one of
+  /// the precomputed hub vertices. Hub bitmaps are built at load time for
+  /// the top-`kHubBitmapTopK` vertices by degree that clear the degree and
+  /// density floors below; they back O(1) HasEdge probes and the engine's
+  /// bitmap intersection kernels.
+  const DenseBitmap* HubBitmap(VertexId v) const {
+    if (hub_index_.empty() || hub_index_[v] == kNoHub) return nullptr;
+    return &hub_bitmaps_[hub_index_[v]];
+  }
+
+  /// Number of cached hub bitmaps.
+  size_t NumHubBitmaps() const { return hub_bitmaps_.size(); }
+
+  /// Hub-bitmap precompute policy: cache at most this many vertices...
+  static constexpr size_t kHubBitmapTopK = 64;
+  /// ...each with degree at least this...
+  static constexpr uint32_t kHubBitmapMinDegree = 128;
+  /// ...and neighbourhood density at least 1/64: the bitmap spans at most
+  /// 64 * d(v) bits = 8 * d(v) bytes, i.e. no more than 2x the 4-byte-per
+  /// -entry sorted list it mirrors.
+  static constexpr double kHubBitmapMinDensity = 1.0 / 64.0;
 
   /// Maximum degree D_G.
   uint32_t MaxDegree() const { return max_degree_; }
@@ -75,7 +109,9 @@ class Graph {
 
   /// Attaches vertex labels (one per vertex). Labels are optional; an
   /// unlabelled graph matches any query label (footnote 3 of the paper:
-  /// the techniques seamlessly support labelled graphs).
+  /// the techniques seamlessly support labelled graphs). Also builds the
+  /// per-label CSR slices (NeighborsWithLabel) when the label alphabet is
+  /// at most kMaxSliceLabels values.
   void AssignLabels(std::vector<uint8_t> labels);
 
   /// True iff labels were assigned.
@@ -86,6 +122,41 @@ class Graph {
     return labels_.empty() ? 0 : labels_[v];
   }
 
+  /// Raw label array for the SIMD broadcast-compare kernels, or nullptr
+  /// for unlabelled graphs. The array is tail-padded with kLabelTailPad
+  /// readable bytes past index NumVertices()-1, which the 4-byte-wide
+  /// vector gathers require.
+  const uint8_t* LabelData() const {
+    return labels_.empty() ? nullptr : labels_.data();
+  }
+
+  /// Bytes of readable tail padding behind LabelData().
+  static constexpr size_t kLabelTailPad = 3;
+
+  /// Largest number of distinct label values for which AssignLabels builds
+  /// per-label CSR slices (the slice offsets cost
+  /// |V| * (labels + 1) * 4 bytes).
+  static constexpr uint32_t kMaxSliceLabels = 32;
+
+  /// True iff per-label CSR slices were built.
+  bool HasLabelSlices() const { return !label_slice_rel_.empty(); }
+
+  /// Sorted neighbours of `v` whose label is `l` — a contiguous slice of
+  /// the label-grouped adjacency copy. Requires HasLabelSlices(). With a
+  /// label-constrained intersection target, intersecting slices instead of
+  /// full lists shrinks the inputs *before* the kernels run and makes the
+  /// count-only fused path label-exact with no per-candidate check.
+  std::span<const VertexId> NeighborsWithLabel(VertexId v, uint8_t l) const {
+    if (l >= num_label_values_) return {};
+    const size_t row = static_cast<size_t>(v) * (num_label_values_ + 1);
+    const uint64_t base = offsets_[v];
+    return {label_adjacency_.data() + base + label_slice_rel_[row + l],
+            label_adjacency_.data() + base + label_slice_rel_[row + l + 1]};
+  }
+
+  /// Number of distinct label values (max label + 1); 0 when unlabelled.
+  uint32_t NumLabelValues() const { return num_label_values_; }
+
   /// Writes the graph as a text edge list ("u v" per line). Returns false on
   /// I/O failure.
   bool SaveEdgeList(const std::string& path) const;
@@ -95,10 +166,29 @@ class Graph {
   static Graph LoadEdgeList(const std::string& path);
 
  private:
+  static constexpr uint32_t kNoHub = 0xFFFFFFFFu;
+
+  void BuildHubBitmaps();
+
   std::vector<uint64_t> offsets_;
   std::vector<VertexId> adjacency_;
+  /// Tail-padded by kLabelTailPad zero bytes (only the first NumVertices()
+  /// entries are labels).
   std::vector<uint8_t> labels_;
   uint32_t max_degree_ = 0;
+
+  // Hub bitmap cache: hub_index_[v] indexes hub_bitmaps_, kNoHub otherwise.
+  std::vector<uint32_t> hub_index_;
+  std::vector<DenseBitmap> hub_bitmaps_;
+
+  // Per-label CSR slices: the adjacency copy grouped by (label, id) per
+  // vertex, with per-vertex relative offsets (degree < 2^32 keeps them in
+  // 32 bits): slice(v, l) spans
+  //   label_adjacency_[offsets_[v] + rel[v*(L+1)+l] ..
+  //                    offsets_[v] + rel[v*(L+1)+l+1]).
+  uint32_t num_label_values_ = 0;
+  std::vector<VertexId> label_adjacency_;
+  std::vector<uint32_t> label_slice_rel_;
 };
 
 }  // namespace huge

@@ -38,7 +38,10 @@ bool PassesExtendFilters(const OpDesc& op, std::span<const VertexId> row,
 
 uint64_t CountExtendCandidates(std::vector<std::span<const VertexId>>& lists,
                                const OpDesc& op, std::span<const VertexId> row,
-                               IntersectScratch* scratch) {
+                               IntersectScratch* scratch,
+                               const uint8_t* labels) {
+  // The label predicate only applies when the target is constrained.
+  if (op.target_label == QueryGraph::kAnyLabel) labels = nullptr;
   // Fold the symmetry-breaking filters into a half-open window [lo, hi).
   VertexId lo = 0;
   VertexId hi = kNullVertex;  // exclusive; never a real vertex id
@@ -58,13 +61,18 @@ uint64_t CountExtendCandidates(std::vector<std::span<const VertexId>>& lists,
                   static_cast<size_t>(end - begin));
     if (l.empty()) return 0;
   }
-  uint64_t count = IntersectCountAll(lists, scratch);
+  uint64_t count =
+      labels == nullptr
+          ? IntersectCountAll(lists, scratch)
+          : IntersectCountAllLabel(lists, scratch, labels, op.target_label);
   if (count == 0) return 0;
   // Injectivity: subtract each distinct row vertex that falls inside the
-  // window and survives every list.
+  // window, carries the target label (when constrained) and survives
+  // every list.
   for (size_t p = 0; p < row.size() && count > 0; ++p) {
     const VertexId u = row[p];
     if (u < lo || u >= hi) continue;
+    if (labels != nullptr && labels[u] != op.target_label) continue;
     bool repeated = false;
     for (size_t q = 0; q < p; ++q) {
       if (row[q] == u) {

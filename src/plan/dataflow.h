@@ -96,16 +96,24 @@ bool PassesExtendFilters(const OpDesc& op, std::span<const VertexId> row,
                          VertexId v);
 
 /// Count-only fused extension: the number of candidates in ∩ lists that
-/// pass `op`'s symmetry-breaking filters and the injectivity requirement,
-/// computed without materializing per-candidate output. The SB filters
-/// become a clamp window applied to the input spans (mutating `lists`),
-/// and injectivity becomes a per-row-vertex membership correction, so the
-/// engine's count-fusion path runs entirely on the count-only kernels.
-/// Only valid for unlabelled targets (label predicates need per-candidate
-/// checks); callers fall back to the materializing path otherwise.
+/// pass `op`'s symmetry-breaking filters, the injectivity requirement and
+/// (when `labels` is non-null and op.target_label is set) the target-label
+/// predicate, computed without materializing per-candidate output. The SB
+/// filters become a clamp window applied to the input spans (mutating
+/// `lists`), injectivity becomes a per-row-vertex membership correction,
+/// and the label predicate is fused into the final count kernel
+/// (IntersectCountSortedLabel / CountLabel), so the engine's count-fusion
+/// path runs entirely on the count-only kernels for labelled and
+/// unlabelled targets alike.
+///
+/// `labels` is the data graph's label array (Graph::LabelData(), which
+/// carries the SIMD gather tail padding), or nullptr for unlabelled
+/// graphs/targets. Staged `scratch->bitmaps` (cached hub bitmaps, aligned
+/// with `lists`) accelerate the unlabelled path.
 uint64_t CountExtendCandidates(std::vector<std::span<const VertexId>>& lists,
                                const OpDesc& op, std::span<const VertexId> row,
-                               IntersectScratch* scratch);
+                               IntersectScratch* scratch,
+                               const uint8_t* labels = nullptr);
 
 }  // namespace huge
 

@@ -1,0 +1,530 @@
+// Differential and engine-level coverage of the dense-neighbourhood
+// bitmap kernels and the label-fused intersection path (PR 2): the bitmap
+// and label kernels must agree with std::set_intersection over
+// adversarial shapes, the graph's hub-bitmap cache must keep HasEdge
+// exact, and labelled count queries must produce identical counts under
+// every IntersectKernel policy without ever falling back to the
+// materializing loop.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/dense_bitmap.h"
+#include "common/random.h"
+#include "engine/intersect.h"
+#include "engine/simd_intersect.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+#include "plan/dataflow.h"
+#include "query/pattern_parser.h"
+
+namespace huge {
+namespace {
+
+/// Sorted duplicate-free random list of roughly `n` elements drawn from
+/// [lo, lo + range).
+std::vector<VertexId> RandomSorted(Rng& rng, size_t n, VertexId lo,
+                                   uint32_t range) {
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(lo + static_cast<VertexId>(rng.NextBounded(range)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<VertexId> Reference(const std::vector<VertexId>& a,
+                                const std::vector<VertexId>& b) {
+  std::vector<VertexId> expected;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+  return expected;
+}
+
+/// Label array over [0, universe) with kLabelGatherPad tail padding (the
+/// SIMD gather contract that Graph::LabelData() provides in production).
+std::vector<uint8_t> RandomLabels(Rng& rng, uint32_t universe,
+                                  int num_labels) {
+  std::vector<uint8_t> labels(universe + simd::kLabelGatherPad, 0);
+  for (uint32_t i = 0; i < universe; ++i) {
+    labels[i] = static_cast<uint8_t>(rng.NextBounded(num_labels));
+  }
+  return labels;
+}
+
+struct KernelGuard {
+  IntersectKernel policy = GetIntersectKernelPolicy();
+  uint32_t density = GetBitmapDensityPolicy();
+  simd::IsaLevel level = simd::ActiveLevel();
+  ~KernelGuard() {
+    SetIntersectKernelPolicy(policy);
+    SetBitmapDensityPolicy(density);
+    simd::ForceLevel(level);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DenseBitmap unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(DenseBitmapTest, BuildContainsAndRange) {
+  // Non-word-aligned base and a sparse tail straddling a word boundary.
+  const std::vector<VertexId> ids = {67, 68, 100, 127, 128, 190};
+  const DenseBitmap bm = DenseBitmap::Build(ids);
+  EXPECT_EQ(bm.base(), 64u);  // aligned down from 67
+  for (VertexId x = 0; x < 256; ++x) {
+    EXPECT_EQ(bm.Contains(x), std::binary_search(ids.begin(), ids.end(), x))
+        << x;
+  }
+}
+
+TEST(DenseBitmapTest, ClampedBuildDropsOutOfWindowIds) {
+  const std::vector<VertexId> ids = {10, 20, 30, 40, 50};
+  const DenseBitmap bm = DenseBitmap::BuildClamped(ids, 20, 41);
+  EXPECT_TRUE(bm.Contains(20));
+  EXPECT_TRUE(bm.Contains(40));
+  EXPECT_FALSE(bm.Contains(10));
+  EXPECT_FALSE(bm.Contains(50));
+}
+
+TEST(DenseBitmapTest, AndCountAndMaterializeAgreeWithReference) {
+  Rng rng(404);
+  for (int round = 0; round < 60; ++round) {
+    // Mix dense and sparse shapes, offset bases, windows right at word
+    // boundaries and one element past them.
+    const VertexId lo_a = static_cast<VertexId>(rng.NextBounded(200));
+    const VertexId lo_b = static_cast<VertexId>(rng.NextBounded(200));
+    const uint32_t range = 64 + static_cast<uint32_t>(rng.NextBounded(4096));
+    const auto a = RandomSorted(rng, 1 + rng.NextBounded(2000), lo_a, range);
+    const auto b = RandomSorted(rng, 1 + rng.NextBounded(2000), lo_b, range);
+    const DenseBitmap abm = DenseBitmap::Build(a);
+    const DenseBitmap bbm = DenseBitmap::Build(b);
+    const auto expected = Reference(a, b);
+    // Full-range AND.
+    EXPECT_EQ(BitmapAndCount(abm, bbm, 0, kNullVertex), expected.size());
+    std::vector<VertexId> got;
+    BitmapAndMaterialize(abm, bbm, 0, kNullVertex, &got);
+    EXPECT_EQ(got, expected);
+    // Windowed AND: clamp the reference the same way.
+    const VertexId wlo = static_cast<VertexId>(rng.NextBounded(range));
+    const VertexId whi = wlo + static_cast<VertexId>(rng.NextBounded(range));
+    std::vector<VertexId> windowed;
+    for (VertexId x : expected) {
+      if (x >= wlo && x < whi) windowed.push_back(x);
+    }
+    EXPECT_EQ(BitmapAndCount(abm, bbm, wlo, whi), windowed.size());
+    got.clear();
+    BitmapAndMaterialize(abm, bbm, wlo, whi, &got);
+    EXPECT_EQ(got, windowed);
+    // Probe kernels.
+    EXPECT_EQ(BitmapProbeCount(bbm, a), expected.size());
+    got.clear();
+    BitmapProbeMaterialize(bbm, a, &got);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap kernel vs std::set_intersection through the router, including
+// shapes at and around the density threshold.
+// ---------------------------------------------------------------------------
+
+TEST(BitmapKernelTest, PinnedBitmapPolicyMatchesReference) {
+  KernelGuard guard;
+  SetIntersectKernelPolicy(IntersectKernel::kBitmap);
+  Rng rng(77);
+  // (size, range) pairs: dense, sparse, density exactly at the 1/32
+  // threshold, non-word-aligned ranges, disjoint ranges.
+  const struct {
+    size_t na, nb;
+    uint32_t range_a, range_b;
+    VertexId lo_b;
+  } shapes[] = {
+      {256, 256, 256, 256, 0},        // fully dense
+      {1000, 1000, 4096, 4096, 0},    // moderately dense
+      {128, 4096, 4096, 131072, 0},   // at the 1/32 threshold (b side)
+      {200, 3000, 50000, 90000, 0},   // sparse
+      {333, 777, 997, 1003, 13},      // non-word-aligned, offset bases
+      {500, 500, 2000, 2000, 100000}, // disjoint id ranges
+      {1, 5000, 1, 5000, 0},          // singleton
+  };
+  for (const auto& s : shapes) {
+    for (int round = 0; round < 3; ++round) {
+      const auto a = RandomSorted(rng, s.na, 0, s.range_a);
+      const auto b = RandomSorted(rng, s.nb, s.lo_b, s.range_b);
+      const auto expected = Reference(a, b);
+      std::vector<VertexId> got;
+      IntersectSorted(a, b, &got);
+      ASSERT_EQ(got, expected) << "|a|~" << s.na << " |b|~" << s.nb;
+      IntersectSorted(b, a, &got);
+      ASSERT_EQ(got, expected);
+      ASSERT_EQ(IntersectCountSorted(a, b), expected.size());
+      ASSERT_EQ(IntersectCountSorted(b, a), expected.size());
+    }
+  }
+}
+
+TEST(BitmapKernelTest, AdaptiveDenseRoutingMatchesReference) {
+  KernelGuard guard;
+  SetIntersectKernelPolicy(IntersectKernel::kAdaptive);
+  Rng rng(78);
+  for (uint32_t inv_density : {1u, 8u, 32u, 0u}) {
+    SetBitmapDensityPolicy(inv_density);
+    for (int round = 0; round < 20; ++round) {
+      // Dense-vs-sparse mixes around every threshold setting.
+      const uint32_t range = 128 << rng.NextBounded(6);
+      const auto a = RandomSorted(rng, 100 + rng.NextBounded(4000), 0, range);
+      const auto b = RandomSorted(rng, 100 + rng.NextBounded(4000),
+                                  static_cast<VertexId>(rng.NextBounded(64)),
+                                  range);
+      const auto expected = Reference(a, b);
+      std::vector<VertexId> got;
+      IntersectSorted(a, b, &got);
+      ASSERT_EQ(got, expected) << "inv_density=" << inv_density;
+      ASSERT_EQ(IntersectCountSorted(a, b), expected.size());
+    }
+  }
+}
+
+TEST(BitmapKernelTest, CachedBitmapOverloadMatchesReference) {
+  KernelGuard guard;
+  SetIntersectKernelPolicy(IntersectKernel::kAdaptive);
+  SetBitmapDensityPolicy(32);
+  Rng rng(79);
+  for (int round = 0; round < 40; ++round) {
+    const uint32_t range = 512 + static_cast<uint32_t>(rng.NextBounded(8192));
+    const auto a = RandomSorted(rng, 50 + rng.NextBounded(3000), 0, range);
+    const auto b = RandomSorted(rng, 50 + rng.NextBounded(3000), 0, range);
+    const DenseBitmap abm = DenseBitmap::Build(a);
+    const DenseBitmap bbm = DenseBitmap::Build(b);
+    const auto expected = Reference(a, b);
+    // Every combination of cached sides.
+    ASSERT_EQ(IntersectCountSorted(a, b, &abm, &bbm), expected.size());
+    ASSERT_EQ(IntersectCountSorted(a, b, &abm, nullptr), expected.size());
+    ASSERT_EQ(IntersectCountSorted(a, b, nullptr, &bbm), expected.size());
+    ASSERT_EQ(IntersectCountSorted(a, b, nullptr, nullptr), expected.size());
+    // Window-clamped subspans against the full-list bitmaps (the
+    // CountExtendCandidates contract).
+    const VertexId lo = static_cast<VertexId>(rng.NextBounded(range));
+    const VertexId hi = lo + static_cast<VertexId>(rng.NextBounded(range));
+    auto clamp = [&](const std::vector<VertexId>& v) {
+      auto first = std::lower_bound(v.begin(), v.end(), lo);
+      auto last = std::lower_bound(first, v.end(), hi);
+      return std::span<const VertexId>(v.data() + (first - v.begin()),
+                                       static_cast<size_t>(last - first));
+    };
+    const auto aw = clamp(a);
+    const auto bw = clamp(b);
+    size_t expected_w = 0;
+    for (VertexId x : expected) expected_w += (x >= lo && x < hi) ? 1 : 0;
+    ASSERT_EQ(IntersectCountSorted(aw, bw, &abm, &bbm), expected_w);
+    ASSERT_EQ(IntersectCountSorted(aw, bw, &abm, nullptr), expected_w);
+    ASSERT_EQ(IntersectCountSorted(aw, bw, nullptr, &bbm), expected_w);
+  }
+}
+
+TEST(BitmapKernelTest, KWayCountUsesStagedBitmaps) {
+  KernelGuard guard;
+  SetIntersectKernelPolicy(IntersectKernel::kAdaptive);
+  SetBitmapDensityPolicy(32);
+  Rng rng(80);
+  IntersectScratch scratch;
+  for (int round = 0; round < 30; ++round) {
+    const size_t k = 2 + rng.NextBounded(3);
+    std::vector<std::vector<VertexId>> storage;
+    std::vector<DenseBitmap> bms;
+    for (size_t i = 0; i < k; ++i) {
+      storage.push_back(RandomSorted(rng, 100 + rng.NextBounded(1500), 0,
+                                     4096));
+      bms.push_back(DenseBitmap::Build(storage.back()));
+    }
+    std::vector<VertexId> expected = storage[0];
+    for (size_t i = 1; i < k; ++i) {
+      std::vector<VertexId> merged;
+      std::set_intersection(expected.begin(), expected.end(),
+                            storage[i].begin(), storage[i].end(),
+                            std::back_inserter(merged));
+      expected = std::move(merged);
+    }
+    std::vector<std::span<const VertexId>> lists(storage.begin(),
+                                                 storage.end());
+    scratch.bitmaps.clear();
+    for (size_t i = 0; i < k; ++i) {
+      // Mix cached and uncached lists.
+      scratch.bitmaps.push_back(rng.NextBounded(2) == 0 ? &bms[i] : nullptr);
+    }
+    ASSERT_EQ(IntersectCountAll(lists, &scratch), expected.size())
+        << "k=" << k << " round " << round;
+  }
+  scratch.bitmaps.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Label-fused kernels vs reference.
+// ---------------------------------------------------------------------------
+
+TEST(LabelFusedKernelTest, FixedLevelKernelsMatchReference) {
+  Rng rng(91);
+  const std::pair<size_t, size_t> sizes[] = {
+      {0, 0}, {1, 1}, {7, 9}, {31, 33}, {100, 3300},
+      {1000, 1000}, {4095, 4097}, {4096, 4096},
+  };
+  for (int num_labels : {1, 3, 8}) {
+    for (const auto& [na, nb] : sizes) {
+      const uint32_t universe =
+          static_cast<uint32_t>(std::max<size_t>(na + nb, 4) * 4);
+      const auto a = RandomSorted(rng, na, 0, universe);
+      const auto b = RandomSorted(rng, nb, 0, universe);
+      const auto labels = RandomLabels(rng, universe, num_labels);
+      // All-one-label (0 always occurs), a mid label and a label that
+      // never occurs (num_labels itself).
+      for (uint8_t target : {uint8_t{0}, uint8_t(num_labels - 1),
+                             uint8_t(num_labels)}) {
+        uint64_t expected = 0;
+        for (VertexId x : Reference(a, b)) expected += labels[x] == target;
+        ASSERT_EQ(simd::IntersectCountLabelScalar(a, b, labels.data(), target),
+                  expected);
+        if (simd::DetectedLevel() >= simd::IsaLevel::kSse41) {
+          ASSERT_EQ(
+              simd::IntersectCountLabelSse41(a, b, labels.data(), target),
+              expected);
+        }
+        if (simd::DetectedLevel() >= simd::IsaLevel::kAvx2) {
+          ASSERT_EQ(simd::IntersectCountLabelAvx2(a, b, labels.data(), target),
+                    expected)
+              << "|a|=" << a.size() << " |b|=" << b.size() << " target "
+              << int(target);
+        }
+        ASSERT_EQ(simd::IntersectCountLabelV(a, b, labels.data(), target),
+                  expected);
+      }
+    }
+  }
+}
+
+TEST(LabelFusedKernelTest, RoutedLabelCountMatchesUnderEveryPolicy) {
+  KernelGuard guard;
+  Rng rng(92);
+  for (const auto policy :
+       {IntersectKernel::kAdaptive, IntersectKernel::kScalarMerge,
+        IntersectKernel::kGallop, IntersectKernel::kSimd,
+        IntersectKernel::kBitmap}) {
+    SetIntersectKernelPolicy(policy);
+    for (int round = 0; round < 20; ++round) {
+      const uint32_t universe = 64 + static_cast<uint32_t>(
+          rng.NextBounded(8192));
+      // Include heavy skew so the gallop arm is exercised.
+      const auto a = RandomSorted(rng, 1 + rng.NextBounded(100), 0, universe);
+      const auto b =
+          RandomSorted(rng, 1 + rng.NextBounded(6000), 0, universe);
+      const auto labels = RandomLabels(rng, universe, 3);
+      const uint8_t target = static_cast<uint8_t>(rng.NextBounded(4));
+      uint64_t expected = 0;
+      for (VertexId x : Reference(a, b)) expected += labels[x] == target;
+      ASSERT_EQ(IntersectCountSortedLabel(a, b, labels.data(), target),
+                expected)
+          << ToString(policy) << " round " << round;
+      ASSERT_EQ(IntersectCountSortedLabel(b, a, labels.data(), target),
+                expected);
+    }
+  }
+}
+
+TEST(LabelFusedKernelTest, CountExtendCandidatesLabelledMatchesMaterialized) {
+  Rng rng(93);
+  IntersectScratch scratch;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<std::vector<VertexId>> storage;
+    const size_t k = 1 + rng.NextBounded(4);
+    for (size_t i = 0; i < k; ++i) {
+      storage.push_back(
+          RandomSorted(rng, 30 + rng.NextBounded(300), 0, 400));
+    }
+    const auto labels = RandomLabels(rng, 400, 3);
+    std::vector<VertexId> row;
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(static_cast<VertexId>(rng.NextBounded(400)));
+    }
+    OpDesc op;
+    op.schema.resize(row.size() + 1);
+    op.target_label = static_cast<uint8_t>(rng.NextBounded(4));  // 3 = never
+    if (round % 3 == 1) op.filters.push_back({.pos = 0, .less = false});
+    if (round % 3 == 2) {
+      op.filters.push_back({.pos = 1, .less = true});
+      op.filters.push_back({.pos = 2, .less = false});
+    }
+    std::vector<VertexId> isect = storage[0];
+    for (size_t i = 1; i < k; ++i) {
+      std::vector<VertexId> merged;
+      std::set_intersection(isect.begin(), isect.end(), storage[i].begin(),
+                            storage[i].end(), std::back_inserter(merged));
+      isect = std::move(merged);
+    }
+    uint64_t expected = 0;
+    for (VertexId v : isect) {
+      if (labels[v] == op.target_label && PassesExtendFilters(op, row, v)) {
+        ++expected;
+      }
+    }
+    std::vector<std::span<const VertexId>> lists(storage.begin(),
+                                                 storage.end());
+    ASSERT_EQ(CountExtendCandidates(lists, op, row, &scratch, labels.data()),
+              expected)
+        << "k=" << k << " round " << round << " label "
+        << int(op.target_label);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph-layer: hub bitmaps, O(1) HasEdge, per-label CSR slices.
+// ---------------------------------------------------------------------------
+
+TEST(HubBitmapTest, DenseHubsAreCachedAndHasEdgeStaysExact) {
+  // K_200: every vertex has degree 199 >= kHubBitmapMinDegree and density
+  // ~1, so the top-kHubBitmapTopK vertices get cached bitmaps.
+  const Graph g = gen::Complete(200);
+  EXPECT_EQ(g.NumHubBitmaps(), Graph::kHubBitmapTopK);
+  size_t cached = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    cached += g.HubBitmap(v) != nullptr ? 1 : 0;
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      EXPECT_EQ(g.HasEdge(v, u), v != u);
+    }
+    EXPECT_FALSE(g.HasEdge(v, g.NumVertices() + 5));
+  }
+  EXPECT_EQ(cached, Graph::kHubBitmapTopK);
+  EXPECT_DOUBLE_EQ(g.NeighborhoodDensity(0), 199.0 / 199.0);
+}
+
+TEST(HubBitmapTest, SparseGraphCachesNothing) {
+  const Graph g = gen::Road(20, 20, 10, 5);
+  EXPECT_EQ(g.NumHubBitmaps(), 0u);
+  // HasEdge still exact via binary search.
+  for (VertexId v = 0; v < g.NumVertices(); v += 7) {
+    for (VertexId u : g.Neighbors(v)) EXPECT_TRUE(g.HasEdge(v, u));
+  }
+}
+
+TEST(HubBitmapTest, HasEdgeDifferentialOnSkewedGraph) {
+  // A hub-and-spoke graph: vertex 0 connects to everyone (dense id range),
+  // plus random edges. Vertex 0 gets a bitmap; others don't.
+  Rng rng(11);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const VertexId n = 600;
+  for (VertexId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  for (int i = 0; i < 500; ++i) {
+    edges.emplace_back(static_cast<VertexId>(1 + rng.NextBounded(n - 1)),
+                       static_cast<VertexId>(1 + rng.NextBounded(n - 1)));
+  }
+  const Graph g = Graph::FromEdges(n, std::move(edges));
+  ASSERT_NE(g.HubBitmap(0), nullptr);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.Neighbors(v);
+    for (VertexId u = 0; u < n; ++u) {
+      EXPECT_EQ(g.HasEdge(v, u),
+                std::binary_search(nbrs.begin(), nbrs.end(), u))
+          << v << "-" << u;
+    }
+  }
+}
+
+TEST(LabelSliceTest, SlicesPartitionNeighborhoods) {
+  Graph g = gen::PowerLaw(500, 10, 2.4, 21);
+  Rng rng(22);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(4));
+  g.AssignLabels(std::move(labels));
+  ASSERT_TRUE(g.HasLabelSlices());
+  EXPECT_EQ(g.NumLabelValues(), 4u);
+  ASSERT_NE(g.LabelData(), nullptr);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    size_t total = 0;
+    for (uint8_t l = 0; l < 4; ++l) {
+      const auto slice = g.NeighborsWithLabel(v, l);
+      total += slice.size();
+      ASSERT_TRUE(std::is_sorted(slice.begin(), slice.end()));
+      for (VertexId u : slice) {
+        ASSERT_EQ(g.Label(u), l);
+        ASSERT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), u));
+      }
+    }
+    ASSERT_EQ(total, nbrs.size());  // slices partition the neighbourhood
+    EXPECT_TRUE(g.NeighborsWithLabel(v, 9).empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: labelled counts identical under every kernel policy, and
+// the labelled fused path never materializes candidates.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Graph> LabelledGraph(int num_labels, uint64_t seed) {
+  Graph g = gen::PowerLaw(500, 8, 2.5, seed);
+  Rng rng(seed * 31 + 1);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) {
+    l = static_cast<uint8_t>(rng.NextBounded(num_labels));
+  }
+  g.AssignLabels(std::move(labels));
+  return std::make_shared<Graph>(std::move(g));
+}
+
+TEST(LabelledPolicyTest, IdenticalCountsUnderEveryKernelPolicy) {
+  auto g = LabelledGraph(3, 99);
+  const char* patterns[] = {
+      "(a:0)-(b)-(c)-(a)",          // labelled triangle
+      "(a:1)-(b)-(c:1)-(d)-(a)",    // labelled square
+      "(a:2)-(b:0)-(c:2)",          // labelled wedge
+  };
+  for (const char* pattern : patterns) {
+    auto p = ParsePattern(pattern);
+    ASSERT_TRUE(p.ok()) << p.error;
+    const uint64_t expect = Oracle::Count(*g, p.query);
+    for (const auto policy :
+         {IntersectKernel::kAdaptive, IntersectKernel::kScalarMerge,
+          IntersectKernel::kGallop, IntersectKernel::kSimd,
+          IntersectKernel::kBitmap}) {
+      Config cfg;
+      cfg.num_machines = 2;
+      cfg.batch_size = 128;
+      cfg.intersect_kernel = policy;
+      Runner runner(g, cfg);
+      EXPECT_EQ(runner.Run(p.query).matches, expect)
+          << pattern << " under " << ToString(policy);
+    }
+  }
+}
+
+TEST(LabelledPolicyTest, LabelledFusedCountNeverMaterializes) {
+  auto g = LabelledGraph(3, 7);
+  QueryGraph q = queries::Triangle();
+  q.SetLabel(2, 1);  // labelled terminal target
+  Config cfg;
+  cfg.num_machines = 2;
+  Runner runner(g, cfg);
+  const RunResult r = runner.Run(q);
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  // The tentpole invariant: labelled count queries ride the count-only
+  // fused path end to end.
+  EXPECT_GT(r.metrics.fused_count_rows, 0u);
+  EXPECT_EQ(r.metrics.materialized_count_rows, 0u);
+}
+
+TEST(LabelledPolicyTest, UnlabelledFusedCountStillFused) {
+  auto g = std::make_shared<Graph>(gen::PowerLaw(400, 8, 2.5, 3));
+  Runner runner(g, Config{.num_machines = 2});
+  const RunResult r = runner.Run(queries::Triangle());
+  EXPECT_EQ(r.matches, Oracle::Count(*g, queries::Triangle()));
+  EXPECT_GT(r.metrics.fused_count_rows, 0u);
+  EXPECT_EQ(r.metrics.materialized_count_rows, 0u);
+}
+
+}  // namespace
+}  // namespace huge

@@ -209,7 +209,8 @@ INSTANTIATE_TEST_SUITE_P(Kernels, KernelDifferentialTest,
                          ::testing::Values(IntersectKernel::kAdaptive,
                                            IntersectKernel::kScalarMerge,
                                            IntersectKernel::kGallop,
-                                           IntersectKernel::kSimd),
+                                           IntersectKernel::kSimd,
+                                           IntersectKernel::kBitmap),
                          [](const auto& info) {
                            std::string name = ToString(info.param);
                            std::replace(name.begin(), name.end(), '-', '_');
