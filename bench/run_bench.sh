@@ -19,6 +19,16 @@ if [[ ! -d "$build_dir" ]]; then
 fi
 cmake --build "$build_dir" -j --target bench_table1
 
+# Correctness gate before recording perf numbers. The randomized
+# distributed differential suites carry the `distributed` ctest label and
+# are excluded here: they spin up many multi-machine clusters and would
+# perturb (and be perturbed by) the timed benches. Set
+# HUGE_BENCH_SKIP_SANITY=1 to skip the gate entirely.
+if [[ "${HUGE_BENCH_SKIP_SANITY:-0}" != "1" ]]; then
+  cmake --build "$build_dir" -j
+  (cd "$build_dir" && ctest -LE distributed -j "$(nproc)" --output-on-failure)
+fi
+
 # bench_micro needs google-benchmark; the target only exists when CMake
 # found it. A missing target is skippable — a broken build is not, so
 # only the existence check is forgiving.

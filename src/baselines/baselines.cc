@@ -130,6 +130,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.inter_stealing = false;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
+      base.label_sliced_pulls = false;  // plain adjacency on the wire
       return base;
 
     case System::kBiGJoin:
@@ -139,6 +140,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.inter_stealing = false;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
+      base.label_sliced_pulls = false;  // plain adjacency on the wire
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }
@@ -154,6 +156,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.net.external_kv = true;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
+      base.label_sliced_pulls = false;  // plain adjacency on the wire
       return base;
 
     case System::kRads:
@@ -163,6 +166,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.cache_kind = CacheKind::kCncrLru;
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
+      base.label_sliced_pulls = false;  // plain adjacency on the wire
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }

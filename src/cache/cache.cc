@@ -1,5 +1,6 @@
 #include "cache/cache.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "cache/lrbu_cache.h"
@@ -7,6 +8,14 @@
 #include "common/check.h"
 
 namespace huge {
+
+void RemoteCache::InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                               std::span<const uint32_t> /*slice_rel*/) {
+  // Slice-unaware fallback: restore id order and store a full entry.
+  std::vector<VertexId> sorted(grouped.begin(), grouped.end());
+  std::sort(sorted.begin(), sorted.end());
+  Insert(v, sorted);
+}
 
 const char* ToString(CacheKind k) {
   switch (k) {

@@ -60,6 +60,43 @@ class RemoteCache {
   virtual bool TryGet(VertexId v, std::vector<VertexId>* scratch,
                       std::span<const VertexId>* out) = 0;
 
+  // --- (vertex, label)-sliced entries (labelled pulls) ---
+  //
+  // A sliced insert stores the vertex's label-grouped adjacency copy plus
+  // its per-label slice offsets — the payload of GetNbrsClient::FetchSliced
+  // — so labelled reads get a contiguous sorted slice (TryGetLabel) and
+  // feed the fused count kernels exactly like local per-label CSR slices.
+  // Caches without slice support (SupportsSlices() == false) degrade to
+  // full entries: InsertSliced re-sorts the grouped copy and stores it as
+  // a plain entry, and TryGetLabel always misses, so the engine falls back
+  // to full lists with the label predicate applied downstream.
+
+  /// True iff this cache stores slice offsets (TryGetLabel can hit).
+  virtual bool SupportsSlices() const { return false; }
+
+  /// True iff `v` is cached *with* slice offsets. A vertex cached as a
+  /// full entry reports false, so a labelled fetch stage re-fetches it
+  /// sliced (the upgrade replaces the entry in place).
+  virtual bool ContainsSliced(VertexId) const { return false; }
+
+  /// Inserts `v` from a sliced response: `grouped` is the label-grouped
+  /// adjacency copy, `slice_rel` the L+1 ascending relative offsets
+  /// (slice l spans grouped[slice_rel[l] .. slice_rel[l+1])). Upgrades an
+  /// existing full entry in place (sealing it on two-stage caches). The
+  /// base implementation sorts `grouped` and stores a plain entry.
+  virtual void InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                            std::span<const uint32_t> slice_rel);
+
+  /// Reads the label-`l` slice of `v`. Returns false when `v` is missing
+  /// or cached without slice offsets; a present sliced entry always
+  /// succeeds (an absent label yields an empty span). Storage semantics
+  /// match TryGet (zero-copy or `scratch` per variant).
+  virtual bool TryGetLabel(VertexId /*v*/, uint8_t /*l*/,
+                           std::vector<VertexId>* /*scratch*/,
+                           std::span<const VertexId>* /*out*/) {
+    return false;
+  }
+
   /// Whether the engine should run the two-stage fetch/intersect protocol.
   virtual bool TwoStage() const { return true; }
 

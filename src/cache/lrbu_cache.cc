@@ -1,15 +1,12 @@
 #include "cache/lrbu_cache.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace huge {
 
-void LrbuCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
-  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
-  if (lock_on_read_) guard.lock();
-
-  if (map_.find(v) != map_.end()) return;  // already present
-
+void LrbuCache::EvictForSpace() {
   // Algorithm 3, Insert: while the cache is full and S_free is non-empty,
   // evict the vertex with the smallest order (least-recent batch). If
   // S_free is empty the insertion proceeds regardless; the overflow is
@@ -21,14 +18,33 @@ void LrbuCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
     order_of_.erase(victim);
     auto mit = map_.find(victim);
     HUGE_CHECK(mit != map_.end());
-    const size_t freed = EntryBytes(mit->second.size());
+    const size_t freed = EntryBytes(mit->second);
     bytes_ -= freed;
     if (tracker_ != nullptr) tracker_->Release(freed);
     map_.erase(mit);
   }
+}
 
-  map_.emplace(v, std::vector<VertexId>(nbrs.begin(), nbrs.end()));
-  const size_t added = EntryBytes(nbrs.size());
+void LrbuCache::PinExisting(VertexId v) {
+  auto it = order_of_.find(v);
+  if (it == order_of_.end()) return;  // already sealed
+  free_by_order_.erase(it->second);
+  order_of_.erase(it);
+  sealed_.push_back(v);
+}
+
+void LrbuCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+
+  // Already present: sliced entries carry the sorted view too, so either
+  // storage form satisfies this insert.
+  if (map_.find(v) != map_.end()) return;
+
+  EvictForSpace();
+
+  auto it = map_.emplace(v, Entry{{nbrs.begin(), nbrs.end()}, {}, {}}).first;
+  const size_t added = EntryBytes(it->second);
   bytes_ += added;
   if (tracker_ != nullptr) tracker_->Allocate(added);
   // Freshly inserted entries are in use by the current batch: pin them
@@ -36,14 +52,54 @@ void LrbuCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
   sealed_.push_back(v);
 }
 
+void LrbuCache::InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                             std::span<const uint32_t> slice_rel) {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+
+  auto it = map_.find(v);
+  if (it != map_.end()) {
+    if (!it->second.rel.empty()) return;  // already sliced
+    // Upgrade a full entry in place: keep the sorted view, attach the
+    // grouped copy + offsets. The entry is in use by the current batch,
+    // so pin it like a fresh insert.
+    const size_t old_bytes = EntryBytes(it->second);
+    it->second.grouped.assign(grouped.begin(), grouped.end());
+    it->second.rel.assign(slice_rel.begin(), slice_rel.end());
+    const size_t new_bytes = EntryBytes(it->second);
+    bytes_ += new_bytes - old_bytes;
+    if (tracker_ != nullptr) {
+      tracker_->Release(old_bytes);
+      tracker_->Allocate(new_bytes);
+    }
+    PinExisting(v);
+    return;
+  }
+
+  EvictForSpace();
+
+  Entry e{{grouped.begin(), grouped.end()},
+          {grouped.begin(), grouped.end()},
+          {slice_rel.begin(), slice_rel.end()}};
+  std::sort(e.sorted.begin(), e.sorted.end());
+  it = map_.emplace(v, std::move(e)).first;
+  const size_t added = EntryBytes(it->second);
+  bytes_ += added;
+  if (tracker_ != nullptr) tracker_->Allocate(added);
+  sealed_.push_back(v);
+}
+
+bool LrbuCache::ContainsSliced(VertexId v) const {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+  auto it = map_.find(v);
+  return it != map_.end() && !it->second.rel.empty();
+}
+
 void LrbuCache::Seal(VertexId v) {
   std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
   if (lock_on_read_) guard.lock();
-  auto it = order_of_.find(v);
-  if (it == order_of_.end()) return;  // already sealed or not present
-  free_by_order_.erase(it->second);
-  order_of_.erase(it);
-  sealed_.push_back(v);
+  PinExisting(v);
 }
 
 void LrbuCache::Release() {
@@ -68,12 +124,37 @@ bool LrbuCache::TryGet(VertexId v, std::vector<VertexId>* scratch,
   if (copy_on_read_) {
     // LRBU-Copy / LRBU-Lock: pay the memory copy traditional caches incur
     // to avoid dangling pointers (Section 4.4, "Memory copies").
-    scratch->assign(it->second.begin(), it->second.end());
+    scratch->assign(it->second.sorted.begin(), it->second.sorted.end());
     *out = {scratch->data(), scratch->size()};
   } else {
     // Zero-copy: the entry is sealed for the duration of the batch, so the
     // reference cannot dangle.
-    *out = {it->second.data(), it->second.size()};
+    *out = {it->second.sorted.data(), it->second.sorted.size()};
+  }
+  return true;
+}
+
+bool LrbuCache::TryGetLabel(VertexId v, uint8_t l,
+                            std::vector<VertexId>* scratch,
+                            std::span<const VertexId>* out) {
+  std::unique_lock<std::mutex> guard(mu_, std::defer_lock);
+  if (lock_on_read_) guard.lock();
+  auto it = map_.find(v);
+  if (it == map_.end() || it->second.rel.empty()) return false;
+  const auto& e = it->second;
+  // A label beyond the shipped alphabet has an empty slice — still a hit:
+  // the entry answers the question exactly.
+  if (static_cast<size_t>(l) + 1 >= e.rel.size()) {
+    *out = {};
+    return true;
+  }
+  const std::span<const VertexId> slice{e.grouped.data() + e.rel[l],
+                                        e.grouped.data() + e.rel[l + 1]};
+  if (copy_on_read_) {
+    scratch->assign(slice.begin(), slice.end());
+    *out = {scratch->data(), scratch->size()};
+  } else {
+    *out = slice;
   }
   return true;
 }

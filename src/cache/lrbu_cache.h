@@ -24,6 +24,16 @@ namespace huge {
 /// only immutable references; all mutation happens in the fetch stage with
 /// a single writer. The two flags enforce the LRBU-Copy / LRBU-Lock
 /// ablations of Exp-6.
+///
+/// Entries come in two storage forms. A *full* entry holds the sorted
+/// adjacency list (plain GetNbrs). A *sliced* entry additionally holds
+/// the label-grouped adjacency copy plus its per-label slice offsets
+/// (sliced GetNbrs): `TryGetLabel` serves a zero-copy contiguous sorted
+/// slice of the grouped copy, while full `TryGet`s keep reading the
+/// sorted form zero-copy. The sorted view is materialized once at
+/// insert (by the fetch stage's single writer — a local sort, no wire
+/// cost) and its bytes are charged to the entry, so capacity accounting
+/// stays honest.
 class LrbuCache : public RemoteCache {
  public:
   LrbuCache(size_t capacity_bytes, MemoryTracker* tracker, bool copy_on_read,
@@ -43,11 +53,18 @@ class LrbuCache : public RemoteCache {
     return map_.find(v) != map_.end();
   }
 
+  bool SupportsSlices() const override { return true; }
+  bool ContainsSliced(VertexId v) const override;
+
   void Insert(VertexId v, std::span<const VertexId> nbrs) override;
+  void InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                    std::span<const uint32_t> slice_rel) override;
   void Seal(VertexId v) override;
   void Release() override;
   bool TryGet(VertexId v, std::vector<VertexId>* scratch,
               std::span<const VertexId>* out) override;
+  bool TryGetLabel(VertexId v, uint8_t l, std::vector<VertexId>* scratch,
+                   std::span<const VertexId>* out) override;
 
   size_t SizeBytes() const override { return bytes_; }
   void Clear() override;
@@ -62,17 +79,33 @@ class LrbuCache : public RemoteCache {
  private:
   static constexpr size_t kEntryOverhead = 48;  // map node + bookkeeping
 
-  static size_t EntryBytes(size_t degree) {
-    return degree * kVertexBytes + kEntryOverhead;
+  /// `sorted` always holds the id-ordered adjacency; sliced entries
+  /// additionally carry the label-grouped copy with its L+1 slice
+  /// offsets (rel non-empty).
+  struct Entry {
+    std::vector<VertexId> sorted;
+    std::vector<VertexId> grouped;
+    std::vector<uint32_t> rel;
+  };
+
+  static size_t EntryBytes(const Entry& e) {
+    return (e.sorted.size() + e.grouped.size()) * kVertexBytes +
+           e.rel.size() * sizeof(uint32_t) + kEntryOverhead;
   }
   bool IsFull() const { return bytes_ >= capacity_; }
+
+  /// Eviction loop of Algorithm 3 Insert; caller holds the writer role.
+  void EvictForSpace();
+  /// Pins `v` (removes it from S_free if present, appends to S_sealed
+  /// unless already pinned). Caller holds the writer role.
+  void PinExisting(VertexId v);
 
   const size_t capacity_;
   MemoryTracker* tracker_;
   const bool copy_on_read_;
   const bool lock_on_read_;
 
-  std::unordered_map<VertexId, std::vector<VertexId>> map_;
+  std::unordered_map<VertexId, Entry> map_;
   std::map<uint64_t, VertexId> free_by_order_;
   std::unordered_map<VertexId, uint64_t> order_of_;
   std::vector<VertexId> sealed_;

@@ -1,16 +1,60 @@
 #include "cache/lru_cache.h"
 
+#include <algorithm>
+
 namespace huge {
 
 void LruCache::Insert(VertexId v, std::span<const VertexId> nbrs) {
   std::lock_guard<std::mutex> guard(mu_);
   if (map_.find(v) != map_.end()) return;
   lru_.push_front(v);
-  map_.emplace(v, Entry{{nbrs.begin(), nbrs.end()}, lru_.begin()});
-  const size_t added = EntryBytes(nbrs.size());
+  auto it =
+      map_.emplace(v, Entry{{nbrs.begin(), nbrs.end()}, {}, {}, lru_.begin()})
+          .first;
+  const size_t added = EntryBytes(it->second);
   bytes_ += added;
   if (tracker_ != nullptr) tracker_->Allocate(added);
   if (!unbounded_) EvictLocked();
+}
+
+void LruCache::InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                            std::span<const uint32_t> slice_rel) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = map_.find(v);
+  if (it != map_.end()) {
+    if (!it->second.rel.empty()) return;  // already sliced
+    // Upgrade the full entry in place (the sorted view stays) and
+    // refresh its recency.
+    const size_t old_bytes = EntryBytes(it->second);
+    it->second.grouped.assign(grouped.begin(), grouped.end());
+    it->second.rel.assign(slice_rel.begin(), slice_rel.end());
+    const size_t new_bytes = EntryBytes(it->second);
+    bytes_ += new_bytes - old_bytes;
+    if (tracker_ != nullptr) {
+      tracker_->Release(old_bytes);
+      tracker_->Allocate(new_bytes);
+    }
+    TouchLocked(v, &it->second);
+    if (!unbounded_) EvictLocked();
+    return;
+  }
+  lru_.push_front(v);
+  Entry e{{grouped.begin(), grouped.end()},
+          {grouped.begin(), grouped.end()},
+          {slice_rel.begin(), slice_rel.end()},
+          lru_.begin()};
+  std::sort(e.nbrs.begin(), e.nbrs.end());
+  auto eit = map_.emplace(v, std::move(e)).first;
+  const size_t added = EntryBytes(eit->second);
+  bytes_ += added;
+  if (tracker_ != nullptr) tracker_->Allocate(added);
+  if (!unbounded_) EvictLocked();
+}
+
+bool LruCache::ContainsSliced(VertexId v) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = map_.find(v);
+  return it != map_.end() && !it->second.rel.empty();
 }
 
 void LruCache::EvictLocked() {
@@ -18,11 +62,17 @@ void LruCache::EvictLocked() {
     const VertexId victim = lru_.back();
     lru_.pop_back();
     auto it = map_.find(victim);
-    const size_t freed = EntryBytes(it->second.nbrs.size());
+    const size_t freed = EntryBytes(it->second);
     bytes_ -= freed;
     if (tracker_ != nullptr) tracker_->Release(freed);
     map_.erase(it);
   }
+}
+
+void LruCache::TouchLocked(VertexId v, Entry* e) {
+  lru_.erase(e->lru_it);
+  lru_.push_front(v);
+  e->lru_it = lru_.begin();
 }
 
 bool LruCache::TryGet(VertexId v, std::vector<VertexId>* scratch,
@@ -34,12 +84,31 @@ bool LruCache::TryGet(VertexId v, std::vector<VertexId>* scratch,
     return false;
   }
   if (!two_stage_) RecordHit();
-  // Touch: move to the front of the recency list.
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(v);
-  it->second.lru_it = lru_.begin();
+  TouchLocked(v, &it->second);
   // Copy under the lock: the entry may be evicted the moment we unlock.
   scratch->assign(it->second.nbrs.begin(), it->second.nbrs.end());
+  *out = {scratch->data(), scratch->size()};
+  return true;
+}
+
+bool LruCache::TryGetLabel(VertexId v, uint8_t l,
+                           std::vector<VertexId>* scratch,
+                           std::span<const VertexId>* out) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = map_.find(v);
+  if (it == map_.end() || it->second.rel.empty()) {
+    if (!two_stage_) RecordMiss();
+    return false;
+  }
+  if (!two_stage_) RecordHit();
+  TouchLocked(v, &it->second);
+  const Entry& e = it->second;
+  if (static_cast<size_t>(l) + 1 >= e.rel.size()) {
+    *out = {};
+    return true;
+  }
+  scratch->assign(e.grouped.begin() + e.rel[l],
+                  e.grouped.begin() + e.rel[l + 1]);
   *out = {scratch->data(), scratch->size()};
   return true;
 }

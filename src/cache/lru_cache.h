@@ -42,6 +42,15 @@ class LruCache : public RemoteCache {
   bool TryGet(VertexId v, std::vector<VertexId>* scratch,
               std::span<const VertexId>* out) override;
 
+  /// Sliced entries (labelled pulls): stored label-grouped with their
+  /// offset row, always copied out under the lock like every LRU read.
+  bool SupportsSlices() const override { return true; }
+  bool ContainsSliced(VertexId v) const override;
+  void InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                    std::span<const uint32_t> slice_rel) override;
+  bool TryGetLabel(VertexId v, uint8_t l, std::vector<VertexId>* scratch,
+                   std::span<const VertexId>* out) override;
+
   bool TwoStage() const override { return two_stage_; }
   size_t SizeBytes() const override {
     std::lock_guard<std::mutex> guard(mu_);
@@ -52,15 +61,22 @@ class LruCache : public RemoteCache {
  private:
   static constexpr size_t kEntryOverhead = 64;
 
+  /// `nbrs` always holds the id-ordered adjacency; sliced entries
+  /// additionally carry the label-grouped copy with its L+1 slice
+  /// offsets (rel non-empty).
   struct Entry {
     std::vector<VertexId> nbrs;
+    std::vector<VertexId> grouped;
+    std::vector<uint32_t> rel;
     std::list<VertexId>::iterator lru_it;
   };
 
-  size_t EntryBytes(size_t degree) const {
-    return degree * kVertexBytes + kEntryOverhead;
+  size_t EntryBytes(const Entry& e) const {
+    return (e.nbrs.size() + e.grouped.size()) * kVertexBytes +
+           e.rel.size() * sizeof(uint32_t) + kEntryOverhead;
   }
   void EvictLocked();
+  void TouchLocked(VertexId v, Entry* e);
 
   const size_t capacity_;
   MemoryTracker* tracker_;

@@ -155,6 +155,9 @@ RunResult Cluster::Run(const Dataflow& df) {
     mm.fetch_seconds += machines_[m]->fetch_seconds();
     mm.fused_count_rows += machines_[m]->fused_count_rows();
     mm.materialized_count_rows += machines_[m]->materialized_count_rows();
+    mm.remote_sliced_rows += machines_[m]->remote_sliced_rows();
+    mm.remote_full_rows += machines_[m]->remote_full_rows();
+    mm.hub_probe_rows += machines_[m]->hub_probe_rows();
     for (double b : machines_[m]->pool().BusySeconds()) {
       mm.worker_busy_seconds.push_back(b);
     }
@@ -290,6 +293,30 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           seg.fused_count && seg.ops[lvl] == seg.ops.back();
       const uint32_t in_width = static_cast<uint32_t>(op.schema.size()) - 1;
 
+      // Label handling mirrors the pulling extend: every hop of this
+      // extension constrains the same target vertex, so each pivot's list
+      // shrinks to its per-label CSR slice up front — candidate sets (and
+      // the bytes pushed between hops) are label-exact from hop 0 on. An
+      // unlabelled graph degenerates as in ProcessExtend.
+      const bool labelled = op.target_label != QueryGraph::kAnyLabel &&
+                            graph_->HasLabels();
+      const bool use_slices = labelled && graph_->HasLabelSlices();
+      const bool fused_countable =
+          fused && (op.target_label == QueryGraph::kAnyLabel ||
+                    graph_->HasLabels() || op.target_label == 0);
+      // Hop intersections probe the graph's cached hub bitmaps under the
+      // same kernel-policy gate as the pulling path's cached-bitmap
+      // counts, so pinned-scalar baselines keep re-materializing
+      // candidate vectors exactly like the systems they model. With label
+      // slices the probe stays correct: carried candidates are
+      // label-exact after hop 0, so probing the full-neighbourhood bitmap
+      // equals merging with the slice.
+      const IntersectKernel policy = GetIntersectKernelPolicy();
+      const bool probe_hubs =
+          policy == IntersectKernel::kBitmap ||
+          (policy == IntersectKernel::kAdaptive &&
+           GetBitmapDensityPolicy() != 0);
+
       // Hop 0 routing: ship every row to the owner of its first extension
       // vertex, paying the pushing communication of wco joins
       // (d_G |R(q'_l)| in Remark 3.1 accumulates over the hops).
@@ -337,6 +364,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           Batch out(in_width + 1);
           IntersectScratch isect;
           size_t appended = 0;
+          uint64_t probe_rows = 0;
           for (size_t i = 0; i < box.NumRows(); ++i) {
             if ((i & 255u) == 0) {
               tracker_.Allocate(appended);
@@ -348,10 +376,45 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
                                           in_width};
             const VertexId pivot = row[op.ext[j]];
             HUGE_DCHECK(pgraph_.Owner(pivot) == m);
-            auto nbrs = graph_->Neighbors(pivot);
+            const auto nbrs =
+                use_slices ? graph_->NeighborsWithLabel(pivot, op.target_label)
+                           : graph_->Neighbors(pivot);
+            const DenseBitmap* bm =
+                probe_hubs ? graph_->HubBitmap(pivot) : nullptr;
+            if (last_hop && fused_countable) {
+              // Fused counting, labelled or not: stage the carried
+              // candidates and the pivot's list (or its cached hub
+              // bitmap) straight into the count-only kernels — this hop's
+              // intersection is never materialized. (On an unlabelled
+              // graph every vertex reports label 0, so a label-0 target
+              // degenerates to the unlabelled count and any other label
+              // is handled by the fallback loop, which matches nothing.)
+              isect.lists.clear();
+              isect.bitmaps.clear();
+              if (j > 0) isect.lists.push_back(box.cands[i]);
+              isect.lists.push_back(nbrs);
+              if (!labelled && bm != nullptr) {
+                isect.bitmaps.assign(isect.lists.size(), nullptr);
+                isect.bitmaps.back() = bm;
+                if (j > 0) ++probe_rows;
+              }
+              const uint8_t* labels = labelled ? graph_->LabelData() : nullptr;
+              const uint64_t count =
+                  CountExtendCandidates(isect.lists, op, row, &isect, labels);
+              if (count > 0) machines_[m]->AddMatches(count);
+              machines_[m]->AddFusedCountRows(1);
+              continue;
+            }
             std::span<const VertexId> cands;
             if (j == 0) {
               cands = nbrs;  // hop 0: the CSR span itself, no copy
+            } else if (bm != nullptr) {
+              // Probe the carried candidates through the cached hub
+              // bitmap: O(|cands|), independent of the hub's degree.
+              isect.out.clear();
+              BitmapProbeMaterialize(*bm, box.cands[i], &isect.out);
+              cands = {isect.out.data(), isect.out.size()};
+              ++probe_rows;
             } else {
               IntersectSorted(box.cands[i], nbrs, &isect.out);
               cands = {isect.out.data(), isect.out.size()};
@@ -366,27 +429,6 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
                             std::vector<VertexId>(cands.begin(), cands.end()));
               appended += (row.size() + cands.size()) * kVertexBytes +
                           kHopRowOverhead;
-            } else if (fused &&
-                       (op.target_label == QueryGraph::kAnyLabel ||
-                        graph_->HasLabels() || op.target_label == 0)) {
-              // Fused counting, labelled or not: count-only kernels with
-              // the label predicate fused into the final count, no per-v
-              // loop. A single staged list never touches the arena's out
-              // buffer, so `cands` aliasing isect.out is safe. (On an
-              // unlabelled graph every vertex reports label 0, so a
-              // label-0 target degenerates to the unlabelled count and
-              // any other label is handled by the fallback loop, which
-              // matches nothing.)
-              isect.lists.assign(1, cands);
-              const uint8_t* labels =
-                  (op.target_label != QueryGraph::kAnyLabel &&
-                   graph_->HasLabels())
-                      ? graph_->LabelData()
-                      : nullptr;
-              const uint64_t count =
-                  CountExtendCandidates(isect.lists, op, row, &isect, labels);
-              if (count > 0) machines_[m]->AddMatches(count);
-              machines_[m]->AddFusedCountRows(1);
             } else {
               uint64_t count = 0;
               if (fused) machines_[m]->AddMaterializedCountRows(1);
@@ -411,6 +453,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
               if (count > 0) machines_[m]->AddMatches(count);
             }
           }
+          if (probe_rows > 0) machines_[m]->AddHubProbeRows(probe_rows);
           if (!out.empty()) {
             shared_.intermediate_rows.fetch_add(out.rows());
             level_in[m].push_back(std::move(out));

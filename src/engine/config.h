@@ -70,6 +70,14 @@ struct Config {
   /// intersect_kernel.
   uint32_t bitmap_density_inv = 32;
 
+  /// Label-sliced GetNbrs pulls: label-constrained extends fetch remote
+  /// adjacency with per-label slice offsets (header + offset bytes extra
+  /// on the wire) and cache (vertex, label)-sliced views, so labelled
+  /// remote extends hit the fused count kernels exactly like local ones.
+  /// Baseline system profiles pin false — the modelled systems ship plain
+  /// adjacency lists.
+  bool label_sliced_pulls = true;
+
   /// Per-machine, per-side in-memory budget of a PUSH-JOIN buffer before
   /// it spills sorted runs to disk (Section 4.3).
   size_t join_spill_threshold = 64u << 20;

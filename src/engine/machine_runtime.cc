@@ -191,6 +191,9 @@ void MachineRuntime::PrepareRun() {
   matches_.store(0);
   fused_count_rows_.store(0);
   materialized_count_rows_.store(0);
+  remote_sliced_rows_.store(0);
+  remote_full_rows_.store(0);
+  hub_probe_rows_.store(0);
   inter_steals_.store(0);
   fetch_nanos_.store(0);
   bsp_busy_nanos_.store(0);
@@ -347,7 +350,38 @@ std::span<const VertexId> MachineRuntime::NeighborsOf(
   return {scratch->data(), scratch->size()};
 }
 
-void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in) {
+std::span<const VertexId> MachineRuntime::NeighborsOfLabel(
+    VertexId v, uint8_t l, std::vector<VertexId>* scratch, bool* sliced) {
+  std::span<const VertexId> out;
+  if (cache_->TryGetLabel(v, l, scratch, &out)) {
+    *sliced = true;
+    return out;
+  }
+  if (!cache_->TwoStage() && cache_->SupportsSlices()) {
+    // On-demand single-vertex sliced fetch (Cncr-LRU); a full-only entry
+    // is upgraded in place by InsertSliced. The slice is served straight
+    // from the response copy.
+    const VertexId one[1] = {v};
+    rpc_.FetchSliced(id_, {one, 1},
+                     [&](VertexId, std::span<const VertexId> grouped,
+                         std::span<const uint32_t> rel) {
+                       cache_->InsertSliced(v, grouped, rel);
+                       if (static_cast<size_t>(l) + 1 >= rel.size()) {
+                         scratch->clear();
+                       } else {
+                         scratch->assign(grouped.begin() + rel[l],
+                                         grouped.begin() + rel[l + 1]);
+                       }
+                     });
+    *sliced = true;
+    return {scratch->data(), scratch->size()};
+  }
+  *sliced = false;
+  return NeighborsOf(v, scratch);
+}
+
+void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
+                                bool sliced) {
   // Algorithm 4, Fetch: collect the remote vertices of this batch, seal
   // the cached ones, fetch the misses in bulk and insert them with a
   // single writer (this thread).
@@ -362,10 +396,13 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in) {
   std::sort(remote.begin(), remote.end());
   remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
 
+  // In sliced mode a vertex cached as a full-only entry is *not* a hit:
+  // it goes back on the wire (the sliced response upgrades the entry in
+  // place), so the intersect stage always finds slice-capable entries.
   std::vector<VertexId> fetch;
   uint64_t hits = 0;
   for (VertexId v : remote) {
-    if (cache_->Contains(v)) {
+    if (sliced ? cache_->ContainsSliced(v) : cache_->Contains(v)) {
       cache_->Seal(v);
       ++hits;
     } else {
@@ -375,23 +412,29 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in) {
   cache_->RecordHit(hits);
   cache_->RecordMiss(fetch.size());
   if (!fetch.empty()) {
-    rpc_.Fetch(id_, fetch, [this](VertexId v, std::span<const VertexId> n) {
-      cache_->Insert(v, n);
-    });
+    // One bulk session per super-step: however many rounds the stage
+    // issues, each owner pays exactly one header pair and one round trip.
+    GetNbrsClient::BulkCharge bulk;
+    if (sliced) {
+      rpc_.FetchSliced(id_, fetch,
+                       [this](VertexId v, std::span<const VertexId> grouped,
+                              std::span<const uint32_t> rel) {
+                         cache_->InsertSliced(v, grouped, rel);
+                       },
+                       &bulk);
+    } else {
+      rpc_.Fetch(id_, fetch,
+                 [this](VertexId v, std::span<const VertexId> n) {
+                   cache_->Insert(v, n);
+                 },
+                 &bulk);
+    }
+    rpc_.Flush(id_, &bulk);
   }
 }
 
 void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
                                    int pos) {
-  if (cache_->TwoStage()) {
-    // The fetch stage's wall time bounds the two-stage synchronisation
-    // overhead reported in Exp-6 (Table 5, the bracketed t_f).
-    WallTimer fetch_timer;
-    FetchStage(op, in);
-    fetch_nanos_.fetch_add(static_cast<uint64_t>(fetch_timer.Seconds() * 1e9),
-                           std::memory_order_relaxed);
-  }
-
   const int last = static_cast<int>(seg_->ops.size()) - 1;
   const bool fused = (pos == last && seg_->fused_count);
   const bool verify = op.kind == OpKind::kVerifyExtend;
@@ -411,6 +454,21 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
       grow && op.target_label != QueryGraph::kAnyLabel &&
       !graph_->HasLabels() && op.target_label != 0;
   const bool use_slices = labelled_target && graph_->HasLabelSlices();
+  // Remote slicing rides the same condition plus the wire-format gate and
+  // a slice-capable cache; when off, labelled remote reads stage full
+  // lists and the label predicate stays fused downstream.
+  const bool remote_slices = use_slices &&
+                             shared_->config->label_sliced_pulls &&
+                             cache_->SupportsSlices();
+
+  if (cache_->TwoStage()) {
+    // The fetch stage's wall time bounds the two-stage synchronisation
+    // overhead reported in Exp-6 (Table 5, the bracketed t_f).
+    WallTimer fetch_timer;
+    FetchStage(op, in, remote_slices);
+    fetch_nanos_.fetch_add(static_cast<uint64_t>(fetch_timer.Seconds() * 1e9),
+                           std::memory_order_relaxed);
+  }
 
   const int workers = pool_->num_workers();
   std::vector<Batch> louts;
@@ -425,6 +483,8 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
         static thread_local IntersectScratch isect;
         if (scratches.size() < op.ext.size()) scratches.resize(op.ext.size());
         uint64_t fused_rows = 0;
+        uint64_t sliced_reads = 0;
+        uint64_t full_reads = 0;
 
         for (size_t i = begin; i < end && !label_unsatisfiable; ++i) {
           auto row = in.Row(i);
@@ -443,6 +503,19 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
             if (use_slices && local) {
               isect.lists[j] =
                   graph_->NeighborsWithLabel(src, op.target_label);
+            } else if (use_slices) {
+              // Remote source of a labelled extend: serve the
+              // (vertex, label) slice from the cache when the sliced wire
+              // format is on; otherwise fall back to the full list (the
+              // label predicate stays fused into the count kernels).
+              bool sliced = false;
+              if (remote_slices) {
+                isect.lists[j] = NeighborsOfLabel(src, op.target_label,
+                                                  &scratches[j], &sliced);
+              } else {
+                isect.lists[j] = NeighborsOf(src, &scratches[j]);
+              }
+              ++(sliced ? sliced_reads : full_reads);
             } else {
               isect.lists[j] = NeighborsOf(src, &scratches[j]);
             }
@@ -490,6 +563,8 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
           }
         }
         if (fused_rows > 0) AddFusedCountRows(fused_rows);
+        if (sliced_reads > 0) AddRemoteSlicedRows(sliced_reads);
+        if (full_reads > 0) AddRemoteFullRows(full_reads);
       });
 
   for (int w = 0; w < workers; ++w) {

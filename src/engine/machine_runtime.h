@@ -148,6 +148,24 @@ class MachineRuntime {
     materialized_count_rows_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Remote-read accounting of label-constrained grow extends
+  /// (RunMetrics::remote_sliced_rows / remote_full_rows).
+  uint64_t remote_sliced_rows() const { return remote_sliced_rows_.load(); }
+  uint64_t remote_full_rows() const { return remote_full_rows_.load(); }
+  void AddRemoteSlicedRows(uint64_t n) {
+    remote_sliced_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddRemoteFullRows(uint64_t n) {
+    remote_full_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// BSP pushing-path hub-bitmap probe accounting
+  /// (RunMetrics::hub_probe_rows).
+  uint64_t hub_probe_rows() const { return hub_probe_rows_.load(); }
+  void AddHubProbeRows(uint64_t n) {
+    hub_probe_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   friend class Cluster;
 
@@ -171,10 +189,19 @@ class MachineRuntime {
   void RouteToJoin(const Batch& out);
   void FlushJoinStaging();
 
-  // Pull-extend stages.
-  void FetchStage(const OpDesc& op, const Batch& in);
+  // Pull-extend stages. With `sliced` the fetch stage runs the labelled
+  // protocol: slice-capable cache hits gate on ContainsSliced and misses
+  // are fetched via the sliced GetNbrs wire format.
+  void FetchStage(const OpDesc& op, const Batch& in, bool sliced);
   std::span<const VertexId> NeighborsOf(VertexId v,
                                         std::vector<VertexId>* scratch);
+  /// Label-`l` slice of remote vertex `v`. Sets `*sliced` to whether the
+  /// read was served from a (vertex, label)-sliced entry (or an on-demand
+  /// sliced fetch); on a false `*sliced` the result is the full list and
+  /// the caller must keep the label predicate downstream.
+  std::span<const VertexId> NeighborsOfLabel(VertexId v, uint8_t l,
+                                             std::vector<VertexId>* scratch,
+                                             bool* sliced);
 
   // Inter-machine stealing (client side).
   bool TryStealFromPeers();
@@ -207,6 +234,9 @@ class MachineRuntime {
   std::atomic<uint64_t> matches_{0};
   std::atomic<uint64_t> fused_count_rows_{0};
   std::atomic<uint64_t> materialized_count_rows_{0};
+  std::atomic<uint64_t> remote_sliced_rows_{0};
+  std::atomic<uint64_t> remote_full_rows_{0};
+  std::atomic<uint64_t> hub_probe_rows_{0};
   std::atomic<uint64_t> fetch_nanos_{0};
   std::atomic<uint64_t> bsp_busy_nanos_{0};
   std::atomic<uint64_t> inter_steals_{0};

@@ -52,6 +52,19 @@ struct RunMetrics {
   uint64_t fused_count_rows = 0;
   uint64_t materialized_count_rows = 0;
 
+  /// Remote adjacency reads staged by label-constrained grow extends:
+  /// served from a (vertex, label)-sliced cache entry (the sliced GetNbrs
+  /// wire format) vs. fallen back to a full-list entry with the label
+  /// predicate applied downstream. With label-sliced pulls enabled and a
+  /// slice-capable cache, remote_full_rows stays 0 on labelled queries —
+  /// the distributed mirror of the materialized_count_rows invariant.
+  uint64_t remote_sliced_rows = 0;
+  uint64_t remote_full_rows = 0;
+
+  /// BSP pushing-path hop intersections served by probing a cached hub
+  /// bitmap instead of merging against the pivot's adjacency list.
+  uint64_t hub_probe_rows = 0;
+
   /// Per-worker busy seconds across all machines, in machine-major order
   /// (Exp-8 reports the standard deviation of these).
   std::vector<double> worker_busy_seconds;

@@ -157,6 +157,25 @@ class Graph {
   /// Number of distinct label values (max label + 1); 0 when unlabelled.
   uint32_t NumLabelValues() const { return num_label_values_; }
 
+  /// The full label-grouped adjacency of `v`: the concatenation of its
+  /// per-label slices in label order (sorted by id within each label).
+  /// Requires HasLabelSlices(). This is the payload of a sliced GetNbrs
+  /// response — together with LabelSliceOffsets it lets a remote cache
+  /// serve (vertex, label)-sliced views without re-scanning.
+  std::span<const VertexId> GroupedNeighbors(VertexId v) const {
+    return {label_adjacency_.data() + offsets_[v],
+            label_adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// The relative slice-offset row of `v`: NumLabelValues() + 1 ascending
+  /// entries; slice l of GroupedNeighbors(v) spans [row[l], row[l + 1]).
+  /// Requires HasLabelSlices().
+  std::span<const uint32_t> LabelSliceOffsets(VertexId v) const {
+    const size_t row = static_cast<size_t>(v) * (num_label_values_ + 1);
+    return {label_slice_rel_.data() + row,
+            static_cast<size_t>(num_label_values_) + 1};
+  }
+
   /// Writes the graph as a text edge list ("u v" per line). Returns false on
   /// I/O failure.
   bool SaveEdgeList(const std::string& path) const;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <span>
 
+#include "common/check.h"
 #include "graph/partition.h"
 #include "net/network.h"
 
@@ -27,49 +28,144 @@ class GetNbrsClient {
   /// Per-message fixed framing overhead (headers), in bytes.
   static constexpr uint64_t kHeaderBytes = 16;
 
+  /// Per-owner merge state spanning one fetch super-step. The per-call
+  /// accounting charges one header pair (request + response) per owner
+  /// *per Fetch call*, so a super-step split across several calls — as a
+  /// fetch stage mixing a sliced and a full round would be — would pay
+  /// the framing twice for an owner appearing in both, even though
+  /// Remark 4.1 merges everything bound to one owner into a single bulk
+  /// message. Accumulating the charges here and settling them once in
+  /// Flush() makes each owner pay exactly one header pair and one RPC
+  /// round trip per super-step, however many calls the caller issued
+  /// (pinned byte-exactly in tests/network_test.cc).
+  ///
+  /// Not thread-safe; the fetch stage has a single writer (Algorithm 4).
+  /// The external-KV profile ignores the session: every key is its own
+  /// store request by definition.
+  class BulkCharge {
+   private:
+    friend class GetNbrsClient;
+    std::vector<uint64_t> owner_bytes_;  ///< payload bytes per owner
+  };
+
   /// Fetches the adjacency lists of `vertices` on behalf of machine
   /// `requester`, invoking `sink(v, neighbours)` once per vertex. Local
-  /// vertices are served without network charges.
+  /// vertices are served without network charges. With a `bulk` session
+  /// the network charges are accumulated instead of settled per call; the
+  /// caller must Flush() the session at the end of the super-step.
   void Fetch(MachineId requester, std::span<const VertexId> vertices,
              const std::function<void(VertexId, std::span<const VertexId>)>&
-                 sink) const {
+                 sink,
+             BulkCharge* bulk = nullptr) const {
     const Graph& g = pgraph_->graph();
-    const bool merge = !net_->profile().external_kv;
-
-    // Group by owner to count one request per (owner, call) when merging.
-    uint64_t pending_bytes = 0;
-    uint64_t pending_requests = 0;
-    std::vector<uint64_t> owner_bytes(pgraph_->num_machines(), 0);
+    FetchRound round(this, requester, bulk);
     for (VertexId v : vertices) {
-      const MachineId owner = pgraph_->Owner(v);
       auto nbrs = g.Neighbors(v);
-      if (owner == requester) {
-        sink(v, nbrs);
-        continue;
-      }
-      const uint64_t bytes =
-          kVertexBytes /* request id */ +
-          (1 + nbrs.size()) * kVertexBytes /* response */;
-      if (merge) {
-        if (owner_bytes[owner] == 0) ++pending_requests;
-        owner_bytes[owner] += bytes;
-      } else {
-        pending_bytes += bytes + 2 * kHeaderBytes;
-        ++pending_requests;
-      }
+      round.Charge(v, (1 + nbrs.size()) * kVertexBytes);
       sink(v, nbrs);
     }
-    if (merge) {
-      for (uint64_t b : owner_bytes) {
-        if (b > 0) pending_bytes += b + 2 * kHeaderBytes;
+    round.Settle();
+  }
+
+  /// Sliced fetch (labelled pulls): like Fetch, but the response carries
+  /// each vertex's label-grouped adjacency copy plus its per-label slice
+  /// offsets, so the requester can cache (vertex, label)-sliced views.
+  /// The wire cost over a plain Fetch is only the offset row —
+  /// (NumLabelValues() + 1) * 4 bytes per vertex; the adjacency payload
+  /// is the same length, merely label-grouped by the owner (which keeps
+  /// its per-label CSR slices precomputed). Requires the data graph to
+  /// have label slices (Graph::HasLabelSlices()).
+  void FetchSliced(
+      MachineId requester, std::span<const VertexId> vertices,
+      const std::function<void(VertexId, std::span<const VertexId>,
+                               std::span<const uint32_t>)>& sink,
+      BulkCharge* bulk = nullptr) const {
+    const Graph& g = pgraph_->graph();
+    HUGE_DCHECK(g.HasLabelSlices());
+    FetchRound round(this, requester, bulk);
+    for (VertexId v : vertices) {
+      auto grouped = g.GroupedNeighbors(v);
+      auto rel = g.LabelSliceOffsets(v);
+      round.Charge(v, (1 + grouped.size()) * kVertexBytes +
+                          rel.size() * sizeof(uint32_t));
+      sink(v, grouped, rel);
+    }
+    round.Settle();
+  }
+
+  /// Settles a bulk session: every owner with pending payload is charged
+  /// its bytes plus exactly one header pair, as one RPC request.
+  void Flush(MachineId requester, BulkCharge* bulk) const {
+    uint64_t bytes = 0;
+    uint64_t requests = 0;
+    for (uint64_t b : bulk->owner_bytes_) {
+      if (b > 0) {
+        bytes += b + 2 * kHeaderBytes;
+        ++requests;
       }
     }
-    if (pending_requests > 0) {
-      net_->Pull(requester, pending_bytes, pending_requests);
-    }
+    bulk->owner_bytes_.clear();
+    if (requests > 0) net_->Pull(requester, bytes, requests);
   }
 
  private:
+  /// Charging state of one Fetch/FetchSliced call: routes per-vertex
+  /// response costs to the session (merged per owner per super-step), to
+  /// the per-call owner merge, or to per-vertex requests (external KV).
+  class FetchRound {
+   public:
+    FetchRound(const GetNbrsClient* client, MachineId requester,
+               BulkCharge* bulk)
+        : client_(client),
+          requester_(requester),
+          merge_(!client->net_->profile().external_kv),
+          bulk_(merge_ ? bulk : nullptr),
+          owner_bytes_(bulk_ != nullptr ? bulk_->owner_bytes_
+                                        : local_owner_bytes_) {
+      owner_bytes_.resize(client->pgraph_->num_machines(), 0);
+    }
+
+    /// Adds the cost of one vertex's response (`response_bytes` excludes
+    /// the request id, which is charged here). Local vertices are free.
+    void Charge(VertexId v, uint64_t response_bytes) {
+      const MachineId owner = client_->pgraph_->Owner(v);
+      if (owner == requester_) return;
+      const uint64_t bytes = kVertexBytes /* request id */ + response_bytes;
+      if (merge_) {
+        owner_bytes_[owner] += bytes;
+      } else {
+        pending_bytes_ += bytes + 2 * kHeaderBytes;
+        ++pending_requests_;
+      }
+    }
+
+    /// Settles per-call charges. Session-accumulated bytes stay pending
+    /// until the caller's Flush().
+    void Settle() {
+      if (merge_ && bulk_ == nullptr) {
+        for (uint64_t b : owner_bytes_) {
+          if (b > 0) {
+            pending_bytes_ += b + 2 * kHeaderBytes;
+            ++pending_requests_;
+          }
+        }
+      }
+      if (pending_requests_ > 0) {
+        client_->net_->Pull(requester_, pending_bytes_, pending_requests_);
+      }
+    }
+
+   private:
+    const GetNbrsClient* client_;
+    const MachineId requester_;
+    const bool merge_;
+    BulkCharge* bulk_;
+    std::vector<uint64_t> local_owner_bytes_;
+    std::vector<uint64_t>& owner_bytes_;
+    uint64_t pending_bytes_ = 0;
+    uint64_t pending_requests_ = 0;
+  };
+
   const PartitionedGraph* pgraph_;
   Network* net_;
 };

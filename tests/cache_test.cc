@@ -205,6 +205,205 @@ TEST(LruTest, MissReturnsFalseAndCounts) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// (vertex, label)-sliced entries: the cache side of the sliced GetNbrs
+// wire format. grouped = per-label slices concatenated in label order,
+// rel = L+1 ascending offsets.
+// ---------------------------------------------------------------------------
+
+// grouped adjacency of a 3-label vertex: label 0 -> {4, 9}, label 1 ->
+// {2}, label 2 -> {7}.
+const std::vector<VertexId> kGrouped = {4, 9, 2, 7};
+const std::vector<uint32_t> kRel = {0, 2, 3, 4};
+
+// Bytes of one sliced entry under LRBU accounting: the sorted view (4
+// neighbours) + the grouped copy (4) + 4 offset entries + the 48-byte
+// entry overhead.
+constexpr size_t kSlicedEntryBytes = 4 * 4 + 4 * 4 + 4 * 4 + 48;
+
+TEST(LrbuSliceTest, TryGetLabelServesZeroCopySlices) {
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  cache.InsertSliced(7, kGrouped, kRel);
+  EXPECT_TRUE(cache.Contains(7));
+  EXPECT_TRUE(cache.ContainsSliced(7));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGetLabel(7, 0, &scratch, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 4u);
+  EXPECT_EQ(out[1], 9u);
+  EXPECT_TRUE(scratch.empty()) << "zero-copy slice reads must not copy";
+  ASSERT_TRUE(cache.TryGetLabel(7, 1, &scratch, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2u);
+}
+
+TEST(LrbuSliceTest, AbsentLabelIsAnEmptyHit) {
+  // A label beyond the shipped alphabet answers "no such neighbours" —
+  // a hit with an empty span, never a fallback to the full list.
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  cache.InsertSliced(7, kGrouped, kRel);
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out = kGrouped;
+  ASSERT_TRUE(cache.TryGetLabel(7, 9, &scratch, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LrbuSliceTest, FullReadOfSlicedEntryStaysSortedAndZeroCopy) {
+  // The sorted view is materialized once at insert, so unlabelled reads
+  // of sliced entries stay zero-copy references like any other read.
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  cache.InsertSliced(7, kGrouped, kRel);
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGet(7, &scratch, &out));
+  EXPECT_EQ(std::vector<VertexId>(out.begin(), out.end()),
+            (std::vector<VertexId>{2, 4, 7, 9}));
+  EXPECT_TRUE(scratch.empty()) << "zero-copy full reads must not copy";
+}
+
+TEST(LrbuSliceTest, TryGetLabelMissesOnFullOnlyEntry) {
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  cache.Insert(7, Nbrs({2, 4, 7, 9}));
+  EXPECT_TRUE(cache.Contains(7));
+  EXPECT_FALSE(cache.ContainsSliced(7));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  EXPECT_FALSE(cache.TryGetLabel(7, 0, &scratch, &out));
+}
+
+TEST(LrbuSliceTest, InsertSlicedUpgradesFullEntryInPlaceAndSeals) {
+  LrbuCache cache(1 << 20, nullptr, false, false);
+  cache.Insert(7, Nbrs({2, 4, 7, 9}));
+  cache.Release();
+  ASSERT_EQ(cache.FreeCount(), 1u);
+  cache.InsertSliced(7, kGrouped, kRel);
+  EXPECT_TRUE(cache.ContainsSliced(7));
+  EXPECT_EQ(cache.EntryCount(), 1u);
+  // The upgrade pins the entry for the current batch like a fresh insert.
+  EXPECT_EQ(cache.FreeCount(), 0u);
+  EXPECT_EQ(cache.SealedCount(), 1u);
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGetLabel(7, 2, &scratch, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST(LrbuSliceTest, SizeBytesAccountsOffsets) {
+  MemoryTracker tracker;
+  LrbuCache cache(1 << 20, &tracker, false, false);
+  cache.InsertSliced(7, kGrouped, kRel);
+  EXPECT_EQ(cache.SizeBytes(), kSlicedEntryBytes);
+  EXPECT_EQ(tracker.current(), kSlicedEntryBytes);
+  // Upgrading a full entry adjusts the accounting by exactly the grouped
+  // copy plus the offset row.
+  cache.Insert(8, Nbrs({1, 2, 3, 4}));
+  const size_t full_entry = 4 * 4 + 48;
+  EXPECT_EQ(cache.SizeBytes(), kSlicedEntryBytes + full_entry);
+  cache.InsertSliced(8, kGrouped, kRel);
+  EXPECT_EQ(cache.SizeBytes(), 2 * kSlicedEntryBytes);
+  EXPECT_EQ(tracker.current(), 2 * kSlicedEntryBytes);
+  cache.Clear();
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+TEST(LrbuSliceTest, SlicedEntriesSurviveSealReleaseEvictionChurn) {
+  // Capacity fits exactly two sliced entries (160 bytes); the third
+  // insert must evict the least-recent *unsealed* batch, never a sealed
+  // slice, and TryGetLabel keeps serving the survivors exactly.
+  LrbuCache cache(2 * kSlicedEntryBytes, nullptr, false, false);
+  cache.InsertSliced(1, kGrouped, kRel);
+  cache.InsertSliced(2, kGrouped, kRel);
+  cache.Release();
+  cache.Seal(1);  // vertex 1 reused by the current batch
+  cache.InsertSliced(3, kGrouped, kRel);  // full: must evict 2, not 1
+  EXPECT_TRUE(cache.ContainsSliced(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.ContainsSliced(3));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGetLabel(1, 0, &scratch, &out));
+  EXPECT_EQ(out.size(), 2u);
+  cache.Release();
+  // Churn a few more batches through; byte accounting must stay exact.
+  for (VertexId v = 10; v < 20; ++v) {
+    cache.InsertSliced(v, kGrouped, kRel);
+    cache.Release();
+  }
+  EXPECT_LE(cache.SizeBytes(), 2 * kSlicedEntryBytes);
+  EXPECT_EQ(cache.SizeBytes(), cache.EntryCount() * kSlicedEntryBytes);
+}
+
+TEST(LrbuSliceTest, CopyOnReadAblationCopiesSlices) {
+  // LRBU-Copy: slice reads pay the copy like every other read.
+  LrbuCache cache(1 << 20, nullptr, /*copy_on_read=*/true, false);
+  cache.InsertSliced(7, kGrouped, kRel);
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGetLabel(7, 0, &scratch, &out));
+  ASSERT_EQ(scratch.size(), 2u);
+  EXPECT_EQ(out.data(), scratch.data());
+  EXPECT_EQ(scratch[1], 9u);
+}
+
+TEST(LrbuSliceTest, LockOnReadAblationStaysExact) {
+  // LRBU-Lock: same results under the lock + copy ablation.
+  LrbuCache cache(1 << 20, nullptr, /*copy_on_read=*/true,
+                  /*lock_on_read=*/true);
+  cache.InsertSliced(7, kGrouped, kRel);
+  EXPECT_TRUE(cache.ContainsSliced(7));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGetLabel(7, 2, &scratch, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+  ASSERT_TRUE(cache.TryGet(7, &scratch, &out));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(LruSliceTest, SlicedEntriesCopyUnderLock) {
+  LruCache cache(1 << 20, nullptr, /*unbounded=*/false, /*two_stage=*/false);
+  cache.InsertSliced(7, kGrouped, kRel);
+  EXPECT_TRUE(cache.ContainsSliced(7));
+  std::vector<VertexId> scratch;
+  std::span<const VertexId> out;
+  ASSERT_TRUE(cache.TryGetLabel(7, 0, &scratch, &out));
+  EXPECT_EQ(out.data(), scratch.data());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // Full reads of sliced entries restore id order.
+  ASSERT_TRUE(cache.TryGet(7, &scratch, &out));
+  EXPECT_EQ(std::vector<VertexId>(out.begin(), out.end()),
+            (std::vector<VertexId>{2, 4, 7, 9}));
+  // A miss (full-only entry) is recorded per probe, Cncr-LRU style.
+  cache.Insert(8, Nbrs({1}));
+  EXPECT_FALSE(cache.TryGetLabel(8, 0, &scratch, &out));
+  EXPECT_GT(cache.misses(), 0u);
+  // The on-demand sliced re-fetch upgrades the entry in place.
+  cache.InsertSliced(8, kGrouped, kRel);
+  EXPECT_TRUE(cache.ContainsSliced(8));
+  ASSERT_TRUE(cache.TryGetLabel(8, 1, &scratch, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2u);
+}
+
+TEST(CacheFactoryTest, AllKindsSupportSlices) {
+  for (CacheKind kind :
+       {CacheKind::kLrbu, CacheKind::kLrbuCopy, CacheKind::kLrbuLock,
+        CacheKind::kLruInf, CacheKind::kCncrLru}) {
+    auto cache = MakeCache(kind, 1 << 16, nullptr);
+    EXPECT_TRUE(cache->SupportsSlices()) << ToString(kind);
+    cache->InsertSliced(1, kGrouped, kRel);
+    EXPECT_TRUE(cache->ContainsSliced(1)) << ToString(kind);
+    std::vector<VertexId> scratch;
+    std::span<const VertexId> out;
+    ASSERT_TRUE(cache->TryGetLabel(1, 0, &scratch, &out)) << ToString(kind);
+    ASSERT_EQ(out.size(), 2u) << ToString(kind);
+    EXPECT_EQ(out[0], 4u) << ToString(kind);
+  }
+}
+
 TEST(CacheFactoryTest, MakesAllKinds) {
   MemoryTracker tracker;
   for (CacheKind kind :

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+#include "query/pattern_parser.h"
+
+namespace huge {
+namespace {
+
+/// Randomized distributed differential harness: random labelled patterns
+/// on random partitioned graphs, executed across the engine's
+/// communication profiles ({pull, push, hybrid} plans), cache designs
+/// ({LRBU, LRU, no-cache}) and cluster sizes, every run checked for an
+/// embedding count identical to the single-machine oracle. This is the
+/// end-to-end guard for the label-sliced remote fetches and the
+/// pushing-path hub-bitmap probes: whatever fast path a run takes, the
+/// count must not move.
+
+enum class Profile { kPull, kPush, kHybrid };
+
+const char* ToString(Profile p) {
+  switch (p) {
+    case Profile::kPull:
+      return "pull";
+    case Profile::kPush:
+      return "push";
+    case Profile::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+struct CacheSetup {
+  const char* name;
+  CacheKind kind;
+  size_t capacity_bytes;  ///< 0 = the 30%-of-graph paper default
+};
+
+/// {LRBU, LRU, no-cache}: the zero-copy two-stage cache, the on-demand
+/// locked LRU, and an LRBU squeezed to 1 byte (every batch evicts out —
+/// the cacheless pulling baseline).
+constexpr CacheSetup kCaches[] = {
+    {"LRBU", CacheKind::kLrbu, 0},
+    {"LRU", CacheKind::kCncrLru, 0},
+    {"no-cache", CacheKind::kLrbu, 1},
+};
+
+constexpr MachineId kMachineCounts[] = {2, 4};
+
+constexpr int kNumGraphs = 12;
+constexpr int kPatternsPerGraph = 9;  // 12 * 9 = 108 randomized cases
+
+/// Random labelled data graph `idx`: rotates over the paper's structural
+/// classes (power-law social, uniform random, road-like), three labels.
+std::shared_ptr<Graph> MakeGraph(int idx) {
+  Graph g;
+  switch (idx % 3) {
+    case 0:
+      g = gen::PowerLaw(300, 6, 2.5, 1000 + idx);
+      break;
+    case 1:
+      g = gen::ErdosRenyi(240, 900, 2000 + idx);
+      break;
+    default:
+      g = gen::Road(12, 12, 60, 3000 + idx);
+      break;
+  }
+  Rng rng(77 * idx + 5);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(3));
+  g.AssignLabels(std::move(labels));
+  return std::make_shared<Graph>(std::move(g));
+}
+
+/// Random connected pattern: 3-5 query vertices, a random spanning tree
+/// plus up to nv extra edges, each vertex unlabelled (2/5) or carrying a
+/// random label of the graph's alphabet (3/5).
+std::string RandomPattern(Rng* rng) {
+  const int nv = 3 + static_cast<int>(rng->NextBounded(3));
+  std::vector<int> labels(nv);
+  for (auto& l : labels) {
+    l = rng->NextBounded(5) < 2 ? -1 : static_cast<int>(rng->NextBounded(3));
+  }
+  std::set<std::pair<int, int>> edges;
+  for (int i = 1; i < nv; ++i) {
+    const int p = static_cast<int>(rng->NextBounded(i));
+    edges.insert({std::min(i, p), std::max(i, p)});
+  }
+  const int extra = static_cast<int>(rng->NextBounded(nv));
+  for (int t = 0; t < extra; ++t) {
+    const int a = static_cast<int>(rng->NextBounded(nv));
+    const int b = static_cast<int>(rng->NextBounded(nv));
+    if (a != b) edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  auto vertex = [&](int i) {
+    std::string s = "(";
+    s += static_cast<char>('a' + i);
+    if (labels[i] >= 0) {
+      s += ':';
+      s += static_cast<char>('0' + labels[i]);
+    }
+    s += ')';
+    return s;
+  };
+  std::string out;
+  for (const auto& [a, b] : edges) {
+    if (!out.empty()) out += ", ";
+    out += vertex(a) + "-" + vertex(b);
+  }
+  return out;
+}
+
+RunResult RunProfile(Profile profile, std::shared_ptr<const Graph> g,
+                     const QueryGraph& q, const CacheSetup& cache,
+                     MachineId machines) {
+  Config cfg;
+  cfg.num_machines = machines;
+  cfg.batch_size = 128;
+  cfg.cache_kind = cache.kind;
+  cfg.cache_capacity_bytes = cache.capacity_bytes;
+  Runner runner(std::move(g), cfg);
+  switch (profile) {
+    case Profile::kPull:
+      return runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+    case Profile::kPush:
+      return runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush));
+    case Profile::kHybrid:
+      return runner.Run(q);
+  }
+  return {};
+}
+
+class DistributedDiffTest : public ::testing::TestWithParam<Profile> {};
+
+/// 108 randomized (graph, pattern) cases per profile; each case runs
+/// under one deterministically rotated (cache, machine-count) pair so the
+/// whole grid is covered across the suite without a 108x18 blow-up. The
+/// full cross-product is exercised on a case subset below.
+TEST_P(DistributedDiffTest, MatchesSingleMachineOracle) {
+  const Profile profile = GetParam();
+  for (int gi = 0; gi < kNumGraphs; ++gi) {
+    auto g = MakeGraph(gi);
+    Rng rng(9000 + gi);
+    for (int pi = 0; pi < kPatternsPerGraph; ++pi) {
+      const std::string pattern = RandomPattern(&rng);
+      auto p = ParsePattern(pattern);
+      ASSERT_TRUE(p.ok()) << pattern << ": " << p.error;
+      const uint64_t expect = Oracle::Count(*g, p.query);
+      const int c = gi * kPatternsPerGraph + pi;
+      const CacheSetup& cache = kCaches[c % 3];
+      const MachineId machines = kMachineCounts[(c / 3) % 2];
+      const RunResult r = RunProfile(profile, g, p.query, cache, machines);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.matches, expect)
+          << ToString(profile) << " x " << cache.name << " x k=" << machines
+          << " on graph " << gi << ", pattern \"" << pattern << "\"";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, DistributedDiffTest,
+                         ::testing::Values(Profile::kPull, Profile::kPush,
+                                           Profile::kHybrid),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(DistributedDiffTest, FullGridOnCaseSubset) {
+  // Every profile x cache x machine-count cell on a few cases, so no
+  // combination is reachable only through the rotation above.
+  for (int gi = 0; gi < 2; ++gi) {
+    auto g = MakeGraph(gi);
+    Rng rng(17000 + gi);
+    for (int pi = 0; pi < 2; ++pi) {
+      const std::string pattern = RandomPattern(&rng);
+      auto p = ParsePattern(pattern);
+      ASSERT_TRUE(p.ok()) << pattern << ": " << p.error;
+      const uint64_t expect = Oracle::Count(*g, p.query);
+      for (Profile profile :
+           {Profile::kPull, Profile::kPush, Profile::kHybrid}) {
+        for (const CacheSetup& cache : kCaches) {
+          for (MachineId machines : kMachineCounts) {
+            const RunResult r =
+                RunProfile(profile, g, p.query, cache, machines);
+            ASSERT_TRUE(r.ok());
+            EXPECT_EQ(r.matches, expect)
+                << ToString(profile) << " x " << cache.name
+                << " x k=" << machines << " on graph " << gi << ", pattern \""
+                << pattern << "\"";
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path metrics invariants: the distributed mirror of the PR 2 local
+// assertion (materialized_count_rows == 0 on labelled count queries).
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Graph> LabelledPowerLaw(uint64_t seed) {
+  Graph g = gen::PowerLaw(600, 8, 2.4, seed);
+  Rng rng(seed * 31 + 1);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(3));
+  g.AssignLabels(std::move(labels));
+  return std::make_shared<Graph>(std::move(g));
+}
+
+QueryGraph LabelledSquare() {
+  QueryGraph q = queries::Square();
+  q.SetLabel(0, 0);
+  q.SetLabel(1, 1);
+  q.SetLabel(2, 2);
+  q.SetLabel(3, 1);
+  return q;
+}
+
+TEST(DistributedMetricsTest, LabelledHybridCountStaysOnFastPath) {
+  // The acceptance bar of the label-sliced pulls: a labelled remote-heavy
+  // count query on the hybrid profile (4 machines, LRBU) never falls back
+  // to full-list remote reads and never materializes fused candidates.
+  auto g = LabelledPowerLaw(11);
+  const QueryGraph q = LabelledSquare();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 256;
+  Runner runner(g, cfg);
+  const RunResult r = runner.Run(q);
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  EXPECT_GT(r.metrics.fused_count_rows, 0u);
+  EXPECT_EQ(r.metrics.materialized_count_rows, 0u);
+  EXPECT_EQ(r.metrics.remote_full_rows, 0u);
+}
+
+TEST(DistributedMetricsTest, LabelledPullWcoSlicesEveryRemoteRead) {
+  auto g = LabelledPowerLaw(13);
+  const QueryGraph q = LabelledSquare();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 256;
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  // The left-deep pull plan stages remote lists on every labelled extend:
+  // all of them must come in sliced.
+  EXPECT_GT(r.metrics.remote_sliced_rows, 0u);
+  EXPECT_EQ(r.metrics.remote_full_rows, 0u);
+  EXPECT_EQ(r.metrics.materialized_count_rows, 0u);
+}
+
+TEST(DistributedMetricsTest, SlicedPullsOffFallsBackToFullRows) {
+  // With the wire format disabled (the baseline pin) the same query still
+  // counts correctly but stages full lists — the counters flip.
+  auto g = LabelledPowerLaw(13);
+  const QueryGraph q = LabelledSquare();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 256;
+  cfg.label_sliced_pulls = false;
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  EXPECT_EQ(r.metrics.remote_sliced_rows, 0u);
+  EXPECT_GT(r.metrics.remote_full_rows, 0u);
+}
+
+TEST(DistributedMetricsTest, SlicedPullsChargeOnlyOffsetBytesExtra) {
+  // The wire-format contract at engine level: a sliced pull ships the
+  // same adjacency payload (label-grouped) plus exactly the L+1 offset
+  // row per fetched vertex — nothing else changes (same misses, same
+  // request count). Single-worker, no stealing: byte-exact determinism.
+  auto g = LabelledPowerLaw(13);
+  const QueryGraph q = LabelledSquare();
+  auto run = [&](bool sliced) {
+    Config cfg;
+    cfg.num_machines = 4;
+    cfg.batch_size = 256;
+    cfg.workers_per_machine = 1;
+    cfg.intra_stealing = false;
+    cfg.inter_stealing = false;
+    // Roomy cache: no evictions, so each distinct remote vertex is
+    // fetched exactly once in both modes (sliced entries are slightly
+    // larger, which would otherwise skew a capacity-bound run).
+    cfg.cache_capacity_bytes = 1u << 30;
+    cfg.label_sliced_pulls = sliced;
+    Runner runner(g, cfg);
+    return runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull)).metrics;
+  };
+  const RunMetrics full = run(false);
+  const RunMetrics sliced = run(true);
+  ASSERT_EQ(sliced.cache_misses, full.cache_misses);
+  EXPECT_EQ(sliced.rpc_requests, full.rpc_requests);
+  const uint64_t offsets_row = (g->NumLabelValues() + 1) * sizeof(uint32_t);
+  EXPECT_EQ(sliced.bytes_communicated,
+            full.bytes_communicated + offsets_row * full.cache_misses);
+}
+
+TEST(DistributedMetricsTest, PushProfileProbesHubBitmaps) {
+  // K_200 caches kHubBitmapTopK hub bitmaps; the pushing wco plan's final
+  // fused hop must count through them under the adaptive policy and must
+  // not touch them under the pinned-scalar baseline policy.
+  auto g = std::make_shared<Graph>(gen::Complete(200));
+  const QueryGraph q = queries::Triangle();
+  const uint64_t expect = 200ull * 199 * 198 / 6;
+  auto run = [&](IntersectKernel kernel, uint32_t density_inv) {
+    Config cfg;
+    cfg.num_machines = 3;
+    cfg.batch_size = 256;
+    cfg.intersect_kernel = kernel;
+    cfg.bitmap_density_inv = density_inv;
+    Runner runner(g, cfg);
+    return runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush));
+  };
+  const RunResult adaptive = run(IntersectKernel::kAdaptive, 32);
+  EXPECT_EQ(adaptive.matches, expect);
+  EXPECT_GT(adaptive.metrics.hub_probe_rows, 0u);
+  const RunResult scalar = run(IntersectKernel::kScalarMerge, 0);
+  EXPECT_EQ(scalar.matches, expect);
+  EXPECT_EQ(scalar.metrics.hub_probe_rows, 0u);
+}
+
+TEST(DistributedMetricsTest, PushMiddleHopProbesHubBitmaps) {
+  // Clique(4) has a 3-way final extension, so hop 1 is a *middle* hop:
+  // the carried candidate vector is filtered by probing the pivot's
+  // cached bitmap instead of merging with its full adjacency list. The
+  // BiGJoin-style region batching bounds the in-flight BSP state.
+  const VertexId n = 132;  // degree 131 >= kHubBitmapMinDegree
+  auto g = std::make_shared<Graph>(gen::Complete(n));
+  const QueryGraph q = queries::Clique(4);
+  const uint64_t expect =
+      static_cast<uint64_t>(n) * (n - 1) * (n - 2) * (n - 3) / 24;
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.batch_size = 256;
+  cfg.region_group_rows = 512;
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush));
+  EXPECT_EQ(r.matches, expect);
+  EXPECT_GT(r.metrics.hub_probe_rows, 0u);
+}
+
+TEST(DistributedMetricsTest, LabelledPushUsesSlicesAndStaysExact) {
+  // Labelled BSP hops intersect per-label CSR slices; candidate sets are
+  // label-exact from hop 0, so pushed volume shrinks vs. full lists while
+  // the count stays pinned to the oracle.
+  auto g = LabelledPowerLaw(17);
+  const QueryGraph q = LabelledSquare();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 256;
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush));
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  EXPECT_GT(r.metrics.fused_count_rows, 0u);
+  EXPECT_EQ(r.metrics.materialized_count_rows, 0u);
+}
+
+}  // namespace
+}  // namespace huge

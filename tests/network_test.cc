@@ -71,6 +71,112 @@ TEST(GetNbrsTest, RemoteRequestsMergedPerOwner) {
   EXPECT_GT(net.traffic(0).bytes_pulled(), remote.size() * kVertexBytes);
 }
 
+TEST(GetNbrsTest, MergedBulkBytesAreExact) {
+  // Pin the merged-mode accounting: per remote vertex the payload is the
+  // request id (4) plus the response (1 + degree) * 4; each owner adds
+  // one header pair (2 * 16) and one RPC request.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));  // degree 2 everywhere
+  PartitionedGraph pg(g, 2);
+  Network net(NetworkProfile{}, 2);
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 3; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 3u);
+  client.Fetch(0, remote, [](VertexId, std::span<const VertexId>) {});
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes;  // 16
+  EXPECT_EQ(net.traffic(0).bytes_pulled(),
+            3 * per_vertex + 2 * GetNbrsClient::kHeaderBytes);
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 1u);
+}
+
+TEST(GetNbrsTest, BulkSessionChargesOneHeaderPairPerSuperStep) {
+  // Regression for the merged-bulk header double-charge: a super-step
+  // split across several Fetch calls used to pay one header pair per
+  // owner *per call*. Under one BulkCharge session the same two calls
+  // cost exactly one header pair and one RPC round trip for the owner.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));  // degree 2 everywhere
+  PartitionedGraph pg(g, 2);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 2; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 2u);
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes;  // 16
+
+  // Per-call accounting (no session): two calls, two header pairs.
+  Network per_call(NetworkProfile{}, 2);
+  {
+    GetNbrsClient client(&pg, &per_call);
+    client.Fetch(0, {&remote[0], 1}, [](VertexId, std::span<const VertexId>) {});
+    client.Fetch(0, {&remote[1], 1}, [](VertexId, std::span<const VertexId>) {});
+  }
+  EXPECT_EQ(per_call.traffic(0).bytes_pulled(),
+            2 * (per_vertex + 2 * GetNbrsClient::kHeaderBytes));
+  EXPECT_EQ(per_call.traffic(0).rpc_requests(), 2u);
+
+  // Session accounting: the same two calls merge into one bulk message.
+  Network merged(NetworkProfile{}, 2);
+  {
+    GetNbrsClient client(&pg, &merged);
+    GetNbrsClient::BulkCharge bulk;
+    client.Fetch(0, {&remote[0], 1}, [](VertexId, std::span<const VertexId>) {},
+                 &bulk);
+    client.Fetch(0, {&remote[1], 1}, [](VertexId, std::span<const VertexId>) {},
+                 &bulk);
+    EXPECT_EQ(merged.traffic(0).bytes_pulled(), 0u) << "charges defer to Flush";
+    client.Flush(0, &bulk);
+  }
+  EXPECT_EQ(merged.traffic(0).bytes_pulled(),
+            2 * per_vertex + 2 * GetNbrsClient::kHeaderBytes);
+  EXPECT_EQ(merged.traffic(0).rpc_requests(), 1u);
+}
+
+TEST(GetNbrsTest, SlicedFetchChargesOnlyOffsetBytesExtra) {
+  // The sliced wire format ships the label-grouped adjacency (same length
+  // as the plain response) plus the L+1 offset row: with 3 labels that is
+  // exactly 16 bytes per vertex on top of the plain fetch.
+  Graph g = gen::Cycle(16);
+  std::vector<uint8_t> labels(16);
+  for (VertexId v = 0; v < 16; ++v) labels[v] = static_cast<uint8_t>(v % 3);
+  g.AssignLabels(std::move(labels));
+  auto shared = std::make_shared<Graph>(std::move(g));
+  ASSERT_TRUE(shared->HasLabelSlices());
+  PartitionedGraph pg(shared, 2);
+
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.empty(); ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 1u);
+
+  Network plain_net(NetworkProfile{}, 2);
+  GetNbrsClient plain(&pg, &plain_net);
+  plain.Fetch(0, remote, [](VertexId, std::span<const VertexId>) {});
+
+  Network sliced_net(NetworkProfile{}, 2);
+  GetNbrsClient sliced(&pg, &sliced_net);
+  size_t served = 0;
+  sliced.FetchSliced(
+      0, remote,
+      [&](VertexId v, std::span<const VertexId> grouped,
+          std::span<const uint32_t> rel) {
+        ++served;
+        // The grouped copy is a permutation of the adjacency and the
+        // offset row covers the full alphabet.
+        EXPECT_EQ(grouped.size(), shared->Degree(v));
+        ASSERT_EQ(rel.size(), shared->NumLabelValues() + 1u);
+        EXPECT_EQ(rel.front(), 0u);
+        EXPECT_EQ(rel.back(), grouped.size());
+      });
+  EXPECT_EQ(served, 1u);
+  const uint64_t offsets_bytes = 4 * sizeof(uint32_t);  // L + 1 = 4 entries
+  EXPECT_EQ(sliced_net.traffic(0).bytes_pulled(),
+            plain_net.traffic(0).bytes_pulled() + offsets_bytes);
+  EXPECT_EQ(sliced_net.traffic(0).rpc_requests(), 1u);
+}
+
 TEST(GetNbrsTest, ExternalKvSendsPerVertexRequests) {
   auto g = std::make_shared<Graph>(gen::Cycle(64));
   PartitionedGraph pg(g, 4);
