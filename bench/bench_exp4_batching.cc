@@ -3,11 +3,61 @@
 // (capacity ~0) to isolate batching: larger batches merge more GetNbrs
 // RPCs per request, so per-request latency amortises and utilisation
 // rises (the paper: 71% at 100K to 94% at 1024K).
+//
+// Section 2 measures the factorized (delta) batch representation on top:
+// Table-1 patterns executed with Config::delta_batches on vs. off on the
+// left-deep pulling wco plan, whose intermediate EXTEND outputs dominate
+// the append traffic. Set HUGE_BENCH_JSON=<path> to also emit the delta
+// rows as JSON (the per-commit perf-trajectory record of run_bench.sh and
+// the Release CI smoke artifact).
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "huge/huge.h"
+
+namespace {
+
+struct DeltaRow {
+  int qi;
+  bool delta;
+  const char* status;
+  double total_s, comm_s;
+  double comm_mb, peak_mb;
+  uint64_t delta_rows, materialize_rows, matches;
+};
+
+void EmitJson(const char* path, const std::vector<DeltaRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const DeltaRow& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"query\": \"q%d\", \"delta_batches\": %s, \"status\": \"%s\", "
+        "\"total_s\": %.4f, "
+        "\"comm_s\": %.4f, \"comm_mb\": %.3f, \"peak_mb\": %.3f, "
+        "\"delta_rows\": %llu, \"materialize_rows\": %llu, "
+        "\"matches\": %llu}%s\n",
+        r.qi, r.delta ? "true" : "false", r.status, r.total_s, r.comm_s,
+        r.comm_mb,
+        r.peak_mb, static_cast<unsigned long long>(r.delta_rows),
+        static_cast<unsigned long long>(r.materialize_rows),
+        static_cast<unsigned long long>(r.matches),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace
 
 int main() {
   using namespace huge;
@@ -15,10 +65,18 @@ int main() {
 
   const Dataset dataset = DatasetByName("uk_s");
   auto graph = MakeShared(dataset);
+
+  // HUGE_EXP4_SECTION=delta skips the batch-size sweep (run_bench.sh only
+  // records section 2; the sweep would cost full query executions for
+  // output nobody reads).
+  const char* section = std::getenv("HUGE_EXP4_SECTION");
+  const bool run_sweep =
+      section == nullptr || std::string(section) != "delta";
+
   std::printf("Exp-4 (Figure 7): vary batch size on %s (cache disabled)\n\n",
               dataset.name.c_str());
 
-  for (int qi : {1, 3}) {
+  for (int qi : run_sweep ? std::vector<int>{1, 3} : std::vector<int>{}) {
     const QueryGraph q = queries::Q(qi);
     Table table({"batch", "T(s)", "T_C(s)", "RPCs", "C(MB)",
                  "network util"});
@@ -38,6 +96,46 @@ int main() {
     std::printf("--- q%d ---\n", qi);
     table.Print();
     std::printf("\n");
+  }
+
+  // --- Section 2: factorized delta batches (ISSUE 4) ------------------
+  // Left-deep pulling wco plans: every intermediate EXTEND output is a
+  // prefix-sharing row, so the flat form appends O(width) words per row
+  // where the delta form appends one (parent-row, vertex) pair. q1/q3/q5
+  // are the Table-1 patterns whose pulling plans finish within the run
+  // budget on this dataset (q4/q6 hit the 3-hour-analogue OT wall either
+  // way); q5 reaches output width 4, where appends shrink 2x.
+  std::printf("--- delta batches: Table-1 patterns, pulling wco plan, "
+              "delta on vs off ---\n");
+  std::vector<DeltaRow> delta_rows;
+  Table dtable({"query", "delta", "status", "T(s)", "T_C(s)", "C(MB)",
+                "peak(MB)", "delta rows", "mat rows", "matches"});
+  for (int qi : {1, 3, 5}) {
+    const QueryGraph q = queries::Q(qi);
+    for (const bool delta : {false, true}) {
+      Config cfg = BenchConfig();
+      cfg.delta_batches = delta;
+      Runner runner(graph, cfg);
+      RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+      const RunMetrics& m = r.metrics;
+      dtable.AddRow({"q" + std::to_string(qi), delta ? "on" : "off",
+                     ToString(r.status), Seconds(m.TotalSeconds()),
+                     Seconds(m.comm_seconds), Mb(m.bytes_communicated),
+                     Mb(m.peak_memory_bytes), Count(m.delta_rows),
+                     Count(m.materialize_rows), Count(r.matches)});
+      delta_rows.push_back({qi, delta, ToString(r.status), m.TotalSeconds(),
+                            m.comm_seconds, m.bytes_communicated / 1e6,
+                            m.peak_memory_bytes / 1e6, m.delta_rows,
+                            m.materialize_rows, r.matches});
+    }
+  }
+  dtable.Print();
+
+  const char* json_path = std::getenv("HUGE_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    EmitJson(json_path, delta_rows);
+    std::printf("\nwrote %s (%zu delta rows)\n", json_path,
+                delta_rows.size());
   }
   return 0;
 }

@@ -260,7 +260,13 @@ void BM_IntersectCountLabelFused(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
 }
-BENCHMARK(BM_IntersectCountLabelFused)->Arg(4096)->Arg(65536);
+// The 8k..48k points sweep the kLabelFuseMaxSize crossover (the
+// fused-per-block label check vs. materialize-then-sweep break-even in
+// engine/intersect.cc); re-run this pair when the kernels or the fleet's
+// branch predictors change.
+BENCHMARK(BM_IntersectCountLabelFused)
+    ->Arg(4096)->Arg(8192)->Arg(16384)->Arg(24576)->Arg(32768)->Arg(49152)
+    ->Arg(65536);
 
 void BM_IntersectCountLabelMaterialize(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -280,7 +286,9 @@ void BM_IntersectCountLabelMaterialize(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
 }
-BENCHMARK(BM_IntersectCountLabelMaterialize)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_IntersectCountLabelMaterialize)
+    ->Arg(4096)->Arg(8192)->Arg(16384)->Arg(24576)->Arg(32768)->Arg(49152)
+    ->Arg(65536);
 
 /// High-overlap variant (b == a): every block is match-heavy, which is
 /// where the AVX2 masked-gather broadcast-compare arm kicks in.
@@ -357,16 +365,75 @@ void BM_LockedLruRead(benchmark::State& state) {
 }
 BENCHMARK(BM_LockedLruRead)->Threads(1)->Threads(4);
 
-void BM_BatchAppend(benchmark::State& state) {
-  const VertexId row[4] = {1, 2, 3, 4};
+/// Flat vs. factorized EXTEND-output appends at output width `w`
+/// (the argument): the flat form re-copies the O(w) prefix per row, the
+/// delta form appends one (parent-row, vertex) pair regardless of w.
+/// SetBytesProcessed records the appended bytes per output row — the
+/// ISSUE-4 acceptance metric (>= 2x fewer bytes at w >= 4).
+void BM_BatchAppendFlat(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  const std::vector<VertexId> row(w - 1, 7);
   for (auto _ : state) {
-    Batch b(5);
-    for (int i = 0; i < 1024; ++i) b.AppendRowPlus({row, 4}, 9);
+    Batch b(w);
+    b.Reserve(1024);
+    for (int i = 0; i < 1024; ++i) b.AppendRowPlus(row, 9);
     benchmark::DoNotOptimize(b.data().data());
   }
   state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetBytesProcessed(state.iterations() * 1024 * w * kVertexBytes);
 }
-BENCHMARK(BM_BatchAppend);
+BENCHMARK(BM_BatchAppendFlat)->Arg(3)->Arg(4)->Arg(5)->Arg(8)->Arg(16);
+
+void BM_BatchAppendDelta(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  auto parent = ShareParentBatch(
+      Batch(w - 1, std::vector<VertexId>(4 * (w - 1), 7)), nullptr);
+  for (auto _ : state) {
+    Batch b = Batch::Delta(parent);
+    b.Reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      b.AppendDelta(static_cast<uint32_t>(i & 3), 9);
+    }
+    benchmark::DoNotOptimize(b.parent_rows().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetBytesProcessed(state.iterations() * 1024 * Batch::kDeltaRowBytes);
+}
+BENCHMARK(BM_BatchAppendDelta)->Arg(3)->Arg(4)->Arg(5)->Arg(8)->Arg(16);
+
+/// Read-side twin: expand 1024 delta rows through a BatchRowReader (runs
+/// of 4 siblings per parent, the natural extend output order) vs. reading
+/// the same rows from a flat matrix.
+void BM_BatchReadDelta(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  auto parent = ShareParentBatch(
+      Batch(w - 1, std::vector<VertexId>(256 * (w - 1), 7)), nullptr);
+  Batch b = Batch::Delta(parent);
+  for (int i = 0; i < 1024; ++i) {
+    b.AppendDelta(static_cast<uint32_t>(i / 4), 9);
+  }
+  for (auto _ : state) {
+    BatchRowReader reader(b);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < b.rows(); ++i) acc += reader.Row(i)[0];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BatchReadDelta)->Arg(5)->Arg(8)->Arg(16);
+
+void BM_BatchReadFlat(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  Batch b(w, std::vector<VertexId>(1024 * w, 7));
+  for (auto _ : state) {
+    BatchRowReader reader(b);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < b.rows(); ++i) acc += reader.Row(i)[0];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BatchReadFlat)->Arg(5)->Arg(8)->Arg(16);
 
 void BM_BatchQueuePushPop(benchmark::State& state) {
   BatchQueue q(0, nullptr);

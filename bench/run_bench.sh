@@ -40,7 +40,7 @@ if cmake --build "$build_dir" --target help 2>/dev/null \
   cmake --build "$build_dir" -j --target bench_micro
   micro_json="$("$build_dir/bench_micro" \
       --benchmark_format=json \
-      --benchmark_filter='Intersect|Gallop|Bitmap|Label' 2>/dev/null)"
+      --benchmark_filter='Intersect|Gallop|Bitmap|Label|Batch' 2>/dev/null)"
 else
   echo "warning: bench_micro target absent (google-benchmark not found" \
        "at configure time); recording system bench only" >&2
@@ -48,15 +48,27 @@ fi
 
 table1_txt="$("$build_dir/bench_table1")"
 
+# The delta-batch on/off section of bench_exp4 (Table-1 patterns on the
+# pulling wco plan) rides along in the record: the end-to-end evidence of
+# the factorized EXTEND outputs, per commit. Needs only huge_core, so a
+# build/run failure is a real regression and fails the script.
+cmake --build "$build_dir" -j --target bench_exp4_batching
+exp4_tmp="$(mktemp)"
+HUGE_EXP4_SECTION=delta HUGE_BENCH_JSON="$exp4_tmp" \
+    "$build_dir/bench_exp4_batching" >/dev/null
+exp4_json="$(cat "$exp4_tmp")"
+rm -f "$exp4_tmp"
+
 # Assemble the trajectory record: metadata + raw kernel benches + the
 # Table-1 rows reparsed into JSON.
-python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt"
+python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt" "$exp4_json"
 import json
 import subprocess
 import sys
 from datetime import date
 
 out_file, micro_raw, table1_txt = sys.argv[1], sys.argv[2], sys.argv[3]
+exp4_raw = sys.argv[4]
 
 rows = []
 for line in table1_txt.splitlines():
@@ -80,6 +92,7 @@ record = {
     "git_rev": git_rev,
     "bench_micro": json.loads(micro_raw) if micro_raw.strip() else {},
     "bench_table1": rows,
+    "bench_exp4_delta": json.loads(exp4_raw) if exp4_raw.strip() else [],
 }
 with open(out_file, "w") as f:
     json.dump(record, f, indent=2)

@@ -131,6 +131,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       base.label_sliced_pulls = false;  // plain adjacency on the wire
+      base.delta_batches = false;  // full rows stored and shipped
       return base;
 
     case System::kBiGJoin:
@@ -141,6 +142,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       base.label_sliced_pulls = false;  // plain adjacency on the wire
+      base.delta_batches = false;  // full rows stored and shipped
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }
@@ -157,6 +159,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       base.label_sliced_pulls = false;  // plain adjacency on the wire
+      base.delta_batches = false;  // full rows stored and shipped
       return base;
 
     case System::kRads:
@@ -167,6 +170,7 @@ Config ConfigForSystem(System sys, Config base) {
       base.intersect_kernel = IntersectKernel::kScalarMerge;
       base.bitmap_density_inv = 0;  // no bitmap kernels in the modelled system
       base.label_sliced_pulls = false;  // plain adjacency on the wire
+      base.delta_batches = false;  // full rows stored and shipped
       if (base.region_group_rows == 0) {
         base.region_group_rows = 4ull * base.batch_size;
       }

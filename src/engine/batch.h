@@ -1,8 +1,11 @@
 #ifndef HUGE_ENGINE_BATCH_H_
 #define HUGE_ENGINE_BATCH_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -15,11 +18,30 @@
 
 namespace huge {
 
-/// A batch of partial results: a row-major `rows x width` matrix of data
-/// vertex ids ("HUGE stores each partial result as a compact array",
-/// Lemma 5.2). Batches are the minimum data processing unit (Section 4.2).
+/// A batch of partial results ("HUGE stores each partial result as a
+/// compact array", Lemma 5.2). Batches are the minimum data processing
+/// unit (Section 4.2) and come in two physical forms:
+///
+///  - **flat**: a row-major `rows x width` matrix of data vertex ids — the
+///    compact-array layout of the seed engine; and
+///  - **delta**: the factorized EXTEND-output form. A delta batch holds
+///    two packed columns — a parent-row index and the newly bound vertex —
+///    chained to an immutable, shared parent batch (flat or itself delta).
+///    Logical row `i` is `parent.Row(parent_row[i]) ++ [vertex[i]]`, so an
+///    extend appends `kDeltaRowBytes` per output row instead of re-copying
+///    the whole O(width) prefix (the factorized-intermediate-result idea
+///    of worst-case-optimal join systems).
+///
+/// Parents are pinned by `std::shared_ptr` refcounts: a chained batch (and
+/// transitively its whole ancestor chain) stays alive until the last delta
+/// child referencing it is drained. `bytes()` reports only a batch's *own*
+/// payload (matrix or delta columns); a shared parent's bytes are tracked
+/// once, by ShareParentBatch, for as long as the chain holds it.
 class Batch {
  public:
+  /// Wire/memory size of one delta row: parent-row index + new vertex.
+  static constexpr size_t kDeltaRowBytes = sizeof(uint32_t) + kVertexBytes;
+
   Batch() : width_(0) {}
   explicit Batch(uint32_t width) : width_(width) { HUGE_CHECK(width >= 1); }
   Batch(uint32_t width, std::vector<VertexId> data)
@@ -27,45 +49,211 @@ class Batch {
     HUGE_CHECK(width >= 1 && data_.size() % width == 0);
   }
 
+  /// Creates an empty delta batch of width `parent->width() + 1` chained
+  /// to `parent` (which must outlive no one — the chain owns it).
+  static Batch Delta(std::shared_ptr<const Batch> parent) {
+    HUGE_CHECK(parent != nullptr);
+    Batch b(parent->width() + 1);
+    b.parent_ = std::move(parent);
+    return b;
+  }
+
   Batch(Batch&&) = default;
   Batch& operator=(Batch&&) = default;
   Batch(const Batch&) = delete;
   Batch& operator=(const Batch&) = delete;
 
-  uint32_t width() const { return width_; }
-  size_t rows() const { return width_ == 0 ? 0 : data_.size() / width_; }
-  bool empty() const { return data_.empty(); }
-  size_t bytes() const { return data_.size() * sizeof(VertexId); }
+  bool delta() const { return parent_ != nullptr; }
+  const std::shared_ptr<const Batch>& parent() const { return parent_; }
 
+  /// Length of the ancestor chain above this batch (flat: 0).
+  size_t ChainDepth() const {
+    return delta() ? 1 + parent_->ChainDepth() : 0;
+  }
+
+  uint32_t width() const { return width_; }
+  size_t rows() const {
+    if (delta()) return pidx_.size();
+    return width_ == 0 ? 0 : data_.size() / width_;
+  }
+  bool empty() const { return delta() ? pidx_.empty() : data_.empty(); }
+
+  /// Own payload bytes: the matrix for a flat batch, the two packed
+  /// columns for a delta batch. Excludes the (shared) parent.
+  size_t bytes() const {
+    if (delta()) return pidx_.size() * kDeltaRowBytes;
+    return data_.size() * sizeof(VertexId);
+  }
+
+  /// Flat-form row view. Delta rows are not contiguous — use
+  /// BatchRowReader (or MaterializeInto) for form-agnostic access.
   std::span<const VertexId> Row(size_t i) const {
+    HUGE_DCHECK(!delta());
     return {data_.data() + i * width_, width_};
   }
 
+  /// Reserves room for `n` more rows in the current form, so append loops
+  /// with a known upper bound (e.g. an intersection size) pay one
+  /// allocation instead of O(log n) growth steps. Grows geometrically:
+  /// callers invoke this per input row with that row's candidate bound,
+  /// and an exact-size reserve would defeat the vector's amortized
+  /// doubling (one reallocation + full copy per call).
+  void Reserve(size_t n) {
+    if (delta()) {
+      GrowTo(pidx_, pidx_.size() + n);
+      GrowTo(vtx_, vtx_.size() + n);
+    } else if (width_ > 0) {
+      GrowTo(data_, data_.size() + n * width_);
+    }
+  }
+
   void AppendRow(std::span<const VertexId> row) {
-    HUGE_DCHECK(row.size() == width_);
+    HUGE_DCHECK(!delta() && row.size() == width_);
     data_.insert(data_.end(), row.begin(), row.end());
   }
 
-  /// Appends `row` followed by one extra value (grow-extension output).
+  /// Appends `row` followed by one extra value (grow-extension output,
+  /// flat form: O(width) words).
   void AppendRowPlus(std::span<const VertexId> row, VertexId extra) {
-    HUGE_DCHECK(row.size() + 1 == width_);
+    HUGE_DCHECK(!delta() && row.size() + 1 == width_);
     data_.insert(data_.end(), row.begin(), row.end());
     data_.push_back(extra);
   }
 
-  std::span<const VertexId> data() const { return data_; }
-  std::vector<VertexId>& mutable_data() { return data_; }
+  /// Appends one factorized grow-extension output: O(1) words however
+  /// wide the logical row is.
+  void AppendDelta(uint32_t parent_row, VertexId v) {
+    HUGE_DCHECK(delta() && parent_row < parent_->rows());
+    pidx_.push_back(parent_row);
+    vtx_.push_back(v);
+  }
+
+  uint32_t ParentRow(size_t i) const {
+    HUGE_DCHECK(delta());
+    return pidx_[i];
+  }
+  VertexId DeltaVertex(size_t i) const {
+    HUGE_DCHECK(delta());
+    return vtx_[i];
+  }
+  std::span<const uint32_t> parent_rows() const { return pidx_; }
+  std::span<const VertexId> delta_vertices() const { return vtx_; }
+
+  /// Appends every logical row of this batch, fully materialized, to the
+  /// flat batch `out` (out->width() == width()). Defined after
+  /// BatchRowReader.
+  void MaterializeInto(Batch* out) const;
+
+  /// Cluster-unique id of a shared parent batch (the key of the delta
+  /// wire format's residency accounting); 0 until ShareParentBatch.
+  uint64_t share_id() const { return share_id_; }
+  void SetShareId(uint64_t id) { share_id_ = id; }
+
+  std::span<const VertexId> data() const {
+    HUGE_DCHECK(!delta());
+    return data_;
+  }
+  std::vector<VertexId>& mutable_data() {
+    HUGE_DCHECK(!delta());
+    return data_;
+  }
 
  private:
+  template <typename T>
+  static void GrowTo(std::vector<T>& v, size_t need) {
+    if (need <= v.capacity()) return;
+    v.reserve(std::max(need, 2 * v.capacity()));
+  }
+
   uint32_t width_;
-  std::vector<VertexId> data_;
+  std::vector<VertexId> data_;  // flat form
+
+  // Delta form: two packed columns chained to an immutable parent.
+  std::shared_ptr<const Batch> parent_;
+  std::vector<uint32_t> pidx_;
+  std::vector<VertexId> vtx_;
+  uint64_t share_id_ = 0;
 };
+
+/// Form-agnostic per-row prefix iteration. For a flat batch `Row(i)` is
+/// the direct matrix view; for a delta batch the reader expands the
+/// prefix chain into a private scratch row. The last expanded prefix is
+/// cached, so a run of siblings under one parent row — the natural output
+/// order of an extend — costs O(1) amortized words per row, preserving
+/// the factorized bandwidth even at read time. Not thread-safe; use one
+/// reader per worker/chunk.
+class BatchRowReader {
+ public:
+  explicit BatchRowReader(const Batch& b) : b_(&b) {
+    if (b.delta()) {
+      row_.resize(b.width());
+      if (b.parent()->delta()) {
+        parent_ = std::make_unique<BatchRowReader>(*b.parent());
+      }
+    }
+  }
+
+  std::span<const VertexId> Row(size_t i) {
+    if (!b_->delta()) return b_->Row(i);
+    const uint32_t p = b_->ParentRow(i);
+    if (p != cached_parent_row_) {
+      const std::span<const VertexId> prefix =
+          parent_ != nullptr ? parent_->Row(p) : b_->parent()->Row(p);
+      std::copy(prefix.begin(), prefix.end(), row_.begin());
+      cached_parent_row_ = p;
+    }
+    row_.back() = b_->DeltaVertex(i);
+    return row_;
+  }
+
+ private:
+  const Batch* b_;
+  std::unique_ptr<BatchRowReader> parent_;  // only for chained parents
+  std::vector<VertexId> row_;
+  uint64_t cached_parent_row_ = ~uint64_t{0};
+};
+
+inline void Batch::MaterializeInto(Batch* out) const {
+  HUGE_CHECK(out != nullptr && !out->delta() && out->width() == width_);
+  const size_t n = rows();
+  out->Reserve(n);
+  if (!delta()) {
+    out->mutable_data().insert(out->mutable_data().end(), data_.begin(),
+                               data_.end());
+    return;
+  }
+  BatchRowReader reader(*this);
+  for (size_t i = 0; i < n; ++i) out->AppendRow(reader.Row(i));
+}
+
+/// Moves `b` into shared ownership as the immutable parent of delta
+/// children. Its own bytes are charged to `tracker` until the last
+/// chained child releases it (the refcount that keeps the bounded-memory
+/// invariant honest), and it receives the cluster-unique id the delta
+/// wire format keys its residency accounting on.
+inline std::shared_ptr<const Batch> ShareParentBatch(Batch&& b,
+                                                     MemoryTracker* tracker) {
+  static std::atomic<uint64_t> next_id{1};
+  auto* parent = new Batch(std::move(b));
+  parent->SetShareId(next_id.fetch_add(1, std::memory_order_relaxed));
+  const size_t bytes = parent->bytes();
+  if (tracker != nullptr) tracker->Allocate(bytes);
+  return std::shared_ptr<const Batch>(parent,
+                                      [tracker, bytes](const Batch* p) {
+                                        if (tracker != nullptr) {
+                                          tracker->Release(bytes);
+                                        }
+                                        delete p;
+                                      });
+}
 
 /// A thread-safe FIFO of batches: the fixed-capacity output queue attached
 /// to every operator (Section 5.2). `Push` never fails — the scheduler
 /// checks `Full()` between batches, so a queue can overflow by at most the
 /// results of one batch, which is exactly the slack Lemma 5.2 bounds.
 /// Thieves (intra- or inter-machine) pop from the front like the owner.
+/// Holds flat and delta batches alike; held bytes are each batch's own
+/// payload (chained parents are tracked by ShareParentBatch).
 class BatchQueue {
  public:
   /// `capacity` in batches; 0 = unbounded. `tracker` accounts held bytes.

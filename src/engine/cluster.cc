@@ -1,6 +1,7 @@
 #include "engine/cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -22,6 +23,8 @@ Cluster::Cluster(std::shared_ptr<const Graph> graph, Config config)
   shared_.net = &net_;
   shared_.tracker = &tracker_;
   shared_.joins = &joins_;
+  delta_wire_.SetTracker(&tracker_);
+  shared_.wire = &delta_wire_;
   for (MachineId m = 0; m < config_.num_machines; ++m) {
     machines_.push_back(std::make_unique<MachineRuntime>(m, &shared_));
     shared_.machines.push_back(machines_.back().get());
@@ -78,6 +81,7 @@ RunResult Cluster::Run(const Dataflow& df) {
   SetIntersectKernelPolicy(config_.intersect_kernel);
   SetBitmapDensityPolicy(config_.bitmap_density_inv);
   shared_.dataflow = &df;
+  delta_wire_.Reset();  // releases registry bytes: before the tracker reset
   tracker_.Reset();
   net_.Reset();
   joins_.clear();
@@ -158,6 +162,8 @@ RunResult Cluster::Run(const Dataflow& df) {
     mm.remote_sliced_rows += machines_[m]->remote_sliced_rows();
     mm.remote_full_rows += machines_[m]->remote_full_rows();
     mm.hub_probe_rows += machines_[m]->hub_probe_rows();
+    mm.delta_rows += machines_[m]->delta_rows();
+    mm.materialize_rows += machines_[m]->materialize_rows();
     for (double b : machines_[m]->pool().BusySeconds()) {
       mm.worker_busy_seconds.push_back(b);
     }
@@ -275,8 +281,12 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           if (config_.match_sink) {
             std::vector<VertexId> match(op.schema.size());
             for (const Batch& b : level_in[m]) {
+              // Final-result sink: a materialization boundary for
+              // factorized level outputs.
+              if (b.delta()) machines_[m]->AddMaterializeRows(b.rows());
+              BatchRowReader reader(b);
               for (size_t i = 0; i < b.rows(); ++i) {
-                auto r = b.Row(i);
+                auto r = reader.Row(i);
                 for (size_t c = 0; c < op.schema.size(); ++c) {
                   match[op.schema[c]] = r[c];
                 }
@@ -327,16 +337,44 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
         WallTimer busy;
         std::vector<uint64_t> sent_bytes(k, 0);
         size_t appended = 0;
+        uint64_t mat_rows = 0;
         for (Batch& b : level_in[m]) {
           if (shared_.OverBudget()) break;
+          // Factorized level outputs cross machines in the delta wire
+          // format: each remote row ships as one packed (parent-row,
+          // vertex) pair plus a once-per-destination co-shipped parent
+          // chain (shared ancestors of sibling batches are deduplicated
+          // globally by the wire registry), capped at the flat encoding
+          // when few rows route to a destination. The hop box stores
+          // full rows — this scatter is the materialization boundary of
+          // the pushing path.
+          const bool bdelta = b.delta();
+          std::vector<uint64_t> dst_rows(k, 0);
+          BatchRowReader reader(b);
           for (size_t i = 0; i < b.rows(); ++i) {
-            auto row = b.Row(i);
+            auto row = reader.Row(i);
             const MachineId dst = pgraph_.Owner(row[op.ext[0]]);
             inbox[dst].Add(row, {});
             appended += row.size() * kVertexBytes + kHopRowOverhead;
-            if (dst != m) sent_bytes[dst] += row.size() * kVertexBytes;
+            if (bdelta) ++mat_rows;
+            if (dst != m) {
+              if (bdelta) {
+                ++dst_rows[dst];
+              } else {
+                sent_bytes[dst] += row.size() * kVertexBytes;
+              }
+            }
+          }
+          if (bdelta) {
+            for (MachineId dst = 0; dst < k; ++dst) {
+              if (dst_rows[dst] > 0) {
+                sent_bytes[dst] +=
+                    shared_.wire->ShipRowsBytes(b, dst, dst_rows[dst]);
+              }
+            }
           }
         }
+        if (mat_rows > 0) machines_[m]->AddMaterializeRows(mat_rows);
         tracker_.Allocate(appended);
         inbox_bytes.fetch_add(appended);
         for (MachineId dst = 0; dst < k; ++dst) {
@@ -360,20 +398,51 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
         ParallelMachines(k, [&](MachineId m) {
           WallTimer busy;
           HopBox& box = inbox[m];
+          const size_t box_rows = box.NumRows();
           std::vector<uint64_t> sent_bytes(k, 0);
-          Batch out(in_width + 1);
+          // Factorized level outputs: the last hop's surviving inbox rows
+          // become the shared parent and each output row is one
+          // (parent-row, vertex) pair — O(1) words per output instead of
+          // re-copying the O(width) prefix per candidate. The parent-row
+          // column is 32-bit; an inbox past 2^32 rows (no per-batch bound
+          // here, unlike the pulling path) falls back to flat emission
+          // rather than truncating indices.
+          const bool delta_out =
+              last_hop && !fused && config_.delta_batches && box_rows > 0 &&
+              box_rows <= std::numeric_limits<uint32_t>::max();
+          std::shared_ptr<const Batch> box_parent;
+          if (delta_out) {
+            box_parent = ShareParentBatch(
+                Batch(in_width, std::move(box.rows)), &tracker_);
+            shared_.wire->MarkResident(m, *box_parent);
+            // The moved row payload is now tracked by the shared parent
+            // (until the chain drains); hand its share of the inbox
+            // accounting over so the post-hop release doesn't keep the
+            // same bytes counted twice through the peak of the hop.
+            const size_t moved = box_rows * in_width * kVertexBytes;
+            tracker_.Release(moved);
+            inbox_bytes.fetch_sub(moved);
+          }
+          auto row_at = [&](size_t i) -> std::span<const VertexId> {
+            if (box_parent != nullptr) return box_parent->Row(i);
+            return {box.rows.data() + i * in_width, in_width};
+          };
+          auto make_out = [&]() {
+            return delta_out ? Batch::Delta(box_parent)
+                             : Batch(in_width + 1);
+          };
+          Batch out = make_out();
           IntersectScratch isect;
           size_t appended = 0;
           uint64_t probe_rows = 0;
-          for (size_t i = 0; i < box.NumRows(); ++i) {
+          for (size_t i = 0; i < box_rows; ++i) {
             if ((i & 255u) == 0) {
               tracker_.Allocate(appended);
               next_bytes.fetch_add(appended);
               appended = 0;
               if (shared_.OverBudget()) break;
             }
-            std::span<const VertexId> row{box.rows.data() + i * in_width,
-                                          in_width};
+            std::span<const VertexId> row = row_at(i);
             const VertexId pivot = row[op.ext[j]];
             HUGE_DCHECK(pgraph_.Owner(pivot) == m);
             const auto nbrs =
@@ -432,6 +501,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
             } else {
               uint64_t count = 0;
               if (fused) machines_[m]->AddMaterializedCountRows(1);
+              if (!fused) out.Reserve(cands.size());
               for (VertexId v : cands) {
                 if (op.target_label != QueryGraph::kAnyLabel &&
                     graph_->Label(v) != op.target_label) {
@@ -441,12 +511,17 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
                 if (fused) {
                   ++count;
                 } else {
-                  out.AppendRowPlus(row, v);
+                  if (delta_out) {
+                    out.AppendDelta(static_cast<uint32_t>(i), v);
+                  } else {
+                    out.AppendRowPlus(row, v);
+                  }
                   if (out.rows() >= batch_rows) {
                     shared_.intermediate_rows.fetch_add(out.rows());
+                    if (out.delta()) machines_[m]->AddDeltaRows(out.rows());
                     appended += out.bytes();
                     level_in[m].push_back(std::move(out));
-                    out = Batch(in_width + 1);
+                    out = make_out();
                   }
                 }
               }
@@ -456,6 +531,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           if (probe_rows > 0) machines_[m]->AddHubProbeRows(probe_rows);
           if (!out.empty()) {
             shared_.intermediate_rows.fetch_add(out.rows());
+            if (out.delta()) machines_[m]->AddDeltaRows(out.rows());
             level_in[m].push_back(std::move(out));
           }
           tracker_.Allocate(appended);

@@ -54,6 +54,7 @@ class Cluster {
   Config config_;
   PartitionedGraph pgraph_;
   Network net_;
+  DeltaWire delta_wire_;
   MemoryTracker tracker_;
   std::unordered_map<int, JoinBuffers> joins_;
   SharedState shared_;

@@ -78,6 +78,17 @@ struct Config {
   /// adjacency lists.
   bool label_sliced_pulls = true;
 
+  /// Factorized EXTEND outputs (the compact arrays of Lemma 5.2 taken to
+  /// their factorized conclusion): grow extends emit (parent-row, vertex)
+  /// delta columns chained to the immutable input batch instead of
+  /// re-copying the O(width) prefix per output row, turning the hot
+  /// path's append bandwidth from O(width · outputs) into O(outputs).
+  /// Rows materialize lazily — at PUSH-JOIN routers, final-result sinks
+  /// and machine crossings whose parent chain is not co-shipped (see the
+  /// delta wire format in net/rpc.h). Baseline system profiles pin false:
+  /// the modelled systems store and ship full rows.
+  bool delta_batches = true;
+
   /// Per-machine, per-side in-memory budget of a PUSH-JOIN buffer before
   /// it spills sorted runs to disk (Section 4.3).
   size_t join_spill_threshold = 64u << 20;

@@ -194,6 +194,8 @@ void MachineRuntime::PrepareRun() {
   remote_sliced_rows_.store(0);
   remote_full_rows_.store(0);
   hub_probe_rows_.store(0);
+  delta_rows_.store(0);
+  materialize_rows_.store(0);
   inter_steals_.store(0);
   fetch_nanos_.store(0);
   bsp_busy_nanos_.store(0);
@@ -296,6 +298,7 @@ Batch MachineRuntime::NextScanBatch(const OpDesc& op) {
   const uint32_t batch_rows = shared_->config->batch_size;
   const uint64_t region = shared_->config->region_group_rows;
   Batch out(2);
+  out.Reserve(batch_rows);
   while (out.rows() < batch_rows && !ScanExhausted()) {
     if (region > 0 && region_emitted_ >= region) break;
     const VertexId u = local_vertices_[scan_vertex_];
@@ -330,6 +333,7 @@ Batch MachineRuntime::NextScanBatch(const OpDesc& op) {
 
 Batch MachineRuntime::NextJoinBatch(const OpDesc& op) {
   Batch out(static_cast<uint32_t>(op.schema.size()));
+  out.Reserve(shared_->config->batch_size);
   join_source_->NextBatch(&out, shared_->config->batch_size);
   return out;
 }
@@ -386,8 +390,9 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
   // the cached ones, fetch the misses in bulk and insert them with a
   // single writer (this thread).
   std::vector<VertexId> remote;
+  BatchRowReader reader(in);
   for (size_t i = 0; i < in.rows(); ++i) {
-    auto row = in.Row(i);
+    auto row = reader.Row(i);
     for (int p : op.ext) {
       const VertexId v = row[p];
       if (!shared_->pgraph->IsLocal(v, id_)) remote.push_back(v);
@@ -433,13 +438,35 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
   }
 }
 
-void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
-                                   int pos) {
+void MachineRuntime::ProcessExtend(const OpDesc& op, Batch&& input, int pos) {
   const int last = static_cast<int>(seg_->ops.size()) - 1;
   const bool fused = (pos == last && seg_->fused_count);
   const bool verify = op.kind == OpKind::kVerifyExtend;
   const uint32_t out_width = static_cast<uint32_t>(op.schema.size());
   const uint32_t batch_rows = shared_->config->batch_size;
+
+  // Factorized outputs: a grow extend promotes its input to a shared,
+  // immutable parent and emits (parent-row, vertex) delta pairs; a verify
+  // extend on a delta input re-chains the surviving pairs to the *same*
+  // parent (it only filters rows). A terminal op feeding a PUSH-JOIN
+  // materializes in the router anyway, so it emits flat and pays the
+  // prefix copy exactly once.
+  const bool feeds_join_terminal = pos == last && seg_->feeds_join >= 0;
+  const bool emit_grow_delta = shared_->config->delta_batches && !verify &&
+                               !fused && !feeds_join_terminal;
+  const bool emit_verify_delta =
+      verify && input.delta() && !feeds_join_terminal;
+  std::shared_ptr<const Batch> delta_parent;
+  if (emit_grow_delta) {
+    delta_parent = ShareParentBatch(std::move(input), shared_->tracker);
+    shared_->wire->MarkResident(id_, *delta_parent);
+  }
+  const Batch& in = delta_parent != nullptr ? *delta_parent : input;
+  auto make_out = [&]() {
+    if (emit_grow_delta) return Batch::Delta(delta_parent);
+    if (emit_verify_delta) return Batch::Delta(in.parent());
+    return Batch(out_width);
+  };
 
   // Label handling for grow extends: with a labelled graph the predicate
   // is fused into the count kernels (and local lists shrink to their
@@ -473,7 +500,7 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
   const int workers = pool_->num_workers();
   std::vector<Batch> louts;
   louts.reserve(workers);
-  for (int w = 0; w < workers; ++w) louts.emplace_back(out_width);
+  for (int w = 0; w < workers; ++w) louts.push_back(make_out());
   std::vector<uint64_t> counts(workers, 0);
 
   pool_->ParallelChunks(
@@ -485,9 +512,11 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
         uint64_t fused_rows = 0;
         uint64_t sliced_reads = 0;
         uint64_t full_reads = 0;
+        uint64_t mat_rows = 0;
+        BatchRowReader reader(in);
 
         for (size_t i = begin; i < end && !label_unsatisfiable; ++i) {
-          auto row = in.Row(i);
+          auto row = reader.Row(i);
           isect.lists.resize(op.ext.size());
           // Cached hub bitmaps ride along with the staged lists on the
           // unlabelled fused path (full lists; the kernels clamp them to
@@ -534,7 +563,16 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
                 break;
               }
             }
-            if (ok) louts[wid].AppendRow(row);
+            if (ok) {
+              if (emit_verify_delta) {
+                louts[wid].AppendDelta(in.ParentRow(i), in.DeltaVertex(i));
+              } else {
+                // A delta input surviving into a flat output (the
+                // join-feeding terminal) is a materialization boundary.
+                if (in.delta()) ++mat_rows;
+                louts[wid].AppendRow(row);
+              }
+            }
           } else if (fused) {
             // Count fusion, labelled or not: the label predicate (if any)
             // is fused into the count-only kernels — no candidate list is
@@ -546,25 +584,33 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, const Batch& in,
           } else {
             isect.bitmaps.clear();
             const auto cands = IntersectAll(isect.lists, &isect);
+            louts[wid].Reserve(cands.size());
             for (VertexId v : cands) {
               if (op.target_label != QueryGraph::kAnyLabel &&
                   graph_->Label(v) != op.target_label) {
                 continue;
               }
               if (!PassesExtendFilters(op, row, v)) continue;
-              louts[wid].AppendRowPlus(row, v);
+              if (emit_grow_delta) {
+                louts[wid].AppendDelta(static_cast<uint32_t>(i), v);
+              } else {
+                // Flat output rows grown off a delta input (the
+                // join-feeding terminal) expand the factorized prefix to
+                // full width — a materialization boundary.
+                if (in.delta()) ++mat_rows;
+                louts[wid].AppendRowPlus(row, v);
+              }
             }
           }
           if (louts[wid].rows() >= batch_rows) {
-            Batch flush(out_width);
-            std::swap(flush, louts[wid]);
-            EmitBatch(pos, std::move(flush));
-            louts[wid] = Batch(out_width);
+            EmitBatch(pos, std::move(louts[wid]));
+            louts[wid] = make_out();
           }
         }
         if (fused_rows > 0) AddFusedCountRows(fused_rows);
         if (sliced_reads > 0) AddRemoteSlicedRows(sliced_reads);
         if (full_reads > 0) AddRemoteFullRows(full_reads);
+        if (mat_rows > 0) AddMaterializeRows(mat_rows);
       });
 
   for (int w = 0; w < workers; ++w) {
@@ -579,11 +625,14 @@ void MachineRuntime::ProcessSink(const OpDesc& op, const Batch& in) {
   const auto& sink = shared_->config->match_sink;
   if (sink) {
     // Rows travel in operator-schema order; present them to the user in
-    // query-vertex order (match[i] = image of query vertex i).
+    // query-vertex order (match[i] = image of query vertex i). Handing a
+    // full match to the user is a materialization boundary.
+    if (in.delta()) AddMaterializeRows(in.rows());
     std::vector<VertexId> match(op.schema.size());
+    BatchRowReader reader(in);
     std::lock_guard<std::mutex> guard(shared_->sink_mu);
     for (size_t i = 0; i < in.rows(); ++i) {
-      auto row = in.Row(i);
+      auto row = reader.Row(i);
       for (size_t c = 0; c < op.schema.size(); ++c) {
         match[op.schema[c]] = row[c];
       }
@@ -594,6 +643,7 @@ void MachineRuntime::ProcessSink(const OpDesc& op, const Batch& in) {
 
 void MachineRuntime::EmitBatch(int pos, Batch&& out) {
   if (out.empty()) return;
+  if (out.delta()) AddDeltaRows(out.rows());
   shared_->intermediate_rows.fetch_add(out.rows(), std::memory_order_relaxed);
   const int last = static_cast<int>(seg_->ops.size()) - 1;
   if (pos >= last) {
@@ -612,8 +662,12 @@ void MachineRuntime::RouteToJoin(const Batch& out) {
   const MachineId k = shared_->pgraph->num_machines();
 
   std::lock_guard<std::mutex> guard(route_mu_);
+  // JOIN boundary: delta rows expand to full width here — the shuffled
+  // buffers sort and spill whole rows.
+  if (out.delta()) AddMaterializeRows(out.rows());
+  BatchRowReader reader(out);
   for (size_t i = 0; i < out.rows(); ++i) {
-    auto row = out.Row(i);
+    auto row = reader.Row(i);
     const MachineId dst = static_cast<MachineId>(HashKey(row, key) % k);
     join_staging_[dst].AppendRow(row);
     if (join_staging_[dst].rows() >= shared_->config->batch_size) {
@@ -657,7 +711,7 @@ void MachineRuntime::ProcessOneBatch(int pos) {
     case OpKind::kPullExtend:
     case OpKind::kPushExtend:  // executed pull-style inside adaptive mode
     case OpKind::kVerifyExtend:
-      ProcessExtend(op, *in, pos);
+      ProcessExtend(op, std::move(*in), pos);
       break;
     case OpKind::kSink:
       ProcessSink(op, *in);
@@ -691,8 +745,11 @@ bool MachineRuntime::TryStealFromPeers() {
     std::vector<Batch> got =
         shared_->machines[victim]->StealBatches(2, &pos);
     if (got.empty()) continue;
+    // Stolen delta batches travel in the factorized wire format: packed
+    // columns + co-shipped not-yet-resident ancestors (flat batches cost
+    // exactly their matrix bytes, as before).
     uint64_t bytes = 0;
-    for (auto& b : got) bytes += b.bytes();
+    for (auto& b : got) bytes += shared_->wire->ShipBytes(b, id_);
     shared_->net->Pull(id_, bytes + GetNbrsClient::kHeaderBytes, 1);
     inter_steals_.fetch_add(1);
     for (auto& b : got) queues_[pos]->Push(std::move(b));

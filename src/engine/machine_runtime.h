@@ -51,6 +51,9 @@ struct SharedState {
   Network* net = nullptr;
   MemoryTracker* tracker = nullptr;
   std::unordered_map<int, JoinBuffers>* joins = nullptr;
+  /// Residency accounting of the factorized batch wire format (stealing
+  /// and BSP routing charge through it when delta batches cross machines).
+  DeltaWire* wire = nullptr;
   std::vector<MachineRuntime*> machines;
 
   /// Machines that announced local completion (termination detection for
@@ -166,6 +169,17 @@ class MachineRuntime {
     hub_probe_rows_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Factorized-batch accounting (RunMetrics::delta_rows /
+  /// materialize_rows).
+  uint64_t delta_rows() const { return delta_rows_.load(); }
+  uint64_t materialize_rows() const { return materialize_rows_.load(); }
+  void AddDeltaRows(uint64_t n) {
+    delta_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddMaterializeRows(uint64_t n) {
+    materialize_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   friend class Cluster;
 
@@ -181,7 +195,9 @@ class MachineRuntime {
   bool ScanExhausted() const;
   bool JoinSourceExhausted() const;
   Batch NextJoinBatch(const OpDesc& op);
-  void ProcessExtend(const OpDesc& op, const Batch& in, int pos);
+  /// Takes the input by value: in delta mode a grow extend promotes it to
+  /// the shared, immutable parent its factorized outputs chain to.
+  void ProcessExtend(const OpDesc& op, Batch&& input, int pos);
   void ProcessSink(const OpDesc& op, const Batch& in);
 
   // Output routing for op at `pos`: queue, fused count, sink or join.
@@ -237,6 +253,8 @@ class MachineRuntime {
   std::atomic<uint64_t> remote_sliced_rows_{0};
   std::atomic<uint64_t> remote_full_rows_{0};
   std::atomic<uint64_t> hub_probe_rows_{0};
+  std::atomic<uint64_t> delta_rows_{0};
+  std::atomic<uint64_t> materialize_rows_{0};
   std::atomic<uint64_t> fetch_nanos_{0};
   std::atomic<uint64_t> bsp_busy_nanos_{0};
   std::atomic<uint64_t> inter_steals_{0};

@@ -65,6 +65,15 @@ struct RunMetrics {
   /// bitmap instead of merging against the pivot's adjacency list.
   uint64_t hub_probe_rows = 0;
 
+  /// Factorized-batch accounting (Config::delta_batches): rows emitted as
+  /// O(1)-word (parent-row, vertex) delta pairs vs. rows expanded back to
+  /// full width at a materialization boundary (PUSH-JOIN router, match
+  /// sink, BSP hop routing, non-delta fallbacks). Count-only pull
+  /// pipelines never cross a boundary, so materialize_rows stays 0 there —
+  /// the EXTEND output path is O(1) words end to end.
+  uint64_t delta_rows = 0;
+  uint64_t materialize_rows = 0;
+
   /// Per-worker busy seconds across all machines, in machine-major order
   /// (Exp-8 reports the standard deviation of these).
   std::vector<double> worker_busy_seconds;

@@ -2,9 +2,13 @@
 #define HUGE_NET_RPC_H_
 
 #include <functional>
+#include <mutex>
+#include <set>
 #include <span>
+#include <utility>
 
 #include "common/check.h"
+#include "engine/batch.h"
 #include "graph/partition.h"
 #include "net/network.h"
 
@@ -168,6 +172,106 @@ class GetNbrsClient {
 
   const PartitionedGraph* pgraph_;
   Network* net_;
+};
+
+/// Wire format of factorized (delta) batches. A shipped delta batch
+/// carries its parent batch id plus its two packed columns — the
+/// parent-row index column and the new-vertex column, `Batch::kDeltaRowBytes`
+/// per row — instead of fully materialized O(width) rows. Ancestors of the
+/// parent chain that are not yet resident at the destination are
+/// co-shipped at their own payload size the first time the
+/// (ancestor, destination) pair appears, and cost nothing afterwards: the
+/// destination already holds them, keyed by `Batch::share_id()`.
+///
+/// Charging is exact, mirroring the sliced GetNbrs accounting of the
+/// labelled pulls: every byte is charged exactly once per destination,
+/// two delta batches chained to the same parent pay the parent only
+/// once, and every shipment is capped at the flat-row encoding it
+/// replaces (pinned byte-for-byte in tests/delta_batch_test.cc).
+/// Thread-safe: stealing threads and the BSP hop routers charge
+/// concurrently.
+class DeltaWire {
+ public:
+  /// Approximate heap cost of one residency entry (set node + pair),
+  /// charged to the tracker so a run with millions of crossing batches
+  /// cannot grow the registry past the engine's memory budget unseen.
+  static constexpr size_t kEntryBytes = 64;
+
+  /// Optional engine tracker accounting for the residency registry.
+  void SetTracker(MemoryTracker* tracker) { tracker_ = tracker; }
+
+  /// Registers a freshly promoted parent as resident on the machine that
+  /// created it (the creator holds the whole chain by construction), so a
+  /// later steal-back never charges the creator for shipping its own
+  /// data.
+  void MarkResident(MachineId owner, const Batch& parent) {
+    HUGE_DCHECK(parent.share_id() != 0);
+    std::lock_guard<std::mutex> guard(mu_);
+    if (shipped_.insert({owner, parent.share_id()}).second &&
+        tracker_ != nullptr) {
+      tracker_->Allocate(kEntryBytes);
+    }
+  }
+
+  /// Bytes of a batch's own payload on the wire: the packed columns for a
+  /// delta batch, the row matrix for a flat one.
+  static uint64_t OwnBytes(const Batch& b) { return b.bytes(); }
+
+  /// Bytes to ship `rows` of `b`'s rows to `dst`, picking the cheaper
+  /// encoding per shipment: the factorized columns plus any
+  /// not-yet-resident parent chain (which then becomes resident at dst),
+  /// or plain materialized rows (the destination never learns the chain,
+  /// so nothing is registered). The min keeps the modeled bytes from ever
+  /// regressing versus flat — e.g. a small tail-flush batch chained to a
+  /// large parent, or a hop scatter routing one row to a machine, ships
+  /// flat. Row-wise routers (the BSP hop-0 scatter) call this once per
+  /// (batch, destination) with that destination's row count.
+  uint64_t ShipRowsBytes(const Batch& b, MachineId dst, uint64_t rows) {
+    const uint64_t flat = rows * uint64_t{b.width()} * kVertexBytes;
+    if (!b.delta()) return flat;
+    std::lock_guard<std::mutex> guard(mu_);
+    uint64_t chain = 0;
+    missing_.clear();
+    for (const Batch* p = b.parent().get(); p != nullptr;
+         p = p->parent().get()) {
+      HUGE_DCHECK(p->share_id() != 0);
+      if (shipped_.count({dst, p->share_id()}) > 0) {
+        // Resident — and its own ancestors were co-shipped with it back
+        // then, so the rest of the chain is resident too.
+        break;
+      }
+      missing_.push_back(p->share_id());
+      chain += OwnBytes(*p);
+    }
+    const uint64_t delta = rows * Batch::kDeltaRowBytes + chain;
+    if (flat <= delta) return flat;
+    for (uint64_t id : missing_) {
+      shipped_.insert({dst, id});
+      if (tracker_ != nullptr) tracker_->Allocate(kEntryBytes);
+    }
+    return delta;
+  }
+
+  /// Total bytes to ship all of `b` to `dst`. For a flat batch this is
+  /// exactly `b.bytes()`, the pre-delta charge.
+  uint64_t ShipBytes(const Batch& b, MachineId dst) {
+    return ShipRowsBytes(b, dst, b.rows());
+  }
+
+  /// Clears the residency registry (between runs).
+  void Reset() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (tracker_ != nullptr) tracker_->Release(shipped_.size() * kEntryBytes);
+    shipped_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  MemoryTracker* tracker_ = nullptr;
+  /// (destination, ancestor share-id) pairs already shipped.
+  std::set<std::pair<MachineId, uint64_t>> shipped_;
+  /// Chain-walk scratch (guarded by mu_).
+  std::vector<uint64_t> missing_;
 };
 
 }  // namespace huge

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "engine/batch.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "net/rpc.h"
+#include "oracle/oracle.h"
+
+namespace huge {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Delta-form Batch semantics: layout, per-row prefix iteration,
+// materialization, byte accounting and the parent refcount lifetime.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Batch> FlatParent(MemoryTracker* tracker = nullptr) {
+  // 3 rows of width 2: (1,2), (3,4), (5,6).
+  return ShareParentBatch(Batch(2, {1, 2, 3, 4, 5, 6}), tracker);
+}
+
+TEST(DeltaBatchTest, LayoutAndAccessors) {
+  auto parent = FlatParent();
+  Batch d = Batch::Delta(parent);
+  EXPECT_TRUE(d.delta());
+  EXPECT_EQ(d.width(), 3u);
+  EXPECT_EQ(d.rows(), 0u);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.ChainDepth(), 1u);
+
+  d.AppendDelta(0, 10);
+  d.AppendDelta(0, 11);
+  d.AppendDelta(2, 12);
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.ParentRow(2), 2u);
+  EXPECT_EQ(d.DeltaVertex(2), 12u);
+  // O(1) words per appended row: exactly one index + one vertex.
+  EXPECT_EQ(d.bytes(), 3 * Batch::kDeltaRowBytes);
+}
+
+TEST(DeltaBatchTest, RowReaderExpandsChainedPrefixes) {
+  auto parent = FlatParent();
+  Batch mid = Batch::Delta(parent);
+  mid.AppendDelta(1, 7);  // (3,4,7)
+  mid.AppendDelta(2, 8);  // (5,6,8)
+  auto mid_shared = ShareParentBatch(std::move(mid), nullptr);
+  Batch leaf = Batch::Delta(mid_shared);
+  leaf.AppendDelta(0, 100);  // (3,4,7,100)
+  leaf.AppendDelta(0, 101);  // (3,4,7,101) — sibling run, cached prefix
+  leaf.AppendDelta(1, 102);  // (5,6,8,102)
+  EXPECT_EQ(leaf.ChainDepth(), 2u);
+
+  BatchRowReader reader(leaf);
+  const std::vector<std::vector<VertexId>> expect = {
+      {3, 4, 7, 100}, {3, 4, 7, 101}, {5, 6, 8, 102}};
+  for (size_t i = 0; i < leaf.rows(); ++i) {
+    auto row = reader.Row(i);
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_EQ(std::vector<VertexId>(row.begin(), row.end()), expect[i]) << i;
+  }
+  // Random access (cache misses) must agree too.
+  BatchRowReader reader2(leaf);
+  auto row = reader2.Row(2);
+  EXPECT_EQ(std::vector<VertexId>(row.begin(), row.end()), expect[2]);
+  row = reader2.Row(0);
+  EXPECT_EQ(std::vector<VertexId>(row.begin(), row.end()), expect[0]);
+}
+
+TEST(DeltaBatchTest, MaterializeIntoMatchesReader) {
+  auto parent = FlatParent();
+  Batch d = Batch::Delta(parent);
+  d.AppendDelta(2, 9);
+  d.AppendDelta(0, 10);
+  Batch flat(3);
+  d.MaterializeInto(&flat);
+  ASSERT_EQ(flat.rows(), 2u);
+  EXPECT_FALSE(flat.delta());
+  EXPECT_EQ(std::vector<VertexId>(flat.Row(0).begin(), flat.Row(0).end()),
+            (std::vector<VertexId>{5, 6, 9}));
+  EXPECT_EQ(std::vector<VertexId>(flat.Row(1).begin(), flat.Row(1).end()),
+            (std::vector<VertexId>{1, 2, 10}));
+}
+
+TEST(DeltaBatchTest, SharedParentTrackedUntilLastChildDrained) {
+  MemoryTracker tracker;
+  auto parent = FlatParent(&tracker);
+  const size_t parent_bytes = parent->bytes();
+  EXPECT_EQ(tracker.current(), parent_bytes);
+
+  Batch a = Batch::Delta(parent);
+  a.AppendDelta(0, 1);
+  Batch b = Batch::Delta(parent);
+  b.AppendDelta(1, 2);
+  parent.reset();  // chained children keep the parent alive
+  EXPECT_EQ(tracker.current(), parent_bytes);
+  { Batch sink = std::move(a); }
+  EXPECT_EQ(tracker.current(), parent_bytes);
+  { Batch sink = std::move(b); }  // last child drained: parent released
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+TEST(DeltaBatchTest, QueueAccountsOwnBytesOnly) {
+  MemoryTracker tracker;
+  auto parent = FlatParent(&tracker);
+  const size_t parent_bytes = parent->bytes();
+  Batch d = Batch::Delta(parent);
+  d.AppendDelta(0, 42);
+  BatchQueue q(0, &tracker);
+  q.Push(std::move(d));
+  EXPECT_EQ(tracker.current(), parent_bytes + Batch::kDeltaRowBytes);
+  auto popped = q.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(tracker.current(), parent_bytes);
+  popped.reset();
+  parent.reset();
+  EXPECT_EQ(tracker.current(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Delta wire format: byte-exact charges, parent co-shipped once per
+// destination, shared ancestors deduplicated across sibling batches.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaWireTest, ExactBytesAndResidency) {
+  DeltaWire wire;
+  auto parent = FlatParent();  // 6 ids = 24 bytes
+  const uint64_t parent_bytes = parent->bytes();
+
+  Batch a = Batch::Delta(parent);  // width 3: flat rows cost 12 bytes
+  for (uint32_t i = 0; i < 13; ++i) a.AppendDelta(i % 3, 100 + i);
+  Batch b = Batch::Delta(parent);
+  b.AppendDelta(2, 3);
+
+  // 13 rows: delta (13*8 + 24 = 128) beats flat (13*12 = 156), so the
+  // shipment co-ships the parent, which becomes resident at machine 1.
+  EXPECT_EQ(wire.ShipBytes(a, 1), 13 * Batch::kDeltaRowBytes + parent_bytes);
+  // The sibling batch then pays only its own columns.
+  EXPECT_EQ(wire.ShipBytes(b, 1), 1 * Batch::kDeltaRowBytes);
+  // At a fresh destination the 1-row batch is cheaper flat (12 bytes)
+  // than delta + chain (8 + 24): it ships materialized and the parent
+  // does NOT become resident...
+  EXPECT_EQ(wire.ShipBytes(b, 2), 1 * uint64_t{3} * kVertexBytes);
+  // ...so the next big sibling still pays the chain at machine 2, and
+  // the 1-row batch rides the now-resident parent afterwards.
+  EXPECT_EQ(wire.ShipBytes(a, 2), 13 * Batch::kDeltaRowBytes + parent_bytes);
+  EXPECT_EQ(wire.ShipBytes(b, 2), 1 * Batch::kDeltaRowBytes);
+
+  // A grandchild chained to an already-resident parent stops the chain
+  // walk at the first resident ancestor.
+  auto a_shared = ShareParentBatch(std::move(a), nullptr);  // own: 13*8
+  Batch leaf = Batch::Delta(a_shared);  // width 4: flat rows cost 16 bytes
+  for (uint32_t i = 0; i < 40; ++i) leaf.AppendDelta(i % 13, 200 + i);
+  // Machine 3 has nothing: full chain = leaf + a + flat parent
+  // (40*8 + 13*8 + 24 = 448 vs 40*16 = 640 flat).
+  EXPECT_EQ(wire.ShipBytes(leaf, 3), 40 * Batch::kDeltaRowBytes +
+                                         13 * Batch::kDeltaRowBytes +
+                                         parent_bytes);
+  Batch leaf2 = Batch::Delta(a_shared);
+  leaf2.AppendDelta(0, 9);
+  EXPECT_EQ(wire.ShipBytes(leaf2, 3), 1 * Batch::kDeltaRowBytes);
+
+  // Flat batches cost exactly their matrix bytes, independent of state.
+  Batch flat(2, {7, 8});
+  EXPECT_EQ(wire.ShipBytes(flat, 1), flat.bytes());
+
+  // Row-subset shipments (the BSP scatter): per-destination row counts,
+  // same min-encoding rule.
+  EXPECT_EQ(wire.ShipRowsBytes(leaf2, 3, 1), 1 * Batch::kDeltaRowBytes);
+  EXPECT_EQ(wire.ShipRowsBytes(leaf2, 4, 1), 1 * uint64_t{4} * kVertexBytes);
+
+  wire.Reset();
+  EXPECT_EQ(wire.ShipBytes(b, 1), 1 * uint64_t{3} * kVertexBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level invariants: count-only pull pipelines are O(1)-word end to
+// end (materialize_rows == 0), the gate pins the representation off, and
+// the counts never move.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Graph> TestGraph() {
+  return std::make_shared<Graph>(gen::PowerLaw(400, 8, 2.4, 77));
+}
+
+TEST(DeltaEngineTest, PullCountPipelineNeverMaterializes) {
+  auto g = TestGraph();
+  const QueryGraph q = queries::DoubleSquare();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 256;
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  EXPECT_GT(r.metrics.delta_rows, 0u);
+  EXPECT_EQ(r.metrics.materialize_rows, 0u);
+}
+
+TEST(DeltaEngineTest, GateOffEmitsNoDeltaRows) {
+  auto g = TestGraph();
+  const QueryGraph q = queries::DoubleSquare();
+  Config cfg;
+  cfg.num_machines = 4;
+  cfg.batch_size = 256;
+  cfg.delta_batches = false;
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  EXPECT_EQ(r.metrics.delta_rows, 0u);
+  EXPECT_EQ(r.metrics.materialize_rows, 0u);
+}
+
+TEST(DeltaEngineTest, MatchSinkMaterializesEveryFinalRow) {
+  auto g = TestGraph();
+  const QueryGraph q = queries::Square();
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.batch_size = 256;
+  uint64_t sunk = 0;
+  cfg.match_sink = [&](std::span<const VertexId>) { ++sunk; };
+  Runner runner(g, cfg);
+  const RunResult r = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+  EXPECT_EQ(r.matches, Oracle::Count(*g, q));
+  EXPECT_EQ(sunk, r.matches);
+  // The sink is a materialization boundary: every final-result delta row
+  // expands exactly once (intermediate delta rows are consumed in place).
+  EXPECT_GT(r.metrics.delta_rows, 0u);
+  EXPECT_EQ(r.metrics.materialize_rows, r.matches);
+  EXPECT_GE(r.metrics.delta_rows, r.metrics.materialize_rows);
+}
+
+TEST(DeltaEngineTest, HybridJoinPlanCountsAgreeAcrossGate) {
+  auto g = TestGraph();
+  const QueryGraph q = queries::ChainedTriangles();
+  for (const bool delta : {false, true}) {
+    Config cfg;
+    cfg.num_machines = 4;
+    cfg.batch_size = 256;
+    cfg.delta_batches = delta;
+    Runner runner(g, cfg);
+    const RunResult r = runner.Run(q);
+    EXPECT_EQ(r.matches, Oracle::Count(*g, q)) << "delta=" << delta;
+    if (!delta) EXPECT_EQ(r.metrics.delta_rows, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace huge
