@@ -1,0 +1,145 @@
+// Concurrent query-service throughput bench: a closed loop of N client
+// threads, each submitting a mixed pattern workload to one shared
+// QueryService and waiting for every result before submitting the next
+// (classic closed-loop load generation). Reports sustained throughput and
+// p50/p99 query latency per client count — the multi-tenant counterparts
+// of the single-run wall times the Table-1 bench records — plus the plan
+// cache's hit rate. Set HUGE_BENCH_JSON=<path> to emit the rows as JSON
+// (merged into BENCH_<date>.json by bench/run_bench.sh).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "huge/huge.h"
+#include "service/query_service.h"
+
+namespace {
+
+using namespace huge;
+using namespace huge::bench;
+
+struct LoadPoint {
+  int clients = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t queries = 0;
+  double cache_hit_rate = 0;
+  uint64_t peak_reserved_mb = 0;
+};
+
+double Percentile(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = static_cast<size_t>(p * (latencies->size() - 1));
+  return (*latencies)[idx];
+}
+
+void EmitJson(const char* path, const std::vector<LoadPoint>& points) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(f,
+                 "  {\"clients\": %d, \"wall_s\": %.4f, \"qps\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"queries\": %llu, "
+                 "\"cache_hit_rate\": %.4f, \"peak_reserved_mb\": %llu}%s\n",
+                 p.clients, p.wall_seconds, p.qps, p.p50_ms, p.p99_ms,
+                 static_cast<unsigned long long>(p.queries), p.cache_hit_rate,
+                 static_cast<unsigned long long>(p.peak_reserved_mb),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  auto graph = MakeShared(DatasetByName("go_s"));
+  std::printf("Query-service throughput: closed-loop clients over one "
+              "shared service, go_s |V|=%u |E|=%lu\n\n",
+              graph->NumVertices(), graph->NumEdges());
+
+  // The workload mix: the cheap Table-1 patterns (the service bench
+  // measures scheduling and admission, not single-query wall time).
+  const std::vector<QueryGraph> mix = {queries::Triangle(), queries::Square(),
+                                       queries::Diamond()};
+  const int kItersPerClient =
+      std::max(2, static_cast<int>(6 * huge::bench::Scale()));
+
+  Table table({"clients", "wall(s)", "qps", "p50(ms)", "p99(ms)",
+               "cache hit%", "peak rsv(MB)"});
+  std::vector<LoadPoint> points;
+  for (const int clients : {1, 2, 4, 8}) {
+    ServiceConfig sc;
+    sc.engine.num_machines = 2;
+    sc.engine.workers_per_machine = 2;
+    sc.max_concurrent_queries = 4;
+    sc.memory_budget_bytes = 1024u << 20;
+    sc.min_reservation_bytes = 4u << 20;
+    QueryService service(graph, sc);
+
+    std::vector<std::vector<double>> latencies(clients);
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        SubmitOptions opts;
+        opts.tenant = "client-" + std::to_string(c);
+        for (int it = 0; it < kItersPerClient; ++it) {
+          for (const QueryGraph& q : mix) {
+            WallTimer lat;
+            RunResult r = service.Submit(q, opts).get();
+            latencies[c].push_back(lat.Seconds() * 1e3);
+            if (!r.ok()) {
+              std::fprintf(stderr, "query failed: %s\n", ToString(r.status));
+              std::abort();
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = wall.Seconds();
+
+    std::vector<double> all;
+    for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    const ServiceMetrics m = service.metrics();
+    LoadPoint p;
+    p.clients = clients;
+    p.wall_seconds = seconds;
+    p.queries = m.completed;
+    p.qps = seconds > 0 ? m.completed / seconds : 0;
+    p.p50_ms = Percentile(&all, 0.5);
+    p.p99_ms = Percentile(&all, 0.99);
+    const uint64_t lookups = m.plan_cache_hits + m.plan_cache_misses;
+    p.cache_hit_rate =
+        lookups == 0 ? 0.0 : static_cast<double>(m.plan_cache_hits) / lookups;
+    p.peak_reserved_mb = m.peak_reserved_bytes >> 20;
+    points.push_back(p);
+    table.AddRow({std::to_string(p.clients), Seconds(p.wall_seconds),
+                  Fmt("%.1f", p.qps), Fmt("%.2f", p.p50_ms),
+                  Fmt("%.2f", p.p99_ms), Fmt("%.1f", 100 * p.cache_hit_rate),
+                  std::to_string(p.peak_reserved_mb)});
+  }
+  table.Print();
+
+  const char* json_path = std::getenv("HUGE_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    EmitJson(json_path, points);
+    std::printf("\nwrote %s (%zu load points)\n", json_path, points.size());
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the perf-trajectory benchmark set — bench_micro (kernel-level) plus
-# the tier-1 bench_table1 (system-level) — and emits BENCH_<date>.json in
-# the repo root. Intended to be run per PR so the perf trajectory of the
-# hot kernels is recorded alongside the code.
+# Runs the perf-trajectory benchmark set — bench_micro (kernel-level),
+# the tier-1 bench_table1 (system-level), the delta-batch section of
+# bench_exp4, and the query-service throughput bench — and emits
+# BENCH_<date>.json in the repo root. Intended to be run per PR so the
+# perf trajectory of the hot paths is recorded alongside the code.
 #
 # Usage: bench/run_bench.sh [build-dir]
 #   build-dir: a configured build with HUGE_BUILD_BENCHES=ON
@@ -17,7 +18,24 @@ out_file="$repo_root/BENCH_$(date +%Y%m%d).json"
 if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DHUGE_BUILD_BENCHES=ON
 fi
-cmake --build "$build_dir" -j --target bench_table1
+
+# True iff the build system knows the target. A bench whose target is
+# absent (e.g. a build dir configured with HUGE_BUILD_BENCHES=OFF, or
+# bench_micro without google-benchmark) is skipped with a warning; its
+# JSON section stays empty. A *build failure* of an existing target is a
+# real regression and still fails the script.
+# (grep without -q: it must drain the pipe, or pipefail turns the
+# build tool's SIGPIPE into a spurious "target absent".)
+have_target() {
+  cmake --build "$build_dir" --target help 2>/dev/null \
+      | grep "\b$1\b" >/dev/null
+}
+
+skip_warn() {
+  echo "warning: $1 target absent in $build_dir (configure with" \
+       "-DHUGE_BUILD_BENCHES=ON for the full record); recording" \
+       "an empty $1 section" >&2
+}
 
 # Correctness gate before recording perf numbers. The randomized
 # distributed differential suites carry the `distributed` ctest label and
@@ -29,46 +47,62 @@ if [[ "${HUGE_BENCH_SKIP_SANITY:-0}" != "1" ]]; then
   (cd "$build_dir" && ctest -LE distributed -j "$(nproc)" --output-on-failure)
 fi
 
-# bench_micro needs google-benchmark; the target only exists when CMake
-# found it. A missing target is skippable — a broken build is not, so
-# only the existence check is forgiving.
 micro_json="{}"
-# (grep without -q: it must drain the pipe, or pipefail turns the
-# build tool's SIGPIPE into a spurious "target absent".)
-if cmake --build "$build_dir" --target help 2>/dev/null \
-    | grep '\bbench_micro\b' >/dev/null; then
+if have_target bench_micro; then
   cmake --build "$build_dir" -j --target bench_micro
   micro_json="$("$build_dir/bench_micro" \
       --benchmark_format=json \
       --benchmark_filter='Intersect|Gallop|Bitmap|Label|Batch' 2>/dev/null)"
 else
-  echo "warning: bench_micro target absent (google-benchmark not found" \
-       "at configure time); recording system bench only" >&2
+  skip_warn bench_micro
 fi
 
-table1_txt="$("$build_dir/bench_table1")"
+table1_txt=""
+if have_target bench_table1; then
+  cmake --build "$build_dir" -j --target bench_table1
+  table1_txt="$("$build_dir/bench_table1")"
+else
+  skip_warn bench_table1
+fi
 
 # The delta-batch on/off section of bench_exp4 (Table-1 patterns on the
-# pulling wco plan) rides along in the record: the end-to-end evidence of
-# the factorized EXTEND outputs, per commit. Needs only huge_core, so a
-# build/run failure is a real regression and fails the script.
-cmake --build "$build_dir" -j --target bench_exp4_batching
-exp4_tmp="$(mktemp)"
-HUGE_EXP4_SECTION=delta HUGE_BENCH_JSON="$exp4_tmp" \
-    "$build_dir/bench_exp4_batching" >/dev/null
-exp4_json="$(cat "$exp4_tmp")"
-rm -f "$exp4_tmp"
+# pulling wco plan): the end-to-end evidence of the factorized EXTEND
+# outputs, per commit.
+exp4_json=""
+if have_target bench_exp4_batching; then
+  cmake --build "$build_dir" -j --target bench_exp4_batching
+  exp4_tmp="$(mktemp)"
+  HUGE_EXP4_SECTION=delta HUGE_BENCH_JSON="$exp4_tmp" \
+      "$build_dir/bench_exp4_batching" >/dev/null
+  exp4_json="$(cat "$exp4_tmp")"
+  rm -f "$exp4_tmp"
+else
+  skip_warn bench_exp4_batching
+fi
+
+# Query-service closed-loop throughput (N clients, p50/p99 latency): the
+# multi-tenant counterpart of the Table-1 single-run rows.
+service_json=""
+if have_target bench_service; then
+  cmake --build "$build_dir" -j --target bench_service
+  service_tmp="$(mktemp)"
+  HUGE_BENCH_JSON="$service_tmp" "$build_dir/bench_service" >/dev/null
+  service_json="$(cat "$service_tmp")"
+  rm -f "$service_tmp"
+else
+  skip_warn bench_service
+fi
 
 # Assemble the trajectory record: metadata + raw kernel benches + the
-# Table-1 rows reparsed into JSON.
-python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt" "$exp4_json"
+# Table-1 rows reparsed into JSON + the exp4/service sections.
+python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt" "$exp4_json" "$service_json"
 import json
 import subprocess
 import sys
 from datetime import date
 
 out_file, micro_raw, table1_txt = sys.argv[1], sys.argv[2], sys.argv[3]
-exp4_raw = sys.argv[4]
+exp4_raw, service_raw = sys.argv[4], sys.argv[5]
 
 rows = []
 for line in table1_txt.splitlines():
@@ -93,6 +127,7 @@ record = {
     "bench_micro": json.loads(micro_raw) if micro_raw.strip() else {},
     "bench_table1": rows,
     "bench_exp4_delta": json.loads(exp4_raw) if exp4_raw.strip() else [],
+    "bench_service": json.loads(service_raw) if service_raw.strip() else [],
 }
 with open(out_file, "w") as f:
     json.dump(record, f, indent=2)

@@ -141,34 +141,21 @@ RunResult Cluster::Run(const Dataflow& df) {
                       : RunStatus::kOk;
   for (auto& m : machines_) result.matches += m->matches();
   RunMetrics& mm = result.metrics;
+  // Per-machine contributions fold in through the one aggregation
+  // primitive (machine counters stopped at the barrier above, so each
+  // snapshot is a finished, private copy); cluster-owned fields follow.
+  for (MachineId m = 0; m < config_.num_machines; ++m) {
+    RunMetrics pm = machines_[m]->MetricsSnapshot();
+    const MachineTraffic& t = net_.traffic(m);
+    pm.rpc_requests = t.rpc_requests();
+    pm.push_messages = t.push_messages();
+    mm.Merge(pm);
+  }
   mm.compute_seconds = wall;
   mm.comm_seconds = net_.CommSeconds();
   mm.bytes_communicated = net_.TotalBytes();
   mm.peak_memory_bytes = tracker_.peak();
   mm.intermediate_rows = shared_.intermediate_rows.load();
-  for (MachineId m = 0; m < config_.num_machines; ++m) {
-    const MachineTraffic& t = net_.traffic(m);
-    mm.rpc_requests += t.rpc_requests();
-    mm.push_messages += t.push_messages();
-    if (machines_[m]->cache() != nullptr) {
-      mm.cache_hits += machines_[m]->cache()->hits();
-      mm.cache_misses += machines_[m]->cache()->misses();
-    }
-    mm.intra_steals += machines_[m]->pool().steal_count();
-    mm.inter_steals += machines_[m]->inter_steals();
-    mm.fetch_seconds += machines_[m]->fetch_seconds();
-    mm.fused_count_rows += machines_[m]->fused_count_rows();
-    mm.materialized_count_rows += machines_[m]->materialized_count_rows();
-    mm.remote_sliced_rows += machines_[m]->remote_sliced_rows();
-    mm.remote_full_rows += machines_[m]->remote_full_rows();
-    mm.hub_probe_rows += machines_[m]->hub_probe_rows();
-    mm.delta_rows += machines_[m]->delta_rows();
-    mm.materialize_rows += machines_[m]->materialize_rows();
-    for (double b : machines_[m]->pool().BusySeconds()) {
-      mm.worker_busy_seconds.push_back(b);
-    }
-    mm.machine_busy_seconds.push_back(machines_[m]->bsp_busy_seconds());
-  }
   joins_.clear();
   shared_.dataflow = nullptr;
   return result;

@@ -1,0 +1,58 @@
+#include "engine/config.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace huge {
+
+std::string Config::Validate() const {
+  if (num_machines < 1) {
+    return "num_machines must be >= 1 (got " + std::to_string(num_machines) +
+           "): the cluster needs at least one machine runtime";
+  }
+  if (workers_per_machine < 1) {
+    return "workers_per_machine must be >= 1 (got " +
+           std::to_string(workers_per_machine) +
+           "): every machine needs a worker to drive its operators";
+  }
+  if (batch_size == 0) {
+    return "batch_size must be >= 1: batches are the minimum processing "
+           "unit, and delta batches chain parents per batch — a zero batch "
+           "size would emit no rows at all";
+  }
+  if (chunk_rows == 0) {
+    return "chunk_rows must be >= 1: the stealing deques deal work in "
+           "row chunks";
+  }
+  if (join_spill_threshold == 0) {
+    return "join_spill_threshold must be >= 1 byte: a zero threshold would "
+           "spill a sorted run per appended row";
+  }
+  if (spill_dir.empty()) {
+    return "spill_dir must be non-empty: PUSH-JOIN buffers need somewhere "
+           "to spill sorted runs";
+  }
+  if (time_limit_seconds < 0) {
+    return "time_limit_seconds must be >= 0 (0 disables the limit); a "
+           "negative deadline would abort every run immediately";
+  }
+  return "";
+}
+
+namespace internal {
+
+void CheckValidOrDie(const std::string& error, const char* who) {
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: invalid configuration: %s\n", who,
+                 error.c_str());
+    std::abort();
+  }
+}
+
+void CheckConfigValid(const Config& config, const char* who) {
+  CheckValidOrDie(config.Validate(), who);
+}
+
+}  // namespace internal
+
+}  // namespace huge

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 
 #include "cache/cache.h"
 #include "common/types.h"
@@ -114,7 +115,28 @@ struct Config {
   /// match[i] = data vertex bound to query vertex i. Setting it disables
   /// count fusion so every full match row is materialised.
   std::function<void(std::span<const VertexId>)> match_sink;
+
+  /// Checks the configuration for nonsensical combinations (zero machines
+  /// or workers, a zero batch/chunk size under the batched execution model,
+  /// a negative time limit, an empty spill directory, ...). Returns an
+  /// empty string when the configuration is usable, else a human-readable
+  /// description of the first problem found. `Runner` and `QueryService`
+  /// call this at construction and abort on a non-empty result, so a bad
+  /// configuration fails loudly up front instead of as a mid-run
+  /// HUGE_CHECK deep in the engine.
+  std::string Validate() const;
 };
+
+namespace internal {
+
+/// Aborts with `who: invalid configuration: <error>` when `error` is
+/// non-empty. The one report-and-abort path behind every Validate() gate.
+void CheckValidOrDie(const std::string& error, const char* who);
+
+/// Construction-time gate of Runner: CheckValidOrDie(config.Validate()).
+void CheckConfigValid(const Config& config, const char* who);
+
+}  // namespace internal
 
 }  // namespace huge
 

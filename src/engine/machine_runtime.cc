@@ -202,6 +202,27 @@ void MachineRuntime::PrepareRun() {
   pool_->ResetStats();
 }
 
+RunMetrics MachineRuntime::MetricsSnapshot() {
+  RunMetrics m;
+  if (cache_ != nullptr) {
+    m.cache_hits = cache_->hits();
+    m.cache_misses = cache_->misses();
+  }
+  m.intra_steals = pool_->steal_count();
+  m.inter_steals = inter_steals_.load();
+  m.fetch_seconds = fetch_seconds();
+  m.fused_count_rows = fused_count_rows();
+  m.materialized_count_rows = materialized_count_rows();
+  m.remote_sliced_rows = remote_sliced_rows();
+  m.remote_full_rows = remote_full_rows();
+  m.hub_probe_rows = hub_probe_rows();
+  m.delta_rows = delta_rows();
+  m.materialize_rows = materialize_rows();
+  m.worker_busy_seconds = pool_->BusySeconds();
+  m.machine_busy_seconds.push_back(bsp_busy_seconds());
+  return m;
+}
+
 void MachineRuntime::SetupSegment(const SegmentPlan* seg) {
   seg_ = seg;
   queues_.clear();

@@ -121,6 +121,13 @@ class MachineRuntime {
   uint64_t matches() const { return matches_.load(); }
   double fetch_seconds() const { return fetch_nanos_.load() * 1e-9; }
 
+  /// This machine's contribution to the run's metrics (cache, stealing,
+  /// fast-path counters, per-worker busy times) as a standalone RunMetrics,
+  /// ready for RunMetrics::Merge. Called by the cluster after the end-of-
+  /// run barrier; cluster-wide fields (wall time, network, peak memory)
+  /// are owned by the cluster and left zero here.
+  RunMetrics MetricsSnapshot();
+
   /// Busy time of BSP phases (which bypass the worker pool).
   double bsp_busy_seconds() const { return bsp_busy_nanos_.load() * 1e-9; }
   void AddBspBusy(double seconds) {

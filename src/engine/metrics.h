@@ -1,6 +1,7 @@
 #ifndef HUGE_ENGINE_METRICS_H_
 #define HUGE_ENGINE_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -89,6 +90,45 @@ struct RunMetrics {
     return static_cast<double>(bytes_communicated) /
            (bandwidth_bytes_per_sec * comm_seconds);
   }
+
+  /// Folds the metrics of a disjoint piece of work — another machine of the
+  /// same run, or another query of a service workload — into this one.
+  /// Additive counters and times sum; `peak_memory_bytes` takes the max
+  /// (each tracker watches its own state set, so peaks do not add); the
+  /// per-worker/per-machine busy vectors append.
+  ///
+  /// This is the single aggregation primitive: the cluster folds
+  /// per-machine snapshots through it after the end-of-run barrier, and the
+  /// query service folds per-query results under its scheduler lock —
+  /// concurrent queries never share mutable counters, they merge finished
+  /// snapshots.
+  void Merge(const RunMetrics& o) {
+    compute_seconds += o.compute_seconds;
+    comm_seconds += o.comm_seconds;
+    bytes_communicated += o.bytes_communicated;
+    rpc_requests += o.rpc_requests;
+    push_messages += o.push_messages;
+    peak_memory_bytes = std::max(peak_memory_bytes, o.peak_memory_bytes);
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    intra_steals += o.intra_steals;
+    inter_steals += o.inter_steals;
+    fetch_seconds += o.fetch_seconds;
+    intermediate_rows += o.intermediate_rows;
+    fused_count_rows += o.fused_count_rows;
+    materialized_count_rows += o.materialized_count_rows;
+    remote_sliced_rows += o.remote_sliced_rows;
+    remote_full_rows += o.remote_full_rows;
+    hub_probe_rows += o.hub_probe_rows;
+    delta_rows += o.delta_rows;
+    materialize_rows += o.materialize_rows;
+    worker_busy_seconds.insert(worker_busy_seconds.end(),
+                               o.worker_busy_seconds.begin(),
+                               o.worker_busy_seconds.end());
+    machine_busy_seconds.insert(machine_busy_seconds.end(),
+                                o.machine_busy_seconds.begin(),
+                                o.machine_busy_seconds.end());
+  }
 };
 
 /// Outcome status of a run.
@@ -96,9 +136,11 @@ enum class RunStatus : uint8_t {
   kOk,       ///< completed; `matches` is exact
   kOom,      ///< aborted: the engine exceeded Config::memory_limit_bytes
   kTimeout,  ///< aborted: the run exceeded Config::time_limit_seconds (OT)
+  kRejected, ///< never ran: the service's admission controller refused the
+             ///< query (its memory reservation exceeds the whole budget)
 };
 
-/// Short table label: "ok", "OOM" or "OT".
+/// Short table label: "ok", "OOM", "OT" or "REJ".
 inline const char* ToString(RunStatus s) {
   switch (s) {
     case RunStatus::kOk:
@@ -107,6 +149,8 @@ inline const char* ToString(RunStatus s) {
       return "OOM";
     case RunStatus::kTimeout:
       return "OT";
+    case RunStatus::kRejected:
+      return "REJ";
   }
   return "?";
 }

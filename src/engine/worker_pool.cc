@@ -82,15 +82,22 @@ bool WorkerPool::NextChunk(int id, Chunk* out) {
     const int victim = static_cast<int>((r + attempt) % n);
     if (victim == id) continue;
     WorkerState& vs = *states_[victim];
-    std::lock_guard<std::mutex> guard(vs.mu);
-    if (vs.deque.empty()) continue;
-    const size_t take = (vs.deque.size() + 1) / 2;
-    Chunk first = vs.deque.front();
-    vs.deque.pop_front();
+    Chunk first;
     std::vector<Chunk> rest;
-    for (size_t i = 1; i < take; ++i) {
-      rest.push_back(vs.deque.front());
+    {
+      // Never hold two worker mutexes at once: two concurrent thieves
+      // picking each other as victims would order the same pair of locks
+      // oppositely (ABBA). Take the loot under the victim's lock only,
+      // then re-home it under our own.
+      std::lock_guard<std::mutex> guard(vs.mu);
+      if (vs.deque.empty()) continue;
+      const size_t take = (vs.deque.size() + 1) / 2;
+      first = vs.deque.front();
       vs.deque.pop_front();
+      for (size_t i = 1; i < take; ++i) {
+        rest.push_back(vs.deque.front());
+        vs.deque.pop_front();
+      }
     }
     if (!rest.empty()) {
       WorkerState& self = *states_[id];

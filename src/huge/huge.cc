@@ -1,11 +1,27 @@
 #include "huge/huge.h"
 
 namespace huge {
+namespace {
+
+Config ValidatedConfig(Config config) {
+  internal::CheckConfigValid(config, "Runner");
+  return config;
+}
+
+}  // namespace
 
 Runner::Runner(std::shared_ptr<const Graph> graph, Config config)
     : graph_(graph),
       stats_(GraphStats::Compute(*graph)),
-      cluster_(std::move(graph), std::move(config)) {}
+      cluster_(std::move(graph), ValidatedConfig(std::move(config))) {
+  // Run/RunPlan delegate to a single-slot service borrowing this runner's
+  // cluster as its executor, so sequential use gets the plan cache for
+  // free and the cluster's metrics stay observable here.
+  service_ = std::make_unique<QueryService>(&cluster_, stats_,
+                                            ServiceConfig{});
+}
+
+Runner::~Runner() = default;
 
 ExecutionPlan Runner::PlanFor(const QueryGraph& q) const {
   OptimizerOptions options;
@@ -13,10 +29,12 @@ ExecutionPlan Runner::PlanFor(const QueryGraph& q) const {
   return Optimize(q, stats_, options);
 }
 
-RunResult Runner::Run(const QueryGraph& q) { return RunPlan(PlanFor(q)); }
+RunResult Runner::Run(const QueryGraph& q) {
+  return service_->Submit(q).get();
+}
 
 RunResult Runner::RunPlan(const ExecutionPlan& plan) {
-  return RunDataflow(Translate(plan));
+  return service_->SubmitPlan(plan).get();
 }
 
 RunResult Runner::RunDataflow(const Dataflow& df) { return cluster_.Run(df); }

@@ -11,11 +11,14 @@
 #include "plan/optimizer.h"
 #include "plan/translate.h"
 #include "query/query_graph.h"
+#include "service/query_service.h"
 
 namespace huge {
 
 /// The public facade of the HUGE system: give it a data graph and a
 /// configuration, then enumerate query graphs.
+///
+/// One-query-at-a-time use:
 ///
 /// ```
 ///   auto graph = std::make_shared<huge::Graph>(
@@ -24,19 +27,39 @@ namespace huge {
 ///   huge::RunResult r = runner.Run(huge::queries::Square());
 ///   // r.matches, r.metrics.TotalSeconds(), ...
 /// ```
+///
+/// Run/RunPlan delegate to an internal single-slot QueryService, so every
+/// Runner query already flows through the service's plan cache and
+/// admission path, and calling Run from several threads is safe (queries
+/// serialise in submission order). For genuinely concurrent multi-tenant
+/// workloads — many queries in flight over one shared graph and memory
+/// budget — construct a QueryService directly:
+///
+/// ```
+///   huge::ServiceConfig sc;
+///   sc.max_concurrent_queries = 4;         // executor slots
+///   sc.memory_budget_bytes = 512u << 20;   // admission budget
+///   huge::QueryService service(graph, sc);
+///   auto f1 = service.Submit(huge::queries::Square(), {.tenant = "alice"});
+///   auto f2 = service.Submit(huge::queries::Diamond(), {.tenant = "bob"});
+///   uint64_t squares = f1.get().matches;   // identical to Runner::Run
+/// ```
 class Runner {
  public:
   Runner(std::shared_ptr<const Graph> graph, Config config = {});
+  ~Runner();
 
   /// Enumerates `q` using the plan produced by HUGE's optimiser
-  /// (Algorithm 1) and returns the count plus run metrics.
+  /// (Algorithm 1) and returns the count plus run metrics. Repeated
+  /// patterns hit the runner's plan cache and skip the optimiser.
   RunResult Run(const QueryGraph& q);
 
   /// Enumerates `q` with a caller-provided execution plan — this is how
   /// prior systems' logical plans are "plugged into HUGE" (Remark 3.2).
   RunResult RunPlan(const ExecutionPlan& plan);
 
-  /// Runs an already-translated dataflow.
+  /// Runs an already-translated dataflow (directly on the cluster,
+  /// bypassing the service layer).
   RunResult RunDataflow(const Dataflow& df);
 
   /// The optimiser's plan for `q` under this runner's cluster size.
@@ -46,10 +69,17 @@ class Runner {
   Cluster& cluster() { return cluster_; }
   const Config& config() const { return cluster_.config(); }
 
+  /// The internal single-slot service Run/RunPlan delegate to (plan-cache
+  /// counters, admission tracker).
+  QueryService& service() { return *service_; }
+
  private:
   std::shared_ptr<const Graph> graph_;
   GraphStats stats_;
   Cluster cluster_;
+  /// Declared after cluster_: destroyed first, while its borrowed
+  /// executor is still alive.
+  std::unique_ptr<QueryService> service_;
 };
 
 }  // namespace huge

@@ -93,4 +93,30 @@ double EstimateCardinality(const QueryGraph& q, EdgeMask mask,
   return est;
 }
 
+size_t EstimatePlanMemoryBytes(const ExecutionPlan& plan,
+                               const GraphStats& stats) {
+  if (plan.nodes.empty()) return 0;
+  auto node_bytes = [&](const PlanNode& node) {
+    const double card = EstimateCardinality(plan.query, node.edges, stats);
+    const int width =
+        __builtin_popcount(subquery::Vertices(plan.query, node.edges));
+    return card * static_cast<double>(width) * kVertexBytes;
+  };
+  double peak = 0;
+  for (const PlanNode& node : plan.nodes) {
+    double bytes = node_bytes(node);
+    if (!node.IsLeaf() && node.algo == JoinAlgo::kHash &&
+        node.comm == CommMode::kPush) {
+      // A PUSH-JOIN seals both shuffled inputs before draining them.
+      bytes += node_bytes(plan.nodes[node.left]) +
+               node_bytes(plan.nodes[node.right]);
+    }
+    peak = std::max(peak, bytes);
+  }
+  // Saturate rather than overflow on huge estimates (the admission
+  // controller clamps to its budget anyway).
+  constexpr double kMax = 1e18;
+  return static_cast<size_t>(std::min(peak, kMax));
+}
+
 }  // namespace huge

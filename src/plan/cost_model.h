@@ -35,6 +35,18 @@ struct GraphStats {
 double EstimateCardinality(const QueryGraph& q, EdgeMask mask,
                            const GraphStats& stats);
 
+/// Coarse planning-time envelope of the run-time intermediate state of
+/// `plan`: the largest per-node footprint, where a node's footprint is its
+/// estimated cardinality times its row width in bytes, and a pushing hash
+/// join additionally buffers both children simultaneously (their
+/// footprints add on top of its own). The estimate inherits the cost
+/// model's intent — relative ordering and rough magnitude, not bytes-exact
+/// prediction — and is what the query service's admission controller
+/// derives per-query memory reservations from (clamped to the service's
+/// budget and reservation floor, see ServiceConfig).
+size_t EstimatePlanMemoryBytes(const ExecutionPlan& plan,
+                               const GraphStats& stats);
+
 }  // namespace huge
 
 #endif  // HUGE_PLAN_COST_MODEL_H_

@@ -1,0 +1,195 @@
+#include "query/signature.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace huge {
+namespace {
+
+/// Replaces arbitrary orderable keys by dense ranks (0 = smallest key).
+/// Equal keys get equal ranks, and the ranks only depend on the multiset
+/// of keys — the property that keeps colours isomorphism-invariant.
+template <typename Key>
+std::vector<int> RankColors(const std::vector<Key>& keys) {
+  std::vector<Key> sorted(keys);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<int> ranks(keys.size());
+  for (size_t v = 0; v < keys.size(); ++v) {
+    ranks[v] = static_cast<int>(
+        std::lower_bound(sorted.begin(), sorted.end(), keys[v]) -
+        sorted.begin());
+  }
+  return ranks;
+}
+
+/// 1-WL colour refinement: start from (degree, label), refine each vertex
+/// by the sorted multiset of its neighbours' colours until stable.
+std::vector<int> RefineColors(const QueryGraph& q) {
+  const int n = q.NumVertices();
+  std::vector<std::pair<int, int>> init(n);
+  for (int v = 0; v < n; ++v) {
+    init[v] = {q.Degree(v), q.Label(v)};
+  }
+  std::vector<int> color = RankColors(init);
+  for (int round = 0; round < n; ++round) {
+    std::vector<std::pair<int, std::vector<int>>> keys(n);
+    for (int v = 0; v < n; ++v) {
+      std::vector<int> nbr;
+      const uint32_t mask = q.NeighborMask(static_cast<QueryVertexId>(v));
+      for (int u = 0; u < n; ++u) {
+        if ((mask >> u) & 1u) nbr.push_back(color[u]);
+      }
+      std::sort(nbr.begin(), nbr.end());
+      keys[v] = {color[v], std::move(nbr)};
+    }
+    std::vector<int> next = RankColors(keys);
+    if (next == color) break;
+    color = std::move(next);
+  }
+  return color;
+}
+
+/// Per-position code entry: the adjacency bitmask to earlier positions in
+/// the high bits, the vertex label in the low byte. Lexicographic order of
+/// the entry vector defines the canonical form.
+uint32_t CodeEntry(const QueryGraph& q, const std::vector<int>& order, int pos,
+                   int v) {
+  uint32_t mask = 0;
+  for (int p = 0; p < pos; ++p) {
+    if (q.HasEdge(static_cast<QueryVertexId>(order[p]),
+                  static_cast<QueryVertexId>(v))) {
+      mask |= 1u << p;
+    }
+  }
+  return (mask << 8) | q.Label(static_cast<QueryVertexId>(v));
+}
+
+/// Backtracking search for the lexicographically smallest code among all
+/// colour-respecting vertex orders (position i must take a vertex of the
+/// minimal colour among the still-unused ones — an isomorphism-invariant
+/// restriction that prunes the n! orders down to the colour classes'
+/// automorphism slack).
+struct CanonSearch {
+  const QueryGraph& q;
+  const std::vector<int>& color;
+  int n;
+  std::vector<int> order;
+  std::vector<bool> used;
+  std::vector<uint32_t> cur;
+  std::vector<uint32_t> best;
+  bool have_best = false;
+  uint64_t nodes = 0;
+  bool aborted = false;
+
+  /// Search-node budget: far above what any refined <= 16-vertex pattern
+  /// needs (a fully symmetric clique explores O(n^2) nodes thanks to the
+  /// prefix prune), present so an adversarial regular pattern degrades to
+  /// the exact fallback instead of stalling a Submit call.
+  static constexpr uint64_t kNodeBudget = 1u << 20;
+
+  /// True iff cur[0..pos) equals best[0..pos). Only then can a larger
+  /// entry be pruned (a smaller prefix makes every completion a new
+  /// best). Recomputed per candidate rather than threaded down the
+  /// recursion: best only ever moves to a descendant of the current path,
+  /// so a node can *become* tight mid-loop — a cached flag would go stale
+  /// and silently disable the prune.
+  bool PrefixTight(int pos) const {
+    for (int p = 0; p < pos; ++p) {
+      if (cur[p] != best[p]) return false;
+    }
+    return true;
+  }
+
+  void Dfs(int pos) {
+    if (aborted) return;
+    if (++nodes > kNodeBudget) {
+      aborted = true;
+      return;
+    }
+    if (pos == n) {
+      if (!have_best || cur < best) {
+        best = cur;
+        have_best = true;
+      }
+      return;
+    }
+    int min_color = n + 1;
+    for (int v = 0; v < n; ++v) {
+      if (!used[v]) min_color = std::min(min_color, color[v]);
+    }
+    for (int v = 0; v < n; ++v) {
+      if (used[v] || color[v] != min_color) continue;
+      const uint32_t entry = CodeEntry(q, order, pos, v);
+      if (have_best && PrefixTight(pos) && entry > best[pos]) {
+        continue;  // every completion would exceed best lexicographically
+      }
+      order[pos] = v;
+      used[v] = true;
+      cur[pos] = entry;
+      Dfs(pos + 1);
+      used[v] = false;
+      if (aborted) return;
+    }
+  }
+};
+
+void AppendHex(std::string* out, uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  char buf[16];
+  int i = 0;
+  do {
+    buf[i++] = kDigits[value & 0xf];
+    value >>= 4;
+  } while (value != 0);
+  while (i > 0) out->push_back(buf[--i]);
+}
+
+}  // namespace
+
+std::string CanonicalSignature(const QueryGraph& q) {
+  const int n = q.NumVertices();
+  if (n == 0) return std::string("c0:");
+  const std::vector<int> color = RefineColors(q);
+
+  CanonSearch search{q, color, n};
+  search.order.assign(n, -1);
+  search.used.assign(n, false);
+  search.cur.assign(n, 0);
+  search.Dfs(0);
+
+  if (!search.aborted && search.have_best) {
+    std::string sig("c");
+    AppendHex(&sig, static_cast<uint64_t>(n));
+    sig.push_back(':');
+    for (uint32_t entry : search.best) {
+      AppendHex(&sig, entry);
+      sig.push_back('.');
+    }
+    return sig;
+  }
+
+  // Exact fallback (search budget exceeded): encode the graph as numbered.
+  // Not canonical — an isomorphic renumbering may produce a different
+  // signature and miss the cache — but equal signatures still imply equal
+  // (hence isomorphic) graphs, so a cache hit is always safe.
+  std::string sig("x");
+  AppendHex(&sig, static_cast<uint64_t>(n));
+  sig.push_back(':');
+  for (int v = 0; v < n; ++v) {
+    AppendHex(&sig, q.Label(static_cast<QueryVertexId>(v)));
+    sig.push_back('.');
+  }
+  sig.push_back('/');
+  for (const auto& [u, v] : q.Edges()) {
+    AppendHex(&sig, u);
+    sig.push_back('-');
+    AppendHex(&sig, v);
+    sig.push_back('.');
+  }
+  return sig;
+}
+
+}  // namespace huge

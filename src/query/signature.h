@@ -1,0 +1,34 @@
+#ifndef HUGE_QUERY_SIGNATURE_H_
+#define HUGE_QUERY_SIGNATURE_H_
+
+#include <string>
+
+#include "query/query_graph.h"
+
+namespace huge {
+
+/// Canonical signature of a query graph, used as the plan-cache key: two
+/// queries receive the *same* signature iff they are isomorphic (same
+/// pattern up to renumbering the query vertices, labels respected), so
+/// repeated submissions of the same pattern — however the client numbered
+/// its vertices — hit one cached plan, while merely same-shaped patterns
+/// (equal degree sequences, different structure or label arrangement) miss.
+///
+/// Algorithm: iterative colour refinement (1-WL: a vertex's colour is
+/// refined by the multiset of its neighbours' colours until stable; the
+/// initial colour is (degree, label)), then a backtracking search over
+/// colour-respecting vertex orders for the lexicographically smallest
+/// adjacency code (per position: the bitmask of edges to earlier positions,
+/// plus the label). Colour classes are isomorphism-invariant, so the
+/// minimal code is a canonical form. Query graphs have at most 16 vertices
+/// and the refinement splits most classes, so the search is tiny for every
+/// realistic pattern; a pathological instance that exceeds the internal
+/// node budget falls back to an *exact* (non-canonical) encoding of the
+/// graph as numbered — isomorphic copies may then miss the cache, but a
+/// signature collision still implies isomorphism, which is the property
+/// plan-cache correctness rests on.
+std::string CanonicalSignature(const QueryGraph& q);
+
+}  // namespace huge
+
+#endif  // HUGE_QUERY_SIGNATURE_H_

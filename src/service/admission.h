@@ -1,0 +1,78 @@
+#ifndef HUGE_SERVICE_ADMISSION_H_
+#define HUGE_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+
+#include "common/memory_tracker.h"
+
+namespace huge {
+
+/// Admission controller of the query service: gates query entry on a
+/// global memory budget and a concurrency cap. Every query carries a
+/// memory *reservation* (derived from the cost model's cardinality
+/// estimates, see EstimatePlanMemoryBytes); a query is admitted only while
+/// the sum of running reservations stays within the budget and fewer than
+/// `max_concurrent` queries are running. Reservations are accounted
+/// through a MemoryTracker, whose high-water mark is the auditable
+/// guarantee: `tracker().peak() <= budget_bytes` holds over the service's
+/// whole lifetime by construction.
+///
+/// The controller is a passive decision structure: all mutating calls are
+/// made under the service's scheduler lock (single dispatcher), only the
+/// tracker is internally atomic so tests and metrics can read the
+/// high-water mark concurrently.
+class AdmissionController {
+ public:
+  /// `budget_bytes == 0` disables the memory gate (concurrency cap only).
+  AdmissionController(size_t budget_bytes, int max_concurrent)
+      : budget_bytes_(budget_bytes), max_concurrent_(max_concurrent) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// True iff a reservation of `bytes` could *ever* be admitted, i.e. it
+  /// fits the whole budget on an idle service. False means the query must
+  /// be rejected (or its reservation clamped) — waiting would deadlock.
+  bool CanEverAdmit(size_t bytes) const {
+    return budget_bytes_ == 0 || bytes <= budget_bytes_;
+  }
+
+  /// True iff `bytes` fits right now (does not admit).
+  bool CanAdmit(size_t bytes) const {
+    if (running_ >= max_concurrent_) return false;
+    return budget_bytes_ == 0 ||
+           tracker_.current() + bytes <= budget_bytes_;
+  }
+
+  /// Admits a reservation when it fits; returns whether it did.
+  bool TryAdmit(size_t bytes) {
+    if (!CanAdmit(bytes)) return false;
+    tracker_.Allocate(bytes);
+    ++running_;
+    return true;
+  }
+
+  /// Returns a finished query's reservation.
+  void Release(size_t bytes) {
+    tracker_.Release(bytes);
+    --running_;
+  }
+
+  int running() const { return running_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+  int max_concurrent() const { return max_concurrent_; }
+
+  /// Reservation accounting; `tracker().peak()` is the high-water mark of
+  /// concurrently admitted reservations.
+  const MemoryTracker& tracker() const { return tracker_; }
+
+ private:
+  const size_t budget_bytes_;
+  const int max_concurrent_;
+  int running_ = 0;
+  MemoryTracker tracker_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_SERVICE_ADMISSION_H_

@@ -1,0 +1,80 @@
+#ifndef HUGE_SERVICE_FAIR_SCHEDULER_H_
+#define HUGE_SERVICE_FAIR_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace huge {
+
+/// Fair dispatch order over queued queries: FIFO within a tenant,
+/// round-robin across tenants. One tenant enqueueing a burst of large
+/// enumerations can therefore delay its *own* later queries, but not
+/// another tenant's — the next free executor slot goes to the next tenant
+/// in the rotation, so a single heavy stream never monopolises the shared
+/// worker pools.
+///
+/// The scheduler orders opaque task ids (the service maps ids to its task
+/// records); it is a plain data structure with no internal locking — the
+/// service mutates it under its scheduler lock, and unit tests drive it
+/// directly.
+class FairScheduler {
+ public:
+  /// Appends task `id` to `tenant`'s queue, entering the tenant into the
+  /// round-robin rotation if it had no pending work.
+  void Enqueue(const std::string& tenant, uint64_t id) {
+    auto [it, inserted] = queues_.try_emplace(tenant);
+    if (it->second.empty()) rotation_.push_back(tenant);
+    it->second.push_back(id);
+    ++size_;
+  }
+
+  /// The task that would be dispatched next (the front of the rotation's
+  /// head tenant). Returns false when empty. Does not dequeue: the
+  /// dispatcher peeks, checks admission for that specific task, and only
+  /// pops once the task is actually admitted — queries are not reordered
+  /// around a head blocked on memory, which keeps dispatch starvation-free.
+  bool PeekNext(uint64_t* id) const {
+    if (rotation_.empty()) return false;
+    *id = queues_.at(rotation_.front()).front();
+    return true;
+  }
+
+  /// Dequeues the task PeekNext reported and rotates its tenant to the
+  /// back of the round-robin order. Returns false when empty. A drained
+  /// tenant's entry is erased, so the map stays proportional to tenants
+  /// with *pending* work, not tenants ever seen.
+  bool PopNext(uint64_t* id) {
+    if (rotation_.empty()) return false;
+    const std::string tenant = std::move(rotation_.front());
+    rotation_.pop_front();
+    const auto qit = queues_.find(tenant);
+    std::deque<uint64_t>& q = qit->second;
+    *id = q.front();
+    q.pop_front();
+    --size_;
+    if (!q.empty()) {
+      rotation_.push_back(tenant);
+    } else {
+      queues_.erase(qit);
+    }
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tenants currently holding pending work.
+  size_t num_pending_tenants() const { return rotation_.size(); }
+
+ private:
+  std::deque<std::string> rotation_;  ///< tenants with pending work
+  std::unordered_map<std::string, std::deque<uint64_t>> queues_;
+  size_t size_ = 0;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_SERVICE_FAIR_SCHEDULER_H_

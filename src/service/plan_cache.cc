@@ -1,0 +1,62 @@
+#include "service/plan_cache.h"
+
+#include <utility>
+
+namespace huge {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const ExecutionPlan> PlanCache::Get(
+    const std::string& signature) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.plan;
+}
+
+void PlanCache::Put(const std::string& signature,
+                    std::shared_ptr<const ExecutionPlan> plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(signature);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(signature);
+  entries_.emplace(signature, Entry{std::move(plan), lru_.begin()});
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return misses_;
+}
+
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return evictions_;
+}
+
+}  // namespace huge

@@ -1,0 +1,67 @@
+#ifndef HUGE_SERVICE_PLAN_CACHE_H_
+#define HUGE_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "plan/plan.h"
+
+namespace huge {
+
+/// Thread-safe LRU cache of optimised execution plans, keyed by the
+/// canonical query-graph signature (query/signature.h). Repeated patterns
+/// skip the optimiser's edge-subset DP entirely: the service looks the
+/// signature up, and only a miss pays for planning. Plans are stored as
+/// shared_ptr<const ExecutionPlan>, so a hit stays valid even if the entry
+/// is evicted while the query is still queued or running.
+///
+/// A plan is only as durable as the statistics it was costed from; the
+/// cache is owned by a QueryService, which is bound to one immutable data
+/// graph and one cluster size, so entries never go stale within a service's
+/// lifetime.
+class PlanCache {
+ public:
+  /// `capacity` is the maximum number of cached plans; 0 disables the
+  /// cache entirely (Get always misses without counting, Put is a no-op).
+  explicit PlanCache(size_t capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached plan for `signature`, or nullptr. Counts a hit or a miss
+  /// and refreshes the entry's LRU position on a hit.
+  std::shared_ptr<const ExecutionPlan> Get(const std::string& signature);
+
+  /// Inserts (or refreshes) the plan for `signature`, evicting the least
+  /// recently used entry when at capacity.
+  void Put(const std::string& signature,
+           std::shared_ptr<const ExecutionPlan> plan);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ExecutionPlan> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,289 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "plan/optimizer.h"
+#include "plan/translate.h"
+#include "query/signature.h"
+
+namespace huge {
+
+std::string ServiceConfig::Validate() const {
+  const std::string engine_err = engine.Validate();
+  if (!engine_err.empty()) return engine_err;
+  if (max_concurrent_queries < 1) {
+    return "max_concurrent_queries must be >= 1: the service needs at "
+           "least one executor slot";
+  }
+  if (memory_budget_bytes > 0 && min_reservation_bytes > memory_budget_bytes) {
+    return "min_reservation_bytes exceeds memory_budget_bytes: every "
+           "query's reservation would be clamped to the whole budget and "
+           "nothing could run concurrently by design — raise the budget or "
+           "lower the floor";
+  }
+  if (reject_over_budget && memory_budget_bytes == 0) {
+    return "reject_over_budget requires a memory_budget_bytes: with the "
+           "memory gate disabled there is no budget to reject against and "
+           "the flag would silently do nothing";
+  }
+  if (engine.match_sink && max_concurrent_queries > 1) {
+    return "engine.match_sink requires max_concurrent_queries == 1: a "
+           "multi-slot service would invoke the single shared callback "
+           "concurrently with interleaved rows from different queries";
+  }
+  return "";
+}
+
+/// A submitted query between Submit and completion: the translated
+/// dataflow, its admission reservation, and the promise the client holds
+/// the future of.
+struct QueryService::Task {
+  uint64_t id = 0;
+  std::string tenant;
+  Dataflow df;
+  size_t reservation = 0;
+  WallTimer queued;  ///< started at enqueue; read once at dispatch
+  std::promise<RunResult> promise;
+};
+
+/// One executor slot: a dedicated simulated cluster plus the thread that
+/// drives it. `task` doubles as the busy flag — non-null from dispatch
+/// until the result is delivered.
+struct QueryService::Slot {
+  Cluster* cluster = nullptr;
+  std::unique_ptr<Cluster> owned;
+  std::unique_ptr<Task> task;
+  std::thread thread;
+};
+
+QueryService::QueryService(std::shared_ptr<const Graph> graph,
+                           ServiceConfig config)
+    : config_(std::move(config)),
+      graph_(std::move(graph)),
+      stats_(GraphStats::Compute(*graph_)) {
+  Start();
+  for (int i = 0; i < config_.max_concurrent_queries; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->owned = std::make_unique<Cluster>(graph_, config_.engine);
+    slot->cluster = slot->owned.get();
+    slots_.push_back(std::move(slot));
+  }
+  for (auto& slot : slots_) {
+    slot->thread = std::thread(&QueryService::SlotLoop, this, slot.get());
+  }
+  dispatcher_ = std::thread(&QueryService::DispatcherLoop, this);
+}
+
+QueryService::QueryService(Cluster* executor, const GraphStats& stats,
+                           ServiceConfig config)
+    : config_(std::move(config)), stats_(stats) {
+  HUGE_CHECK(executor != nullptr);
+  config_.engine = executor->config();
+  config_.max_concurrent_queries = 1;
+  Start();
+  auto slot = std::make_unique<Slot>();
+  slot->cluster = executor;
+  slots_.push_back(std::move(slot));
+  slots_[0]->thread = std::thread(&QueryService::SlotLoop, this,
+                                  slots_[0].get());
+  dispatcher_ = std::thread(&QueryService::DispatcherLoop, this);
+}
+
+void QueryService::Start() {
+  internal::CheckValidOrDie(config_.Validate(), "QueryService");
+  plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache_capacity);
+  admission_ = std::make_unique<AdmissionController>(
+      config_.memory_budget_bytes, config_.max_concurrent_queries);
+}
+
+QueryService::~QueryService() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    shutdown_ = true;
+  }
+  cv_dispatch_.notify_all();
+  cv_slots_.notify_all();
+  dispatcher_.join();
+  for (auto& slot : slots_) slot->thread.join();
+}
+
+std::future<RunResult> QueryService::Submit(const QueryGraph& q,
+                                            SubmitOptions opts) {
+  OptimizerOptions options;
+  options.num_machines = config_.engine.num_machines;
+  // The cache is bypassed with a match_sink: a hit may hand back the plan
+  // of an isomorphic query with renumbered vertices — identical counts,
+  // but per-match callbacks would see the renumbering.
+  const bool cacheable = opts.use_plan_cache &&
+                         plan_cache_->capacity() > 0 &&
+                         !config_.engine.match_sink;
+  if (!cacheable) {
+    return EnqueuePlan(Optimize(q, stats_, options), opts);
+  }
+  const std::string signature = CanonicalSignature(q);
+  std::shared_ptr<const ExecutionPlan> plan = plan_cache_->Get(signature);
+  if (plan == nullptr) {
+    plan = std::make_shared<const ExecutionPlan>(
+        Optimize(q, stats_, options));
+    plan_cache_->Put(signature, plan);
+  }
+  return EnqueuePlan(*plan, opts);
+}
+
+std::future<RunResult> QueryService::SubmitPlan(const ExecutionPlan& plan,
+                                                SubmitOptions opts) {
+  return EnqueuePlan(plan, opts);
+}
+
+std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
+                                                 const SubmitOptions& opts) {
+  // Reservation: the cost model's envelope, floored, clamped to the
+  // budget (unless the config says such queries are rejected outright).
+  // A zero budget disables the gate entirely — Validate() guarantees
+  // reject_over_budget is never set without a budget.
+  size_t reservation = 0;
+  const size_t budget = config_.memory_budget_bytes;
+  if (budget > 0) {
+    const size_t raw = std::max(EstimatePlanMemoryBytes(plan, stats_),
+                                config_.min_reservation_bytes);
+    if (raw > budget) {
+      if (config_.reject_over_budget) {
+        std::promise<RunResult> promise;
+        std::future<RunResult> future = promise.get_future();
+        RunResult rejected;
+        rejected.status = RunStatus::kRejected;
+        promise.set_value(std::move(rejected));
+        std::lock_guard<std::mutex> guard(mu_);
+        ++submitted_;
+        ++rejected_;
+        return future;
+      }
+      reservation = budget;
+    } else {
+      reservation = raw;
+    }
+  }
+
+  auto task = std::make_unique<Task>();
+  task->tenant = opts.tenant;
+  task->df = Translate(plan);
+  task->reservation = reservation;
+  std::future<RunResult> future = task->promise.get_future();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    HUGE_CHECK(!shutdown_ && "Submit after QueryService destruction began");
+    task->id = next_task_id_++;
+    task->queued.Reset();
+    sched_.Enqueue(opts.tenant, task->id);
+    queued_tasks_.emplace(task->id, std::move(task));
+    ++submitted_;
+  }
+  cv_dispatch_.notify_one();
+  return future;
+}
+
+QueryService::Slot* QueryService::FindFreeSlotLocked() {
+  for (auto& slot : slots_) {
+    if (slot->task == nullptr) return slot.get();
+  }
+  return nullptr;
+}
+
+void QueryService::DispatcherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    uint64_t head_id = 0;
+    Slot* slot = nullptr;
+    cv_dispatch_.wait(lk, [&] {
+      if (shutdown_) return true;
+      if (!sched_.PeekNext(&head_id)) return false;
+      slot = FindFreeSlotLocked();
+      if (slot == nullptr) return false;
+      // Strict fair order: the head waits for memory rather than letting
+      // later (smaller) queries overtake it indefinitely.
+      return admission_->CanAdmit(queued_tasks_.at(head_id)->reservation);
+    });
+    if (shutdown_) return;
+    uint64_t id = 0;
+    sched_.PopNext(&id);
+    HUGE_CHECK(id == head_id);
+    auto it = queued_tasks_.find(id);
+    Task* task = it->second.get();
+    HUGE_CHECK(admission_->TryAdmit(task->reservation));
+    peak_concurrency_ = std::max(peak_concurrency_, admission_->running());
+    queue_wait_seconds_ += task->queued.Seconds();
+    slot->task = std::move(it->second);
+    queued_tasks_.erase(it);
+    cv_slots_.notify_all();
+  }
+}
+
+void QueryService::SlotLoop(Slot* slot) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_slots_.wait(lk, [&] { return shutdown_ || slot->task != nullptr; });
+    if (slot->task == nullptr) {
+      if (shutdown_) return;
+      continue;
+    }
+    Task* task = slot->task.get();
+    lk.unlock();
+    RunResult result = slot->cluster->Run(task->df);
+    lk.lock();
+    admission_->Release(task->reservation);
+    ++completed_;
+    // Fold scalar counters only: Merge *appends* the per-worker busy
+    // vectors (right for one run's machines, unbounded growth across a
+    // service's lifetime of queries).
+    RunMetrics summary = result.metrics;
+    summary.worker_busy_seconds.clear();
+    summary.machine_busy_seconds.clear();
+    merged_.Merge(summary);
+    std::unique_ptr<Task> done = std::move(slot->task);  // frees the slot
+    lk.unlock();
+    done->promise.set_value(std::move(result));
+    cv_dispatch_.notify_one();
+    cv_drain_.notify_all();
+    lk.lock();
+  }
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_drain_.wait(lk, [&] {
+    if (!sched_.empty() || !queued_tasks_.empty()) return false;
+    for (const auto& slot : slots_) {
+      if (slot->task != nullptr) return false;
+    }
+    return true;
+  });
+}
+
+ServiceMetrics QueryService::metrics() const {
+  ServiceMetrics m;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    m.submitted = submitted_;
+    m.completed = completed_;
+    m.rejected = rejected_;
+    m.peak_concurrency = peak_concurrency_;
+    m.queue_wait_seconds = queue_wait_seconds_;
+    m.merged = merged_;
+  }
+  m.plan_cache_hits = plan_cache_->hits();
+  m.plan_cache_misses = plan_cache_->misses();
+  m.plan_cache_evictions = plan_cache_->evictions();
+  m.peak_reserved_bytes = admission_->tracker().peak();
+  return m;
+}
+
+size_t QueryService::pending() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return sched_.size();
+}
+
+}  // namespace huge

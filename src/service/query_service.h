@@ -1,0 +1,213 @@
+#ifndef HUGE_SERVICE_QUERY_SERVICE_H_
+#define HUGE_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/config.h"
+#include "engine/metrics.h"
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "query/query_graph.h"
+#include "service/admission.h"
+#include "service/fair_scheduler.h"
+#include "service/plan_cache.h"
+
+namespace huge {
+
+/// Configuration of a QueryService on top of the per-run engine Config.
+struct ServiceConfig {
+  /// Engine configuration shared by every executor of the service (one
+  /// simulated cluster per concurrently running query, all over the same
+  /// immutable data graph). Per-query configs are deliberately not
+  /// supported: the engine's intersection-kernel policy is process-wide,
+  /// so one service runs one kernel profile.
+  Config engine;
+
+  /// Executor slots: at most this many queries run concurrently; the rest
+  /// queue in fair order. Each slot costs one simulated cluster
+  /// (num_machines x workers_per_machine worker threads).
+  int max_concurrent_queries = 2;
+
+  /// Global memory budget over the *reservations* of concurrently
+  /// admitted queries, in bytes. 0 disables the memory gate (the
+  /// concurrency cap still applies). The admission tracker's high-water
+  /// mark never exceeds this.
+  size_t memory_budget_bytes = 0;
+
+  /// Floor of a query's memory reservation: cardinality estimates of tiny
+  /// queries round up to this, so a thousand "cheap" admissions cannot
+  /// squeeze the budget to zero headroom.
+  size_t min_reservation_bytes = 1u << 20;
+
+  /// When true, a query whose *unclamped* reservation exceeds the whole
+  /// budget completes immediately with RunStatus::kRejected. When false
+  /// (default), its reservation is clamped to the budget and it waits for
+  /// an idle service — it runs, serially, rather than never.
+  bool reject_over_budget = false;
+
+  /// Plan-cache entries (canonical-signature keyed). 0 disables caching.
+  size_t plan_cache_capacity = 64;
+
+  /// Empty when the configuration is usable, else the first problem found
+  /// (includes engine.Validate()).
+  std::string Validate() const;
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  /// Fair-scheduling key: FIFO within a tenant, round-robin across
+  /// tenants (see FairScheduler).
+  std::string tenant = "default";
+
+  /// Opt-out for the plan cache (e.g. experiments that want every
+  /// submission to pay the optimiser). The service also bypasses the
+  /// cache on its own when the engine config carries a match_sink: a
+  /// cached plan may renumber an isomorphic query's vertices, which is
+  /// invisible to counts but not to per-match callbacks.
+  bool use_plan_cache = true;
+};
+
+/// Aggregate service counters, readable at any time. A best-effort
+/// point-in-time snapshot: each counter is individually consistent, but
+/// the groups live behind different locks (scheduler state, plan cache,
+/// admission tracker), so a snapshot racing a Submit may briefly show
+/// e.g. a plan-cache lookup whose submission is not yet counted.
+struct ServiceMetrics {
+  uint64_t submitted = 0;  ///< Submit/SubmitPlan calls, including rejected
+  uint64_t completed = 0;  ///< queries that ran to a RunResult
+  uint64_t rejected = 0;   ///< refused by admission (RunStatus::kRejected)
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;
+  /// High-water mark of concurrently admitted reservations; bounded by
+  /// ServiceConfig::memory_budget_bytes whenever a budget is configured.
+  uint64_t peak_reserved_bytes = 0;
+  int peak_concurrency = 0;  ///< most queries ever running at once
+  double queue_wait_seconds = 0;  ///< summed submit-to-dispatch wait
+  /// RunMetrics::Merge over every completed query (peak_memory_bytes is
+  /// therefore the max single-query engine peak, not a sum). The
+  /// per-worker busy vectors are left empty — appending them per query
+  /// would grow without bound over a service's lifetime.
+  RunMetrics merged;
+};
+
+/// The concurrent, multi-tenant query service: accepts query submissions
+/// and executes them over a shared data graph with bounded concurrency
+/// and memory.
+///
+/// ```
+///   huge::ServiceConfig sc;
+///   sc.max_concurrent_queries = 4;
+///   sc.memory_budget_bytes = 512u << 20;
+///   huge::QueryService service(graph, sc);
+///   auto f1 = service.Submit(huge::queries::Square(), {.tenant = "alice"});
+///   auto f2 = service.Submit(huge::queries::Triangle(), {.tenant = "bob"});
+///   uint64_t squares = f1.get().matches;
+/// ```
+///
+/// Submission flow: Submit canonicalises the query, consults the plan
+/// cache (miss: run the optimiser and insert), translates the plan and
+/// derives a memory reservation from the cost model's cardinality
+/// estimates; the task then queues under its tenant. A dispatcher thread
+/// admits queued tasks in fair order whenever an executor slot is free
+/// and the admission controller accepts the reservation, and hands them
+/// to the slot's executor — a dedicated simulated cluster whose run-scoped
+/// state (metrics, join buffers, caches, queues, network accounting) is
+/// private to the query, so concurrent queries never share mutable
+/// engine state and results are bit-identical to sequential runs.
+///
+/// The destructor drains: it waits for every submitted query to finish.
+class QueryService {
+ public:
+  /// A service over `graph` with `config.max_concurrent_queries` owned
+  /// executors.
+  QueryService(std::shared_ptr<const Graph> graph, ServiceConfig config);
+
+  /// Single-slot service over a caller-owned executor (how huge::Runner
+  /// delegates: its cluster doubles as the service's only slot, so
+  /// metrics and network accounting stay observable on the Runner).
+  /// `max_concurrent_queries` is forced to 1 and `config.engine` is
+  /// replaced by the executor's own config. `executor` must outlive the
+  /// service.
+  QueryService(Cluster* executor, const GraphStats& stats,
+               ServiceConfig config);
+
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits `q`; the future resolves to its RunResult. Thread-safe.
+  std::future<RunResult> Submit(const QueryGraph& q, SubmitOptions opts = {});
+
+  /// Submits a caller-provided execution plan (the Remark 3.2 plug-in
+  /// path). Bypasses the plan cache.
+  std::future<RunResult> SubmitPlan(const ExecutionPlan& plan,
+                                    SubmitOptions opts = {});
+
+  /// Blocks until every query submitted so far has completed.
+  void Drain();
+
+  ServiceMetrics metrics() const;
+
+  /// Reservation accounting of the admission controller;
+  /// `admission_tracker().peak()` is the budget-compliance witness.
+  const MemoryTracker& admission_tracker() const {
+    return admission_->tracker();
+  }
+
+  PlanCache& plan_cache() { return *plan_cache_; }
+  const GraphStats& stats() const { return stats_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Queries queued but not yet dispatched.
+  size_t pending() const;
+
+ private:
+  struct Task;
+  struct Slot;
+
+  void Start();
+  std::future<RunResult> EnqueuePlan(const ExecutionPlan& plan,
+                                     const SubmitOptions& opts);
+  void DispatcherLoop();
+  void SlotLoop(Slot* slot);
+  Slot* FindFreeSlotLocked();
+
+  ServiceConfig config_;
+  std::shared_ptr<const Graph> graph_;  ///< null for the borrowed-executor form
+  GraphStats stats_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_dispatch_;  ///< wakes the dispatcher
+  std::condition_variable cv_slots_;     ///< wakes executor slots
+  std::condition_variable cv_drain_;     ///< wakes Drain waiters
+  FairScheduler sched_;
+  std::unordered_map<uint64_t, std::unique_ptr<Task>> queued_tasks_;
+  uint64_t next_task_id_ = 1;
+  bool shutdown_ = false;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  int peak_concurrency_ = 0;
+  double queue_wait_seconds_ = 0;
+  RunMetrics merged_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_SERVICE_QUERY_SERVICE_H_

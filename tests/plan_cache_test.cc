@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "query/signature.h"
+#include "service/plan_cache.h"
+#include "service/query_service.h"
+
+namespace huge {
+namespace {
+
+/// Plan-cache correctness rests on one property of the signature: equal
+/// signatures imply isomorphic queries. These tests pin both directions
+/// for the canonical search (isomorphic inputs collide; merely same-shaped
+/// inputs do not) plus the cache's LRU mechanics and the bit-identity of
+/// the hit path.
+
+// ---------------------------------------------------------------------------
+// Canonical signatures.
+// ---------------------------------------------------------------------------
+
+QueryGraph Renumber(const QueryGraph& q, const std::vector<int>& perm) {
+  QueryGraph out(q.NumVertices());
+  for (const auto& [u, v] : q.Edges()) {
+    out.AddEdge(static_cast<QueryVertexId>(perm[u]),
+                static_cast<QueryVertexId>(perm[v]));
+  }
+  for (int v = 0; v < q.NumVertices(); ++v) {
+    out.SetLabel(static_cast<QueryVertexId>(perm[v]),
+                 q.Label(static_cast<QueryVertexId>(v)));
+  }
+  return out;
+}
+
+TEST(SignatureTest, IsomorphicRenumberingsCollide) {
+  const std::vector<QueryGraph> patterns = {
+      queries::Triangle(), queries::Square(),   queries::Diamond(),
+      queries::House(),    queries::Clique(4),  queries::Path(5),
+      queries::FiveCycle()};
+  Rng rng(99);
+  for (const QueryGraph& q : patterns) {
+    const std::string sig = CanonicalSignature(q);
+    std::vector<int> perm(q.NumVertices());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+    for (int round = 0; round < 5; ++round) {
+      // Fisher-Yates with the repo Rng for determinism.
+      for (size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+      }
+      EXPECT_EQ(CanonicalSignature(Renumber(q, perm)), sig)
+          << q.name() << " round " << round;
+    }
+  }
+}
+
+TEST(SignatureTest, LabelledIsomorphsCollideAcrossVertexNumbering) {
+  QueryGraph a = queries::Triangle();
+  a.SetLabel(0, 2);
+  QueryGraph b = queries::Triangle();
+  b.SetLabel(1, 2);  // same pattern, the labelled corner numbered differently
+  EXPECT_EQ(CanonicalSignature(a), CanonicalSignature(b));
+}
+
+TEST(SignatureTest, SameShapeDifferentLabelArrangementDiffers) {
+  // Both squares carry two label-0 and two label-1 corners — identical
+  // degree sequence and label multiset — but adjacent vs opposite
+  // placement are non-isomorphic patterns.
+  QueryGraph adjacent = queries::Square();  // edges 0-1, 1-2, 2-3, 0-3
+  adjacent.SetLabel(0, 0);
+  adjacent.SetLabel(1, 0);
+  adjacent.SetLabel(2, 1);
+  adjacent.SetLabel(3, 1);
+  QueryGraph opposite = queries::Square();
+  opposite.SetLabel(0, 0);
+  opposite.SetLabel(2, 0);
+  opposite.SetLabel(1, 1);
+  opposite.SetLabel(3, 1);
+  EXPECT_NE(CanonicalSignature(adjacent), CanonicalSignature(opposite));
+}
+
+TEST(SignatureTest, RegularSameDegreeNonIsomorphsDiffer) {
+  // Two connected 3-regular graphs on 6 vertices: the triangular prism
+  // (two triangles + a perfect matching) vs K3,3 (triangle-free). Colour
+  // refinement cannot split either (both are vertex-transitive), so this
+  // exercises the canonical search proper.
+  QueryGraph prism(6);
+  prism.AddEdge(0, 1);
+  prism.AddEdge(1, 2);
+  prism.AddEdge(0, 2);
+  prism.AddEdge(3, 4);
+  prism.AddEdge(4, 5);
+  prism.AddEdge(3, 5);
+  prism.AddEdge(0, 3);
+  prism.AddEdge(1, 4);
+  prism.AddEdge(2, 5);
+  QueryGraph k33(6);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 3; v < 6; ++v) {
+      k33.AddEdge(static_cast<QueryVertexId>(u),
+                  static_cast<QueryVertexId>(v));
+    }
+  }
+  EXPECT_NE(CanonicalSignature(prism), CanonicalSignature(k33));
+  // And each still collides with its own renumberings.
+  EXPECT_EQ(CanonicalSignature(Renumber(prism, {5, 3, 4, 2, 0, 1})),
+            CanonicalSignature(prism));
+  EXPECT_EQ(CanonicalSignature(Renumber(k33, {3, 0, 4, 1, 5, 2})),
+            CanonicalSignature(k33));
+}
+
+TEST(SignatureTest, LargeSymmetricPatternStaysCanonical) {
+  // A 10-cycle: 1-WL colouring never splits (vertex-transitive), so the
+  // canonical search faces 10! colour-respecting orders and only the
+  // prefix prune keeps it inside its node budget. If the search aborted
+  // into the exact fallback, rotated renumberings would encode differently
+  // — this is the regression test for the prune being alive.
+  QueryGraph cycle(10);
+  for (int v = 0; v < 10; ++v) {
+    cycle.AddEdge(static_cast<QueryVertexId>(v),
+                  static_cast<QueryVertexId>((v + 1) % 10));
+  }
+  const std::string sig = CanonicalSignature(cycle);
+  EXPECT_EQ(sig.front(), 'c') << sig;  // canonical, not the 'x' fallback
+  std::vector<int> rotated(10);
+  for (int v = 0; v < 10; ++v) rotated[v] = (v + 3) % 10;
+  EXPECT_EQ(CanonicalSignature(Renumber(cycle, rotated)), sig);
+  std::vector<int> reflected(10);
+  for (int v = 0; v < 10; ++v) reflected[v] = (10 - v) % 10;
+  EXPECT_EQ(CanonicalSignature(Renumber(cycle, reflected)), sig);
+}
+
+TEST(SignatureTest, DistinctShapesDiffer) {
+  EXPECT_NE(CanonicalSignature(queries::Square()),
+            CanonicalSignature(queries::Diamond()));
+  EXPECT_NE(CanonicalSignature(queries::Path(4)),
+            CanonicalSignature(queries::Triangle()));
+  QueryGraph labelled = queries::Square();
+  labelled.SetLabel(0, 1);
+  EXPECT_NE(CanonicalSignature(labelled),
+            CanonicalSignature(queries::Square()));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache mechanics.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const ExecutionPlan> DummyPlan(double cost) {
+  auto plan = std::make_shared<ExecutionPlan>();
+  plan->estimated_cost = cost;
+  return plan;
+}
+
+TEST(PlanCacheTest, HitRefreshesLruAndEvictsTheColdestEntry) {
+  PlanCache cache(2);
+  cache.Put("a", DummyPlan(1));
+  cache.Put("b", DummyPlan(2));
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh: b is now the coldest
+  cache.Put("c", DummyPlan(3));        // evicts b
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_DOUBLE_EQ(cache.Get("c")->estimated_cost, 3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.hits(), 3u);  // a, a again, c
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheTest, EvictedPlanStaysAliveThroughItsSharedPtr) {
+  PlanCache cache(1);
+  cache.Put("a", DummyPlan(1));
+  std::shared_ptr<const ExecutionPlan> held = cache.Get("a");
+  cache.Put("b", DummyPlan(2));  // evicts a
+  ASSERT_NE(held, nullptr);      // a queued/running query keeps using it
+  EXPECT_DOUBLE_EQ(held->estimated_cost, 1);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.Put("a", DummyPlan(1));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // disabled lookups are not misses
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the hit path returns bit-identical counts to the miss path,
+// including across isomorphic renumberings.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, HitPathCountsIdenticalToMissPath) {
+  Graph raw = gen::PowerLaw(400, 8, 2.5, 7);
+  Rng rng(71);
+  std::vector<uint8_t> labels(raw.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(3));
+  raw.AssignLabels(std::move(labels));
+  auto g = std::make_shared<const Graph>(std::move(raw));
+
+  QueryGraph square = queries::Square();
+  square.SetLabel(0, 1);
+  const QueryGraph renumbered = Renumber(square, {2, 3, 0, 1});
+
+  ServiceConfig sc;
+  sc.engine.num_machines = 2;
+  QueryService service(g, sc);
+  const uint64_t miss_count = service.Submit(square).get().matches;
+  const uint64_t hit_count = service.Submit(square).get().matches;
+  const uint64_t iso_hit_count = service.Submit(renumbered).get().matches;
+  // An uncached control submission of the renumbered form.
+  SubmitOptions no_cache;
+  no_cache.use_plan_cache = false;
+  const uint64_t control = service.Submit(renumbered, no_cache).get().matches;
+
+  EXPECT_EQ(hit_count, miss_count);
+  EXPECT_EQ(iso_hit_count, miss_count);
+  EXPECT_EQ(control, miss_count);
+  EXPECT_GT(miss_count, 0u);
+  EXPECT_EQ(service.plan_cache().misses(), 1u);
+  EXPECT_EQ(service.plan_cache().hits(), 2u);
+}
+
+}  // namespace
+}  // namespace huge

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "query/pattern_parser.h"
+#include "service/admission.h"
+#include "service/fair_scheduler.h"
+#include "service/query_service.h"
+
+namespace huge {
+namespace {
+
+/// The concurrent query service: N-tenant submissions over one shared
+/// graph must count exactly like the sequential Runner, under plan-cache
+/// hits and misses, while the admission controller keeps the reservation
+/// high-water mark within the configured budget.
+
+std::shared_ptr<const Graph> ServiceGraph(uint64_t seed) {
+  // Sized so the whole mixed workload (sequential baseline + two service
+  // rounds) stays well inside the ctest timeout under ThreadSanitizer's
+  // ~10x slowdown on small CI runners.
+  Graph g = gen::PowerLaw(400, 6, 2.5, seed);
+  Rng rng(seed * 17 + 3);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(3));
+  g.AssignLabels(std::move(labels));
+  return std::make_shared<Graph>(std::move(g));
+}
+
+QueryGraph Pattern(const char* expr) {
+  auto p = ParsePattern(expr);
+  EXPECT_TRUE(p.ok()) << expr << ": " << p.error;
+  return p.query;
+}
+
+/// The mixed workload: labelled and unlabelled patterns, pull-only and
+/// push-join plans, all structurally distinct (so plan-cache rounds count
+/// exactly one miss / one hit per entry).
+std::vector<QueryGraph> MixedQueries() {
+  return {
+      queries::Triangle(),
+      queries::Square(),
+      queries::Diamond(),
+      queries::House(),
+      queries::Path(6),  // push-join plan
+      Pattern("(a:0)-(b)-(c)-(a)"),
+      Pattern("(a:1)-(b)-(c:1)-(d)-(a)"),
+      Pattern("(a:2)-(b:0)-(c:2)"),
+      Pattern("(a:0)-(b)-(c)-(d)-(a)"),
+  };
+}
+
+Config SmallEngineConfig() {
+  Config cfg;
+  cfg.num_machines = 2;
+  cfg.workers_per_machine = 2;
+  cfg.batch_size = 256;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: concurrent mixed queries == sequential Runner, both cache
+// paths, budget high-water mark respected.
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, ConcurrentMixedQueriesMatchSequentialRunner) {
+  auto g = ServiceGraph(17);
+  const std::vector<QueryGraph> queries = MixedQueries();
+  ASSERT_GE(queries.size(), 8u);
+  const Config ecfg = SmallEngineConfig();
+
+  std::vector<uint64_t> expect;
+  {
+    Runner runner(g, ecfg);
+    for (const QueryGraph& q : queries) {
+      expect.push_back(runner.Run(q).matches);
+    }
+  }
+
+  ServiceConfig sc;
+  sc.engine = ecfg;
+  sc.max_concurrent_queries = 3;
+  sc.memory_budget_bytes = 20u << 20;
+  sc.min_reservation_bytes = 8u << 20;  // at most 2 queries' worth fits
+  QueryService service(g, sc);
+
+  // Round 0 populates the plan cache (all misses); round 1 replays the
+  // same patterns (all hits). Both must be bit-identical to sequential.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<RunResult>> futures(queries.size());
+    std::vector<std::thread> clients;
+    const int kClients = 3;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = c; i < queries.size(); i += kClients) {
+          SubmitOptions opts;
+          opts.tenant = "tenant-" + std::to_string(c);
+          futures[i] = service.Submit(queries[i], opts);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      RunResult r = futures[i].get();
+      EXPECT_EQ(r.status, RunStatus::kOk) << "round " << round << " q" << i;
+      EXPECT_EQ(r.matches, expect[i]) << "round " << round << " q" << i;
+    }
+  }
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.submitted, 2 * queries.size());
+  EXPECT_EQ(m.completed, 2 * queries.size());
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_EQ(m.plan_cache_misses, queries.size());
+  EXPECT_EQ(m.plan_cache_hits, queries.size());
+  // The admission controller never exceeded the budget: the reservation
+  // tracker's high-water mark is the witness.
+  EXPECT_GT(m.peak_reserved_bytes, 0u);
+  EXPECT_LE(m.peak_reserved_bytes, sc.memory_budget_bytes);
+  EXPECT_LE(service.admission_tracker().peak(), sc.memory_budget_bytes);
+  EXPECT_LE(m.peak_concurrency, sc.max_concurrent_queries);
+  EXPECT_GE(m.peak_concurrency, 1);
+  EXPECT_EQ(m.merged.materialized_count_rows, 0u);  // count-fusion held
+}
+
+TEST(QueryServiceTest, BudgetOfOneReservationSerialisesExecution) {
+  auto g = ServiceGraph(23);
+  ServiceConfig sc;
+  sc.engine = SmallEngineConfig();
+  sc.max_concurrent_queries = 2;
+  sc.memory_budget_bytes = 8u << 20;
+  sc.min_reservation_bytes = 8u << 20;  // every reservation == whole budget
+  QueryService service(g, sc);
+
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.Submit(queries::Triangle()));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, RunStatus::kOk);
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.completed, 4u);
+  EXPECT_EQ(m.peak_concurrency, 1);  // memory gate beat the 2-slot cap
+  EXPECT_EQ(m.peak_reserved_bytes, sc.memory_budget_bytes);
+}
+
+TEST(QueryServiceTest, RejectsQueryWhoseReservationExceedsBudget) {
+  auto g = ServiceGraph(29);
+  ServiceConfig sc;
+  sc.engine = SmallEngineConfig();
+  sc.memory_budget_bytes = 64u << 10;
+  sc.min_reservation_bytes = 64u << 10;
+  sc.reject_over_budget = true;
+  QueryService service(g, sc);
+
+  // The 5-path's estimated intermediate footprint dwarfs a 64 KiB budget.
+  RunResult rejected = service.Submit(queries::Path(6)).get();
+  EXPECT_EQ(rejected.status, RunStatus::kRejected);
+  EXPECT_EQ(rejected.matches, 0u);
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_EQ(service.admission_tracker().peak(), 0u);
+}
+
+TEST(QueryServiceTest, SubmitPlanMatchesQuerySubmission) {
+  auto g = ServiceGraph(31);
+  const Config ecfg = SmallEngineConfig();
+  Runner runner(g, ecfg);
+  const uint64_t expect = runner.Run(queries::Diamond()).matches;
+
+  ServiceConfig sc;
+  sc.engine = ecfg;
+  QueryService service(g, sc);
+  EXPECT_EQ(service.SubmitPlan(runner.PlanFor(queries::Diamond())).get()
+                .matches,
+            expect);
+  EXPECT_EQ(service.Submit(queries::Diamond()).get().matches, expect);
+}
+
+TEST(QueryServiceTest, DrainWaitsForAllSubmittedQueries) {
+  auto g = ServiceGraph(37);
+  ServiceConfig sc;
+  sc.engine = SmallEngineConfig();
+  sc.max_concurrent_queries = 2;
+  QueryService service(g, sc);
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(queries::Square()));
+  }
+  service.Drain();
+  EXPECT_EQ(service.metrics().completed, 6u);
+  EXPECT_EQ(service.pending(), 0u);
+  for (auto& f : futures) EXPECT_EQ(f.get().status, RunStatus::kOk);
+}
+
+TEST(QueryServiceTest, RunnerDelegatesThroughSingleSlotService) {
+  auto g = ServiceGraph(41);
+  Runner runner(g, SmallEngineConfig());
+  const uint64_t first = runner.Run(queries::Square()).matches;
+  const uint64_t second = runner.Run(queries::Square()).matches;
+  EXPECT_EQ(first, second);
+  const ServiceMetrics m = runner.service().metrics();
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.plan_cache_misses, 1u);
+  EXPECT_EQ(m.plan_cache_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FairScheduler unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(FairSchedulerTest, RoundRobinAcrossTenantsFifoWithin) {
+  FairScheduler s;
+  s.Enqueue("a", 1);
+  s.Enqueue("a", 2);
+  s.Enqueue("a", 3);
+  s.Enqueue("b", 10);
+  s.Enqueue("c", 20);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.num_pending_tenants(), 3u);
+  std::vector<uint64_t> order;
+  uint64_t id = 0;
+  while (s.PopNext(&id)) order.push_back(id);
+  // a leads (first enqueued), then the rotation interleaves b and c
+  // before a's queued burst continues.
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 10, 20, 2, 3}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FairSchedulerTest, HeavyTenantCannotStarveALateArrival) {
+  FairScheduler s;
+  for (uint64_t i = 0; i < 100; ++i) s.Enqueue("heavy", i);
+  s.Enqueue("light", 1000);
+  uint64_t id = 0;
+  ASSERT_TRUE(s.PopNext(&id));
+  EXPECT_EQ(id, 0u);  // heavy was first in line
+  ASSERT_TRUE(s.PopNext(&id));
+  EXPECT_EQ(id, 1000u);  // light goes second, not 101st
+}
+
+TEST(FairSchedulerTest, PeekReportsWhatPopDequeues) {
+  FairScheduler s;
+  uint64_t id = 0;
+  EXPECT_FALSE(s.PeekNext(&id));
+  s.Enqueue("a", 7);
+  s.Enqueue("b", 8);
+  ASSERT_TRUE(s.PeekNext(&id));
+  EXPECT_EQ(id, 7u);
+  uint64_t popped = 0;
+  ASSERT_TRUE(s.PopNext(&popped));
+  EXPECT_EQ(popped, 7u);
+  ASSERT_TRUE(s.PeekNext(&id));
+  EXPECT_EQ(id, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, GatesOnBudgetAndConcurrency) {
+  AdmissionController a(/*budget_bytes=*/1000, /*max_concurrent=*/2);
+  EXPECT_TRUE(a.TryAdmit(600));
+  EXPECT_FALSE(a.TryAdmit(500));  // 1100 > budget
+  EXPECT_TRUE(a.TryAdmit(400));
+  EXPECT_FALSE(a.TryAdmit(0));  // concurrency cap
+  EXPECT_EQ(a.running(), 2);
+  a.Release(600);
+  EXPECT_TRUE(a.CanAdmit(100));
+  EXPECT_FALSE(a.CanEverAdmit(1001));
+  EXPECT_TRUE(a.CanEverAdmit(1000));
+  a.Release(400);
+  EXPECT_EQ(a.running(), 0);
+  EXPECT_EQ(a.tracker().current(), 0u);
+  EXPECT_EQ(a.tracker().peak(), 1000u);  // the admitted high-water mark
+}
+
+TEST(AdmissionControllerTest, ZeroBudgetDisablesMemoryGate) {
+  AdmissionController a(/*budget_bytes=*/0, /*max_concurrent=*/1);
+  EXPECT_TRUE(a.CanEverAdmit(SIZE_MAX));
+  EXPECT_TRUE(a.TryAdmit(SIZE_MAX / 2));
+  EXPECT_FALSE(a.TryAdmit(1));  // still capped on concurrency
+}
+
+// ---------------------------------------------------------------------------
+// Config::Validate / ServiceConfig::Validate.
+// ---------------------------------------------------------------------------
+
+TEST(ConfigValidateTest, DefaultConfigIsValid) {
+  EXPECT_EQ(Config{}.Validate(), "");
+}
+
+TEST(ConfigValidateTest, RejectsNonsensicalCombinations) {
+  {
+    Config c;
+    c.num_machines = 0;
+    EXPECT_NE(c.Validate().find("num_machines"), std::string::npos);
+  }
+  {
+    Config c;
+    c.workers_per_machine = 0;
+    EXPECT_NE(c.Validate().find("workers_per_machine"), std::string::npos);
+  }
+  {
+    Config c;
+    c.delta_batches = true;
+    c.batch_size = 0;
+    EXPECT_NE(c.Validate().find("batch_size"), std::string::npos);
+  }
+  {
+    Config c;
+    c.chunk_rows = 0;
+    EXPECT_NE(c.Validate().find("chunk_rows"), std::string::npos);
+  }
+  {
+    Config c;
+    c.join_spill_threshold = 0;
+    EXPECT_NE(c.Validate().find("join_spill_threshold"), std::string::npos);
+  }
+  {
+    Config c;
+    c.spill_dir = "";
+    EXPECT_NE(c.Validate().find("spill_dir"), std::string::npos);
+  }
+  {
+    Config c;
+    c.time_limit_seconds = -1.0;
+    EXPECT_NE(c.Validate().find("time_limit_seconds"), std::string::npos);
+  }
+}
+
+TEST(ConfigValidateTest, ServiceConfigChecksEngineAndServiceFields) {
+  EXPECT_EQ(ServiceConfig{}.Validate(), "");
+  {
+    ServiceConfig sc;
+    sc.engine.batch_size = 0;  // engine problems surface through the service
+    EXPECT_NE(sc.Validate().find("batch_size"), std::string::npos);
+  }
+  {
+    ServiceConfig sc;
+    sc.max_concurrent_queries = 0;
+    EXPECT_NE(sc.Validate().find("max_concurrent_queries"),
+              std::string::npos);
+  }
+  {
+    ServiceConfig sc;
+    sc.memory_budget_bytes = 1u << 20;
+    sc.min_reservation_bytes = 2u << 20;  // floor above the whole budget
+    EXPECT_NE(sc.Validate().find("min_reservation_bytes"),
+              std::string::npos);
+  }
+  {
+    ServiceConfig sc;
+    sc.reject_over_budget = true;  // no budget: nothing to reject against
+    EXPECT_NE(sc.Validate().find("reject_over_budget"), std::string::npos);
+  }
+  {
+    ServiceConfig sc;
+    sc.engine.match_sink = [](std::span<const VertexId>) {};
+    sc.max_concurrent_queries = 2;  // concurrent queries, one shared sink
+    EXPECT_NE(sc.Validate().find("match_sink"), std::string::npos);
+    sc.max_concurrent_queries = 1;
+    EXPECT_EQ(sc.Validate(), "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunMetrics::Merge.
+// ---------------------------------------------------------------------------
+
+TEST(RunMetricsTest, MergeSumsCountersMaxesPeakAppendsVectors) {
+  RunMetrics a;
+  a.compute_seconds = 1.0;
+  a.cache_hits = 10;
+  a.peak_memory_bytes = 100;
+  a.delta_rows = 7;
+  a.worker_busy_seconds = {0.5};
+  RunMetrics b;
+  b.compute_seconds = 2.0;
+  b.cache_hits = 5;
+  b.peak_memory_bytes = 60;
+  b.delta_rows = 3;
+  b.worker_busy_seconds = {0.25, 0.75};
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.compute_seconds, 3.0);
+  EXPECT_EQ(a.cache_hits, 15u);
+  EXPECT_EQ(a.peak_memory_bytes, 100u);  // max, not sum: disjoint trackers
+  EXPECT_EQ(a.delta_rows, 10u);
+  EXPECT_EQ(a.worker_busy_seconds,
+            (std::vector<double>{0.5, 0.25, 0.75}));
+}
+
+}  // namespace
+}  // namespace huge
