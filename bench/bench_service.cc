@@ -33,7 +33,58 @@ struct LoadPoint {
   uint64_t queries = 0;
   double cache_hit_rate = 0;
   uint64_t peak_reserved_mb = 0;
+  uint64_t retry_attempts = 0;
+  uint64_t retried_bytes = 0;
 };
+
+/// One closed-loop load point: `clients` threads each submit the mix
+/// `iters` times and wait for every result before the next submission.
+LoadPoint RunLoad(const std::shared_ptr<const Graph>& graph,
+                  const ServiceConfig& sc, const std::vector<QueryGraph>& mix,
+                  int clients, int iters,
+                  std::vector<double>* all_latencies) {
+  QueryService service(graph, sc);
+  std::vector<std::vector<double>> latencies(clients);
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      SubmitOptions opts;
+      opts.tenant = "client-" + std::to_string(c);
+      for (int it = 0; it < iters; ++it) {
+        for (const QueryGraph& q : mix) {
+          WallTimer lat;
+          RunResult r = service.Submit(q, opts).get();
+          latencies[c].push_back(lat.Seconds() * 1e3);
+          if (!r.ok()) {
+            std::fprintf(stderr, "query failed: %s\n", ToString(r.status));
+            std::abort();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.Seconds();
+
+  all_latencies->clear();
+  for (auto& v : latencies) {
+    all_latencies->insert(all_latencies->end(), v.begin(), v.end());
+  }
+  const ServiceMetrics m = service.metrics();
+  LoadPoint p;
+  p.clients = clients;
+  p.wall_seconds = seconds;
+  p.queries = m.completed;
+  p.qps = seconds > 0 ? m.completed / seconds : 0;
+  const uint64_t lookups = m.plan_cache_hits + m.plan_cache_misses;
+  p.cache_hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(m.plan_cache_hits) / lookups;
+  p.peak_reserved_mb = m.peak_reserved_bytes >> 20;
+  p.retry_attempts = m.merged.retry_attempts;
+  p.retried_bytes = m.merged.retried_bytes;
+  return p;
+}
 
 double Percentile(std::vector<double>* latencies, double p) {
   if (latencies->empty()) return 0;
@@ -82,52 +133,18 @@ int main() {
   Table table({"clients", "wall(s)", "qps", "p50(ms)", "p99(ms)",
                "cache hit%", "peak rsv(MB)"});
   std::vector<LoadPoint> points;
+  ServiceConfig base;
+  base.engine.num_machines = 2;
+  base.engine.workers_per_machine = 2;
+  base.max_concurrent_queries = 4;
+  base.memory_budget_bytes = 1024u << 20;
+  base.min_reservation_bytes = 4u << 20;
+
   for (const int clients : {1, 2, 4, 8}) {
-    ServiceConfig sc;
-    sc.engine.num_machines = 2;
-    sc.engine.workers_per_machine = 2;
-    sc.max_concurrent_queries = 4;
-    sc.memory_budget_bytes = 1024u << 20;
-    sc.min_reservation_bytes = 4u << 20;
-    QueryService service(graph, sc);
-
-    std::vector<std::vector<double>> latencies(clients);
-    WallTimer wall;
-    std::vector<std::thread> threads;
-    for (int c = 0; c < clients; ++c) {
-      threads.emplace_back([&, c] {
-        SubmitOptions opts;
-        opts.tenant = "client-" + std::to_string(c);
-        for (int it = 0; it < kItersPerClient; ++it) {
-          for (const QueryGraph& q : mix) {
-            WallTimer lat;
-            RunResult r = service.Submit(q, opts).get();
-            latencies[c].push_back(lat.Seconds() * 1e3);
-            if (!r.ok()) {
-              std::fprintf(stderr, "query failed: %s\n", ToString(r.status));
-              std::abort();
-            }
-          }
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    const double seconds = wall.Seconds();
-
     std::vector<double> all;
-    for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-    const ServiceMetrics m = service.metrics();
-    LoadPoint p;
-    p.clients = clients;
-    p.wall_seconds = seconds;
-    p.queries = m.completed;
-    p.qps = seconds > 0 ? m.completed / seconds : 0;
+    LoadPoint p = RunLoad(graph, base, mix, clients, kItersPerClient, &all);
     p.p50_ms = Percentile(&all, 0.5);
     p.p99_ms = Percentile(&all, 0.99);
-    const uint64_t lookups = m.plan_cache_hits + m.plan_cache_misses;
-    p.cache_hit_rate =
-        lookups == 0 ? 0.0 : static_cast<double>(m.plan_cache_hits) / lookups;
-    p.peak_reserved_mb = m.peak_reserved_bytes >> 20;
     points.push_back(p);
     table.AddRow({std::to_string(p.clients), Seconds(p.wall_seconds),
                   Fmt("%.1f", p.qps), Fmt("%.2f", p.p50_ms),
@@ -135,6 +152,43 @@ int main() {
                   std::to_string(p.peak_reserved_mb)});
   }
   table.Print();
+
+  // The fault-injection round: the same closed loop at 4 clients with a
+  // ~1% transient fault rate on every wire operation. Retries keep every
+  // query exact (the closed loop aborts on any non-ok status), so the
+  // delta against the clean run is the pure cost of fault tolerance —
+  // wasted attempt bytes plus simulated backoff — under load.
+  {
+    const int kClients = 4;
+    std::vector<double> all;
+    LoadPoint clean =
+        RunLoad(graph, base, mix, kClients, kItersPerClient, &all);
+    clean.p99_ms = Percentile(&all, 0.99);
+    ServiceConfig faulty = base;
+    faulty.engine.net.fault.transient_fault_rate = 0.01;
+    faulty.engine.net.retry.max_attempts = 8;
+    LoadPoint chaos =
+        RunLoad(graph, faulty, mix, kClients, kItersPerClient, &all);
+    chaos.p99_ms = Percentile(&all, 0.99);
+    Table fault_table({"round", "qps", "p99(ms)", "retries", "wasted(KB)"});
+    fault_table.AddRow({"clean", Fmt("%.1f", clean.qps),
+                        Fmt("%.2f", clean.p99_ms),
+                        std::to_string(clean.retry_attempts),
+                        std::to_string(clean.retried_bytes >> 10)});
+    fault_table.AddRow({"1% transient", Fmt("%.1f", chaos.qps),
+                        Fmt("%.2f", chaos.p99_ms),
+                        std::to_string(chaos.retry_attempts),
+                        std::to_string(chaos.retried_bytes >> 10)});
+    std::printf("\nFault-injection round (%d clients, every query exact):\n",
+                kClients);
+    fault_table.Print();
+    std::printf("qps delta: %+.1f%%, p99 delta: %+.1f%%\n",
+                clean.qps > 0 ? 100.0 * (chaos.qps - clean.qps) / clean.qps
+                              : 0.0,
+                clean.p99_ms > 0
+                    ? 100.0 * (chaos.p99_ms - clean.p99_ms) / clean.p99_ms
+                    : 0.0);
+  }
 
   const char* json_path = std::getenv("HUGE_BENCH_JSON");
   if (json_path != nullptr && json_path[0] != '\0') {

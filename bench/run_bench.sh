@@ -38,13 +38,14 @@ skip_warn() {
 }
 
 # Correctness gate before recording perf numbers. The randomized
-# distributed differential suites carry the `distributed` ctest label and
-# are excluded here: they spin up many multi-machine clusters and would
-# perturb (and be perturbed by) the timed benches. Set
+# distributed and chaos differential suites carry their own ctest labels
+# and are excluded here: they spin up many multi-machine clusters and
+# would perturb (and be perturbed by) the timed benches. Set
 # HUGE_BENCH_SKIP_SANITY=1 to skip the gate entirely.
 if [[ "${HUGE_BENCH_SKIP_SANITY:-0}" != "1" ]]; then
   cmake --build "$build_dir" -j
-  (cd "$build_dir" && ctest -LE distributed -j "$(nproc)" --output-on-failure)
+  (cd "$build_dir" &&
+   ctest -LE "distributed|chaos" -j "$(nproc)" --output-on-failure)
 fi
 
 micro_json="{}"

@@ -77,17 +77,19 @@ std::vector<SegmentPlan> Cluster::BuildSegments(const Dataflow& df) const {
   return segments;
 }
 
-RunResult Cluster::Run(const Dataflow& df) {
+RunResult Cluster::Run(const Dataflow& df,
+                       const std::atomic<bool>* cancel) {
   SetIntersectKernelPolicy(config_.intersect_kernel);
   SetBitmapDensityPolicy(config_.bitmap_density_inv);
   shared_.dataflow = &df;
   delta_wire_.Reset();  // releases registry bytes: before the tracker reset
   tracker_.Reset();
-  net_.Reset();
+  net_.Reset();  // also rewinds the fault schedule to its start
   joins_.clear();
   shared_.intermediate_rows.store(0);
   shared_.aborted.store(false);
   shared_.abort_status.store(static_cast<uint8_t>(RunStatus::kOk));
+  shared_.cancel = cancel;
   shared_.has_deadline = config_.time_limit_seconds > 0;
   if (shared_.has_deadline) {
     shared_.run_deadline =
@@ -156,8 +158,14 @@ RunResult Cluster::Run(const Dataflow& df) {
   mm.bytes_communicated = net_.TotalBytes();
   mm.peak_memory_bytes = tracker_.peak();
   mm.intermediate_rows = shared_.intermediate_rows.load();
+  // Retry accounting is cluster-owned: the injector counts across all
+  // machines, so it folds in once, not per machine snapshot.
+  mm.retry_attempts = net_.faults().retry_attempts();
+  mm.retried_bytes = net_.faults().retried_bytes();
+  mm.backoff_ns = net_.faults().backoff_ns();
   joins_.clear();
   shared_.dataflow = nullptr;
+  shared_.cancel = nullptr;
   return result;
 }
 
@@ -365,9 +373,11 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
         tracker_.Allocate(appended);
         inbox_bytes.fetch_add(appended);
         for (MachineId dst = 0; dst < k; ++dst) {
-          if (sent_bytes[dst] > 0) {
-            net_.Push(m, sent_bytes[dst],
-                      1 + sent_bytes[dst] / (batch_rows * kVertexBytes));
+          if (sent_bytes[dst] > 0 &&
+              !net_.PushTo(m, dst, sent_bytes[dst],
+                           1 + sent_bytes[dst] / (batch_rows * kVertexBytes))) {
+            shared_.Fail(RunStatus::kFailed);
+            break;
           }
         }
         level_in[m].clear();
@@ -524,9 +534,12 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           tracker_.Allocate(appended);
           next_bytes.fetch_add(appended);
           for (MachineId dst = 0; dst < k; ++dst) {
-            if (sent_bytes[dst] > 0) {
-              net_.Push(m, sent_bytes[dst],
-                        1 + sent_bytes[dst] / (batch_rows * kVertexBytes));
+            if (sent_bytes[dst] > 0 &&
+                !net_.PushTo(m, dst, sent_bytes[dst],
+                             1 + sent_bytes[dst] /
+                                     (batch_rows * kVertexBytes))) {
+              shared_.Fail(RunStatus::kFailed);
+              break;
             }
           }
           machines_[m]->AddBspBusy(busy.Seconds());

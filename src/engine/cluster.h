@@ -37,7 +37,14 @@ class Cluster {
 
   /// Executes `df` and returns counts + metrics. Reentrant across calls
   /// (state is reset per run), not thread-safe.
-  RunResult Run(const Dataflow& df);
+  ///
+  /// `cancel`, when non-null, is a caller-owned flag polled through the
+  /// abort plane: setting it mid-run makes every machine drain out and
+  /// the result report RunStatus::kCancelled (this is how
+  /// QueryService::Cancel reaches a running query). The flag must stay
+  /// valid for the duration of the call.
+  RunResult Run(const Dataflow& df,
+                const std::atomic<bool>* cancel = nullptr);
 
   const PartitionedGraph& pgraph() const { return pgraph_; }
   const Config& config() const { return config_; }

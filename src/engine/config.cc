@@ -36,6 +36,37 @@ std::string Config::Validate() const {
     return "time_limit_seconds must be >= 0 (0 disables the limit); a "
            "negative deadline would abort every run immediately";
   }
+  const FaultPlan& fault = net.fault;
+  if (fault.transient_fault_rate < 0 || fault.transient_fault_rate > 1) {
+    return "net.fault.transient_fault_rate must be in [0, 1]: it is the "
+           "per-operation probability of a transient wire failure";
+  }
+  if (fault.transient_fault_rate >= 1.0) {
+    return "net.fault.transient_fault_rate must be < 1: at rate 1 every "
+           "retry fails too and no run can ever complete";
+  }
+  if (fault.added_latency_sec < 0) {
+    return "net.fault.added_latency_sec must be >= 0: negative latency "
+           "would subtract simulated communication time";
+  }
+  const RetryPolicy& retry = net.retry;
+  if (retry.max_attempts < 1) {
+    return "net.retry.max_attempts must be >= 1: the first attempt counts, "
+           "so zero attempts could never send anything";
+  }
+  if (retry.initial_backoff_sec < 0 || retry.attempt_timeout_sec < 0 ||
+      retry.overall_deadline_sec < 0) {
+    return "net.retry backoff, attempt timeout and overall deadline must "
+           "be >= 0 (simulated seconds)";
+  }
+  if (retry.backoff_multiplier < 1.0) {
+    return "net.retry.backoff_multiplier must be >= 1: a shrinking backoff "
+           "defeats the point of backing off";
+  }
+  if (retry.jitter_frac < 0 || retry.jitter_frac > 1) {
+    return "net.retry.jitter_frac must be in [0, 1]: it scales the "
+           "backoff by a factor in [1 - jitter, 1 + jitter]";
+  }
   return "";
 }
 

@@ -368,10 +368,16 @@ std::span<const VertexId> MachineRuntime::NeighborsOf(
   // demand with a single-vertex RPC, insert, and use a private copy.
   HUGE_CHECK(!cache_->TwoStage());
   const VertexId one[1] = {v};
-  rpc_.Fetch(id_, {one, 1}, [&](VertexId, std::span<const VertexId> nbrs) {
-    cache_->Insert(v, nbrs);
-    scratch->assign(nbrs.begin(), nbrs.end());
-  });
+  if (!rpc_.Fetch(id_, {one, 1},
+                  [&](VertexId, std::span<const VertexId> nbrs) {
+                    cache_->Insert(v, nbrs);
+                    scratch->assign(nbrs.begin(), nbrs.end());
+                  })) {
+    // The owner is permanently unreachable: fail the run and serve an
+    // empty list while the machines drain out (the result is discarded).
+    shared_->Fail(RunStatus::kFailed);
+    scratch->clear();
+  }
   return {scratch->data(), scratch->size()};
 }
 
@@ -387,17 +393,20 @@ std::span<const VertexId> MachineRuntime::NeighborsOfLabel(
     // is upgraded in place by InsertSliced. The slice is served straight
     // from the response copy.
     const VertexId one[1] = {v};
-    rpc_.FetchSliced(id_, {one, 1},
-                     [&](VertexId, std::span<const VertexId> grouped,
-                         std::span<const uint32_t> rel) {
-                       cache_->InsertSliced(v, grouped, rel);
-                       if (static_cast<size_t>(l) + 1 >= rel.size()) {
-                         scratch->clear();
-                       } else {
-                         scratch->assign(grouped.begin() + rel[l],
-                                         grouped.begin() + rel[l + 1]);
-                       }
-                     });
+    if (!rpc_.FetchSliced(id_, {one, 1},
+                          [&](VertexId, std::span<const VertexId> grouped,
+                              std::span<const uint32_t> rel) {
+                            cache_->InsertSliced(v, grouped, rel);
+                            if (static_cast<size_t>(l) + 1 >= rel.size()) {
+                              scratch->clear();
+                            } else {
+                              scratch->assign(grouped.begin() + rel[l],
+                                              grouped.begin() + rel[l + 1]);
+                            }
+                          })) {
+      shared_->Fail(RunStatus::kFailed);
+      scratch->clear();
+    }
     *sliced = true;
     return {scratch->data(), scratch->size()};
   }
@@ -441,19 +450,29 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
     // One bulk session per super-step: however many rounds the stage
     // issues, each owner pays exactly one header pair and one round trip.
     GetNbrsClient::BulkCharge bulk;
+    bool ok;
     if (sliced) {
-      rpc_.FetchSliced(id_, fetch,
-                       [this](VertexId v, std::span<const VertexId> grouped,
-                              std::span<const uint32_t> rel) {
-                         cache_->InsertSliced(v, grouped, rel);
-                       },
-                       &bulk);
+      ok = rpc_.FetchSliced(
+          id_, fetch,
+          [this](VertexId v, std::span<const VertexId> grouped,
+                 std::span<const uint32_t> rel) {
+            cache_->InsertSliced(v, grouped, rel);
+          },
+          &bulk);
     } else {
-      rpc_.Fetch(id_, fetch,
-                 [this](VertexId v, std::span<const VertexId> n) {
-                   cache_->Insert(v, n);
-                 },
-                 &bulk);
+      ok = rpc_.Fetch(
+          id_, fetch,
+          [this](VertexId v, std::span<const VertexId> n) {
+            cache_->Insert(v, n);
+          },
+          &bulk);
+    }
+    if (!ok) {
+      // An owner is permanently unreachable; the intersect stage cannot
+      // run (its cache entries never arrived). ProcessExtend bails out
+      // right after the stage once it sees the tripped abort plane.
+      shared_->Fail(RunStatus::kFailed);
+      return;
     }
     rpc_.Flush(id_, &bulk);
   }
@@ -516,6 +535,13 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, Batch&& input, int pos) {
     FetchStage(op, in, remote_slices);
     fetch_nanos_.fetch_add(static_cast<uint64_t>(fetch_timer.Seconds() * 1e9),
                            std::memory_order_relaxed);
+    if (shared_->OverBudget()) {
+      // A failed (or aborted) fetch stage leaves cache entries missing;
+      // the intersect stage would fault on them. Drop the batch — the
+      // run's status is already non-ok, its counts are never reported.
+      cache_->Release();
+      return;
+    }
   }
 
   const int workers = pool_->num_workers();
@@ -694,8 +720,9 @@ void MachineRuntime::RouteToJoin(const Batch& out) {
     if (join_staging_[dst].rows() >= shared_->config->batch_size) {
       JoinBuffers& jb = shared_->joins->at(seg_->feeds_join);
       auto& side = seg_->feeds_left ? jb.left : jb.right;
-      if (dst != id_) {
-        shared_->net->Push(id_, join_staging_[dst].bytes(), 1);
+      if (dst != id_ &&
+          !shared_->net->PushTo(id_, dst, join_staging_[dst].bytes(), 1)) {
+        shared_->Fail(RunStatus::kFailed);
       }
       side[dst]->Add(join_staging_[dst]);
       join_staging_[dst] =
@@ -710,8 +737,9 @@ void MachineRuntime::FlushJoinStaging() {
   auto& side = seg_->feeds_left ? jb.left : jb.right;
   for (MachineId dst = 0; dst < join_staging_.size(); ++dst) {
     if (join_staging_[dst].empty()) continue;
-    if (dst != id_) {
-      shared_->net->Push(id_, join_staging_[dst].bytes(), 1);
+    if (dst != id_ &&
+        !shared_->net->PushTo(id_, dst, join_staging_[dst].bytes(), 1)) {
+      shared_->Fail(RunStatus::kFailed);
     }
     side[dst]->Add(join_staging_[dst]);
     join_staging_[dst] = Batch(join_staging_[dst].width());
@@ -762,6 +790,25 @@ bool MachineRuntime::TryStealFromPeers() {
   for (MachineId off = 1; off < k; ++off) {
     const MachineId victim = static_cast<MachineId>((start + off) % k);
     if (victim == id_) continue;
+    FaultInjector& faults = shared_->net->faults();
+    if (faults.enabled()) {
+      // A StealWork probe is one wire operation against the victim. A
+      // steal is optional work, so a transient fault is not retried —
+      // the thief charges the wasted probe and moves to the next victim;
+      // a dead victim, however, means the run can never complete (its
+      // partition's results are gone) and trips the abort plane.
+      const RpcFate fate = faults.Begin(victim);
+      if (fate == RpcFate::kCrashed) {
+        shared_->Fail(RunStatus::kFailed);
+        return false;
+      }
+      if (fate == RpcFate::kTransient) {
+        shared_->net->Pull(id_, 2 * GetNbrsClient::kHeaderBytes, 1);
+        shared_->net->ChargeDelay(
+            id_, shared_->net->profile().retry.attempt_timeout_sec);
+        continue;
+      }
+    }
     int pos = -1;
     std::vector<Batch> got =
         shared_->machines[victim]->StealBatches(2, &pos);

@@ -59,27 +59,44 @@ struct SharedState {
   /// Machines that announced local completion (termination detection for
   /// inter-machine stealing). Exit when it reaches the cluster size.
   std::atomic<uint32_t> idle_count{0};
-  /// Set when a budget is exceeded; every machine drains out as fast as
-  /// possible and the run reports the corresponding non-ok status.
+  /// Set when a budget is exceeded, a machine becomes permanently
+  /// unreachable, or the client cancels; every machine drains out as fast
+  /// as possible and the run reports the corresponding non-ok status.
   std::atomic<bool> aborted{false};
   std::atomic<uint8_t> abort_status{0};  // RunStatus value
   std::chrono::steady_clock::time_point run_deadline{};
   bool has_deadline = false;
+  /// Client-owned cancellation flag (QueryService::Cancel sets it); polled
+  /// by OverBudget alongside the budgets. Null when not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 
-  /// Checks the memory and time budgets, latching `aborted` on violation.
+  /// Trips the abort plane with `status`, first-error-wins: the status is
+  /// published with a CAS from kOk *before* `aborted` is set, so every
+  /// machine that drains out observes the one status of the error that
+  /// actually tripped the plane — concurrent kOom/kTimeout/kFailed/
+  /// kCancelled races are deterministic, never last-writer-wins.
+  void Fail(RunStatus status) {
+    uint8_t expected = static_cast<uint8_t>(RunStatus::kOk);
+    abort_status.compare_exchange_strong(
+        expected, static_cast<uint8_t>(status), std::memory_order_relaxed);
+    aborted.store(true, std::memory_order_relaxed);
+  }
+
+  /// Checks cancellation and the memory/time budgets, latching `aborted`
+  /// on violation.
   bool OverBudget() {
     if (aborted.load(std::memory_order_relaxed)) return true;
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      Fail(RunStatus::kCancelled);
+      return true;
+    }
     const size_t limit = config->memory_limit_bytes;
     if (limit != 0 && tracker->current() > limit) {
-      abort_status.store(static_cast<uint8_t>(RunStatus::kOom),
-                         std::memory_order_relaxed);
-      aborted.store(true, std::memory_order_relaxed);
+      Fail(RunStatus::kOom);
       return true;
     }
     if (has_deadline && std::chrono::steady_clock::now() > run_deadline) {
-      abort_status.store(static_cast<uint8_t>(RunStatus::kTimeout),
-                         std::memory_order_relaxed);
-      aborted.store(true, std::memory_order_relaxed);
+      Fail(RunStatus::kTimeout);
       return true;
     }
     return false;

@@ -7,6 +7,65 @@
 
 namespace huge {
 
+/// Outcome status of a run.
+enum class RunStatus : uint8_t {
+  kOk,        ///< completed; `matches` is exact
+  kOom,       ///< aborted: the engine exceeded Config::memory_limit_bytes
+  kTimeout,   ///< aborted: the run exceeded Config::time_limit_seconds (OT)
+  kRejected,  ///< never ran: the service's admission controller refused the
+              ///< query (its memory reservation exceeds the whole budget)
+  kCancelled, ///< aborted: the client cancelled the query
+              ///< (QueryService::Cancel) before it completed
+  kFailed,    ///< aborted: a machine became permanently unreachable
+              ///< (crash, or a wire operation exhausted its RetryPolicy)
+};
+
+/// Short table label: "ok", "OOM", "OT", "REJ", "CANCEL" or "FAIL".
+inline const char* ToString(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kOom:
+      return "OOM";
+    case RunStatus::kTimeout:
+      return "OT";
+    case RunStatus::kRejected:
+      return "REJ";
+    case RunStatus::kCancelled:
+      return "CANCEL";
+    case RunStatus::kFailed:
+      return "FAIL";
+  }
+  return "?";
+}
+
+/// Severity lattice of run statuses, for folding the statuses of disjoint
+/// pieces of work (a service's queries, a harness's repeated runs) into
+/// one summary verdict: kOk is the bottom, resource aborts rank above it,
+/// and outcomes that say "the result is not coming" rank highest.
+inline int StatusSeverity(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:
+      return 0;
+    case RunStatus::kOom:
+      return 1;
+    case RunStatus::kTimeout:
+      return 2;
+    case RunStatus::kCancelled:
+      return 3;
+    case RunStatus::kRejected:
+      return 4;
+    case RunStatus::kFailed:
+      return 5;
+  }
+  return 6;
+}
+
+/// The max-severity fold over the status lattice.
+inline RunStatus MaxSeverity(RunStatus a, RunStatus b) {
+  return StatusSeverity(a) >= StatusSeverity(b) ? a : b;
+}
+
 /// Metrics of one engine run, matching the measurements the paper reports
 /// (Table 1 and Section 7.1): total time T, computation time T_R,
 /// communication time T_C, transferred volume C, and peak memory M, plus
@@ -66,6 +125,22 @@ struct RunMetrics {
   /// bitmap instead of merging against the pivot's adjacency list.
   uint64_t hub_probe_rows = 0;
 
+  /// Fault-tolerance accounting (all zero on a fault-free network):
+  /// transiently failed wire attempts that were retried, the wasted bytes
+  /// those attempts charged (each failed attempt pays its full payload
+  /// plus framing), and the summed simulated backoff the retry protocol
+  /// waited between attempts.
+  uint64_t retry_attempts = 0;
+  uint64_t retried_bytes = 0;
+  uint64_t backoff_ns = 0;
+
+  /// Max-severity fold (see StatusSeverity) over the statuses of the work
+  /// merged into this snapshot. A cluster's per-machine metrics never set
+  /// it (status is per-run, reported on RunResult); the query service
+  /// stamps each completed query's status here before merging, so its
+  /// aggregate metrics expose the worst outcome the service has seen.
+  RunStatus worst_status = RunStatus::kOk;
+
   /// Factorized-batch accounting (Config::delta_batches): rows emitted as
   /// O(1)-word (parent-row, vertex) delta pairs vs. rows expanded back to
   /// full width at a materialization boundary (PUSH-JOIN router, match
@@ -120,6 +195,10 @@ struct RunMetrics {
     remote_sliced_rows += o.remote_sliced_rows;
     remote_full_rows += o.remote_full_rows;
     hub_probe_rows += o.hub_probe_rows;
+    retry_attempts += o.retry_attempts;
+    retried_bytes += o.retried_bytes;
+    backoff_ns += o.backoff_ns;
+    worst_status = MaxSeverity(worst_status, o.worst_status);
     delta_rows += o.delta_rows;
     materialize_rows += o.materialize_rows;
     worker_busy_seconds.insert(worker_busy_seconds.end(),
@@ -130,30 +209,6 @@ struct RunMetrics {
                                 o.machine_busy_seconds.end());
   }
 };
-
-/// Outcome status of a run.
-enum class RunStatus : uint8_t {
-  kOk,       ///< completed; `matches` is exact
-  kOom,      ///< aborted: the engine exceeded Config::memory_limit_bytes
-  kTimeout,  ///< aborted: the run exceeded Config::time_limit_seconds (OT)
-  kRejected, ///< never ran: the service's admission controller refused the
-             ///< query (its memory reservation exceeds the whole budget)
-};
-
-/// Short table label: "ok", "OOM", "OT" or "REJ".
-inline const char* ToString(RunStatus s) {
-  switch (s) {
-    case RunStatus::kOk:
-      return "ok";
-    case RunStatus::kOom:
-      return "OOM";
-    case RunStatus::kTimeout:
-      return "OT";
-    case RunStatus::kRejected:
-      return "REJ";
-  }
-  return "?";
-}
 
 /// A run's outcome: the match count plus metrics.
 struct RunResult {

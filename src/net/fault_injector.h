@@ -1,0 +1,255 @@
+#ifndef HUGE_NET_FAULT_INJECTOR_H_
+#define HUGE_NET_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace huge {
+
+/// Retry policy of idempotent wire operations (GetNbrs pulls, BSP hop
+/// pushes). GetNbrs reads an immutable partitioned graph, so a retried
+/// fetch returns byte-identical data — retries change *metrics* (wasted
+/// bytes, simulated backoff time), never counts. Backoff is exponential
+/// with seeded jitter and is charged to the simulated network clock
+/// (net/network.h models time analytically), so fault-tolerant test runs
+/// stay fast: no thread ever sleeps a real backoff.
+struct RetryPolicy {
+  /// Total attempts per wire operation, including the first. A transient
+  /// fault on the last attempt makes the failure permanent (RunStatus::
+  /// kFailed through the abort plane).
+  int max_attempts = 4;
+
+  /// Backoff before retry r (1-based) is
+  /// `initial_backoff_sec * backoff_multiplier^(r-1)`, jittered by a
+  /// uniform factor in [1 - jitter_frac, 1 + jitter_frac].
+  double initial_backoff_sec = 1e-3;
+  double backoff_multiplier = 2.0;
+  double jitter_frac = 0.2;
+
+  /// Simulated time a failed attempt costs its requester (the client
+  /// waits this long before declaring the attempt dead).
+  double attempt_timeout_sec = 50e-3;
+
+  /// Overall per-operation deadline across attempts, timeouts and
+  /// backoffs (simulated seconds). Exceeding it makes the failure
+  /// permanent even with attempts left. 0 disables the deadline.
+  double overall_deadline_sec = 10.0;
+};
+
+/// A deterministic, seed-driven fault schedule. Default-constructed plans
+/// are inert: `FaultInjector` built from one reports `enabled() == false`
+/// and every fast path skips the fault plane entirely (asserted as
+/// zero-byte, zero-RPC overhead in tests/network_test.cc).
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Probability that a wire operation fails transiently (timeout-style:
+  /// the requester charges the wasted attempt and retries). The decision
+  /// for operation ticket `t` served by machine `m` is a pure function of
+  /// (seed, m, t), so a schedule is reproducible from its seed.
+  double transient_fault_rate = 0;
+
+  /// Deterministic variant for byte-exact tests: the first N wire
+  /// operations (global ticket order) fail transiently, everything after
+  /// succeeds. Applied in addition to `transient_fault_rate`.
+  uint64_t transient_first_ops = 0;
+
+  /// Extra latency added to every request/message while the plane is
+  /// enabled (degraded-network modelling).
+  double added_latency_sec = 0;
+
+  /// Permanent machine-crash schedule: machine `first` crashes once it
+  /// has served its `second`-th wire operation — that operation and every
+  /// later one addressed to it fail permanently.
+  std::vector<std::pair<MachineId, uint64_t>> crash_after;
+
+  /// Global-ticket crash trigger: the machine serving wire operation
+  /// #`crash_target_of_op` (1-based) crashes at that operation. Unlike
+  /// `crash_after` it needs no knowledge of per-machine traffic shape:
+  /// whichever machine the Nth remote operation addresses dies, so any
+  /// run with at least N wire operations is guaranteed to hit a crash.
+  /// 0 disables.
+  uint64_t crash_target_of_op = 0;
+
+  bool Enabled() const {
+    return transient_fault_rate > 0 || transient_first_ops > 0 ||
+           added_latency_sec > 0 || !crash_after.empty() ||
+           crash_target_of_op > 0;
+  }
+};
+
+/// Outcome of one wire-operation attempt against a server machine.
+enum class RpcFate : uint8_t {
+  kOk,         ///< the attempt succeeded
+  kTransient,  ///< the attempt failed; retrying may succeed
+  kCrashed,    ///< the server is permanently dead; retrying cannot help
+};
+
+/// The fault plane: decides the fate of every wire operation from a
+/// seeded `FaultPlan`, tracks permanent machine crashes, and accumulates
+/// the run's retry accounting (`retry_attempts` / `retried_bytes` /
+/// `backoff_ns`, surfaced through RunMetrics by the cluster).
+///
+/// Thread-safe: all mutable state is atomic. Decisions are deterministic
+/// per (seed, server, ticket); the global ticket order itself depends on
+/// thread interleaving, but because every retried operation is idempotent
+/// the *results* of a faulty run are bit-identical to a clean one —
+/// tickets only move metrics.
+class FaultInjector {
+ public:
+  /// Disabled injector: every operation succeeds, zero overhead.
+  FaultInjector() = default;
+
+  /// Arms the injector for `num_machines` servers. An inert plan
+  /// (`!plan.Enabled()`) keeps the injector disabled.
+  void Configure(const FaultPlan& plan, MachineId num_machines) {
+    plan_ = plan;
+    enabled_ = plan.Enabled();
+    machines_ = std::make_unique<MachineState[]>(num_machines);
+    num_machines_ = num_machines;
+    for (const auto& [m, n] : plan_.crash_after) {
+      if (m < num_machines_) machines_[m].crash_after = n;
+    }
+    Reset();
+  }
+
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides the fate of one wire operation served by `server`,
+  /// consuming one global ticket and one per-server ticket. Crash
+  /// schedules fire here and latch: once a machine crashed, every later
+  /// operation it serves reports kCrashed.
+  RpcFate Begin(MachineId server) {
+    MachineState& st = machines_[server];
+    const uint64_t ticket = global_ops_.fetch_add(1) + 1;
+    const uint64_t served = st.served.fetch_add(1) + 1;
+    if (st.crashed.load(std::memory_order_relaxed)) return RpcFate::kCrashed;
+    if (st.crash_after > 0 && served >= st.crash_after) {
+      st.crashed.store(true, std::memory_order_relaxed);
+      return RpcFate::kCrashed;
+    }
+    if (plan_.crash_target_of_op > 0 &&
+        ticket >= plan_.crash_target_of_op &&
+        !global_crash_fired_.exchange(true, std::memory_order_relaxed)) {
+      st.crashed.store(true, std::memory_order_relaxed);
+      return RpcFate::kCrashed;
+    }
+    if (ticket <= plan_.transient_first_ops) return RpcFate::kTransient;
+    if (plan_.transient_fault_rate > 0 &&
+        DecisionRng(server, ticket).NextDouble() <
+            plan_.transient_fault_rate) {
+      return RpcFate::kTransient;
+    }
+    return RpcFate::kOk;
+  }
+
+  bool Crashed(MachineId m) const {
+    return enabled_ && machines_[m].crashed.load(std::memory_order_relaxed);
+  }
+
+  /// Jittered backoff before retry `retry_index` (1-based) of the
+  /// operation whose first attempt drew global ticket `ticket`.
+  double BackoffSeconds(const RetryPolicy& rp, MachineId server,
+                        uint64_t ticket, int retry_index) const {
+    double b = rp.initial_backoff_sec;
+    for (int i = 1; i < retry_index; ++i) b *= rp.backoff_multiplier;
+    const double jitter =
+        1.0 - rp.jitter_frac +
+        2.0 * rp.jitter_frac *
+            DecisionRng(server, ticket * 131 + retry_index).NextDouble();
+    return b * jitter;
+  }
+
+  /// Drives the retry protocol of one idempotent wire operation against
+  /// `server`: consults the fault plane per attempt and invokes
+  /// `charge_waste(wasted_seconds)` once per failed transient attempt —
+  /// the caller charges the wasted wire bytes itself (it knows the
+  /// payload), while `wasted_seconds` carries the attempt timeout plus
+  /// the jittered backoff of that retry. Returns kOk once an attempt
+  /// succeeds, kCrashed for a dead server, or kTransient when
+  /// `rp.max_attempts` or `rp.overall_deadline_sec` is exhausted — both
+  /// terminal fates are permanent failures for the caller.
+  template <typename ChargeWaste>
+  RpcFate AttemptOp(MachineId server, const RetryPolicy& rp,
+                    uint64_t wasted_bytes_per_attempt,
+                    ChargeWaste&& charge_waste) {
+    const uint64_t first_ticket =
+        global_ops_.load(std::memory_order_relaxed) + 1;
+    double spent_seconds = 0;
+    for (int attempt = 1;; ++attempt) {
+      const RpcFate fate = Begin(server);
+      if (fate != RpcFate::kTransient) return fate;
+      const bool attempts_left = attempt < rp.max_attempts;
+      const double backoff =
+          attempts_left ? BackoffSeconds(rp, server, first_ticket, attempt)
+                        : 0;
+      spent_seconds += rp.attempt_timeout_sec + backoff;
+      retry_attempts_.fetch_add(1, std::memory_order_relaxed);
+      retried_bytes_.fetch_add(wasted_bytes_per_attempt,
+                               std::memory_order_relaxed);
+      backoff_ns_.fetch_add(static_cast<uint64_t>(backoff * 1e9),
+                            std::memory_order_relaxed);
+      charge_waste(rp.attempt_timeout_sec + backoff);
+      if (!attempts_left) return RpcFate::kTransient;
+      if (rp.overall_deadline_sec > 0 &&
+          spent_seconds > rp.overall_deadline_sec) {
+        return RpcFate::kTransient;
+      }
+    }
+  }
+
+  // --- retry accounting (folded into RunMetrics by the cluster) ---
+  uint64_t retry_attempts() const { return retry_attempts_.load(); }
+  uint64_t retried_bytes() const { return retried_bytes_.load(); }
+  uint64_t backoff_ns() const { return backoff_ns_.load(); }
+
+  /// Restores the configured plan's initial state: counters cleared,
+  /// crashed machines resurrected. Called by Network::Reset() so every
+  /// engine run replays its schedule from the start.
+  void Reset() {
+    global_ops_.store(0);
+    global_crash_fired_.store(false);
+    retry_attempts_.store(0);
+    retried_bytes_.store(0);
+    backoff_ns_.store(0);
+    for (MachineId m = 0; m < num_machines_; ++m) {
+      machines_[m].served.store(0);
+      machines_[m].crashed.store(false);
+    }
+  }
+
+ private:
+  struct MachineState {
+    std::atomic<uint64_t> served{0};
+    std::atomic<bool> crashed{false};
+    uint64_t crash_after = 0;  ///< 0 = never
+  };
+
+  /// The seeded decision source: a pure function of (seed, server,
+  /// ticket) through the repository's splitmix64 Rng.
+  Rng DecisionRng(MachineId server, uint64_t ticket) const {
+    return Rng(plan_.seed ^ (uint64_t{server} * 0x9E3779B97F4A7C15ULL) ^
+               (ticket * 0xD1B54A32D192ED03ULL));
+  }
+
+  FaultPlan plan_;
+  bool enabled_ = false;
+  MachineId num_machines_ = 0;
+  std::unique_ptr<MachineState[]> machines_;
+  std::atomic<uint64_t> global_ops_{0};
+  std::atomic<bool> global_crash_fired_{false};
+  std::atomic<uint64_t> retry_attempts_{0};
+  std::atomic<uint64_t> retried_bytes_{0};
+  std::atomic<uint64_t> backoff_ns_{0};
+};
+
+}  // namespace huge
+
+#endif  // HUGE_NET_FAULT_INJECTOR_H_

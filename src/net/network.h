@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "net/fault_injector.h"
 
 namespace huge {
 
@@ -26,6 +27,15 @@ struct NetworkProfile {
   /// request pays `external_kv_latency_sec`.
   bool external_kv = false;
   double external_kv_latency_sec = 400e-6;  ///< Cassandra-style RTT
+
+  /// Fault schedule of the interconnect. Default-constructed = disabled:
+  /// every operation succeeds and the fault plane adds zero bytes and
+  /// zero time (pinned by tests/network_test.cc).
+  FaultPlan fault;
+
+  /// Retry protocol used by GetNbrsClient fetches and BSP pushes when
+  /// the fault plane is enabled.
+  RetryPolicy retry;
 };
 
 /// Per-machine traffic accounting. All counters are atomics because every
@@ -77,15 +87,22 @@ class MachineTraffic {
 class Network {
  public:
   Network(const NetworkProfile& profile, MachineId num_machines)
-      : profile_(profile), traffic_(num_machines) {}
+      : profile_(profile), traffic_(num_machines) {
+    faults_.Configure(profile_.fault, num_machines);
+  }
 
   const NetworkProfile& profile() const { return profile_; }
 
+  /// The fault plane; disabled (zero overhead) unless the profile carries
+  /// an enabled FaultPlan.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
   /// Charges machine `m` for pulling `bytes` over `requests` RPCs.
   void Pull(MachineId m, uint64_t bytes, uint64_t requests) {
-    const double latency = profile_.external_kv
-                               ? profile_.external_kv_latency_sec
-                               : profile_.rpc_latency_sec;
+    double latency = profile_.external_kv ? profile_.external_kv_latency_sec
+                                          : profile_.rpc_latency_sec;
+    if (faults_.enabled()) latency += profile_.fault.added_latency_sec;
     traffic_[m].ChargePull(
         bytes, requests,
         bytes / profile_.bandwidth_bytes_per_sec + requests * latency);
@@ -93,9 +110,37 @@ class Network {
 
   /// Charges machine `m` for pushing `bytes` in `messages` messages.
   void Push(MachineId m, uint64_t bytes, uint64_t messages) {
-    traffic_[m].ChargePush(bytes, messages,
-                           bytes / profile_.bandwidth_bytes_per_sec +
-                               messages * profile_.push_latency_sec);
+    double latency = profile_.push_latency_sec;
+    if (faults_.enabled()) latency += profile_.fault.added_latency_sec;
+    traffic_[m].ChargePush(
+        bytes, messages,
+        bytes / profile_.bandwidth_bytes_per_sec + messages * latency);
+  }
+
+  /// Fault-aware push of one batched message from `src` to machine `dst`:
+  /// runs the retry protocol against the fault plane (each failed attempt
+  /// charges the full payload plus its timeout/backoff as wasted work on
+  /// `src`), then charges the successful delivery through Push. Returns
+  /// false when `dst` is permanently unreachable (crashed, or retries
+  /// exhausted) — the payload is then undeliverable and the caller must
+  /// fail the run. With the plane disabled this is exactly Push.
+  bool PushTo(MachineId src, MachineId dst, uint64_t bytes,
+              uint64_t messages) {
+    if (faults_.enabled()) {
+      const RpcFate fate = faults_.AttemptOp(
+          dst, profile_.retry, bytes, [&](double wasted_seconds) {
+            Push(src, bytes, messages);
+            ChargeDelay(src, wasted_seconds);
+          });
+      if (fate != RpcFate::kOk) return false;
+    }
+    Push(src, bytes, messages);
+    return true;
+  }
+
+  /// Charges latency-only simulated time (timeouts, backoffs) to `m`.
+  void ChargeDelay(MachineId m, double seconds) {
+    traffic_[m].ChargePull(0, 0, seconds);
   }
 
   const MachineTraffic& traffic(MachineId m) const { return traffic_[m]; }
@@ -119,11 +164,13 @@ class Network {
 
   void Reset() {
     for (auto& t : traffic_) t.Reset();
+    faults_.Reset();  // every run replays the fault schedule from the start
   }
 
  private:
   NetworkProfile profile_;
   std::vector<MachineTraffic> traffic_;
+  FaultInjector faults_;
 };
 
 }  // namespace huge

@@ -57,10 +57,20 @@ class GetNbrsClient {
   /// vertices are served without network charges. With a `bulk` session
   /// the network charges are accumulated instead of settled per call; the
   /// caller must Flush() the session at the end of the super-step.
-  void Fetch(MachineId requester, std::span<const VertexId> vertices,
+  ///
+  /// Returns false when the network's fault plane made a wire operation
+  /// permanently fail (server crashed, or the RetryPolicy's attempts or
+  /// deadline were exhausted); no sink was invoked for any vertex in that
+  /// case, and the caller must fail the run. Transient faults are retried
+  /// internally — the graph is immutable, so a retried fetch is
+  /// idempotent and the sink outputs stay bit-identical to a clean run;
+  /// only the accounting (wasted bytes, backoff time, retry counters)
+  /// records that faults happened. Always true with the plane disabled.
+  bool Fetch(MachineId requester, std::span<const VertexId> vertices,
              const std::function<void(VertexId, std::span<const VertexId>)>&
                  sink,
              BulkCharge* bulk = nullptr) const {
+    if (!AdmitFaults(requester, vertices, /*sliced=*/false)) return false;
     const Graph& g = pgraph_->graph();
     FetchRound round(this, requester, bulk);
     for (VertexId v : vertices) {
@@ -69,6 +79,7 @@ class GetNbrsClient {
       sink(v, nbrs);
     }
     round.Settle();
+    return true;
   }
 
   /// Sliced fetch (labelled pulls): like Fetch, but the response carries
@@ -79,11 +90,14 @@ class GetNbrsClient {
   /// is the same length, merely label-grouped by the owner (which keeps
   /// its per-label CSR slices precomputed). Requires the data graph to
   /// have label slices (Graph::HasLabelSlices()).
-  void FetchSliced(
+  /// Same contract as Fetch (including the fault/retry semantics of the
+  /// bool return).
+  bool FetchSliced(
       MachineId requester, std::span<const VertexId> vertices,
       const std::function<void(VertexId, std::span<const VertexId>,
                                std::span<const uint32_t>)>& sink,
       BulkCharge* bulk = nullptr) const {
+    if (!AdmitFaults(requester, vertices, /*sliced=*/true)) return false;
     const Graph& g = pgraph_->graph();
     HUGE_DCHECK(g.HasLabelSlices());
     FetchRound round(this, requester, bulk);
@@ -95,6 +109,7 @@ class GetNbrsClient {
       sink(v, grouped, rel);
     }
     round.Settle();
+    return true;
   }
 
   /// Settles a bulk session: every owner with pending payload is charged
@@ -113,6 +128,65 @@ class GetNbrsClient {
   }
 
  private:
+  /// Wire payload of one remote vertex's fetch: request id + response
+  /// (the exact bytes FetchRound charges on success).
+  static uint64_t PayloadBytes(const Graph& g, VertexId v, bool sliced) {
+    uint64_t bytes = kVertexBytes /* request id */ +
+                     (1 + g.Degree(v)) * kVertexBytes;
+    if (sliced) bytes += (g.NumLabelValues() + 1) * sizeof(uint32_t);
+    return bytes;
+  }
+
+  /// The retrying-session front half of a fetch, modelled on retrying
+  /// request sessions over a peer set: before any response is consumed,
+  /// every wire operation the call implies (one bulk message per remote
+  /// owner; one request per vertex under external KV) is admitted through
+  /// the fault plane under the profile's RetryPolicy. Each transiently
+  /// failed attempt is a real message that went out and was never
+  /// answered, so it charges its full payload *plus its own header pair*
+  /// as wasted bytes — which is why a fetch that fails twice then
+  /// succeeds costs exactly 3x a clean fetch, and why retries never
+  /// double-charge a bulk session's merged headers: the successful
+  /// operation still settles through the legacy FetchRound/Flush path,
+  /// byte-identical to a fault-free run. Returns false on permanent
+  /// failure. No-op (true) while the fault plane is disabled.
+  bool AdmitFaults(MachineId requester, std::span<const VertexId> vertices,
+                   bool sliced) const {
+    FaultInjector& faults = net_->faults();
+    if (!faults.enabled()) return true;
+    const Graph& g = pgraph_->graph();
+    const RetryPolicy& rp = net_->profile().retry;
+    const auto attempt = [&](MachineId owner, uint64_t wire_bytes) {
+      return faults.AttemptOp(owner, rp, wire_bytes,
+                              [&](double wasted_seconds) {
+                                net_->Pull(requester, wire_bytes, 1);
+                                net_->ChargeDelay(requester, wasted_seconds);
+                              }) == RpcFate::kOk;
+    };
+    if (net_->profile().external_kv) {
+      for (VertexId v : vertices) {
+        const MachineId owner = pgraph_->Owner(v);
+        if (owner == requester) continue;
+        if (!attempt(owner, PayloadBytes(g, v, sliced) + 2 * kHeaderBytes)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    std::vector<uint64_t> owner_bytes(pgraph_->num_machines(), 0);
+    for (VertexId v : vertices) {
+      const MachineId owner = pgraph_->Owner(v);
+      if (owner != requester) owner_bytes[owner] += PayloadBytes(g, v, sliced);
+    }
+    for (MachineId owner = 0; owner < owner_bytes.size(); ++owner) {
+      if (owner_bytes[owner] == 0) continue;
+      if (!attempt(owner, owner_bytes[owner] + 2 * kHeaderBytes)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Charging state of one Fetch/FetchSliced call: routes per-vertex
   /// response costs to the session (merged per owner per super-step), to
   /// the per-call owner merge, or to per-vertex requests (external KV).

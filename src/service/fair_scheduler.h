@@ -1,6 +1,7 @@
 #ifndef HUGE_SERVICE_FAIR_SCHEDULER_H_
 #define HUGE_SERVICE_FAIR_SCHEDULER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -59,6 +60,26 @@ class FairScheduler {
       rotation_.push_back(tenant);
     } else {
       queues_.erase(qit);
+    }
+    return true;
+  }
+
+  /// Removes a specific queued task (cancellation). Returns false when
+  /// `id` is not queued under `tenant`. A drained tenant leaves the
+  /// rotation, preserving the PeekNext/PopNext invariant that every
+  /// rotation entry has pending work.
+  bool Remove(const std::string& tenant, uint64_t id) {
+    const auto qit = queues_.find(tenant);
+    if (qit == queues_.end()) return false;
+    std::deque<uint64_t>& q = qit->second;
+    const auto it = std::find(q.begin(), q.end(), id);
+    if (it == q.end()) return false;
+    q.erase(it);
+    --size_;
+    if (q.empty()) {
+      queues_.erase(qit);
+      const auto rit = std::find(rotation_.begin(), rotation_.end(), tenant);
+      rotation_.erase(rit);
     }
     return true;
   }

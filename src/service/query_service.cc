@@ -47,6 +47,10 @@ struct QueryService::Task {
   size_t reservation = 0;
   WallTimer queued;  ///< started at enqueue; read once at dispatch
   std::promise<RunResult> promise;
+  /// Raised by Cancel once the task is running; the slot's cluster polls
+  /// it through the abort plane. Outlives the run: the Task is owned by
+  /// the slot until the result is delivered.
+  std::atomic<bool> cancel{false};
 };
 
 /// One executor slot: a dedicated simulated cluster plus the thread that
@@ -112,7 +116,8 @@ QueryService::~QueryService() {
 }
 
 std::future<RunResult> QueryService::Submit(const QueryGraph& q,
-                                            SubmitOptions opts) {
+                                            SubmitOptions opts,
+                                            uint64_t* handle) {
   OptimizerOptions options;
   options.num_machines = config_.engine.num_machines;
   // The cache is bypassed with a match_sink: a hit may hand back the plan
@@ -122,7 +127,7 @@ std::future<RunResult> QueryService::Submit(const QueryGraph& q,
                          plan_cache_->capacity() > 0 &&
                          !config_.engine.match_sink;
   if (!cacheable) {
-    return EnqueuePlan(Optimize(q, stats_, options), opts);
+    return EnqueuePlan(Optimize(q, stats_, options), opts, handle);
   }
   const std::string signature = CanonicalSignature(q);
   std::shared_ptr<const ExecutionPlan> plan = plan_cache_->Get(signature);
@@ -131,16 +136,19 @@ std::future<RunResult> QueryService::Submit(const QueryGraph& q,
         Optimize(q, stats_, options));
     plan_cache_->Put(signature, plan);
   }
-  return EnqueuePlan(*plan, opts);
+  return EnqueuePlan(*plan, opts, handle);
 }
 
 std::future<RunResult> QueryService::SubmitPlan(const ExecutionPlan& plan,
-                                                SubmitOptions opts) {
-  return EnqueuePlan(plan, opts);
+                                                SubmitOptions opts,
+                                                uint64_t* handle) {
+  return EnqueuePlan(plan, opts, handle);
 }
 
 std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
-                                                 const SubmitOptions& opts) {
+                                                 const SubmitOptions& opts,
+                                                 uint64_t* handle) {
+  if (handle != nullptr) *handle = 0;
   // Reservation: the cost model's envelope, floored, clamped to the
   // budget (unless the config says such queries are rejected outright).
   // A zero budget disables the gate entirely — Validate() guarantees
@@ -160,6 +168,8 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
         std::lock_guard<std::mutex> guard(mu_);
         ++submitted_;
         ++rejected_;
+        merged_.worst_status =
+            MaxSeverity(merged_.worst_status, RunStatus::kRejected);
         return future;
       }
       reservation = budget;
@@ -177,6 +187,7 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
     std::lock_guard<std::mutex> guard(mu_);
     HUGE_CHECK(!shutdown_ && "Submit after QueryService destruction began");
     task->id = next_task_id_++;
+    if (handle != nullptr) *handle = task->id;
     task->queued.Reset();
     sched_.Enqueue(opts.tenant, task->id);
     queued_tasks_.emplace(task->id, std::move(task));
@@ -184,6 +195,43 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
   }
   cv_dispatch_.notify_one();
   return future;
+}
+
+bool QueryService::Cancel(uint64_t handle) {
+  if (handle == 0) return false;
+  std::unique_ptr<Task> unscheduled;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const auto it = queued_tasks_.find(handle);
+    if (it != queued_tasks_.end()) {
+      // Still queued: unschedule and resolve without ever running.
+      HUGE_CHECK(sched_.Remove(it->second->tenant, handle));
+      unscheduled = std::move(it->second);
+      queued_tasks_.erase(it);
+      ++cancelled_;
+      merged_.worst_status =
+          MaxSeverity(merged_.worst_status, RunStatus::kCancelled);
+    } else {
+      // Running? Raise the flag; the executor's abort plane delivers the
+      // kCancelled result through the normal completion path.
+      for (auto& slot : slots_) {
+        if (slot->task != nullptr && slot->task->id == handle) {
+          slot->task->cancel.store(true, std::memory_order_relaxed);
+          ++cancelled_;
+          return true;
+        }
+      }
+      return false;  // unknown or already completed
+    }
+  }
+  // Dispatcher may have been parked on the removed head; Drain waiters on
+  // the now-empty queue.
+  cv_dispatch_.notify_one();
+  cv_drain_.notify_all();
+  RunResult result;
+  result.status = RunStatus::kCancelled;
+  unscheduled->promise.set_value(std::move(result));
+  return true;
 }
 
 QueryService::Slot* QueryService::FindFreeSlotLocked() {
@@ -232,7 +280,7 @@ void QueryService::SlotLoop(Slot* slot) {
     }
     Task* task = slot->task.get();
     lk.unlock();
-    RunResult result = slot->cluster->Run(task->df);
+    RunResult result = slot->cluster->Run(task->df, &task->cancel);
     lk.lock();
     admission_->Release(task->reservation);
     ++completed_;
@@ -242,6 +290,7 @@ void QueryService::SlotLoop(Slot* slot) {
     RunMetrics summary = result.metrics;
     summary.worker_busy_seconds.clear();
     summary.machine_busy_seconds.clear();
+    summary.worst_status = result.status;  // Merge folds max-severity
     merged_.Merge(summary);
     std::unique_ptr<Task> done = std::move(slot->task);  // frees the slot
     lk.unlock();
@@ -270,6 +319,8 @@ ServiceMetrics QueryService::metrics() const {
     m.submitted = submitted_;
     m.completed = completed_;
     m.rejected = rejected_;
+    m.cancelled = cancelled_;
+    m.worst_status = merged_.worst_status;
     m.peak_concurrency = peak_concurrency_;
     m.queue_wait_seconds = queue_wait_seconds_;
     m.merged = merged_;

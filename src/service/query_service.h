@@ -85,6 +85,11 @@ struct ServiceMetrics {
   uint64_t submitted = 0;  ///< Submit/SubmitPlan calls, including rejected
   uint64_t completed = 0;  ///< queries that ran to a RunResult
   uint64_t rejected = 0;   ///< refused by admission (RunStatus::kRejected)
+  uint64_t cancelled = 0;  ///< resolved by Cancel (queued or mid-run)
+  /// Max-severity fold (StatusSeverity) over every resolved query's
+  /// status: kOk only when nothing has ever failed, been cancelled,
+  /// rejected or aborted. Mirrors merged.worst_status.
+  RunStatus worst_status = RunStatus::kOk;
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_evictions = 0;
@@ -147,12 +152,28 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Submits `q`; the future resolves to its RunResult. Thread-safe.
-  std::future<RunResult> Submit(const QueryGraph& q, SubmitOptions opts = {});
+  /// `handle`, when non-null, receives a cancellation handle for the
+  /// submission (see Cancel), or 0 when the query never queued (rejected
+  /// by admission — there is nothing left to cancel).
+  std::future<RunResult> Submit(const QueryGraph& q, SubmitOptions opts = {},
+                                uint64_t* handle = nullptr);
 
   /// Submits a caller-provided execution plan (the Remark 3.2 plug-in
   /// path). Bypasses the plan cache.
   std::future<RunResult> SubmitPlan(const ExecutionPlan& plan,
-                                    SubmitOptions opts = {});
+                                    SubmitOptions opts = {},
+                                    uint64_t* handle = nullptr);
+
+  /// Cancels the submission `handle` refers to. A still-queued query is
+  /// unscheduled and its future resolves immediately with
+  /// RunStatus::kCancelled; a running query has its cancellation flag
+  /// raised — the executor's abort plane observes it at the next poll,
+  /// every machine drains out, and the future resolves with kCancelled
+  /// (shortly after, not synchronously: Cancel does not block on the
+  /// drain). Returns false when the handle is unknown or the query
+  /// already completed — cancellation raced completion and lost, which
+  /// is not an error. Thread-safe.
+  bool Cancel(uint64_t handle);
 
   /// Blocks until every query submitted so far has completed.
   void Drain();
@@ -178,7 +199,8 @@ class QueryService {
 
   void Start();
   std::future<RunResult> EnqueuePlan(const ExecutionPlan& plan,
-                                     const SubmitOptions& opts);
+                                     const SubmitOptions& opts,
+                                     uint64_t* handle);
   void DispatcherLoop();
   void SlotLoop(Slot* slot);
   Slot* FindFreeSlotLocked();
@@ -201,6 +223,7 @@ class QueryService {
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t cancelled_ = 0;
   int peak_concurrency_ = 0;
   double queue_wait_seconds_ = 0;
   RunMetrics merged_;

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/cluster.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+#include "plan/translate.h"
+#include "query/pattern_parser.h"
+
+namespace huge {
+namespace {
+
+/// Chaos differential harness (ctest label `chaos`): randomized labelled
+/// patterns executed across {pull, push, hybrid} plans and {2, 4}-machine
+/// clusters while the network's fault plane is armed.
+///
+/// The contract under test, per fault class:
+///  - transient schedules: every wire operation may fail and be retried,
+///    yet the run completes kOk with a match count bit-identical to the
+///    single-machine oracle (GetNbrs reads an immutable graph, so retries
+///    are idempotent — faults move metrics, never results) and the retry
+///    counters record that faults actually happened;
+///  - crash schedules: a permanently dead machine can never be worked
+///    around, so any run that touches the wire terminates promptly with
+///    kFailed — and no crash outcome ever reports kOk with a wrong count;
+///  - cancellation: tripping the cancel flag resolves the run kCancelled,
+///    whether raised before the run or from inside it mid-enumeration.
+/// Every configuration carries a time limit as a belt-and-suspenders
+/// no-hang bound: a fault outcome must be a clean status, never a stall.
+
+enum class Profile { kPull, kPush, kHybrid };
+
+const char* ToString(Profile p) {
+  switch (p) {
+    case Profile::kPull:
+      return "pull";
+    case Profile::kPush:
+      return "push";
+    case Profile::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+constexpr MachineId kMachineCounts[] = {2, 4};
+
+constexpr int kNumGraphs = 6;
+constexpr int kPatternsPerGraph = 5;  // 6 * 5 = 30 randomized cases/profile
+
+/// Random labelled data graph (the distributed_diff_test rotation, offset
+/// seeds): power-law social, uniform random, road-like; three labels.
+std::shared_ptr<Graph> MakeGraph(int idx) {
+  Graph g;
+  switch (idx % 3) {
+    case 0:
+      g = gen::PowerLaw(300, 6, 2.5, 4000 + idx);
+      break;
+    case 1:
+      g = gen::ErdosRenyi(240, 900, 5000 + idx);
+      break;
+    default:
+      g = gen::Road(12, 12, 60, 6000 + idx);
+      break;
+  }
+  Rng rng(131 * idx + 7);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(3));
+  g.AssignLabels(std::move(labels));
+  return std::make_shared<Graph>(std::move(g));
+}
+
+/// Random connected pattern: 3-5 query vertices, spanning tree + extras,
+/// each vertex unlabelled (2/5) or carrying a random label (3/5).
+std::string RandomPattern(Rng* rng) {
+  const int nv = 3 + static_cast<int>(rng->NextBounded(3));
+  std::vector<int> labels(nv);
+  for (auto& l : labels) {
+    l = rng->NextBounded(5) < 2 ? -1 : static_cast<int>(rng->NextBounded(3));
+  }
+  std::set<std::pair<int, int>> edges;
+  for (int i = 1; i < nv; ++i) {
+    const int p = static_cast<int>(rng->NextBounded(i));
+    edges.insert({std::min(i, p), std::max(i, p)});
+  }
+  const int extra = static_cast<int>(rng->NextBounded(nv));
+  for (int t = 0; t < extra; ++t) {
+    const int a = static_cast<int>(rng->NextBounded(nv));
+    const int b = static_cast<int>(rng->NextBounded(nv));
+    if (a != b) edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  auto vertex = [&](int i) {
+    std::string s = "(";
+    s += static_cast<char>('a' + i);
+    if (labels[i] >= 0) {
+      s += ':';
+      s += static_cast<char>('0' + labels[i]);
+    }
+    s += ')';
+    return s;
+  };
+  std::string out;
+  for (const auto& [a, b] : edges) {
+    if (!out.empty()) out += ", ";
+    out += vertex(a) + "-" + vertex(b);
+  }
+  return out;
+}
+
+Config ChaosConfig(MachineId machines) {
+  Config cfg;
+  cfg.num_machines = machines;
+  cfg.batch_size = 128;
+  cfg.time_limit_seconds = 120;  // no-hang bound; never reached when healthy
+  return cfg;
+}
+
+/// A transient-fault plan whose retry exhaustion probability is
+/// negligible: at rate 0.25 with 12 attempts a wire operation fails
+/// permanently with probability 0.25^12 ~ 6e-8 — across the whole suite
+/// the expected number of spurious kFailed outcomes is ~0.
+void ArmTransients(Config* cfg, uint64_t seed) {
+  cfg->net.fault.seed = seed;
+  cfg->net.fault.transient_fault_rate = 0.25;
+  cfg->net.retry.max_attempts = 12;
+  cfg->net.retry.overall_deadline_sec = 1e6;  // attempts bound, not time
+}
+
+RunResult RunProfile(Profile profile, std::shared_ptr<const Graph> g,
+                     const QueryGraph& q, const Config& cfg) {
+  Runner runner(std::move(g), cfg);
+  switch (profile) {
+    case Profile::kPull:
+      return runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+    case Profile::kPush:
+      return runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush));
+    case Profile::kHybrid:
+      return runner.Run(q);
+  }
+  return {};
+}
+
+class ChaosDiffTest : public ::testing::TestWithParam<Profile> {};
+
+TEST_P(ChaosDiffTest, TransientFaultsLeaveCountsBitIdentical) {
+  const Profile profile = GetParam();
+  uint64_t total_retries = 0;
+  uint64_t total_retried_bytes = 0;
+  for (int gi = 0; gi < kNumGraphs; ++gi) {
+    auto g = MakeGraph(gi);
+    Rng rng(21000 + gi);
+    for (int pi = 0; pi < kPatternsPerGraph; ++pi) {
+      const std::string pattern = RandomPattern(&rng);
+      auto p = ParsePattern(pattern);
+      ASSERT_TRUE(p.ok()) << pattern << ": " << p.error;
+      const uint64_t expect = Oracle::Count(*g, p.query);
+      const int c = gi * kPatternsPerGraph + pi;
+      Config cfg = ChaosConfig(kMachineCounts[c % 2]);
+      ArmTransients(&cfg, 500 + c);
+      const RunResult r = RunProfile(profile, g, p.query, cfg);
+      ASSERT_EQ(r.status, RunStatus::kOk)
+          << ToString(profile) << " k=" << cfg.num_machines << " graph " << gi
+          << ", pattern \"" << pattern << "\": " << ToString(r.status);
+      EXPECT_EQ(r.matches, expect)
+          << ToString(profile) << " k=" << cfg.num_machines << " graph " << gi
+          << ", pattern \"" << pattern << "\"";
+      total_retries += r.metrics.retry_attempts;
+      total_retried_bytes += r.metrics.retried_bytes;
+      if (r.metrics.retry_attempts > 0) {
+        EXPECT_GT(r.metrics.retried_bytes, 0u);
+      }
+    }
+  }
+  // The schedules were not vacuous: at rate 0.25 a suite of remote-heavy
+  // runs must have retried many operations.
+  EXPECT_GT(total_retries, 0u) << ToString(profile);
+  EXPECT_GT(total_retried_bytes, 0u) << ToString(profile);
+}
+
+TEST_P(ChaosDiffTest, CrashSchedulesTerminateWithFailed) {
+  const Profile profile = GetParam();
+  for (int gi = 0; gi < 4; ++gi) {
+    auto g = MakeGraph(gi);
+    Rng rng(31000 + gi);
+    for (int pi = 0; pi < 3; ++pi) {
+      const std::string pattern = RandomPattern(&rng);
+      auto p = ParsePattern(pattern);
+      ASSERT_TRUE(p.ok()) << pattern << ": " << p.error;
+      const uint64_t expect = Oracle::Count(*g, p.query);
+      const int c = gi * 3 + pi;
+      Config cfg = ChaosConfig(kMachineCounts[c % 2]);
+
+      // Gate on the clean run: a pattern whose run never touches the wire
+      // (all-local after partitioning) cannot observe a crash.
+      const RunResult clean = RunProfile(profile, g, p.query, cfg);
+      ASSERT_EQ(clean.status, RunStatus::kOk);
+      ASSERT_EQ(clean.matches, expect);
+      const uint64_t wire_ops =
+          clean.metrics.rpc_requests + clean.metrics.push_messages;
+      if (wire_ops == 0) continue;
+
+      // Whichever machine serves the first wire operation dies at it.
+      cfg.net.fault.crash_target_of_op = 1;
+      const RunResult r = RunProfile(profile, g, p.query, cfg);
+      EXPECT_EQ(r.status, RunStatus::kFailed)
+          << ToString(profile) << " k=" << cfg.num_machines << " graph " << gi
+          << ", pattern \"" << pattern << "\": " << ToString(r.status);
+      // The acceptance bar: a fault outcome never reports kOk with a
+      // wrong count.
+      if (r.status == RunStatus::kOk) {
+        EXPECT_EQ(r.matches, expect);
+      }
+    }
+  }
+}
+
+TEST_P(ChaosDiffTest, PerMachineCrashScheduleAlsoFails) {
+  // The crash_after form: machine 1 dies after serving its 3rd wire
+  // operation — mid-run rather than at the first touch.
+  const Profile profile = GetParam();
+  auto g = MakeGraph(0);
+  auto p = ParsePattern("(a:0)-(b:1), (b:1)-(c:2), (a:0)-(c:2)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  Config cfg = ChaosConfig(4);
+  const RunResult clean = RunProfile(profile, g, p.query, cfg);
+  ASSERT_EQ(clean.status, RunStatus::kOk);
+  if (clean.metrics.rpc_requests + clean.metrics.push_messages < 4) {
+    GTEST_SKIP() << "not enough wire traffic to schedule the crash";
+  }
+  cfg.net.fault.crash_after = {{1, 3}};
+  const RunResult r = RunProfile(profile, g, p.query, cfg);
+  // Machine 1 serves its 3rd operation only if traffic reaches it; the
+  // global gate above guarantees cluster-wide traffic, not per-machine,
+  // so accept either a failed run or a clean bit-identical one.
+  if (r.status == RunStatus::kFailed) {
+    SUCCEED();
+  } else {
+    ASSERT_EQ(r.status, RunStatus::kOk);
+    EXPECT_EQ(r.matches, clean.matches);
+  }
+}
+
+TEST_P(ChaosDiffTest, CancelBeforeRunResolvesCancelled) {
+  const Profile profile = GetParam();
+  auto g = MakeGraph(1);
+  auto p = ParsePattern("(a)-(b), (b)-(c), (a)-(c)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  for (MachineId machines : kMachineCounts) {
+    Config cfg = ChaosConfig(machines);
+    Cluster cluster(g, cfg);
+    const CommMode mode =
+        profile == Profile::kPush ? CommMode::kPush : CommMode::kPull;
+    const Dataflow df = Translate(WcoLeftDeepPlan(p.query, mode));
+    std::atomic<bool> cancel{true};  // raised before the run starts
+    const RunResult r = cluster.Run(df, &cancel);
+    EXPECT_EQ(r.status, RunStatus::kCancelled) << ToString(r.status);
+
+    // The same cluster is reusable after a cancelled run and produces
+    // the oracle count — cancellation leaves no sticky state behind.
+    const RunResult again = cluster.Run(df);
+    EXPECT_EQ(again.status, RunStatus::kOk);
+    EXPECT_EQ(again.matches, Oracle::Count(*g, p.query));
+  }
+}
+
+TEST_P(ChaosDiffTest, CancelMidRunResolvesCancelled) {
+  // Deterministic mid-run cancellation: the match sink raises the cancel
+  // flag from *inside* the enumeration, so the flag is provably set while
+  // the run is in flight; the abort plane must resolve kCancelled at a
+  // subsequent poll. Regions keep the BSP path polling between sink
+  // levels.
+  const Profile profile = GetParam();
+  auto g = MakeGraph(2);
+  auto p = ParsePattern("(a)-(b), (b)-(c)");  // wedge: plenty of matches
+  ASSERT_TRUE(p.ok()) << p.error;
+  Config cfg = ChaosConfig(2);
+  cfg.region_group_rows = 64;  // many BSP regions -> frequent abort polls
+  std::atomic<bool> cancel{false};
+  cfg.match_sink = [&](std::span<const VertexId>) {
+    cancel.store(true, std::memory_order_relaxed);
+  };
+  Cluster cluster(g, cfg);
+  const CommMode mode =
+      profile == Profile::kPush ? CommMode::kPush : CommMode::kPull;
+  const Dataflow df = Translate(WcoLeftDeepPlan(p.query, mode));
+  const RunResult r = cluster.Run(df, &cancel);
+  ASSERT_TRUE(cancel.load()) << "the enumeration never reached a match";
+  EXPECT_EQ(r.status, RunStatus::kCancelled) << ToString(r.status);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ChaosDiffTest,
+                         ::testing::Values(Profile::kPull, Profile::kPush,
+                                           Profile::kHybrid),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(ChaosDiffTest, DegradedLatencyOnlyChangesTime) {
+  // added_latency_sec models a degraded network: results and bytes stay
+  // identical, simulated communication time grows. Single worker, no
+  // stealing, roomy cache: byte totals are deterministic across the two
+  // runs (stealing/eviction order would otherwise move them).
+  auto g = MakeGraph(3);
+  auto p = ParsePattern("(a:1)-(b), (b)-(c:2), (a:1)-(c:2)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  Config cfg = ChaosConfig(4);
+  cfg.workers_per_machine = 1;
+  cfg.intra_stealing = false;
+  cfg.inter_stealing = false;
+  cfg.cache_capacity_bytes = 1u << 30;
+  const RunResult clean = RunProfile(Profile::kHybrid, g, p.query, cfg);
+  ASSERT_EQ(clean.status, RunStatus::kOk);
+  if (clean.metrics.rpc_requests + clean.metrics.push_messages == 0) {
+    GTEST_SKIP() << "no wire traffic to slow down";
+  }
+  cfg.net.fault.added_latency_sec = 1e-3;
+  const RunResult slow = RunProfile(Profile::kHybrid, g, p.query, cfg);
+  ASSERT_EQ(slow.status, RunStatus::kOk);
+  EXPECT_EQ(slow.matches, clean.matches);
+  EXPECT_EQ(slow.metrics.bytes_communicated, clean.metrics.bytes_communicated);
+  EXPECT_GT(slow.metrics.comm_seconds, clean.metrics.comm_seconds);
+}
+
+}  // namespace
+}  // namespace huge

@@ -295,6 +295,89 @@ TEST(EngineTest, SingleMachinePullsNothing) {
   EXPECT_DOUBLE_EQ(r.metrics.comm_seconds, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Abort plane and run-status hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(AbortPlaneTest, FirstErrorWins) {
+  // Fail publishes the status with a CAS from kOk before latching
+  // `aborted`: the first error to trip the plane owns the verdict, later
+  // (possibly concurrent) errors cannot overwrite it.
+  SharedState s;
+  EXPECT_EQ(s.abort_status.load(), static_cast<uint8_t>(RunStatus::kOk));
+  s.Fail(RunStatus::kOom);
+  EXPECT_TRUE(s.aborted.load());
+  EXPECT_EQ(s.abort_status.load(), static_cast<uint8_t>(RunStatus::kOom));
+  s.Fail(RunStatus::kFailed);  // loses the race: kOom already published
+  EXPECT_EQ(s.abort_status.load(), static_cast<uint8_t>(RunStatus::kOom));
+  s.Fail(RunStatus::kCancelled);
+  EXPECT_EQ(s.abort_status.load(), static_cast<uint8_t>(RunStatus::kOom));
+}
+
+TEST(AbortPlaneTest, OverBudgetPollsCancelFlag) {
+  Config cfg;  // no memory/time limits: only the cancel flag can trip
+  MemoryTracker tracker;
+  SharedState s;
+  s.config = &cfg;
+  s.tracker = &tracker;
+  EXPECT_FALSE(s.OverBudget());
+  std::atomic<bool> cancel{false};
+  s.cancel = &cancel;
+  EXPECT_FALSE(s.OverBudget());
+  cancel.store(true);
+  EXPECT_TRUE(s.OverBudget());
+  EXPECT_EQ(s.abort_status.load(),
+            static_cast<uint8_t>(RunStatus::kCancelled));
+  // Latched: clearing the flag afterwards does not un-abort the run.
+  cancel.store(false);
+  EXPECT_TRUE(s.OverBudget());
+}
+
+TEST(RunStatusTest, EveryStatusHasALabel) {
+  EXPECT_STREQ(ToString(RunStatus::kOk), "ok");
+  EXPECT_STREQ(ToString(RunStatus::kOom), "OOM");
+  EXPECT_STREQ(ToString(RunStatus::kTimeout), "OT");
+  EXPECT_STREQ(ToString(RunStatus::kRejected), "REJ");
+  EXPECT_STREQ(ToString(RunStatus::kCancelled), "CANCEL");
+  EXPECT_STREQ(ToString(RunStatus::kFailed), "FAIL");
+}
+
+TEST(RunStatusTest, SeverityLatticeIsStrictlyOrdered) {
+  // kOk at the bottom, resource aborts above, "the result is not coming"
+  // outcomes on top — every value distinct so MaxSeverity is a total
+  // order.
+  const RunStatus order[] = {RunStatus::kOk,        RunStatus::kOom,
+                             RunStatus::kTimeout,   RunStatus::kCancelled,
+                             RunStatus::kRejected,  RunStatus::kFailed};
+  for (size_t i = 1; i < std::size(order); ++i) {
+    EXPECT_LT(StatusSeverity(order[i - 1]), StatusSeverity(order[i]));
+    EXPECT_EQ(MaxSeverity(order[i - 1], order[i]), order[i]);
+    EXPECT_EQ(MaxSeverity(order[i], order[i - 1]), order[i]);
+  }
+  EXPECT_EQ(MaxSeverity(RunStatus::kOk, RunStatus::kOk), RunStatus::kOk);
+}
+
+TEST(RunStatusTest, MergeFoldsWorstStatusAndRetryCounters) {
+  RunMetrics a;
+  a.retry_attempts = 2;
+  a.retried_bytes = 100;
+  a.backoff_ns = 5;
+  RunMetrics b;
+  b.retry_attempts = 3;
+  b.retried_bytes = 50;
+  b.backoff_ns = 7;
+  b.worst_status = RunStatus::kTimeout;
+  a.Merge(b);
+  EXPECT_EQ(a.retry_attempts, 5u);
+  EXPECT_EQ(a.retried_bytes, 150u);
+  EXPECT_EQ(a.backoff_ns, 12u);
+  EXPECT_EQ(a.worst_status, RunStatus::kTimeout);
+  RunMetrics c;
+  c.worst_status = RunStatus::kOom;  // lower severity: must not demote
+  a.Merge(c);
+  EXPECT_EQ(a.worst_status, RunStatus::kTimeout);
+}
+
 TEST(EngineTest, SegmentsBuiltCorrectlyForPushJoinPlans) {
   auto g = SmallEr();
   Runner runner(g, Config{});

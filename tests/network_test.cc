@@ -239,6 +239,162 @@ TEST(EngineNetworkTest, PullingBeatsPushingOnVolume) {
   EXPECT_LT(pull.bytes_communicated, push.bytes_communicated);
 }
 
+// ---------------------------------------------------------------------------
+// Fault plane: exact-byte retry accounting, and the disabled-injector
+// zero-overhead pin.
+// ---------------------------------------------------------------------------
+
+TEST(FaultToleranceTest, DisabledInjectorAddsZeroOverhead) {
+  // A default-constructed profile carries an inert FaultPlan: the fault
+  // plane must stay disabled and the accounting must be bit-identical to
+  // the pinned pre-fault constants (same shape as MergedBulkBytesAreExact)
+  // with zero retry counters and the pure analytic time model.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));  // degree 2 everywhere
+  PartitionedGraph pg(g, 2);
+  NetworkProfile profile;
+  Network net(profile, 2);
+  ASSERT_FALSE(net.faults().enabled());
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 3; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 3u);
+  ASSERT_TRUE(
+      client.Fetch(0, remote, [](VertexId, std::span<const VertexId>) {}));
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes;  // 16
+  const uint64_t wire = 3 * per_vertex + 2 * GetNbrsClient::kHeaderBytes;
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), wire);
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 1u);
+  EXPECT_EQ(net.faults().retry_attempts(), 0u);
+  EXPECT_EQ(net.faults().retried_bytes(), 0u);
+  EXPECT_EQ(net.faults().backoff_ns(), 0u);
+  // Zero added time: exactly bytes/bandwidth + one RPC latency.
+  EXPECT_NEAR(net.traffic(0).comm_seconds(),
+              wire / profile.bandwidth_bytes_per_sec + profile.rpc_latency_sec,
+              1e-9);
+}
+
+TEST(FaultToleranceTest, FailTwiceThenSucceedCostsExactlyThreeFetches) {
+  // Each transiently failed attempt is a real message that went out and
+  // was never answered: it pays the full bulk payload plus its own header
+  // pair as one RPC. Failing twice then succeeding therefore costs
+  // exactly 3x a clean fetch — no more, no less.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));
+  PartitionedGraph pg(g, 2);
+  NetworkProfile profile;
+  profile.fault.transient_first_ops = 2;  // ops 1..2 fail, op 3 succeeds
+  Network net(profile, 2);
+  ASSERT_TRUE(net.faults().enabled());
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 3; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 3u);
+  size_t served = 0;
+  ASSERT_TRUE(client.Fetch(
+      0, remote, [&](VertexId, std::span<const VertexId>) { ++served; }));
+  EXPECT_EQ(served, 3u) << "retries are internal: every sink still fires";
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes;  // 16
+  const uint64_t wire = 3 * per_vertex + 2 * GetNbrsClient::kHeaderBytes;
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), 3 * wire);
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 3u);
+  EXPECT_EQ(net.faults().retry_attempts(), 2u);
+  EXPECT_EQ(net.faults().retried_bytes(), 2 * wire);
+  EXPECT_GT(net.faults().backoff_ns(), 0u);
+  // The wasted attempts also cost simulated time: two attempt timeouts
+  // plus two backoffs on top of three wire transmissions.
+  EXPECT_GT(net.traffic(0).comm_seconds(),
+            2 * profile.retry.attempt_timeout_sec);
+}
+
+TEST(FaultToleranceTest, SlicedSessionRetriesDoNotDoubleChargeHeaders) {
+  // A bulk session spanning two sliced fetches with one transient fault:
+  // the wasted attempt pays its own payload + header pair, but the
+  // successful super-step still settles through Flush as ONE merged
+  // message with ONE header pair — retries never un-merge the session.
+  Graph g = gen::Cycle(16);
+  std::vector<uint8_t> labels(16);
+  for (VertexId v = 0; v < 16; ++v) labels[v] = static_cast<uint8_t>(v % 3);
+  g.AssignLabels(std::move(labels));
+  auto shared = std::make_shared<Graph>(std::move(g));
+  PartitionedGraph pg(shared, 2);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 2; ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 2u);
+  // Sliced payload per degree-2 vertex: request id (4) + response (3 * 4)
+  // + the L+1 = 4-entry offset row (16) = 32 bytes.
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes +
+                              (shared->NumLabelValues() + 1) *
+                                  sizeof(uint32_t);
+  ASSERT_EQ(per_vertex, 32u);
+
+  NetworkProfile profile;
+  profile.fault.transient_first_ops = 1;  // the first call's op fails once
+  Network net(profile, 2);
+  GetNbrsClient client(&pg, &net);
+  GetNbrsClient::BulkCharge bulk;
+  auto sink = [](VertexId, std::span<const VertexId>,
+                 std::span<const uint32_t>) {};
+  ASSERT_TRUE(client.FetchSliced(0, {&remote[0], 1}, sink, &bulk));
+  ASSERT_TRUE(client.FetchSliced(0, {&remote[1], 1}, sink, &bulk));
+  client.Flush(0, &bulk);
+
+  const uint64_t wasted =
+      per_vertex + 2 * GetNbrsClient::kHeaderBytes;  // first call's attempt
+  const uint64_t settled =
+      2 * per_vertex + 2 * GetNbrsClient::kHeaderBytes;  // one merged flush
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), wasted + settled);
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 2u);
+  EXPECT_EQ(net.faults().retry_attempts(), 1u);
+  EXPECT_EQ(net.faults().retried_bytes(), wasted);
+}
+
+TEST(FaultToleranceTest, ExhaustedRetriesFailTheFetch) {
+  auto g = std::make_shared<Graph>(gen::Cycle(16));
+  PartitionedGraph pg(g, 2);
+  NetworkProfile profile;
+  profile.fault.transient_first_ops = 100;  // beyond any retry budget
+  profile.retry.max_attempts = 3;
+  Network net(profile, 2);
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.empty(); ++v) {
+    if (!pg.IsLocal(v, 0)) remote.push_back(v);
+  }
+  size_t served = 0;
+  EXPECT_FALSE(client.Fetch(
+      0, remote, [&](VertexId, std::span<const VertexId>) { ++served; }));
+  EXPECT_EQ(served, 0u) << "no sink fires on a permanently failed fetch";
+  EXPECT_EQ(net.faults().retry_attempts(), 3u);  // every attempt wasted
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 3u);
+}
+
+TEST(FaultToleranceTest, PushToRetriesAndCrashes) {
+  NetworkProfile profile;
+  profile.fault.transient_first_ops = 2;
+  profile.fault.crash_after = {{1, 4}};  // server 1 dies at its 4th op
+  Network net(profile, 2);
+  // Ops 1-2 fail transiently (each charges the full payload), op 3
+  // succeeds: 3x the clean push.
+  ASSERT_TRUE(net.PushTo(0, 1, 1000, 2));
+  EXPECT_EQ(net.traffic(0).bytes_pushed(), 3000u);
+  EXPECT_EQ(net.faults().retry_attempts(), 2u);
+  EXPECT_EQ(net.faults().retried_bytes(), 2000u);
+  // Op 4 trips the crash schedule: permanent, nothing more is charged.
+  const uint64_t before = net.traffic(0).bytes_pushed();
+  EXPECT_FALSE(net.PushTo(0, 1, 500, 1));
+  EXPECT_TRUE(net.faults().Crashed(1));
+  EXPECT_EQ(net.traffic(0).bytes_pushed(), before);
+  // Reset resurrects the schedule: the same ops replay from the start.
+  net.Reset();
+  EXPECT_FALSE(net.faults().Crashed(1));
+  EXPECT_EQ(net.faults().retry_attempts(), 0u);
+}
+
 TEST(EngineNetworkTest, UtilisationDefinition) {
   RunMetrics m;
   m.bytes_communicated = 500;

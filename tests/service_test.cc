@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -215,8 +217,142 @@ TEST(QueryServiceTest, RunnerDelegatesThroughSingleSlotService) {
 }
 
 // ---------------------------------------------------------------------------
+// Cancellation: queued queries resolve immediately, running queries
+// through the abort plane.
+// ---------------------------------------------------------------------------
+
+/// A match sink the test can hold shut: the first match signals `entered`
+/// (the query is provably running) and every call blocks until the test
+/// raises `release`. Holding the sink pins the service in a known state —
+/// one query mid-run in the only slot, later submissions queued — without
+/// sleeps or timing assumptions.
+struct GateSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+
+  ServiceConfig MakeConfig() {
+    ServiceConfig sc;
+    sc.engine = SmallEngineConfig();
+    sc.max_concurrent_queries = 1;  // match_sink requires a single slot
+    sc.engine.match_sink = [this](std::span<const VertexId>) {
+      std::unique_lock<std::mutex> lk(mu);
+      if (!entered) {
+        entered = true;
+        cv.notify_all();
+      }
+      cv.wait(lk, [this] { return release; });
+    };
+    return sc;
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [this] { return entered; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      release = true;
+    }
+    cv.notify_all();
+  }
+};
+
+TEST(QueryServiceTest, CancelQueuedQueryResolvesImmediately) {
+  auto g = ServiceGraph(43);
+  GateSink gate;
+  QueryService service(g, gate.MakeConfig());
+  uint64_t h1 = 0;
+  uint64_t h2 = 0;
+  auto f1 = service.Submit(queries::Triangle(), {}, &h1);
+  gate.AwaitEntered();  // the slot is now provably occupied by query 1
+  auto f2 = service.Submit(queries::Square(), {}, &h2);
+  ASSERT_NE(h2, 0u);
+  EXPECT_EQ(service.pending(), 1u);
+  EXPECT_TRUE(service.Cancel(h2));
+  // Resolves without ever running — the slot is still held by query 1.
+  EXPECT_EQ(f2.get().status, RunStatus::kCancelled);
+  EXPECT_EQ(service.pending(), 0u);
+  gate.Release();
+  EXPECT_EQ(f1.get().status, RunStatus::kOk);
+  // Unknown and already-resolved handles: cancellation raced completion
+  // and lost, which is not an error — just a false return.
+  EXPECT_FALSE(service.Cancel(h2));
+  EXPECT_FALSE(service.Cancel(h1));
+  EXPECT_FALSE(service.Cancel(999999));
+  EXPECT_FALSE(service.Cancel(0));
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.cancelled, 1u);
+  EXPECT_EQ(m.completed, 1u);  // only query 1 ran
+  EXPECT_EQ(m.worst_status, RunStatus::kCancelled);
+}
+
+TEST(QueryServiceTest, CancelRunningQueryDrainsToCancelled) {
+  auto g = ServiceGraph(47);
+  GateSink gate;
+  QueryService service(g, gate.MakeConfig());
+  uint64_t h = 0;
+  auto f = service.Submit(queries::Triangle(), {}, &h);
+  gate.AwaitEntered();  // mid-run: the first match is in flight
+  EXPECT_TRUE(service.Cancel(h));  // raises the flag; resolution is async
+  gate.Release();
+  // The abort plane observes the flag at the next poll and every machine
+  // drains out: the future resolves kCancelled, never kOk-with-partials.
+  EXPECT_EQ(f.get().status, RunStatus::kCancelled);
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.cancelled, 1u);
+  EXPECT_EQ(m.completed, 1u);  // it ran — to a cancelled RunResult
+  EXPECT_EQ(m.worst_status, RunStatus::kCancelled);
+}
+
+TEST(QueryServiceTest, ServiceStaysUsableAfterCancellations) {
+  // After a cancelled run the slot's cluster must be clean for the next
+  // query: same count as an untouched runner, kOk status.
+  auto g = ServiceGraph(53);
+  const Config ecfg = SmallEngineConfig();
+  const uint64_t expect = Runner(g, ecfg).Run(queries::Square()).matches;
+  GateSink gate;
+  QueryService service(g, gate.MakeConfig());
+  uint64_t h = 0;
+  auto f = service.Submit(queries::Square(), {}, &h);
+  gate.AwaitEntered();
+  EXPECT_TRUE(service.Cancel(h));
+  gate.Release();
+  EXPECT_EQ(f.get().status, RunStatus::kCancelled);
+  // The gate stays open from here on: the follow-up runs unimpeded.
+  auto f2 = service.Submit(queries::Square());
+  const RunResult r = f2.get();
+  EXPECT_EQ(r.status, RunStatus::kOk);
+  EXPECT_EQ(r.matches, expect);
+  EXPECT_EQ(service.metrics().worst_status, RunStatus::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
 // FairScheduler unit tests.
 // ---------------------------------------------------------------------------
+
+TEST(FairSchedulerTest, RemoveUnschedulesAndDrainsTenant) {
+  FairScheduler s;
+  s.Enqueue("a", 1);
+  s.Enqueue("a", 2);
+  s.Enqueue("b", 10);
+  EXPECT_FALSE(s.Remove("a", 99));   // unknown id under a known tenant
+  EXPECT_FALSE(s.Remove("zz", 1));   // unknown tenant
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Remove("a", 1));
+  EXPECT_EQ(s.size(), 2u);
+  uint64_t id = 0;
+  ASSERT_TRUE(s.PopNext(&id));
+  EXPECT_EQ(id, 2u);  // a still heads the rotation with its remaining work
+  EXPECT_TRUE(s.Remove("b", 10));  // drains b: it must leave the rotation
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.num_pending_tenants(), 0u);
+  EXPECT_FALSE(s.PopNext(&id));
+  s.Enqueue("b", 11);  // a drained tenant re-enters cleanly
+  ASSERT_TRUE(s.PeekNext(&id));
+  EXPECT_EQ(id, 11u);
+}
 
 TEST(FairSchedulerTest, RoundRobinAcrossTenantsFifoWithin) {
   FairScheduler s;
