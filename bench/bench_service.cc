@@ -33,6 +33,7 @@ struct LoadPoint {
   uint64_t queries = 0;
   double cache_hit_rate = 0;
   uint64_t peak_reserved_mb = 0;
+  uint64_t dedup_hits = 0;
   uint64_t retry_attempts = 0;
   uint64_t retried_bytes = 0;
 };
@@ -81,6 +82,7 @@ LoadPoint RunLoad(const std::shared_ptr<const Graph>& graph,
   p.cache_hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(m.plan_cache_hits) / lookups;
   p.peak_reserved_mb = m.peak_reserved_bytes >> 20;
+  p.dedup_hits = m.dedup_hits;
   p.retry_attempts = m.merged.retry_attempts;
   p.retried_bytes = m.merged.retried_bytes;
   return p;
@@ -131,7 +133,7 @@ int main() {
       std::max(2, static_cast<int>(6 * huge::bench::Scale()));
 
   Table table({"clients", "wall(s)", "qps", "p50(ms)", "p99(ms)",
-               "cache hit%", "peak rsv(MB)"});
+               "cache hit%", "peak rsv(MB)", "dedup"});
   std::vector<LoadPoint> points;
   ServiceConfig base;
   base.engine.num_machines = 2;
@@ -139,6 +141,12 @@ int main() {
   base.max_concurrent_queries = 4;
   base.memory_budget_bytes = 1024u << 20;
   base.min_reservation_bytes = 4u << 20;
+  // Weighted admission on the shared fabric: charge each query's
+  // machines x workers footprint against the real core count, so load
+  // points beyond the hardware stop oversubscribing and identical
+  // in-flight submissions fold into one run (submission de-dup).
+  base.core_budget =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
   for (const int clients : {1, 2, 4, 8}) {
     std::vector<double> all;
@@ -149,7 +157,8 @@ int main() {
     table.AddRow({std::to_string(p.clients), Seconds(p.wall_seconds),
                   Fmt("%.1f", p.qps), Fmt("%.2f", p.p50_ms),
                   Fmt("%.2f", p.p99_ms), Fmt("%.1f", 100 * p.cache_hit_rate),
-                  std::to_string(p.peak_reserved_mb)});
+                  std::to_string(p.peak_reserved_mb),
+                  std::to_string(p.dedup_hits)});
   }
   table.Print();
 

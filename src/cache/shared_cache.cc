@@ -1,0 +1,138 @@
+#include "cache/shared_cache.h"
+
+#include <algorithm>
+
+namespace huge {
+namespace {
+
+/// Fixed per-entry overhead (map node, LRU node, vector headers) so the
+/// byte capacity reflects real footprint, not just payload.
+constexpr size_t kEntryOverhead = 96;
+
+}  // namespace
+
+size_t SharedAdjCache::Entry::bytes() const {
+  return adj.size() * sizeof(VertexId) + slice_rel.size() * sizeof(uint32_t) +
+         kEntryOverhead;
+}
+
+SharedAdjCache::SharedAdjCache(size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void SharedAdjCache::TouchLocked(Entry& e) {
+  lru_.splice(lru_.begin(), lru_, e.lru_pos);
+}
+
+void SharedAdjCache::EvictToFitLocked() {
+  while (size_bytes_ > capacity_ && !lru_.empty()) {
+    const VertexId victim = lru_.back();
+    auto it = entries_.find(victim);
+    size_bytes_ -= it->second.bytes();
+    entries_.erase(it);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool SharedAdjCache::TryGetFull(VertexId v, std::vector<VertexId>* out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(v);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Entry& e = it->second;
+  out->assign(e.adj.begin(), e.adj.end());
+  if (e.sliced()) {
+    // The stored copy is label-grouped; full readers expect the sorted
+    // order the engine's intersection kernels require.
+    std::sort(out->begin(), out->end());
+  }
+  TouchLocked(e);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SharedAdjCache::TryGetSliced(VertexId v, std::vector<VertexId>* grouped,
+                                  std::vector<uint32_t>* slice_rel) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(v);
+  if (it == entries_.end() || !it->second.sliced()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Entry& e = it->second;
+  grouped->assign(e.adj.begin(), e.adj.end());
+  slice_rel->assign(e.slice_rel.begin(), e.slice_rel.end());
+  TouchLocked(e);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedAdjCache::InsertFull(VertexId v, std::span<const VertexId> nbrs) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(v);
+  if (it != entries_.end()) {
+    TouchLocked(it->second);
+    return;  // present (possibly sliced, which is strictly richer)
+  }
+  lru_.push_front(v);
+  Entry e;
+  e.adj.assign(nbrs.begin(), nbrs.end());
+  e.lru_pos = lru_.begin();
+  size_bytes_ += e.bytes();
+  entries_.emplace(v, std::move(e));
+  EvictToFitLocked();
+}
+
+void SharedAdjCache::InsertSliced(VertexId v,
+                                  std::span<const VertexId> grouped,
+                                  std::span<const uint32_t> slice_rel) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(v);
+  if (it != entries_.end()) {
+    if (it->second.sliced()) {
+      TouchLocked(it->second);
+      return;
+    }
+    // Upgrade the full entry in place.
+    size_bytes_ -= it->second.bytes();
+    it->second.adj.assign(grouped.begin(), grouped.end());
+    it->second.slice_rel.assign(slice_rel.begin(), slice_rel.end());
+    size_bytes_ += it->second.bytes();
+    TouchLocked(it->second);
+    EvictToFitLocked();
+    return;
+  }
+  lru_.push_front(v);
+  Entry e;
+  e.adj.assign(grouped.begin(), grouped.end());
+  e.slice_rel.assign(slice_rel.begin(), slice_rel.end());
+  e.lru_pos = lru_.begin();
+  size_bytes_ += e.bytes();
+  entries_.emplace(v, std::move(e));
+  EvictToFitLocked();
+}
+
+size_t SharedAdjCache::SizeBytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return size_bytes_;
+}
+
+size_t SharedAdjCache::entries() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+void SharedAdjCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_.clear();
+  lru_.clear();
+  size_bytes_ = 0;
+}
+
+}  // namespace huge

@@ -1,0 +1,95 @@
+#ifndef HUGE_CACHE_SHARED_CACHE_H_
+#define HUGE_CACHE_SHARED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace huge {
+
+/// Process-wide remote-adjacency cache shared by every concurrently
+/// running query of a service (the shared half of the execution fabric).
+///
+/// Safety argument: the data graph is immutable and `PartitionedGraph::
+/// Owner` is a pure function of the vertex id, so a remote vertex's
+/// adjacency list is identical for every query and every machine — entries
+/// are query-agnostic by construction. Reads are copy-out (the caller gets
+/// a private copy under the lock), so no query ever holds a reference into
+/// cache-internal storage: eviction can never invalidate a running
+/// intersection, and the per-run LRBU caches keep their exact seal/release
+/// byte accounting — this cache only short-circuits the wire.
+///
+/// Entries come in two shapes mirroring the GetNbrs wire formats: a plain
+/// sorted adjacency list, or a label-grouped copy plus per-label slice
+/// offsets (the sliced protocol). A sliced entry also serves full reads
+/// (the copy is re-sorted on the way out); inserting a sliced response
+/// upgrades a full entry in place, like RemoteCache::InsertSliced.
+///
+/// Byte-capacity LRU under one mutex; hit/miss counters are atomic so the
+/// service can snapshot them without the lock.
+class SharedAdjCache {
+ public:
+  /// `capacity_bytes == 0` disables the cache (every probe misses, every
+  /// insert is dropped).
+  explicit SharedAdjCache(size_t capacity_bytes);
+
+  SharedAdjCache(const SharedAdjCache&) = delete;
+  SharedAdjCache& operator=(const SharedAdjCache&) = delete;
+
+  /// Copies `v`'s full sorted adjacency into `*out`. Counts a hit or miss.
+  bool TryGetFull(VertexId v, std::vector<VertexId>* out);
+
+  /// Copies `v`'s label-grouped adjacency and slice offsets. Only sliced
+  /// entries hit (a full entry cannot be sliced after the fact — labels
+  /// are not stored). Counts a hit or miss.
+  bool TryGetSliced(VertexId v, std::vector<VertexId>* grouped,
+                    std::vector<uint32_t>* slice_rel);
+
+  /// Inserts `v` as a full entry (`nbrs` must be sorted — the wire format
+  /// already is). A present entry of either shape is left untouched.
+  void InsertFull(VertexId v, std::span<const VertexId> nbrs);
+
+  /// Inserts `v` as a sliced entry, upgrading a full entry in place.
+  void InsertSliced(VertexId v, std::span<const VertexId> grouped,
+                    std::span<const uint32_t> slice_rel);
+
+  size_t SizeBytes() const;
+  size_t capacity_bytes() const { return capacity_; }
+  size_t entries() const;
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  uint64_t evictions() const { return evictions_.load(); }
+
+ private:
+  struct Entry {
+    std::vector<VertexId> adj;        ///< sorted, or label-grouped if sliced
+    std::vector<uint32_t> slice_rel;  ///< non-empty iff sliced
+    std::list<VertexId>::iterator lru_pos;
+    bool sliced() const { return !slice_rel.empty(); }
+    size_t bytes() const;
+  };
+
+  void TouchLocked(Entry& e);
+  void EvictToFitLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<VertexId> lru_;  ///< front = most recently used
+  std::unordered_map<VertexId, Entry> entries_;
+  size_t size_bytes_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace huge
+
+#endif  // HUGE_CACHE_SHARED_CACHE_H_

@@ -11,13 +11,15 @@
 
 namespace huge {
 
-Cluster::Cluster(std::shared_ptr<const Graph> graph, Config config)
+Cluster::Cluster(std::shared_ptr<const Graph> graph, Config config,
+                 ExecutionFabric* fabric)
     : graph_(std::move(graph)),
       config_(std::move(config)),
       pgraph_(graph_, config_.num_machines),
       net_(config_.net, config_.num_machines) {
   HUGE_CHECK(config_.num_machines >= 1);
   HUGE_CHECK(config_.batch_size >= 1);
+  shared_.fabric = fabric;
   shared_.pgraph = &pgraph_;
   shared_.config = &config_;
   shared_.net = &net_;

@@ -29,7 +29,14 @@ namespace huge {
 /// actually execute.
 class Cluster {
  public:
-  Cluster(std::shared_ptr<const Graph> graph, Config config);
+  /// `fabric`, when non-null, attaches the service's shared execution
+  /// fabric: machines schedule onto its process-wide worker pool (no
+  /// private pool threads are spawned, so construction is cheap enough
+  /// for lazy/elastic slots) and consult its shared adjacency cache
+  /// before the wire. Must outlive the cluster. Null preserves the
+  /// standalone behaviour: private per-machine pools, no sharing.
+  Cluster(std::shared_ptr<const Graph> graph, Config config,
+          ExecutionFabric* fabric = nullptr);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;

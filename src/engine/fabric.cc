@@ -1,0 +1,18 @@
+#include "engine/fabric.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace huge {
+
+ExecutionFabric::ExecutionFabric(const Options& opts) {
+  int workers = opts.num_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  workers = std::max(workers, 1);
+  pool_ = std::make_unique<WorkerPool>(workers, opts.intra_stealing);
+  adj_cache_ = std::make_unique<SharedAdjCache>(opts.shared_cache_bytes);
+}
+
+}  // namespace huge

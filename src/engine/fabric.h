@@ -1,0 +1,55 @@
+#ifndef HUGE_ENGINE_FABRIC_H_
+#define HUGE_ENGINE_FABRIC_H_
+
+#include <memory>
+
+#include "cache/shared_cache.h"
+#include "engine/worker_pool.h"
+
+namespace huge {
+
+/// The shared execution fabric: process-wide state that every concurrently
+/// running query of a service draws on, instead of each executor slot
+/// owning a private copy.
+///
+///  - One worker pool sized to the hardware (not `slots x machines x
+///    workers`): the pool accepts concurrent jobs, so every machine of
+///    every running query schedules its intersect chunks onto the same
+///    fixed set of threads — concurrency no longer oversubscribes cores.
+///  - One SharedAdjCache: remote adjacency fetched by any query is
+///    reusable by every other (the graph is immutable), so concurrent
+///    queries stop re-fetching the same lists over the wire.
+///
+/// Everything per-run stays per-run: MachineRuntime hands a PoolStats into
+/// each ParallelChunks call for per-query busy/steal attribution, and the
+/// per-run LRBU caches keep their exact byte accounting against the run's
+/// tracker. A Cluster built without a fabric behaves exactly as before
+/// (private pools, no shared cache).
+class ExecutionFabric {
+ public:
+  struct Options {
+    /// Pool threads; 0 sizes to std::thread::hardware_concurrency().
+    int num_workers = 0;
+    /// Intra-pool chunk stealing (Section 5.3).
+    bool intra_stealing = true;
+    /// Shared adjacency cache capacity in bytes; 0 disables sharing.
+    size_t shared_cache_bytes = 0;
+  };
+
+  explicit ExecutionFabric(const Options& opts);
+
+  ExecutionFabric(const ExecutionFabric&) = delete;
+  ExecutionFabric& operator=(const ExecutionFabric&) = delete;
+
+  WorkerPool& pool() { return *pool_; }
+  SharedAdjCache& adj_cache() { return *adj_cache_; }
+  const SharedAdjCache& adj_cache() const { return *adj_cache_; }
+
+ private:
+  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<SharedAdjCache> adj_cache_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_ENGINE_FABRIC_H_

@@ -176,8 +176,13 @@ MachineRuntime::MachineRuntime(MachineId id, SharedState* shared)
       graph_(&shared->pgraph->graph()),
       rpc_(shared->pgraph, shared->net),
       local_vertices_(shared->pgraph->LocalVertices(id)) {
-  pool_ = std::make_unique<WorkerPool>(shared->config->workers_per_machine,
-                                       shared->config->intra_stealing);
+  // With a fabric attached the machine schedules onto the shared pool and
+  // owns no threads of its own — this is what makes executor slots cheap
+  // enough to construct lazily and tear down when idle.
+  if (shared->fabric == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(shared->config->workers_per_machine,
+                                         shared->config->intra_stealing);
+  }
 }
 
 MachineRuntime::~MachineRuntime() = default;
@@ -199,7 +204,10 @@ void MachineRuntime::PrepareRun() {
   inter_steals_.store(0);
   fetch_nanos_.store(0);
   bsp_busy_nanos_.store(0);
-  pool_->ResetStats();
+  // Per-run attribution object: on a shared pool the pool-lifetime
+  // counters mix every concurrent query, so the metrics snapshot reads
+  // this run's PoolStats instead.
+  run_stats_ = std::make_unique<PoolStats>(pool().num_workers());
 }
 
 RunMetrics MachineRuntime::MetricsSnapshot() {
@@ -208,7 +216,7 @@ RunMetrics MachineRuntime::MetricsSnapshot() {
     m.cache_hits = cache_->hits();
     m.cache_misses = cache_->misses();
   }
-  m.intra_steals = pool_->steal_count();
+  m.intra_steals = run_stats_->steal_count();
   m.inter_steals = inter_steals_.load();
   m.fetch_seconds = fetch_seconds();
   m.fused_count_rows = fused_count_rows();
@@ -218,7 +226,7 @@ RunMetrics MachineRuntime::MetricsSnapshot() {
   m.hub_probe_rows = hub_probe_rows();
   m.delta_rows = delta_rows();
   m.materialize_rows = materialize_rows();
-  m.worker_busy_seconds = pool_->BusySeconds();
+  m.worker_busy_seconds = run_stats_->BusySeconds();
   m.machine_busy_seconds.push_back(bsp_busy_seconds());
   return m;
 }
@@ -367,10 +375,21 @@ std::span<const VertexId> MachineRuntime::NeighborsOf(
   // Only reachable without two-stage execution (Cncr-LRU): fetch on
   // demand with a single-vertex RPC, insert, and use a private copy.
   HUGE_CHECK(!cache_->TwoStage());
+  // A fabric-shared entry (fetched by any earlier or concurrent query)
+  // short-circuits the wire; the per-run cache still takes a copy so its
+  // byte accounting stays exact.
+  if (SharedAdjCache* adj = shared_adj(); adj != nullptr &&
+                                          adj->TryGetFull(v, scratch)) {
+    cache_->Insert(v, *scratch);
+    return {scratch->data(), scratch->size()};
+  }
   const VertexId one[1] = {v};
   if (!rpc_.Fetch(id_, {one, 1},
                   [&](VertexId, std::span<const VertexId> nbrs) {
                     cache_->Insert(v, nbrs);
+                    if (SharedAdjCache* adj = shared_adj()) {
+                      adj->InsertFull(v, nbrs);
+                    }
                     scratch->assign(nbrs.begin(), nbrs.end());
                   })) {
     // The owner is permanently unreachable: fail the run and serve an
@@ -391,12 +410,31 @@ std::span<const VertexId> MachineRuntime::NeighborsOfLabel(
   if (!cache_->TwoStage() && cache_->SupportsSlices()) {
     // On-demand single-vertex sliced fetch (Cncr-LRU); a full-only entry
     // is upgraded in place by InsertSliced. The slice is served straight
-    // from the response copy.
+    // from the response copy. A fabric-shared sliced entry serves the
+    // same payload without touching the wire.
+    if (SharedAdjCache* adj = shared_adj()) {
+      static thread_local std::vector<VertexId> grouped;
+      static thread_local std::vector<uint32_t> rel;
+      if (adj->TryGetSliced(v, &grouped, &rel)) {
+        cache_->InsertSliced(v, grouped, rel);
+        if (static_cast<size_t>(l) + 1 >= rel.size()) {
+          scratch->clear();
+        } else {
+          scratch->assign(grouped.begin() + rel[l],
+                          grouped.begin() + rel[l + 1]);
+        }
+        *sliced = true;
+        return {scratch->data(), scratch->size()};
+      }
+    }
     const VertexId one[1] = {v};
     if (!rpc_.FetchSliced(id_, {one, 1},
                           [&](VertexId, std::span<const VertexId> grouped,
                               std::span<const uint32_t> rel) {
                             cache_->InsertSliced(v, grouped, rel);
+                            if (SharedAdjCache* adj = shared_adj()) {
+                              adj->InsertSliced(v, grouped, rel);
+                            }
                             if (static_cast<size_t>(l) + 1 >= rel.size()) {
                               scratch->clear();
                             } else {
@@ -446,6 +484,28 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
   }
   cache_->RecordHit(hits);
   cache_->RecordMiss(fetch.size());
+  // Fabric-shared entries (fetched by any query since the service came
+  // up) are copied straight into the run's cache instead of re-crossing
+  // the wire; they still count as local-cache misses above — the shared
+  // cache keeps its own hit/miss counters.
+  if (SharedAdjCache* adj = shared_adj(); adj != nullptr && !fetch.empty()) {
+    std::vector<VertexId> still_missing;
+    std::vector<VertexId> copy;
+    std::vector<uint32_t> rel;
+    for (VertexId v : fetch) {
+      if (sliced) {
+        if (adj->TryGetSliced(v, &copy, &rel)) {
+          cache_->InsertSliced(v, copy, rel);
+          continue;
+        }
+      } else if (adj->TryGetFull(v, &copy)) {
+        cache_->Insert(v, copy);
+        continue;
+      }
+      still_missing.push_back(v);
+    }
+    fetch.swap(still_missing);
+  }
   if (!fetch.empty()) {
     // One bulk session per super-step: however many rounds the stage
     // issues, each owner pays exactly one header pair and one round trip.
@@ -457,6 +517,9 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
           [this](VertexId v, std::span<const VertexId> grouped,
                  std::span<const uint32_t> rel) {
             cache_->InsertSliced(v, grouped, rel);
+            if (SharedAdjCache* adj = shared_adj()) {
+              adj->InsertSliced(v, grouped, rel);
+            }
           },
           &bulk);
     } else {
@@ -464,6 +527,9 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
           id_, fetch,
           [this](VertexId v, std::span<const VertexId> n) {
             cache_->Insert(v, n);
+            if (SharedAdjCache* adj = shared_adj()) {
+              adj->InsertFull(v, n);
+            }
           },
           &bulk);
     }
@@ -544,13 +610,13 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, Batch&& input, int pos) {
     }
   }
 
-  const int workers = pool_->num_workers();
+  const int workers = pool().num_workers();
   std::vector<Batch> louts;
   louts.reserve(workers);
   for (int w = 0; w < workers; ++w) louts.push_back(make_out());
   std::vector<uint64_t> counts(workers, 0);
 
-  pool_->ParallelChunks(
+  pool().ParallelChunks(
       in.rows(), shared_->config->chunk_rows,
       [&](int wid, size_t begin, size_t end) {
         static thread_local std::vector<std::vector<VertexId>> scratches;
@@ -658,7 +724,8 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, Batch&& input, int pos) {
         if (sliced_reads > 0) AddRemoteSlicedRows(sliced_reads);
         if (full_reads > 0) AddRemoteFullRows(full_reads);
         if (mat_rows > 0) AddMaterializeRows(mat_rows);
-      });
+      },
+      run_stats_.get());
 
   for (int w = 0; w < workers; ++w) {
     if (!louts[w].empty()) EmitBatch(pos, std::move(louts[w]));

@@ -12,6 +12,7 @@
 #include "common/memory_tracker.h"
 #include "engine/batch.h"
 #include "engine/config.h"
+#include "engine/fabric.h"
 #include "engine/metrics.h"
 #include "engine/join_state.h"
 #include "engine/worker_pool.h"
@@ -54,6 +55,11 @@ struct SharedState {
   /// Residency accounting of the factorized batch wire format (stealing
   /// and BSP routing charge through it when delta batches cross machines).
   DeltaWire* wire = nullptr;
+  /// Shared execution fabric (service-owned), or null for a standalone
+  /// cluster: when set, machines schedule intersect chunks onto the
+  /// fabric's process-wide pool instead of private per-machine pools, and
+  /// consult its shared adjacency cache before going on the wire.
+  ExecutionFabric* fabric = nullptr;
   std::vector<MachineRuntime*> machines;
 
   /// Machines that announced local completion (termination detection for
@@ -153,7 +159,11 @@ class MachineRuntime {
   }
   uint64_t inter_steals() const { return inter_steals_.load(); }
   RemoteCache* cache() { return cache_.get(); }
-  WorkerPool& pool() { return *pool_; }
+  /// The pool this machine schedules on: the fabric's shared pool when one
+  /// is attached, else the machine's private pool.
+  WorkerPool& pool() {
+    return shared_->fabric != nullptr ? shared_->fabric->pool() : *pool_;
+  }
   const std::vector<VertexId>& local_vertices() const {
     return local_vertices_;
   }
@@ -246,6 +256,12 @@ class MachineRuntime {
   // Inter-machine stealing (client side).
   bool TryStealFromPeers();
 
+  /// The fabric's shared adjacency cache, or null without a fabric.
+  SharedAdjCache* shared_adj() {
+    return shared_->fabric != nullptr ? &shared_->fabric->adj_cache()
+                                      : nullptr;
+  }
+
   const MachineId id_;
   SharedState* shared_;
   const Graph* graph_;
@@ -253,7 +269,10 @@ class MachineRuntime {
   std::vector<VertexId> local_vertices_;
 
   std::unique_ptr<RemoteCache> cache_;
-  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<WorkerPool> pool_;  ///< null when a fabric pool is shared
+  /// Per-run busy/steal attribution for ParallelChunks on the (possibly
+  /// shared) pool; recreated by PrepareRun.
+  std::unique_ptr<PoolStats> run_stats_;
 
   // Segment state.
   const SegmentPlan* seg_ = nullptr;

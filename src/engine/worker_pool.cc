@@ -1,17 +1,16 @@
 #include "engine/worker_pool.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.h"
 
 namespace huge {
 
-WorkerPool::WorkerPool(int num_workers, bool stealing) : stealing_(stealing) {
+WorkerPool::WorkerPool(int num_workers, bool stealing)
+    : stealing_(stealing),
+      worker_busy_(static_cast<size_t>(std::max(num_workers, 1))) {
   HUGE_CHECK(num_workers >= 1);
-  states_.reserve(num_workers);
-  for (int i = 0; i < num_workers; ++i) {
-    states_.push_back(std::make_unique<WorkerState>());
-  }
   workers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -29,43 +28,46 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::ParallelChunks(
     size_t total, size_t chunk_size,
-    const std::function<void(int, size_t, size_t)>& fn) {
+    const std::function<void(int, size_t, size_t)>& fn, PoolStats* stats) {
   if (total == 0) return;
-  HUGE_CHECK(chunk_size >= 1);
+  // Degenerate granularities collapse to one chunk instead of dying: the
+  // elastic fabric calls this with whatever sizes the per-run config
+  // produced, and a single chunk is always a valid dealing.
+  if (chunk_size == 0 || chunk_size > total) chunk_size = total;
 
-  // Deal chunks round-robin into the worker deques.
-  size_t num_chunks = 0;
-  {
-    const int n = num_workers();
-    int w = 0;
-    for (size_t begin = 0; begin < total; begin += chunk_size) {
-      const size_t end = std::min(begin + chunk_size, total);
-      std::lock_guard<std::mutex> guard(states_[w]->mu);
-      states_[w]->deque.push_back({begin, end});
-      w = (w + 1) % n;
-      ++num_chunks;
-    }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->stats = stats;
+  const int n = num_workers();
+  job->queues.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    job->queues.push_back(std::make_unique<WorkerQueue>());
   }
+  // Deal chunks round-robin into the job's worker deques. The job is not
+  // yet published, so no worker can observe the deques mid-deal.
+  size_t num_chunks = 0;
+  int w = 0;
+  for (size_t begin = 0; begin < total; begin += chunk_size) {
+    job->queues[w]->deque.push_back({begin, std::min(begin + chunk_size, total)});
+    w = (w + 1) % n;
+    ++num_chunks;
+  }
+  job->remaining.store(num_chunks, std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> guard(job_mu_);
-    remaining_chunks_.store(num_chunks, std::memory_order_relaxed);
-    job_fn_ = &fn;
-    ++job_generation_;
-    active_workers_.store(num_workers(), std::memory_order_relaxed);
+    active_jobs_.push_back(job);
+    ++work_generation_;
   }
   job_cv_.notify_all();
 
   std::unique_lock<std::mutex> guard(job_mu_);
-  done_cv_.wait(guard, [this] {
-    return active_workers_.load(std::memory_order_acquire) == 0;
-  });
-  job_fn_ = nullptr;
+  done_cv_.wait(guard, [&] { return job->done; });
 }
 
-bool WorkerPool::NextChunk(int id, Chunk* out) {
+bool WorkerPool::NextChunk(Job& job, int id, Chunk* out) {
   {
-    WorkerState& self = *states_[id];
+    WorkerQueue& self = *job.queues[id];
     std::lock_guard<std::mutex> guard(self.mu);
     if (!self.deque.empty()) {
       *out = self.deque.back();  // own work: pop from the back
@@ -75,13 +77,14 @@ bool WorkerPool::NextChunk(int id, Chunk* out) {
   }
   if (!stealing_) return false;
   // Steal: pick a random victim and take half of its deque from the front
-  // (Chase-Lev discipline, Section 5.3).
+  // (Chase-Lev discipline, Section 5.3). Stealing stays within the job —
+  // chunk ranges are only meaningful against the job's own fn.
   const int n = num_workers();
   const uint64_t r = rng_.fetch_add(0x9E3779B97F4A7C15ULL);
   for (int attempt = 0; attempt < n; ++attempt) {
     const int victim = static_cast<int>((r + attempt) % n);
     if (victim == id) continue;
-    WorkerState& vs = *states_[victim];
+    WorkerQueue& vs = *job.queues[victim];
     Chunk first;
     std::vector<Chunk> rest;
     {
@@ -100,61 +103,96 @@ bool WorkerPool::NextChunk(int id, Chunk* out) {
       }
     }
     if (!rest.empty()) {
-      WorkerState& self = *states_[id];
+      WorkerQueue& self = *job.queues[id];
       std::lock_guard<std::mutex> self_guard(self.mu);
       for (const Chunk& c : rest) self.deque.push_back(c);
     }
     steals_.fetch_add(1, std::memory_order_relaxed);
+    if (job.stats != nullptr) job.stats->AddSteals(1);
     *out = first;
     return true;
   }
   return false;
 }
 
+void WorkerPool::FinishJob(const std::shared_ptr<Job>& job) {
+  std::lock_guard<std::mutex> guard(job_mu_);
+  job->done = true;
+  active_jobs_.erase(
+      std::find(active_jobs_.begin(), active_jobs_.end(), job));
+  done_cv_.notify_all();
+}
+
+bool WorkerPool::RunChunks(const std::shared_ptr<Job>& job, int id) {
+  bool any = false;
+  Chunk chunk;
+  while (job->remaining.load(std::memory_order_acquire) > 0 &&
+         NextChunk(*job, id, &chunk)) {
+    const auto start = std::chrono::steady_clock::now();
+    (*job->fn)(id, chunk.begin, chunk.end);
+    const auto end = std::chrono::steady_clock::now();
+    const uint64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count();
+    worker_busy_[id].fetch_add(nanos, std::memory_order_relaxed);
+    if (job->stats != nullptr) job->stats->AddBusy(id, nanos);
+    any = true;
+    // The release half of this RMW publishes the fn's writes; the final
+    // decrementer's acquire half observes them all, so the caller (woken
+    // under job_mu_) sees every chunk's effects.
+    if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FinishJob(job);
+      break;
+    }
+  }
+  return any;
+}
+
 void WorkerPool::WorkerLoop(int id) {
   uint64_t seen_generation = 0;
+  std::vector<std::shared_ptr<Job>> snapshot;
   while (true) {
-    const std::function<void(int, size_t, size_t)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> guard(job_mu_);
       job_cv_.wait(guard, [&] {
-        return shutdown_ || job_generation_ != seen_generation;
+        return shutdown_ || work_generation_ != seen_generation;
       });
       if (shutdown_) return;
-      seen_generation = job_generation_;
-      fn = job_fn_;
+      seen_generation = work_generation_;
     }
-    const auto start = std::chrono::steady_clock::now();
-    Chunk chunk;
-    while (remaining_chunks_.load(std::memory_order_acquire) > 0 &&
-           NextChunk(id, &chunk)) {
-      (*fn)(id, chunk.begin, chunk.end);
-      remaining_chunks_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-    const auto end = std::chrono::steady_clock::now();
-    states_[id]->busy_nanos.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-            .count(),
-        std::memory_order_relaxed);
-    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> guard(job_mu_);
-      done_cv_.notify_all();
+    // Sweep the active jobs until a full pass finds no obtainable chunk.
+    // Chunks are never added to a published job, so an empty pass means
+    // this worker is done until the generation moves again (a new job) —
+    // and a job published mid-sweep bumps the generation, so the wait
+    // above falls straight through and the sweep restarts. No wakeup can
+    // be lost between the two.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      {
+        std::lock_guard<std::mutex> guard(job_mu_);
+        snapshot = active_jobs_;
+      }
+      for (const auto& job : snapshot) {
+        if (RunChunks(job, id)) progressed = true;
+      }
+      snapshot.clear();
     }
   }
 }
 
 std::vector<double> WorkerPool::BusySeconds() const {
   std::vector<double> out;
-  out.reserve(states_.size());
-  for (const auto& s : states_) {
-    out.push_back(static_cast<double>(s->busy_nanos.load()) * 1e-9);
+  out.reserve(worker_busy_.size());
+  for (const auto& b : worker_busy_) {
+    out.push_back(static_cast<double>(b.load()) * 1e-9);
   }
   return out;
 }
 
 void WorkerPool::ResetStats() {
   steals_.store(0);
-  for (auto& s : states_) s->busy_nanos.store(0);
+  for (auto& b : worker_busy_) b.store(0);
 }
 
 }  // namespace huge

@@ -6,20 +6,71 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace huge {
 
-/// Per-machine worker pool with intra-machine work stealing
-/// (Section 5.3): each worker owns a deque of row chunks; it pops work
-/// from the back of its own deque and, when empty, picks a random victim
-/// and steals half of the victim's chunks from the front.
+/// Per-job pool statistics: busy time per worker plus successful steal
+/// events, attributed to the ParallelChunks calls that passed this
+/// object. MachineRuntime keeps one per run so metrics stay per-query
+/// even when many concurrent queries share one fabric-wide pool.
+/// Thread-safe.
+class PoolStats {
+ public:
+  explicit PoolStats(int num_workers)
+      : busy_nanos_(static_cast<size_t>(num_workers)) {}
+
+  PoolStats(const PoolStats&) = delete;
+  PoolStats& operator=(const PoolStats&) = delete;
+
+  void Reset() {
+    steals_.store(0, std::memory_order_relaxed);
+    for (auto& b : busy_nanos_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void AddBusy(int worker, uint64_t nanos) {
+    if (static_cast<size_t>(worker) < busy_nanos_.size()) {
+      busy_nanos_[worker].fetch_add(nanos, std::memory_order_relaxed);
+    }
+  }
+  void AddSteals(uint64_t n) {
+    steals_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t steal_count() const { return steals_.load(); }
+  std::vector<double> BusySeconds() const {
+    std::vector<double> out;
+    out.reserve(busy_nanos_.size());
+    for (const auto& b : busy_nanos_) {
+      out.push_back(static_cast<double>(b.load()) * 1e-9);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> busy_nanos_;
+  std::atomic<uint64_t> steals_{0};
+};
+
+/// Worker pool with intra-pool work stealing (Section 5.3): each worker
+/// owns a deque of row chunks per job; it pops work from the back of its
+/// own deque and, when empty, picks a random victim and steals half of the
+/// victim's chunks from the front.
 ///
 /// Used by the intersect stage of PULL-EXTEND ("we only apply
 /// intra-machine work stealing to the intersect stage") and by the local
 /// phases of PUSH-JOIN.
+///
+/// Multiple jobs may be in flight at once: ParallelChunks is safe to call
+/// concurrently from any number of threads, each call blocking only until
+/// its own chunks are done. This is what lets one process-wide pool (the
+/// shared execution fabric) serve every machine of every concurrently
+/// running query without oversubscribing the cores. Chunk state is per
+/// job, so jobs never steal from each other; idle workers drain whichever
+/// active job still has chunks.
 class WorkerPool {
  public:
   /// `stealing = false` disables stealing (HUGE-NOSTL in Exp-8): workers
@@ -32,16 +83,22 @@ class WorkerPool {
 
   /// Splits `[0, total)` into chunks of `chunk_size`, deals them
   /// round-robin to the workers and runs `fn(worker_id, begin, end)` on
-  /// every chunk. Blocks until all chunks are processed.
+  /// every chunk. Blocks until all chunks of *this call* are processed
+  /// (other callers' jobs proceed independently). Degenerate sizes are
+  /// fine: `total == 0` is a no-op and `chunk_size == 0` or
+  /// `chunk_size > total` run the whole range as a single chunk.
+  /// `stats`, when non-null, additionally receives this job's busy time
+  /// and steal events (for per-run attribution on a shared pool).
   void ParallelChunks(size_t total, size_t chunk_size,
-                      const std::function<void(int, size_t, size_t)>& fn);
+                      const std::function<void(int, size_t, size_t)>& fn,
+                      PoolStats* stats = nullptr);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
-  /// Successful steal events since construction.
+  /// Successful steal events since construction (all jobs).
   uint64_t steal_count() const { return steals_.load(); }
 
-  /// Per-worker busy seconds (time spent executing chunks).
+  /// Per-worker busy seconds (time spent executing chunks, all jobs).
   std::vector<double> BusySeconds() const;
 
   void ResetStats();
@@ -51,27 +108,36 @@ class WorkerPool {
     size_t begin;
     size_t end;
   };
-  struct WorkerState {
+  struct WorkerQueue {
     std::deque<Chunk> deque;
     std::mutex mu;
-    std::atomic<uint64_t> busy_nanos{0};
+  };
+  /// One ParallelChunks call in flight: its chunk deques, the countdown of
+  /// unprocessed chunks, and the done flag its caller waits on.
+  struct Job {
+    const std::function<void(int, size_t, size_t)>* fn = nullptr;
+    std::vector<std::unique_ptr<WorkerQueue>> queues;  // per worker
+    std::atomic<size_t> remaining{0};
+    bool done = false;  ///< guarded by the pool's job_mu_
+    PoolStats* stats = nullptr;
   };
 
   void WorkerLoop(int id);
-  bool NextChunk(int id, Chunk* out);
+  bool NextChunk(Job& job, int id, Chunk* out);
+  /// Drains all chunks worker `id` can obtain from `job`; returns whether
+  /// it executed at least one.
+  bool RunChunks(const std::shared_ptr<Job>& job, int id);
+  void FinishJob(const std::shared_ptr<Job>& job);
 
   const bool stealing_;
-  std::vector<std::unique_ptr<WorkerState>> states_;
   std::vector<std::thread> workers_;
+  std::vector<std::atomic<uint64_t>> worker_busy_;  // pool-lifetime totals
 
-  // Job broadcast.
   std::mutex job_mu_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int, size_t, size_t)>* job_fn_ = nullptr;
-  uint64_t job_generation_ = 0;
-  std::atomic<int> active_workers_{0};
-  std::atomic<size_t> remaining_chunks_{0};
+  std::condition_variable job_cv_;   ///< wakes workers on new work
+  std::condition_variable done_cv_;  ///< wakes ParallelChunks callers
+  std::vector<std::shared_ptr<Job>> active_jobs_;
+  uint64_t work_generation_ = 0;
   bool shutdown_ = false;
 
   std::atomic<uint64_t> steals_{0};

@@ -1,6 +1,7 @@
 #ifndef HUGE_SERVICE_ADMISSION_H_
 #define HUGE_SERVICE_ADMISSION_H_
 
+#include <algorithm>
 #include <cstddef>
 
 #include "common/memory_tracker.h"
@@ -8,14 +9,21 @@
 namespace huge {
 
 /// Admission controller of the query service: gates query entry on a
-/// global memory budget and a concurrency cap. Every query carries a
-/// memory *reservation* (derived from the cost model's cardinality
-/// estimates, see EstimatePlanMemoryBytes); a query is admitted only while
-/// the sum of running reservations stays within the budget and fewer than
-/// `max_concurrent` queries are running. Reservations are accounted
-/// through a MemoryTracker, whose high-water mark is the auditable
-/// guarantee: `tracker().peak() <= budget_bytes` holds over the service's
-/// whole lifetime by construction.
+/// global memory budget, a concurrency cap, and (optionally) a core
+/// budget. Every query carries a memory *reservation* (derived from the
+/// cost model's cardinality estimates, see EstimatePlanMemoryBytes) and a
+/// core weight (its `num_machines x workers_per_machine` compute
+/// footprint); a query is admitted only while the sum of running
+/// reservations stays within the budget, the sum of running core weights
+/// stays within the core budget, and fewer than `max_concurrent` queries
+/// are running. The multi-dimensional vector follows the ytsaurus
+/// scheduler's job_resources shape: admission is the conjunction over
+/// every dimension, and any dimension can be disabled (0).
+///
+/// Reservations are accounted through a MemoryTracker, whose high-water
+/// mark is the auditable guarantee: `tracker().peak() <= budget_bytes`
+/// holds over the service's whole lifetime by construction; `peak_cores()
+/// <= core_budget` is the same witness for the core dimension.
 ///
 /// The controller is a passive decision structure: all mutating calls are
 /// made under the service's scheduler lock (single dispatcher), only the
@@ -23,12 +31,24 @@ namespace huge {
 /// high-water mark concurrently.
 class AdmissionController {
  public:
-  /// `budget_bytes == 0` disables the memory gate (concurrency cap only).
-  AdmissionController(size_t budget_bytes, int max_concurrent)
-      : budget_bytes_(budget_bytes), max_concurrent_(max_concurrent) {}
+  /// `budget_bytes == 0` disables the memory gate, `core_budget == 0`
+  /// disables the core gate (the concurrency cap always applies).
+  AdmissionController(size_t budget_bytes, int max_concurrent,
+                      int core_budget = 0)
+      : budget_bytes_(budget_bytes),
+        max_concurrent_(max_concurrent),
+        core_budget_(core_budget) {}
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Clamps a query's core weight to the budget so a query wider than the
+  /// whole machine still runs (alone, serially) rather than never — the
+  /// core analogue of clamping an over-budget reservation.
+  int ClampCores(int cores) const {
+    if (core_budget_ == 0) return 0;
+    return std::min(std::max(cores, 0), core_budget_);
+  }
 
   /// True iff a reservation of `bytes` could *ever* be admitted, i.e. it
   /// fits the whole budget on an idle service. False means the query must
@@ -37,30 +57,42 @@ class AdmissionController {
     return budget_bytes_ == 0 || bytes <= budget_bytes_;
   }
 
-  /// True iff `bytes` fits right now (does not admit).
-  bool CanAdmit(size_t bytes) const {
+  /// True iff (`bytes`, `cores`) fits right now (does not admit).
+  bool CanAdmit(size_t bytes, int cores = 0) const {
     if (running_ >= max_concurrent_) return false;
+    if (core_budget_ > 0 &&
+        cores_used_ + ClampCores(cores) > core_budget_) {
+      return false;
+    }
     return budget_bytes_ == 0 ||
            tracker_.current() + bytes <= budget_bytes_;
   }
 
   /// Admits a reservation when it fits; returns whether it did.
-  bool TryAdmit(size_t bytes) {
-    if (!CanAdmit(bytes)) return false;
+  bool TryAdmit(size_t bytes, int cores = 0) {
+    if (!CanAdmit(bytes, cores)) return false;
     tracker_.Allocate(bytes);
+    cores_used_ += ClampCores(cores);
+    peak_cores_ = std::max(peak_cores_, cores_used_);
     ++running_;
     return true;
   }
 
   /// Returns a finished query's reservation.
-  void Release(size_t bytes) {
+  void Release(size_t bytes, int cores = 0) {
     tracker_.Release(bytes);
+    cores_used_ -= ClampCores(cores);
     --running_;
   }
 
   int running() const { return running_; }
   size_t budget_bytes() const { return budget_bytes_; }
   int max_concurrent() const { return max_concurrent_; }
+  int core_budget() const { return core_budget_; }
+  int cores_used() const { return cores_used_; }
+  /// High-water mark of concurrently admitted core weights; bounded by
+  /// `core_budget` whenever the core gate is enabled.
+  int peak_cores() const { return peak_cores_; }
 
   /// Reservation accounting; `tracker().peak()` is the high-water mark of
   /// concurrently admitted reservations.
@@ -69,7 +101,10 @@ class AdmissionController {
  private:
   const size_t budget_bytes_;
   const int max_concurrent_;
+  const int core_budget_;
   int running_ = 0;
+  int cores_used_ = 0;
+  int peak_cores_ = 0;
   MemoryTracker tracker_;
 };
 

@@ -24,6 +24,11 @@ void PlanCache::Put(const std::string& signature,
                     std::shared_ptr<const ExecutionPlan> plan) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> guard(mu_);
+  PutLocked(signature, std::move(plan));
+}
+
+void PlanCache::PutLocked(const std::string& signature,
+                          std::shared_ptr<const ExecutionPlan> plan) {
   auto it = entries_.find(signature);
   if (it != entries_.end()) {
     it->second.plan = std::move(plan);
@@ -37,6 +42,60 @@ void PlanCache::Put(const std::string& signature,
   }
   lru_.push_front(signature);
   entries_.emplace(signature, Entry{std::move(plan), lru_.begin()});
+}
+
+std::shared_ptr<const ExecutionPlan> PlanCache::GetOrCompute(
+    const std::string& signature,
+    const std::function<ExecutionPlan()>& build) {
+  if (capacity_ == 0) {
+    return std::make_shared<const ExecutionPlan>(build());
+  }
+  std::promise<std::shared_ptr<const ExecutionPlan>> leader_promise;
+  std::shared_future<std::shared_ptr<const ExecutionPlan>> follower;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = entries_.find(signature);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.plan;
+    }
+    auto fit = inflight_.find(signature);
+    if (fit != inflight_.end()) {
+      // Follower: the leader's optimiser run will serve this caller too —
+      // that is a plan served without paying the optimiser, i.e. a hit.
+      ++hits_;
+      follower = fit->second;
+    } else {
+      ++misses_;
+      leader = true;
+      inflight_.emplace(signature, leader_promise.get_future().share());
+    }
+  }
+  if (!leader) {
+    return follower.get();
+  }
+  // Leader: optimise outside the lock (the whole point — concurrent
+  // misses of *different* signatures must not serialise behind one DP).
+  std::shared_ptr<const ExecutionPlan> plan;
+  try {
+    plan = std::make_shared<const ExecutionPlan>(build());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      inflight_.erase(signature);
+    }
+    leader_promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    PutLocked(signature, plan);
+    inflight_.erase(signature);
+  }
+  leader_promise.set_value(plan);
+  return plan;
 }
 
 size_t PlanCache::size() const {

@@ -2,6 +2,8 @@
 #define HUGE_SERVICE_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,6 +43,19 @@ class PlanCache {
   void Put(const std::string& signature,
            std::shared_ptr<const ExecutionPlan> plan);
 
+  /// Single-flight lookup: returns the cached plan for `signature`, or
+  /// runs `build` exactly once across all concurrent callers of the same
+  /// signature and inserts the result. The first caller to miss becomes
+  /// the leader (runs `build` outside the cache lock, counts the one
+  /// miss); concurrent callers of the same signature block on the
+  /// leader's shared future and count as hits — they do get the winning
+  /// plan, so no optimiser run is ever duplicated or discarded
+  /// (the thundering-herd fix). A zero-capacity cache degenerates to
+  /// calling `build` per caller, as before.
+  std::shared_ptr<const ExecutionPlan> GetOrCompute(
+      const std::string& signature,
+      const std::function<ExecutionPlan()>& build);
+
   size_t capacity() const { return capacity_; }
   size_t size() const;
   uint64_t hits() const;
@@ -53,10 +68,19 @@ class PlanCache {
     std::list<std::string>::iterator lru_pos;
   };
 
+  /// Put with mu_ already held (shared by Put and GetOrCompute).
+  void PutLocked(const std::string& signature,
+                 std::shared_ptr<const ExecutionPlan> plan);
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<std::string> lru_;  ///< front = most recently used
   std::unordered_map<std::string, Entry> entries_;
+  /// In-flight optimiser runs keyed by signature: followers wait on the
+  /// leader's future instead of re-optimising.
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const ExecutionPlan>>>
+      inflight_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

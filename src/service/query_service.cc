@@ -34,28 +34,53 @@ std::string ServiceConfig::Validate() const {
            "multi-slot service would invoke the single shared callback "
            "concurrently with interleaved rows from different queries";
   }
+  if (fabric_workers < 0) {
+    return "fabric_workers must be >= 0 (0 selects the hardware "
+           "concurrency)";
+  }
+  if (min_warm_slots < 0) {
+    return "min_warm_slots must be >= 0 (0 builds every executor lazily)";
+  }
+  if (core_budget < 0) {
+    return "core_budget must be >= 0 (0 disables the core gate)";
+  }
   return "";
 }
 
 /// A submitted query between Submit and completion: the translated
-/// dataflow, its admission reservation, and the promise the client holds
-/// the future of.
+/// dataflow, its admission (bytes, cores) vector, and the promises of
+/// every client waiting on the run (one per deduped submission).
 struct QueryService::Task {
+  /// One client future of this run. `handle` is the cancellation handle
+  /// that Submit returned for this waiter.
+  struct Waiter {
+    uint64_t handle = 0;
+    std::promise<RunResult> promise;
+  };
+
   uint64_t id = 0;
   std::string tenant;
   Dataflow df;
   size_t reservation = 0;
+  int cores = 0;           ///< raw core weight; the controller clamps
+  std::string signature;   ///< empty when not dedup-eligible
   WallTimer queued;  ///< started at enqueue; read once at dispatch
-  std::promise<RunResult> promise;
+  std::vector<Waiter> waiters;
   /// Raised by Cancel once the task is running; the slot's cluster polls
   /// it through the abort plane. Outlives the run: the Task is owned by
   /// the slot until the result is delivered.
   std::atomic<bool> cancel{false};
 };
 
-/// One executor slot: a dedicated simulated cluster plus the thread that
-/// drives it. `task` doubles as the busy flag — non-null from dispatch
-/// until the result is delivered.
+/// One executor slot: the thread that drives a query plus the executor
+/// itself. In the graph-owning form `owned` is elastic — null while the
+/// slot is cold, built on the shared fabric at first dispatch, torn down
+/// again when more than `min_warm_slots` executors sit idle. In the
+/// borrowed form `cluster` points at the caller's executor and `owned`
+/// stays null forever. `task` doubles as the busy flag — non-null from
+/// dispatch until the result is delivered; only the slot's own thread
+/// touches `owned`/`cluster` while busy, so the lazy build runs outside
+/// the service lock.
 struct QueryService::Slot {
   Cluster* cluster = nullptr;
   std::unique_ptr<Cluster> owned;
@@ -69,10 +94,23 @@ QueryService::QueryService(std::shared_ptr<const Graph> graph,
       graph_(std::move(graph)),
       stats_(GraphStats::Compute(*graph_)) {
   Start();
+  if (config_.shared_fabric) {
+    ExecutionFabric::Options fo;
+    fo.num_workers = config_.fabric_workers;
+    fo.intra_stealing = config_.engine.intra_stealing;
+    fo.shared_cache_bytes =
+        config_.shared_cache_bytes != 0
+            ? config_.shared_cache_bytes
+            : static_cast<size_t>(0.3 * graph_->SizeBytes());  // engine default
+    fabric_ = std::make_unique<ExecutionFabric>(fo);
+  }
   for (int i = 0; i < config_.max_concurrent_queries; ++i) {
     auto slot = std::make_unique<Slot>();
-    slot->owned = std::make_unique<Cluster>(graph_, config_.engine);
-    slot->cluster = slot->owned.get();
+    if (i < config_.min_warm_slots) {
+      slot->owned =
+          std::make_unique<Cluster>(graph_, config_.engine, fabric_.get());
+      slot->cluster = slot->owned.get();
+    }
     slots_.push_back(std::move(slot));
   }
   for (auto& slot : slots_) {
@@ -100,7 +138,8 @@ void QueryService::Start() {
   internal::CheckValidOrDie(config_.Validate(), "QueryService");
   plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache_capacity);
   admission_ = std::make_unique<AdmissionController>(
-      config_.memory_budget_bytes, config_.max_concurrent_queries);
+      config_.memory_budget_bytes, config_.max_concurrent_queries,
+      config_.core_budget);
 }
 
 QueryService::~QueryService() {
@@ -127,27 +166,28 @@ std::future<RunResult> QueryService::Submit(const QueryGraph& q,
                          plan_cache_->capacity() > 0 &&
                          !config_.engine.match_sink;
   if (!cacheable) {
-    return EnqueuePlan(Optimize(q, stats_, options), opts, handle);
+    return EnqueuePlan(Optimize(q, stats_, options), opts, handle, nullptr);
   }
   const std::string signature = CanonicalSignature(q);
-  std::shared_ptr<const ExecutionPlan> plan = plan_cache_->Get(signature);
-  if (plan == nullptr) {
-    plan = std::make_shared<const ExecutionPlan>(
-        Optimize(q, stats_, options));
-    plan_cache_->Put(signature, plan);
-  }
-  return EnqueuePlan(*plan, opts, handle);
+  // Single-flight: concurrent misses of the same signature run the
+  // optimiser once and share the winning plan.
+  std::shared_ptr<const ExecutionPlan> plan = plan_cache_->GetOrCompute(
+      signature, [&] { return Optimize(q, stats_, options); });
+  const std::string* dedup_sig =
+      config_.dedup_submissions ? &signature : nullptr;
+  return EnqueuePlan(*plan, opts, handle, dedup_sig);
 }
 
 std::future<RunResult> QueryService::SubmitPlan(const ExecutionPlan& plan,
                                                 SubmitOptions opts,
                                                 uint64_t* handle) {
-  return EnqueuePlan(plan, opts, handle);
+  return EnqueuePlan(plan, opts, handle, nullptr);
 }
 
 std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
                                                  const SubmitOptions& opts,
-                                                 uint64_t* handle) {
+                                                 uint64_t* handle,
+                                                 const std::string* signature) {
   if (handle != nullptr) *handle = 0;
   // Reservation: the cost model's envelope, floored, clamped to the
   // budget (unless the config says such queries are rejected outright).
@@ -182,12 +222,43 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
   task->tenant = opts.tenant;
   task->df = Translate(plan);
   task->reservation = reservation;
-  std::future<RunResult> future = task->promise.get_future();
+  task->cores =
+      config_.engine.num_machines * config_.engine.workers_per_machine;
+  std::future<RunResult> future;
   {
     std::lock_guard<std::mutex> guard(mu_);
     HUGE_CHECK(!shutdown_ && "Submit after QueryService destruction began");
+    if (signature != nullptr) {
+      const auto it = inflight_sig_.find(*signature);
+      if (it != inflight_sig_.end()) {
+        Task* existing = FindTaskLocked(it->second);
+        // A run whose cancel flag is already raised must not absorb new
+        // submissions — the fresh task below takes over the signature.
+        if (existing != nullptr &&
+            !existing->cancel.load(std::memory_order_relaxed)) {
+          Task::Waiter waiter;
+          waiter.handle = next_task_id_++;
+          future = waiter.promise.get_future();
+          if (handle != nullptr) *handle = waiter.handle;
+          handle_owner_.emplace(waiter.handle, existing->id);
+          existing->waiters.push_back(std::move(waiter));
+          ++submitted_;
+          ++dedup_hits_;
+          return future;
+        }
+      }
+    }
     task->id = next_task_id_++;
     if (handle != nullptr) *handle = task->id;
+    Task::Waiter waiter;
+    waiter.handle = task->id;
+    future = waiter.promise.get_future();
+    task->waiters.push_back(std::move(waiter));
+    handle_owner_.emplace(task->id, task->id);
+    if (signature != nullptr) {
+      task->signature = *signature;
+      inflight_sig_[*signature] = task->id;
+    }
     task->queued.Reset();
     sched_.Enqueue(opts.tenant, task->id);
     queued_tasks_.emplace(task->id, std::move(task));
@@ -197,40 +268,86 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
   return future;
 }
 
+QueryService::Task* QueryService::FindTaskLocked(uint64_t task_id) {
+  const auto q = queued_tasks_.find(task_id);
+  if (q != queued_tasks_.end()) return q->second.get();
+  const auto r = running_tasks_.find(task_id);
+  return r != running_tasks_.end() ? r->second : nullptr;
+}
+
 bool QueryService::Cancel(uint64_t handle) {
   if (handle == 0) return false;
   std::unique_ptr<Task> unscheduled;
+  std::promise<RunResult> detached;
+  bool resolve_detached = false;
   {
     std::lock_guard<std::mutex> guard(mu_);
-    const auto it = queued_tasks_.find(handle);
-    if (it != queued_tasks_.end()) {
-      // Still queued: unschedule and resolve without ever running.
-      HUGE_CHECK(sched_.Remove(it->second->tenant, handle));
-      unscheduled = std::move(it->second);
-      queued_tasks_.erase(it);
+    const auto ho = handle_owner_.find(handle);
+    if (ho == handle_owner_.end()) {
+      return false;  // unknown or already completed
+    }
+    const uint64_t task_id = ho->second;
+    Task* task = FindTaskLocked(task_id);
+    HUGE_CHECK(task != nullptr);  // live handles always have a live task
+    if (task->waiters.size() > 1) {
+      // Deduped run with other clients attached: detach only this
+      // waiter; the run itself proceeds untouched.
+      const auto wit =
+          std::find_if(task->waiters.begin(), task->waiters.end(),
+                       [&](const Task::Waiter& w) { return w.handle == handle; });
+      HUGE_CHECK(wit != task->waiters.end());
+      detached = std::move(wit->promise);
+      task->waiters.erase(wit);
+      handle_owner_.erase(ho);
+      resolve_detached = true;
+      ++cancelled_;
+      merged_.worst_status =
+          MaxSeverity(merged_.worst_status, RunStatus::kCancelled);
+    } else if (queued_tasks_.count(task_id) != 0) {
+      // Still queued, sole waiter: unschedule and resolve without ever
+      // running.
+      HUGE_CHECK(sched_.Remove(task->tenant, task_id));
+      unscheduled = std::move(queued_tasks_.at(task_id));
+      queued_tasks_.erase(task_id);
+      handle_owner_.erase(ho);
+      if (!task->signature.empty()) {
+        const auto sit = inflight_sig_.find(task->signature);
+        if (sit != inflight_sig_.end() && sit->second == task_id) {
+          inflight_sig_.erase(sit);
+        }
+      }
       ++cancelled_;
       merged_.worst_status =
           MaxSeverity(merged_.worst_status, RunStatus::kCancelled);
     } else {
-      // Running? Raise the flag; the executor's abort plane delivers the
-      // kCancelled result through the normal completion path.
-      for (auto& slot : slots_) {
-        if (slot->task != nullptr && slot->task->id == handle) {
-          slot->task->cancel.store(true, std::memory_order_relaxed);
-          ++cancelled_;
-          return true;
+      // Running, sole waiter: raise the flag; the executor's abort plane
+      // delivers through the normal completion path. Deliberately NOT
+      // counted here — completion may win the race and deliver a
+      // successful result, in which case nothing was cancelled. The
+      // delivery path counts the cancel iff the run actually drained to
+      // kCancelled. The signature is retired so no new submission
+      // attaches to a dying run.
+      task->cancel.store(true, std::memory_order_relaxed);
+      if (!task->signature.empty()) {
+        const auto sit = inflight_sig_.find(task->signature);
+        if (sit != inflight_sig_.end() && sit->second == task_id) {
+          inflight_sig_.erase(sit);
         }
       }
-      return false;  // unknown or already completed
+      return true;
     }
   }
-  // Dispatcher may have been parked on the removed head; Drain waiters on
-  // the now-empty queue.
-  cv_dispatch_.notify_one();
-  cv_drain_.notify_all();
   RunResult result;
   result.status = RunStatus::kCancelled;
-  unscheduled->promise.set_value(std::move(result));
+  if (unscheduled != nullptr) {
+    // Dispatcher may have been parked on the removed head; Drain waiters
+    // on the now-empty queue.
+    cv_dispatch_.notify_one();
+    cv_drain_.notify_all();
+    unscheduled->waiters.front().promise.set_value(std::move(result));
+  } else if (resolve_detached) {
+    detached.set_value(std::move(result));
+  }
   return true;
 }
 
@@ -251,9 +368,10 @@ void QueryService::DispatcherLoop() {
       if (!sched_.PeekNext(&head_id)) return false;
       slot = FindFreeSlotLocked();
       if (slot == nullptr) return false;
-      // Strict fair order: the head waits for memory rather than letting
-      // later (smaller) queries overtake it indefinitely.
-      return admission_->CanAdmit(queued_tasks_.at(head_id)->reservation);
+      // Strict fair order: the head waits for memory and cores rather
+      // than letting later (smaller) queries overtake it indefinitely.
+      const Task& head = *queued_tasks_.at(head_id);
+      return admission_->CanAdmit(head.reservation, head.cores);
     });
     if (shutdown_) return;
     uint64_t id = 0;
@@ -261,10 +379,11 @@ void QueryService::DispatcherLoop() {
     HUGE_CHECK(id == head_id);
     auto it = queued_tasks_.find(id);
     Task* task = it->second.get();
-    HUGE_CHECK(admission_->TryAdmit(task->reservation));
+    HUGE_CHECK(admission_->TryAdmit(task->reservation, task->cores));
     peak_concurrency_ = std::max(peak_concurrency_, admission_->running());
     queue_wait_seconds_ += task->queued.Seconds();
     slot->task = std::move(it->second);
+    running_tasks_.emplace(id, task);
     queued_tasks_.erase(it);
     cv_slots_.notify_all();
   }
@@ -280,21 +399,63 @@ void QueryService::SlotLoop(Slot* slot) {
     }
     Task* task = slot->task.get();
     lk.unlock();
+    if (slot->cluster == nullptr) {
+      // Elastic slot, first dispatch: build the executor on the shared
+      // fabric, outside the lock — construction spins up machine
+      // runtimes and (without a fabric) worker threads.
+      slot->owned =
+          std::make_unique<Cluster>(graph_, config_.engine, fabric_.get());
+      slot->cluster = slot->owned.get();
+    }
     RunResult result = slot->cluster->Run(task->df, &task->cancel);
     lk.lock();
-    admission_->Release(task->reservation);
-    ++completed_;
-    // Fold scalar counters only: Merge *appends* the per-worker busy
-    // vectors (right for one run's machines, unbounded growth across a
-    // service's lifetime of queries).
+    admission_->Release(task->reservation, task->cores);
+    // Every waiter's future resolves with this result: each counts as a
+    // completion, and as a cancellation iff the run really drained to
+    // kCancelled (the only path that counts a running cancel — see
+    // Cancel).
+    completed_ += task->waiters.size();
+    if (result.status == RunStatus::kCancelled) {
+      cancelled_ += task->waiters.size();
+    }
+    // Fold scalar counters only, once per run (not per waiter): Merge
+    // *appends* the per-worker busy vectors (right for one run's
+    // machines, unbounded growth across a service's lifetime).
     RunMetrics summary = result.metrics;
     summary.worker_busy_seconds.clear();
     summary.machine_busy_seconds.clear();
     summary.worst_status = result.status;  // Merge folds max-severity
     merged_.Merge(summary);
+    running_tasks_.erase(task->id);
+    for (const auto& waiter : task->waiters) {
+      handle_owner_.erase(waiter.handle);
+    }
+    if (!task->signature.empty()) {
+      const auto sit = inflight_sig_.find(task->signature);
+      if (sit != inflight_sig_.end() && sit->second == task->id) {
+        inflight_sig_.erase(sit);
+      }
+    }
     std::unique_ptr<Task> done = std::move(slot->task);  // frees the slot
+    // Elastic shrink: once more than min_warm_slots executors sit idle,
+    // retire this slot's cluster (destroyed outside the lock). `owned`
+    // of a *busy* slot is never read here — its thread may be building
+    // the cluster lock-free right now — hence the task-first test.
+    std::unique_ptr<Cluster> retired;
+    int warm_idle = 0;
+    for (const auto& s : slots_) {
+      if (s->task == nullptr && s->owned != nullptr) ++warm_idle;
+    }
+    if (slot->owned != nullptr && warm_idle > config_.min_warm_slots) {
+      retired = std::move(slot->owned);
+      slot->cluster = nullptr;
+    }
     lk.unlock();
-    done->promise.set_value(std::move(result));
+    for (size_t i = 0; i + 1 < done->waiters.size(); ++i) {
+      done->waiters[i].promise.set_value(result);
+    }
+    done->waiters.back().promise.set_value(std::move(result));
+    retired.reset();
     cv_dispatch_.notify_one();
     cv_drain_.notify_all();
     lk.lock();
@@ -320,8 +481,10 @@ ServiceMetrics QueryService::metrics() const {
     m.completed = completed_;
     m.rejected = rejected_;
     m.cancelled = cancelled_;
+    m.dedup_hits = dedup_hits_;
     m.worst_status = merged_.worst_status;
     m.peak_concurrency = peak_concurrency_;
+    m.peak_cores = admission_->peak_cores();
     m.queue_wait_seconds = queue_wait_seconds_;
     m.merged = merged_;
   }
@@ -329,6 +492,10 @@ ServiceMetrics QueryService::metrics() const {
   m.plan_cache_misses = plan_cache_->misses();
   m.plan_cache_evictions = plan_cache_->evictions();
   m.peak_reserved_bytes = admission_->tracker().peak();
+  if (fabric_ != nullptr) {
+    m.shared_cache_hits = fabric_->adj_cache().hits();
+    m.shared_cache_misses = fabric_->adj_cache().misses();
+  }
   return m;
 }
 

@@ -13,6 +13,7 @@
 
 #include "engine/cluster.h"
 #include "engine/config.h"
+#include "engine/fabric.h"
 #include "engine/metrics.h"
 #include "plan/cost_model.h"
 #include "plan/plan.h"
@@ -33,8 +34,10 @@ struct ServiceConfig {
   Config engine;
 
   /// Executor slots: at most this many queries run concurrently; the rest
-  /// queue in fair order. Each slot costs one simulated cluster
-  /// (num_machines x workers_per_machine worker threads).
+  /// queue in fair order. With the shared fabric, an idle slot is only a
+  /// few pointers — clusters are built lazily on first dispatch (see
+  /// min_warm_slots), so raising this no longer multiplies resident
+  /// memory and thread count by `num_machines x workers_per_machine`.
   int max_concurrent_queries = 2;
 
   /// Global memory budget over the *reservations* of concurrently
@@ -57,6 +60,44 @@ struct ServiceConfig {
   /// Plan-cache entries (canonical-signature keyed). 0 disables caching.
   size_t plan_cache_capacity = 64;
 
+  /// Shared execution fabric (graph-owning services only): one
+  /// process-wide worker pool plus one shared remote-adjacency cache
+  /// that every executor slot attaches to, instead of each slot carrying
+  /// `num_machines x workers_per_machine` private threads and a cold
+  /// cache. Run-scoped engine state (metrics, join buffers, per-run
+  /// caches, accounting) stays private per query, so results remain
+  /// bit-identical to standalone runs. The borrowed-executor form never
+  /// has a fabric — the caller's cluster keeps its own pool.
+  bool shared_fabric = true;
+
+  /// Worker threads of the shared fabric pool; 0 sizes it to the
+  /// hardware concurrency.
+  int fabric_workers = 0;
+
+  /// Byte capacity of the fabric's shared remote-adjacency cache; 0
+  /// selects 30% of the data-graph size (the engine's own per-run cache
+  /// default, Config::cache_capacity_bytes).
+  size_t shared_cache_bytes = 0;
+
+  /// Executor slots kept warm (cluster constructed) while idle. Slots
+  /// beyond this are elastic: built on first dispatch, torn down once
+  /// idle again, so a burst of concurrency does not permanently pin
+  /// per-slot engine state.
+  int min_warm_slots = 1;
+
+  /// Core budget of weighted admission: the sum of running queries' core
+  /// weights (`num_machines x workers_per_machine`, clamped to the
+  /// budget) stays within this, so admission charges compute as well as
+  /// memory. 0 disables the core gate.
+  int core_budget = 0;
+
+  /// When true, a Submit whose plan-cache signature equals a query that
+  /// is already queued or running attaches a second future to that
+  /// in-flight run instead of executing twice; every attached waiter
+  /// receives the same RunResult. Only cache-eligible submissions
+  /// participate (SubmitPlan and match_sink runs never dedup).
+  bool dedup_submissions = true;
+
   /// Empty when the configuration is usable, else the first problem found
   /// (includes engine.Validate()).
   std::string Validate() const;
@@ -72,7 +113,8 @@ struct SubmitOptions {
   /// submission to pay the optimiser). The service also bypasses the
   /// cache on its own when the engine config carries a match_sink: a
   /// cached plan may renumber an isomorphic query's vertices, which is
-  /// invisible to counts but not to per-match callbacks.
+  /// invisible to counts but not to per-match callbacks. Opting out also
+  /// opts out of submission de-dup (no signature, nothing to match).
   bool use_plan_cache = true;
 };
 
@@ -83,9 +125,9 @@ struct SubmitOptions {
 /// e.g. a plan-cache lookup whose submission is not yet counted.
 struct ServiceMetrics {
   uint64_t submitted = 0;  ///< Submit/SubmitPlan calls, including rejected
-  uint64_t completed = 0;  ///< queries that ran to a RunResult
+  uint64_t completed = 0;  ///< futures resolved by a run's RunResult
   uint64_t rejected = 0;   ///< refused by admission (RunStatus::kRejected)
-  uint64_t cancelled = 0;  ///< resolved by Cancel (queued or mid-run)
+  uint64_t cancelled = 0;  ///< futures resolved with kCancelled by Cancel
   /// Max-severity fold (StatusSeverity) over every resolved query's
   /// status: kOk only when nothing has ever failed, been cancelled,
   /// rejected or aborted. Mirrors merged.worst_status.
@@ -93,21 +135,33 @@ struct ServiceMetrics {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_evictions = 0;
+  /// Submissions that attached to an in-flight identical run instead of
+  /// executing their own (ServiceConfig::dedup_submissions).
+  uint64_t dedup_hits = 0;
+  /// Shared fabric adjacency-cache counters (zero without a fabric). A
+  /// shared-cache hit is a wire fetch some earlier query already paid
+  /// for; per-run byte accounting still charges each run exactly.
+  uint64_t shared_cache_hits = 0;
+  uint64_t shared_cache_misses = 0;
   /// High-water mark of concurrently admitted reservations; bounded by
   /// ServiceConfig::memory_budget_bytes whenever a budget is configured.
   uint64_t peak_reserved_bytes = 0;
+  /// High-water mark of concurrently admitted core weights; bounded by
+  /// ServiceConfig::core_budget whenever the core gate is enabled.
+  int peak_cores = 0;
   int peak_concurrency = 0;  ///< most queries ever running at once
   double queue_wait_seconds = 0;  ///< summed submit-to-dispatch wait
-  /// RunMetrics::Merge over every completed query (peak_memory_bytes is
-  /// therefore the max single-query engine peak, not a sum). The
-  /// per-worker busy vectors are left empty — appending them per query
-  /// would grow without bound over a service's lifetime.
+  /// RunMetrics::Merge over every completed *run* (a deduped run folds
+  /// once, not per waiter; peak_memory_bytes is therefore the max
+  /// single-query engine peak, not a sum). The per-worker busy vectors
+  /// are left empty — appending them per query would grow without bound
+  /// over a service's lifetime.
   RunMetrics merged;
 };
 
 /// The concurrent, multi-tenant query service: accepts query submissions
-/// and executes them over a shared data graph with bounded concurrency
-/// and memory.
+/// and executes them over a shared data graph with bounded concurrency,
+/// memory and cores.
 ///
 /// ```
 ///   huge::ServiceConfig sc;
@@ -120,28 +174,32 @@ struct ServiceMetrics {
 /// ```
 ///
 /// Submission flow: Submit canonicalises the query, consults the plan
-/// cache (miss: run the optimiser and insert), translates the plan and
-/// derives a memory reservation from the cost model's cardinality
-/// estimates; the task then queues under its tenant. A dispatcher thread
-/// admits queued tasks in fair order whenever an executor slot is free
-/// and the admission controller accepts the reservation, and hands them
-/// to the slot's executor — a dedicated simulated cluster whose run-scoped
-/// state (metrics, join buffers, caches, queues, network accounting) is
-/// private to the query, so concurrent queries never share mutable
-/// engine state and results are bit-identical to sequential runs.
+/// cache (a miss runs the optimiser exactly once across concurrent
+/// missers — single-flight), translates the plan and derives a memory
+/// reservation plus a core weight from the config; an identical
+/// in-flight submission instead attaches a second future to the
+/// existing run. The task then queues under its tenant. A dispatcher
+/// thread admits queued tasks in fair order whenever an executor slot is
+/// free and the admission controller accepts the (bytes, cores) vector,
+/// and hands them to the slot's executor — a simulated cluster built
+/// lazily on the shared fabric, whose run-scoped state (metrics, join
+/// buffers, caches, queues, network accounting) is private to the
+/// query, so concurrent queries never share mutable engine state and
+/// results are bit-identical to sequential runs.
 ///
 /// The destructor drains: it waits for every submitted query to finish.
 class QueryService {
  public:
-  /// A service over `graph` with `config.max_concurrent_queries` owned
-  /// executors.
+  /// A service over `graph` with `config.max_concurrent_queries` elastic
+  /// executor slots on a shared execution fabric.
   QueryService(std::shared_ptr<const Graph> graph, ServiceConfig config);
 
   /// Single-slot service over a caller-owned executor (how huge::Runner
   /// delegates: its cluster doubles as the service's only slot, so
   /// metrics and network accounting stay observable on the Runner).
   /// `max_concurrent_queries` is forced to 1 and `config.engine` is
-  /// replaced by the executor's own config. `executor` must outlive the
+  /// replaced by the executor's own config. No fabric is created: the
+  /// executor keeps its private pool. `executor` must outlive the
   /// service.
   QueryService(Cluster* executor, const GraphStats& stats,
                ServiceConfig config);
@@ -154,25 +212,32 @@ class QueryService {
   /// Submits `q`; the future resolves to its RunResult. Thread-safe.
   /// `handle`, when non-null, receives a cancellation handle for the
   /// submission (see Cancel), or 0 when the query never queued (rejected
-  /// by admission — there is nothing left to cancel).
+  /// by admission — there is nothing left to cancel). A deduped
+  /// submission gets its own handle: cancelling it detaches only that
+  /// waiter, never the run other clients still wait on.
   std::future<RunResult> Submit(const QueryGraph& q, SubmitOptions opts = {},
                                 uint64_t* handle = nullptr);
 
   /// Submits a caller-provided execution plan (the Remark 3.2 plug-in
-  /// path). Bypasses the plan cache.
+  /// path). Bypasses the plan cache and submission de-dup.
   std::future<RunResult> SubmitPlan(const ExecutionPlan& plan,
                                     SubmitOptions opts = {},
                                     uint64_t* handle = nullptr);
 
   /// Cancels the submission `handle` refers to. A still-queued query is
   /// unscheduled and its future resolves immediately with
-  /// RunStatus::kCancelled; a running query has its cancellation flag
-  /// raised — the executor's abort plane observes it at the next poll,
-  /// every machine drains out, and the future resolves with kCancelled
-  /// (shortly after, not synchronously: Cancel does not block on the
-  /// drain). Returns false when the handle is unknown or the query
-  /// already completed — cancellation raced completion and lost, which
-  /// is not an error. Thread-safe.
+  /// RunStatus::kCancelled; the sole waiter of a running query has the
+  /// run's cancellation flag raised — the executor's abort plane
+  /// observes it at the next poll, every machine drains out, and the
+  /// future resolves with kCancelled (shortly after, not synchronously:
+  /// Cancel does not block on the drain). A running cancel is *counted*
+  /// only if the run actually delivers kCancelled — when completion wins
+  /// the race, the client gets the real result and the cancelled counter
+  /// stays untouched. One waiter of a deduped run is detached and
+  /// resolved with kCancelled while the run continues for the others.
+  /// Returns false when the handle is unknown or the query already
+  /// completed — cancellation raced completion and lost, which is not an
+  /// error. Thread-safe.
   bool Cancel(uint64_t handle);
 
   /// Blocks until every query submitted so far has completed.
@@ -190,6 +255,10 @@ class QueryService {
   const GraphStats& stats() const { return stats_; }
   const ServiceConfig& config() const { return config_; }
 
+  /// The shared execution fabric, or null (borrowed-executor form, or
+  /// `shared_fabric` disabled).
+  const ExecutionFabric* fabric() const { return fabric_.get(); }
+
   /// Queries queued but not yet dispatched.
   size_t pending() const;
 
@@ -200,16 +269,19 @@ class QueryService {
   void Start();
   std::future<RunResult> EnqueuePlan(const ExecutionPlan& plan,
                                      const SubmitOptions& opts,
-                                     uint64_t* handle);
+                                     uint64_t* handle,
+                                     const std::string* signature);
   void DispatcherLoop();
   void SlotLoop(Slot* slot);
   Slot* FindFreeSlotLocked();
+  Task* FindTaskLocked(uint64_t task_id);
 
   ServiceConfig config_;
   std::shared_ptr<const Graph> graph_;  ///< null for the borrowed-executor form
   GraphStats stats_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<ExecutionFabric> fabric_;  ///< before slots_: outlives clusters
   std::vector<std::unique_ptr<Slot>> slots_;
 
   mutable std::mutex mu_;
@@ -218,12 +290,21 @@ class QueryService {
   std::condition_variable cv_drain_;     ///< wakes Drain waiters
   FairScheduler sched_;
   std::unordered_map<uint64_t, std::unique_ptr<Task>> queued_tasks_;
+  /// Dispatched tasks by id (owned by their slot until delivery).
+  std::unordered_map<uint64_t, Task*> running_tasks_;
+  /// Every live cancellation handle -> owning task id. Handles of a
+  /// deduped submission map to the shared task; entries die at delivery.
+  std::unordered_map<uint64_t, uint64_t> handle_owner_;
+  /// In-flight dedup index: signature -> task id, valid while the task
+  /// is queued or running (and not being cancelled).
+  std::unordered_map<std::string, uint64_t> inflight_sig_;
   uint64_t next_task_id_ = 1;
   bool shutdown_ = false;
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
   uint64_t cancelled_ = 0;
+  uint64_t dedup_hits_ = 0;
   int peak_concurrency_ = 0;
   double queue_wait_seconds_ = 0;
   RunMetrics merged_;

@@ -1,0 +1,210 @@
+#include "engine/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/shared_cache.h"
+#include "common/random.h"
+
+namespace huge {
+namespace {
+
+/// The shared half of the execution fabric: the SharedAdjCache must serve
+/// both wire shapes, upgrade entries, stay within its byte capacity, and
+/// survive concurrent use — it is the one cache every running query
+/// touches at once.
+
+TEST(SharedAdjCacheTest, FullInsertRoundTripsAndCounts) {
+  SharedAdjCache cache(1u << 20);
+  const std::vector<VertexId> nbrs = {2, 5, 7, 9};
+  std::vector<VertexId> out;
+  EXPECT_FALSE(cache.TryGetFull(4, &out));
+  cache.InsertFull(4, nbrs);
+  ASSERT_TRUE(cache.TryGetFull(4, &out));
+  EXPECT_EQ(out, nbrs);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // The read is copy-out: mutating the copy never touches the cache.
+  out[0] = 999;
+  std::vector<VertexId> again;
+  ASSERT_TRUE(cache.TryGetFull(4, &again));
+  EXPECT_EQ(again, nbrs);
+}
+
+TEST(SharedAdjCacheTest, SlicedEntryServesBothShapes) {
+  SharedAdjCache cache(1u << 20);
+  // Label-grouped order with two label slices: {9, 5} | {2, 7}.
+  const std::vector<VertexId> grouped = {9, 5, 2, 7};
+  const std::vector<uint32_t> rel = {0, 2, 4};
+  cache.InsertSliced(11, grouped, rel);
+
+  std::vector<VertexId> g_out;
+  std::vector<uint32_t> r_out;
+  ASSERT_TRUE(cache.TryGetSliced(11, &g_out, &r_out));
+  EXPECT_EQ(g_out, grouped);
+  EXPECT_EQ(r_out, rel);
+
+  // A full read of the sliced entry re-sorts the copy on the way out.
+  std::vector<VertexId> full;
+  ASSERT_TRUE(cache.TryGetFull(11, &full));
+  EXPECT_EQ(full, (std::vector<VertexId>{2, 5, 7, 9}));
+}
+
+TEST(SharedAdjCacheTest, FullEntryCannotServeSlicedReads) {
+  SharedAdjCache cache(1u << 20);
+  cache.InsertFull(3, std::vector<VertexId>{1, 2});
+  std::vector<VertexId> g_out;
+  std::vector<uint32_t> r_out;
+  // Labels are not stored with a full entry; the slice shape is
+  // unrecoverable, so this must miss rather than fabricate offsets.
+  EXPECT_FALSE(cache.TryGetSliced(3, &g_out, &r_out));
+}
+
+TEST(SharedAdjCacheTest, SlicedInsertUpgradesFullEntryInPlace) {
+  SharedAdjCache cache(1u << 20);
+  cache.InsertFull(8, std::vector<VertexId>{2, 5});
+  cache.InsertSliced(8, std::vector<VertexId>{5, 2},
+                     std::vector<uint32_t>{0, 1, 2});
+  std::vector<VertexId> g_out;
+  std::vector<uint32_t> r_out;
+  ASSERT_TRUE(cache.TryGetSliced(8, &g_out, &r_out));
+  EXPECT_EQ(g_out, (std::vector<VertexId>{5, 2}));
+  EXPECT_EQ(cache.entries(), 1u);  // upgraded, not duplicated
+
+  // The reverse never downgrades: a full insert over a sliced entry is a
+  // no-op beyond the LRU touch.
+  cache.InsertFull(8, std::vector<VertexId>{2, 5});
+  ASSERT_TRUE(cache.TryGetSliced(8, &g_out, &r_out));
+}
+
+TEST(SharedAdjCacheTest, ByteCapacityLruEvictsTheColdest) {
+  // Room for roughly two entries of 64 ids plus overhead.
+  const size_t entry_bytes = 64 * sizeof(VertexId) + 96;
+  SharedAdjCache cache(2 * entry_bytes + 64);
+  std::vector<VertexId> big(64);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<VertexId>(i);
+  cache.InsertFull(1, big);
+  cache.InsertFull(2, big);
+  std::vector<VertexId> out;
+  ASSERT_TRUE(cache.TryGetFull(1, &out));  // 1 is now hotter than 2
+  cache.InsertFull(3, big);                // must evict 2
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(cache.SizeBytes(), cache.capacity_bytes());
+  EXPECT_TRUE(cache.TryGetFull(1, &out));
+  EXPECT_FALSE(cache.TryGetFull(2, &out));
+  EXPECT_TRUE(cache.TryGetFull(3, &out));
+}
+
+TEST(SharedAdjCacheTest, ZeroCapacityDisablesSharing) {
+  SharedAdjCache cache(0);
+  cache.InsertFull(1, std::vector<VertexId>{1, 2, 3});
+  std::vector<VertexId> out;
+  EXPECT_FALSE(cache.TryGetFull(1, &out));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.SizeBytes(), 0u);
+}
+
+TEST(SharedAdjCacheTest, ClearDropsEntriesButKeepsCounters) {
+  SharedAdjCache cache(1u << 20);
+  cache.InsertFull(1, std::vector<VertexId>{1});
+  std::vector<VertexId> out;
+  ASSERT_TRUE(cache.TryGetFull(1, &out));
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.SizeBytes(), 0u);
+  EXPECT_FALSE(cache.TryGetFull(1, &out));
+  EXPECT_EQ(cache.hits(), 1u);  // lifetime counters survive Clear
+}
+
+TEST(SharedAdjCacheTest, ConcurrentReadersAndWritersStayCoherent) {
+  // The shared-fabric hammer: several "queries" insert and read the same
+  // vertex range under a capacity that forces continuous eviction. Every
+  // hit must return exactly the list that vertex always has — a torn or
+  // stale read would surface as a wrong adjacency.
+  const size_t capacity = 40 * (16 * sizeof(VertexId) + 96);
+  SharedAdjCache cache(capacity);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 800;
+  constexpr VertexId kVerts = 100;
+  std::atomic<uint64_t> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      std::vector<VertexId> out;
+      for (int i = 0; i < kOps; ++i) {
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(kVerts));
+        std::vector<VertexId> nbrs(16);
+        for (size_t j = 0; j < nbrs.size(); ++j) {
+          nbrs[j] = v * 100 + static_cast<VertexId>(j);
+        }
+        if (rng.NextBounded(2) == 0) {
+          cache.InsertFull(v, nbrs);
+        } else if (cache.TryGetFull(v, &out) && out != nbrs) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_LE(cache.SizeBytes(), capacity);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionFabric wiring.
+// ---------------------------------------------------------------------------
+
+TEST(ExecutionFabricTest, SizesPoolAndCacheFromOptions) {
+  ExecutionFabric::Options opts;
+  opts.num_workers = 3;
+  opts.shared_cache_bytes = 1u << 16;
+  ExecutionFabric fabric(opts);
+  EXPECT_EQ(fabric.pool().num_workers(), 3);
+  EXPECT_EQ(fabric.adj_cache().capacity_bytes(), 1u << 16);
+}
+
+TEST(ExecutionFabricTest, ZeroWorkersSelectsHardwareConcurrency) {
+  ExecutionFabric fabric(ExecutionFabric::Options{});
+  EXPECT_GE(fabric.pool().num_workers(), 1);
+}
+
+TEST(ExecutionFabricTest, PoolRunsJobsFromConcurrentClusterThreads) {
+  // The fabric contract the engine relies on: machine runtimes of
+  // different queries submit ParallelChunks jobs concurrently to the one
+  // pool, each with its own per-run stats.
+  ExecutionFabric::Options opts;
+  opts.num_workers = 2;
+  ExecutionFabric fabric(opts);
+  constexpr int kJobs = 4;
+  std::vector<std::unique_ptr<PoolStats>> stats;  // PoolStats is pinned
+  for (int j = 0; j < kJobs; ++j) {
+    stats.push_back(std::make_unique<PoolStats>(fabric.pool().num_workers()));
+  }
+  std::vector<std::atomic<uint64_t>> sums(kJobs);
+  std::vector<std::thread> threads;
+  for (int j = 0; j < kJobs; ++j) {
+    threads.emplace_back([&, j] {
+      fabric.pool().ParallelChunks(
+          256, 8,
+          [&, j](int, size_t begin, size_t end) {
+            sums[j].fetch_add(end - begin);
+          },
+          stats[j].get());
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(sums[j].load(), 256u) << "job " << j;
+  }
+}
+
+}  // namespace
+}  // namespace huge

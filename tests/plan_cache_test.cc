@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -186,6 +189,105 @@ TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);  // disabled lookups are not misses
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight GetOrCompute: the thundering-herd fix. N concurrent misses
+// of one signature must run the optimiser exactly once.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, ConcurrentMissesRunBuildExactlyOnce) {
+  PlanCache cache(8);
+  constexpr int kThreads = 8;
+  std::atomic<int> builds{0};
+  std::atomic<int> arrived{0};
+  std::vector<std::shared_ptr<const ExecutionPlan>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      arrived.fetch_add(1);
+      got[t] = cache.GetOrCompute("sig", [&] {
+        builds.fetch_add(1);
+        // Hold the build open until every thread has reached
+        // GetOrCompute: the herd is provably concurrent, and the
+        // followers must block on this leader rather than re-optimise.
+        // (Followers cannot deadlock us: they only wait on the leader's
+        // future, after incrementing `arrived`.)
+        while (arrived.load() < kThreads) std::this_thread::yield();
+        ExecutionPlan plan;
+        plan.estimated_cost = 42;
+        return plan;
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(builds.load(), 1);  // exactly one optimiser run for the herd
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads - 1));
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(got[t], nullptr) << "thread " << t;
+    EXPECT_EQ(got[t], got[0]) << "thread " << t;  // the one shared plan
+  }
+  // The winning plan landed in the cache: no further build.
+  auto cached = cache.GetOrCompute("sig", [&]() -> ExecutionPlan {
+    builds.fetch_add(1);
+    return {};
+  });
+  EXPECT_EQ(cached, got[0]);
+  EXPECT_EQ(builds.load(), 1);
+}
+
+TEST(PlanCacheTest, GetOrComputeDistinctSignaturesBuildIndependently) {
+  PlanCache cache(8);
+  std::atomic<int> builds{0};
+  auto a = cache.GetOrCompute("a", [&] {
+    builds.fetch_add(1);
+    ExecutionPlan p;
+    p.estimated_cost = 1;
+    return p;
+  });
+  auto b = cache.GetOrCompute("b", [&] {
+    builds.fetch_add(1);
+    ExecutionPlan p;
+    p.estimated_cost = 2;
+    return p;
+  });
+  EXPECT_EQ(builds.load(), 2);
+  EXPECT_DOUBLE_EQ(a->estimated_cost, 1);
+  EXPECT_DOUBLE_EQ(b->estimated_cost, 2);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCacheTest, GetOrComputeZeroCapacityBuildsPerCaller) {
+  PlanCache cache(0);
+  std::atomic<int> builds{0};
+  for (int i = 0; i < 3; ++i) {
+    auto p = cache.GetOrCompute("sig", [&]() -> ExecutionPlan {
+      builds.fetch_add(1);
+      return {};
+    });
+    ASSERT_NE(p, nullptr);
+  }
+  EXPECT_EQ(builds.load(), 3);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // disabled: not cache traffic
+}
+
+TEST(PlanCacheTest, GetOrComputeLeaderFailurePropagatesAndRetires) {
+  PlanCache cache(8);
+  EXPECT_THROW(cache.GetOrCompute(
+                   "boom",
+                   []() -> ExecutionPlan { throw std::runtime_error("opt"); }),
+               std::runtime_error);
+  // The failed flight is retired: the next caller leads a fresh build
+  // instead of waiting on a dead future.
+  std::atomic<int> builds{0};
+  auto p = cache.GetOrCompute("boom", [&]() -> ExecutionPlan {
+    builds.fetch_add(1);
+    return {};
+  });
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(builds.load(), 1);
 }
 
 // ---------------------------------------------------------------------------

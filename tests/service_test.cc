@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -329,6 +330,247 @@ TEST(QueryServiceTest, ServiceStaysUsableAfterCancellations) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared execution fabric: differential round under weighted admission,
+// submission de-dup, elastic slots.
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, SharedFabricConcurrentRoundMatchesSequential) {
+  // The fabric differential: every slot shares one worker pool and one
+  // remote-adjacency cache, admission charges cores as well as bytes —
+  // and the counts must still be bit-identical to the sequential Runner.
+  auto g = ServiceGraph(59);
+  const std::vector<QueryGraph> queries = MixedQueries();
+  const Config ecfg = SmallEngineConfig();  // 2x2 = 4 cores per query
+
+  std::vector<uint64_t> expect;
+  {
+    Runner runner(g, ecfg);
+    for (const QueryGraph& q : queries) {
+      expect.push_back(runner.Run(q).matches);
+    }
+  }
+
+  ServiceConfig sc;
+  sc.engine = ecfg;
+  sc.max_concurrent_queries = 3;
+  sc.memory_budget_bytes = 20u << 20;
+  sc.min_reservation_bytes = 8u << 20;
+  sc.core_budget = 8;     // two 4-core queries despite three slots
+  sc.fabric_workers = 2;  // pin the pool size for determinism across CI
+  QueryService service(g, sc);
+  ASSERT_NE(service.fabric(), nullptr);
+
+  // Round 0 populates the shared adjacency cache over the wire; round 1
+  // re-runs every pattern and must reuse those lists instead of
+  // re-fetching.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<RunResult>> futures(queries.size());
+    std::vector<std::thread> clients;
+    const int kClients = 3;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = c; i < queries.size(); i += kClients) {
+          SubmitOptions opts;
+          opts.tenant = "tenant-" + std::to_string(c);
+          futures[i] = service.Submit(queries[i], opts);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      RunResult r = futures[i].get();
+      EXPECT_EQ(r.status, RunStatus::kOk) << "round " << round << " q" << i;
+      EXPECT_EQ(r.matches, expect[i]) << "round " << round << " q" << i;
+    }
+  }
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.completed, 2 * queries.size());
+  EXPECT_EQ(m.worst_status, RunStatus::kOk);
+  // The shared cache demonstrably short-circuited wire fetches.
+  EXPECT_GT(m.shared_cache_hits, 0u);
+  // Weighted admission held both budget dimensions.
+  EXPECT_GT(m.peak_reserved_bytes, 0u);
+  EXPECT_LE(m.peak_reserved_bytes, sc.memory_budget_bytes);
+  EXPECT_GE(m.peak_cores, 4);
+  EXPECT_LE(m.peak_cores, sc.core_budget);
+  EXPECT_LE(m.peak_concurrency, 2);  // core gate beat the 3-slot cap
+}
+
+TEST(QueryServiceTest, DedupAttachesConcurrentIdenticalSubmissions) {
+  auto g = ServiceGraph(61);
+  const Config ecfg = SmallEngineConfig();
+  const uint64_t expect = Runner(g, ecfg).Run(queries::Path(6)).matches;
+
+  ServiceConfig sc;
+  sc.engine = ecfg;
+  sc.max_concurrent_queries = 2;
+  QueryService service(g, sc);
+
+  constexpr int kDup = 8;
+  std::vector<uint64_t> handles(kDup, 0);
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < kDup; ++i) {
+    futures.push_back(service.Submit(queries::Path(6), {}, &handles[i]));
+  }
+  for (int i = 0; i < kDup; ++i) {
+    EXPECT_NE(handles[i], 0u) << i;
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NE(handles[i], handles[j]) << i << "," << j;  // own handle each
+    }
+  }
+  for (auto& f : futures) {
+    const RunResult r = f.get();
+    EXPECT_EQ(r.status, RunStatus::kOk);
+    EXPECT_EQ(r.matches, expect);
+  }
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kDup));
+  EXPECT_EQ(m.completed, static_cast<uint64_t>(kDup));  // one per future
+  // The burst submits far faster than a Path(6) run completes, so later
+  // submissions attach to the in-flight run instead of executing again.
+  EXPECT_GE(m.dedup_hits, 1u);
+  EXPECT_EQ(m.plan_cache_misses, 1u);
+  EXPECT_EQ(m.plan_cache_hits, static_cast<uint64_t>(kDup - 1));
+  EXPECT_EQ(m.worst_status, RunStatus::kOk);
+}
+
+TEST(QueryServiceTest, CancelOfDedupedWaiterDetachesOnlyThatFuture) {
+  auto g = ServiceGraph(63);
+  const Config ecfg = SmallEngineConfig();
+  const uint64_t expect = Runner(g, ecfg).Run(queries::Path(6)).matches;
+
+  ServiceConfig sc;
+  sc.engine = ecfg;
+  sc.max_concurrent_queries = 1;
+  QueryService service(g, sc);
+
+  constexpr int kDup = 6;
+  std::vector<uint64_t> handles(kDup, 0);
+  std::vector<std::future<RunResult>> futures;
+  for (int i = 0; i < kDup; ++i) {
+    futures.push_back(service.Submit(queries::Path(6), {}, &handles[i]));
+  }
+  service.Cancel(handles[3]);
+  // Whatever race the cancel ran (detached a waiter, unscheduled a sole
+  // task, raised a running flag too late, or lost to completion), every
+  // OTHER future must be untouched: same status and count as sequential.
+  for (int i = 0; i < kDup; ++i) {
+    if (i == 3) continue;
+    const RunResult r = futures[i].get();
+    EXPECT_EQ(r.status, RunStatus::kOk) << i;
+    EXPECT_EQ(r.matches, expect) << i;
+  }
+  const RunResult r3 = futures[3].get();
+  const ServiceMetrics m = service.metrics();
+  // The accounting invariant of the cancel/completion fix: the cancelled
+  // counter equals the number of futures that actually resolved
+  // kCancelled — nothing more, however the race fell.
+  if (r3.status == RunStatus::kCancelled) {
+    EXPECT_EQ(m.cancelled, 1u);
+  } else {
+    EXPECT_EQ(r3.status, RunStatus::kOk);
+    EXPECT_EQ(r3.matches, expect);
+    EXPECT_EQ(m.cancelled, 0u);
+  }
+}
+
+TEST(QueryServiceTest, CoreBudgetSerialisesWideQueries) {
+  auto g = ServiceGraph(67);
+  ServiceConfig sc;
+  sc.engine = SmallEngineConfig();  // 2x2 = 4 cores per query
+  sc.max_concurrent_queries = 3;
+  sc.core_budget = 4;               // exactly one query's worth
+  sc.dedup_submissions = false;     // four real runs, not one shared
+  QueryService service(g, sc);
+
+  std::vector<std::future<RunResult>> futures;
+  futures.push_back(service.Submit(queries::Triangle()));
+  futures.push_back(service.Submit(queries::Square()));
+  futures.push_back(service.Submit(queries::Diamond()));
+  futures.push_back(service.Submit(queries::House()));
+  for (auto& f : futures) EXPECT_EQ(f.get().status, RunStatus::kOk);
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.completed, 4u);
+  EXPECT_EQ(m.peak_concurrency, 1);  // core gate beat the 3-slot cap
+  EXPECT_EQ(m.peak_cores, 4);
+}
+
+TEST(QueryServiceTest, CancelledCounterMatchesDeliveredCancellations) {
+  // The cancel/completion race, run across the whole timing spectrum:
+  // immediate cancels (land queued), short-delay cancels (land mid-run or
+  // in the delivery window), and provably-late cancels (after Drain).
+  // However each individual race falls, the counter invariant must hold:
+  // `cancelled` counts exactly the futures that resolved kCancelled — a
+  // flag raised on a run that still delivered kOk (the lost race) must
+  // not inflate it.
+  auto g = ServiceGraph(71);
+  ServiceConfig sc;
+  sc.engine = SmallEngineConfig();
+  sc.dedup_submissions = false;
+  QueryService service(g, sc);
+
+  constexpr int kIters = 30;
+  int cancelled_futures = 0;
+  int ok_futures = 0;
+  for (int i = 0; i < kIters; ++i) {
+    uint64_t h = 0;
+    auto f = service.Submit(queries::Triangle(), {}, &h);
+    for (int spin = 0; spin < (i % 3) * 400; ++spin) {
+      std::this_thread::yield();
+    }
+    if (i % 3 == 2) service.Drain();  // this cancel must lose
+    service.Cancel(h);
+    const RunResult r = f.get();
+    if (r.status == RunStatus::kCancelled) {
+      ++cancelled_futures;
+    } else {
+      EXPECT_EQ(r.status, RunStatus::kOk) << "iter " << i;
+      ++ok_futures;
+    }
+  }
+  service.Drain();
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.cancelled, static_cast<uint64_t>(cancelled_futures));
+  EXPECT_EQ(m.submitted, static_cast<uint64_t>(kIters));
+  EXPECT_GE(m.completed, static_cast<uint64_t>(ok_futures));
+  EXPECT_LE(m.completed, static_cast<uint64_t>(kIters));
+  EXPECT_GT(ok_futures, 0);  // the late cancels always lose
+}
+
+#ifdef __linux__
+size_t CountThreads() {
+  size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(QueryServiceTest, ElasticSlotsKeepIdleThreadFootprintSmall) {
+  auto g = ServiceGraph(73);
+  const size_t before = CountThreads();
+  ServiceConfig sc;
+  sc.engine = SmallEngineConfig();  // eager would cost 4 pool threads/slot
+  sc.max_concurrent_queries = 8;
+  sc.fabric_workers = 2;
+  QueryService service(g, sc);
+  const size_t idle = CountThreads() - before;
+  // 8 slot threads + 1 dispatcher + 2 fabric workers, and nothing per
+  // cold slot: the eager design's 8 clusters x 2 machines x 2 workers =
+  // 32 extra pool threads must not exist.
+  EXPECT_LE(idle, 16u);
+  // The warm slot and a lazily built one both execute correctly.
+  auto f1 = service.Submit(queries::Triangle());
+  auto f2 = service.Submit(queries::Square());
+  EXPECT_EQ(f1.get().status, RunStatus::kOk);
+  EXPECT_EQ(f2.get().status, RunStatus::kOk);
+}
+#endif  // __linux__
+
+// ---------------------------------------------------------------------------
 // FairScheduler unit tests.
 // ---------------------------------------------------------------------------
 
@@ -424,6 +666,33 @@ TEST(AdmissionControllerTest, ZeroBudgetDisablesMemoryGate) {
   EXPECT_TRUE(a.CanEverAdmit(SIZE_MAX));
   EXPECT_TRUE(a.TryAdmit(SIZE_MAX / 2));
   EXPECT_FALSE(a.TryAdmit(1));  // still capped on concurrency
+}
+
+TEST(AdmissionControllerTest, CoreGateChargesAndClampsWideQueries) {
+  AdmissionController a(/*budget_bytes=*/0, /*max_concurrent=*/4,
+                        /*core_budget=*/8);
+  EXPECT_TRUE(a.TryAdmit(0, /*cores=*/4));
+  EXPECT_TRUE(a.TryAdmit(0, /*cores=*/4));
+  EXPECT_FALSE(a.CanAdmit(0, /*cores=*/1));  // cores exhausted, slots free
+  a.Release(0, 4);
+  EXPECT_TRUE(a.CanAdmit(0, 4));
+  // Wider than the whole budget: the weight clamps (like an over-budget
+  // reservation), so the query runs alone rather than never.
+  EXPECT_FALSE(a.TryAdmit(0, /*cores=*/16));  // 4 used + clamp(16)=8 > 8
+  a.Release(0, 4);
+  EXPECT_TRUE(a.TryAdmit(0, /*cores=*/16));  // clamped to 8, fits alone
+  EXPECT_EQ(a.peak_cores(), 8);
+  a.Release(0, 16);
+  EXPECT_EQ(a.cores_used(), 0);
+  EXPECT_EQ(a.peak_cores(), 8);  // high-water mark survives release
+}
+
+TEST(AdmissionControllerTest, ZeroCoreBudgetDisablesCoreGate) {
+  AdmissionController a(/*budget_bytes=*/0, /*max_concurrent=*/2);
+  EXPECT_TRUE(a.TryAdmit(0, /*cores=*/1000));
+  EXPECT_TRUE(a.CanAdmit(0, /*cores=*/1000));
+  EXPECT_EQ(a.cores_used(), 0);  // disabled gate never charges
+  EXPECT_EQ(a.peak_cores(), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -91,5 +91,92 @@ TEST(WorkerPoolTest, ConcurrentChunkWritersDoNotRace) {
   }
 }
 
+// --- degenerate granularities (the elastic fabric hands per-run config
+// sizes straight through, so these come up in normal operation) ---
+
+TEST(WorkerPoolTest, ZeroChunkSizeRunsWholeRangeAsOneChunk) {
+  WorkerPool pool(3, true);
+  std::atomic<int> calls{0};
+  std::atomic<size_t> covered{0};
+  pool.ParallelChunks(100, 0, [&](int, size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    covered += end - begin;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(WorkerPoolTest, ChunkLargerThanTotalRunsOneChunk) {
+  WorkerPool pool(2, true);
+  std::atomic<int> calls{0};
+  pool.ParallelChunks(10, 64, [&](int, size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(WorkerPoolTest, ZeroTotalZeroChunkIsNoop) {
+  WorkerPool pool(2, true);
+  pool.ParallelChunks(0, 0, [](int, size_t, size_t) { FAIL(); });
+}
+
+// --- concurrent jobs on one pool (the shared-fabric contract) ---
+
+TEST(WorkerPoolTest, ConcurrentJobsFromManyThreadsEachCompleteExactly) {
+  WorkerPool pool(2, true);
+  constexpr int kCallers = 6;
+  constexpr size_t kTotal = 500;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kTotal);
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 5; ++round) {
+        pool.ParallelChunks(kTotal, 7, [&, c](int, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) hits[c][i].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kTotal; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 5) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, PoolStatsAttributePerJob) {
+  WorkerPool pool(2, true);
+  PoolStats a(pool.num_workers());
+  PoolStats b(pool.num_workers());
+  pool.ParallelChunks(
+      8, 1,
+      [](int, size_t, size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      },
+      &a);
+  pool.ParallelChunks(4, 4, [](int, size_t, size_t) {}, &b);
+  const auto busy_a = a.BusySeconds();
+  ASSERT_EQ(busy_a.size(), 2u);
+  double sum_a = 0;
+  for (double s : busy_a) sum_a += s;
+  EXPECT_GT(sum_a, 0.004);
+  // b ran a single trivial chunk: its stats must not have absorbed a's.
+  double sum_b = 0;
+  for (double s : b.BusySeconds()) sum_b += s;
+  EXPECT_LT(sum_b, sum_a);
+  a.Reset();
+  double after = 0;
+  for (double s : a.BusySeconds()) after += s;
+  EXPECT_EQ(after, 0.0);
+}
+
 }  // namespace
 }  // namespace huge
