@@ -36,6 +36,9 @@ struct LoadPoint {
   uint64_t dedup_hits = 0;
   uint64_t retry_attempts = 0;
   uint64_t retried_bytes = 0;
+  uint64_t failover_fetches = 0;
+  uint64_t requeued_chunks = 0;
+  uint64_t recovered_runs = 0;
 };
 
 /// One closed-loop load point: `clients` threads each submit the mix
@@ -85,6 +88,9 @@ LoadPoint RunLoad(const std::shared_ptr<const Graph>& graph,
   p.dedup_hits = m.dedup_hits;
   p.retry_attempts = m.merged.retry_attempts;
   p.retried_bytes = m.merged.retried_bytes;
+  p.failover_fetches = m.merged.failover_fetches;
+  p.requeued_chunks = m.merged.requeued_chunks;
+  p.recovered_runs = m.recovered_runs;
   return p;
 }
 
@@ -196,6 +202,53 @@ int main() {
                               : 0.0,
                 clean.p99_ms > 0
                     ? 100.0 * (chaos.p99_ms - clean.p99_ms) / clean.p99_ms
+                    : 0.0);
+  }
+
+  // The crash-recovery round: the same 4-client closed loop on a k = 4,
+  // r = 2 replicated cluster, with every run's fault schedule killing
+  // whichever machine serves its 50th wire operation — a mid-run crash
+  // per query. Reads rotate to replica holders, the corpse's queued work
+  // is adopted by its successor, and failed push attempts are restarted
+  // checkpoint-free by the service. The closed loop still aborts on any
+  // non-ok status, so completing the round at all proves every crash was
+  // survived; the table prices that survival against the clean
+  // replicated run.
+  {
+    const int kClients = 4;
+    ServiceConfig replicated = base;
+    replicated.engine.num_machines = 4;
+    replicated.engine.replication_factor = 2;
+    std::vector<double> all;
+    LoadPoint clean =
+        RunLoad(graph, replicated, mix, kClients, kItersPerClient, &all);
+    clean.p99_ms = Percentile(&all, 0.99);
+    ServiceConfig crashy = replicated;
+    crashy.engine.net.fault.crash_target_of_op = 50;
+    LoadPoint crashed =
+        RunLoad(graph, crashy, mix, kClients, kItersPerClient, &all);
+    crashed.p99_ms = Percentile(&all, 0.99);
+    Table crash_table({"round", "qps", "p99(ms)", "failover", "requeued",
+                       "recovered runs"});
+    crash_table.AddRow({"clean r=2", Fmt("%.1f", clean.qps),
+                        Fmt("%.2f", clean.p99_ms),
+                        std::to_string(clean.failover_fetches),
+                        std::to_string(clean.requeued_chunks),
+                        std::to_string(clean.recovered_runs)});
+    crash_table.AddRow({"crash@op50 r=2", Fmt("%.1f", crashed.qps),
+                        Fmt("%.2f", crashed.p99_ms),
+                        std::to_string(crashed.failover_fetches),
+                        std::to_string(crashed.requeued_chunks),
+                        std::to_string(crashed.recovered_runs)});
+    std::printf("\nCrash-recovery round (%d clients, k=4 r=2, every query "
+                "survives one mid-run crash):\n",
+                kClients);
+    crash_table.Print();
+    std::printf("qps delta: %+.1f%%, p99 delta: %+.1f%%\n",
+                clean.qps > 0 ? 100.0 * (crashed.qps - clean.qps) / clean.qps
+                              : 0.0,
+                clean.p99_ms > 0
+                    ? 100.0 * (crashed.p99_ms - clean.p99_ms) / clean.p99_ms
                     : 0.0);
   }
 

@@ -15,7 +15,8 @@ Cluster::Cluster(std::shared_ptr<const Graph> graph, Config config,
                  ExecutionFabric* fabric)
     : graph_(std::move(graph)),
       config_(std::move(config)),
-      pgraph_(graph_, config_.num_machines),
+      pgraph_(graph_, config_.num_machines, config_.replication_factor),
+      replica_bytes_(pgraph_.TotalReplicaBytes()),
       net_(config_.net, config_.num_machines) {
   HUGE_CHECK(config_.num_machines >= 1);
   HUGE_CHECK(config_.batch_size >= 1);
@@ -81,12 +82,37 @@ std::vector<SegmentPlan> Cluster::BuildSegments(const Dataflow& df) const {
 
 RunResult Cluster::Run(const Dataflow& df,
                        const std::atomic<bool>* cancel) {
+  return RunInternal(df, cancel, /*recover=*/false);
+}
+
+RunResult Cluster::RunRecovery(const Dataflow& df,
+                               const std::atomic<bool>* cancel,
+                               double backoff_sec) {
+  if (backoff_sec > 0) {
+    for (MachineId m = 0; m < config_.num_machines; ++m) {
+      if (net_.membership().IsLive(m)) net_.ChargeDelay(m, backoff_sec);
+    }
+  }
+  return RunInternal(df, cancel, /*recover=*/true);
+}
+
+RunResult Cluster::RunInternal(const Dataflow& df,
+                               const std::atomic<bool>* cancel,
+                               bool recover) {
   SetIntersectKernelPolicy(config_.intersect_kernel);
   SetBitmapDensityPolicy(config_.bitmap_density_inv);
   shared_.dataflow = &df;
   delta_wire_.Reset();  // releases registry bytes: before the tracker reset
   tracker_.Reset();
-  net_.Reset();  // also rewinds the fault schedule to its start
+  // Replicated partitions occupy real memory for the whole run; charged
+  // first so the peak (and the memory budget) always reflects them.
+  tracker_.Allocate(replica_bytes_);
+  if (!recover) {
+    // A fresh run rewinds the fault schedule to its start; a recovery
+    // restart keeps the network as the crash left it — dead stay dead,
+    // consumed crash tickets stay consumed, traffic keeps accumulating.
+    net_.Reset();
+  }
   joins_.clear();
   shared_.intermediate_rows.store(0);
   shared_.aborted.store(false);
@@ -165,6 +191,10 @@ RunResult Cluster::Run(const Dataflow& df,
   mm.retry_attempts = net_.faults().retry_attempts();
   mm.retried_bytes = net_.faults().retried_bytes();
   mm.backoff_ns = net_.faults().backoff_ns();
+  // Failover accounting is cluster-owned like the retry counters; the
+  // per-machine requeued_chunks fold in through the snapshots above.
+  mm.failover_fetches = net_.failover_fetches();
+  tracker_.Release(replica_bytes_);  // after the peak was read
   joins_.clear();
   shared_.dataflow = nullptr;
   shared_.cancel = nullptr;
@@ -225,6 +255,23 @@ void ParallelMachines(MachineId k, const std::function<void(MachineId)>& fn) {
 }
 
 }  // namespace
+
+MachineId Cluster::RouteOwner(VertexId v) {
+  const MachineId primary = pgraph_.Owner(v);
+  if (!net_.faults().enabled() || net_.membership().IsLive(primary)) {
+    return primary;
+  }
+  const MachineId holder = net_.membership().FirstLiveReplica(
+      primary, pgraph_.replication_factor());
+  if (holder == MembershipView::kNoneLive) {
+    // More crashes than the replication factor covers: the partition is
+    // unreadable, fail cleanly. The caller's PushTo against the dead
+    // primary returns false anyway; routing there keeps charges exact.
+    shared_.Fail(RunStatus::kFailed);
+    return primary;
+  }
+  return holder;
+}
 
 void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
   const Dataflow& df = *shared_.dataflow;
@@ -350,7 +397,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
           BatchRowReader reader(b);
           for (size_t i = 0; i < b.rows(); ++i) {
             auto row = reader.Row(i);
-            const MachineId dst = pgraph_.Owner(row[op.ext[0]]);
+            const MachineId dst = RouteOwner(row[op.ext[0]]);
             inbox[dst].Add(row, {});
             appended += row.size() * kVertexBytes + kHopRowOverhead;
             if (bdelta) ++mat_rows;
@@ -443,7 +490,9 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
             }
             std::span<const VertexId> row = row_at(i);
             const VertexId pivot = row[op.ext[j]];
-            HUGE_DCHECK(pgraph_.Owner(pivot) == m);
+            // Under recovery routing the pivot may live here as a replica
+            // rather than a primary; either way its adjacency is local.
+            HUGE_DCHECK(pgraph_.IsReplicaLocal(pivot, m));
             const auto nbrs =
                 use_slices ? graph_->NeighborsWithLabel(pivot, op.target_label)
                            : graph_->Neighbors(pivot);
@@ -489,7 +538,7 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
             }
             if (cands.empty()) continue;
             if (!last_hop) {
-              const MachineId dst = pgraph_.Owner(row[op.ext[j + 1]]);
+              const MachineId dst = RouteOwner(row[op.ext[j + 1]]);
               if (dst != m) {
                 sent_bytes[dst] += (row.size() + cands.size()) * kVertexBytes;
               }

@@ -53,6 +53,18 @@ class Cluster {
   RunResult Run(const Dataflow& df,
                 const std::atomic<bool>* cancel = nullptr);
 
+  /// Checkpoint-free restart of a failed run against the *surviving*
+  /// membership: unlike Run it does not reset the network, so the
+  /// membership view (which machines are dead), the fault schedule's
+  /// consumed tickets (latched crashes cannot re-fire) and the accumulated
+  /// traffic all persist — the recovered result's communication metrics
+  /// report the total cost including the failed attempt. `backoff_sec` of
+  /// simulated restart delay is charged to every live machine up front.
+  /// Requires replication_factor >= 2 to be useful: routing sends each
+  /// dead primary's load to the first live replica holder.
+  RunResult RunRecovery(const Dataflow& df, const std::atomic<bool>* cancel,
+                        double backoff_sec);
+
   const PartitionedGraph& pgraph() const { return pgraph_; }
   const Config& config() const { return config_; }
   Network& network() { return net_; }
@@ -61,12 +73,22 @@ class Cluster {
   std::vector<SegmentPlan> BuildSegments(const Dataflow& df) const;
 
  private:
+  RunResult RunInternal(const Dataflow& df, const std::atomic<bool>* cancel,
+                        bool recover);
   void RunSegmentAdaptive(const SegmentPlan& seg);
   void RunSegmentBsp(const SegmentPlan& seg);
+
+  /// BSP routing oracle: the primary owner of `v` while it is live, else
+  /// the first live holder of its replica chain (recovery re-runs route
+  /// around the dead). Trips the abort plane when every holder is dead.
+  MachineId RouteOwner(VertexId v);
 
   std::shared_ptr<const Graph> graph_;
   Config config_;
   PartitionedGraph pgraph_;
+  /// (r - 1) x adjacency payload, charged to the tracker per run so peak
+  /// memory reflects the storage cost of crash-survivable partitions.
+  size_t replica_bytes_ = 0;
   Network net_;
   DeltaWire delta_wire_;
   MemoryTracker tracker_;

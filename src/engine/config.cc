@@ -10,6 +10,13 @@ std::string Config::Validate() const {
     return "num_machines must be >= 1 (got " + std::to_string(num_machines) +
            "): the cluster needs at least one machine runtime";
   }
+  if (replication_factor < 1 || replication_factor > num_machines) {
+    return "replication_factor must be in [1, num_machines] (got " +
+           std::to_string(replication_factor) + " with " +
+           std::to_string(num_machines) +
+           " machines): each vertex is held by its primary machine plus "
+           "r - 1 distinct successors";
+  }
   if (workers_per_machine < 1) {
     return "workers_per_machine must be >= 1 (got " +
            std::to_string(workers_per_machine) +
@@ -36,19 +43,8 @@ std::string Config::Validate() const {
     return "time_limit_seconds must be >= 0 (0 disables the limit); a "
            "negative deadline would abort every run immediately";
   }
-  const FaultPlan& fault = net.fault;
-  if (fault.transient_fault_rate < 0 || fault.transient_fault_rate > 1) {
-    return "net.fault.transient_fault_rate must be in [0, 1]: it is the "
-           "per-operation probability of a transient wire failure";
-  }
-  if (fault.transient_fault_rate >= 1.0) {
-    return "net.fault.transient_fault_rate must be < 1: at rate 1 every "
-           "retry fails too and no run can ever complete";
-  }
-  if (fault.added_latency_sec < 0) {
-    return "net.fault.added_latency_sec must be >= 0: negative latency "
-           "would subtract simulated communication time";
-  }
+  const std::string fault_err = net.fault.Validate(num_machines);
+  if (!fault_err.empty()) return fault_err;
   const RetryPolicy& retry = net.retry;
   if (retry.max_attempts < 1) {
     return "net.retry.max_attempts must be >= 1: the first attempt counts, "

@@ -20,6 +20,17 @@ struct Config {
   /// Number of simulated machines k in the shared-nothing cluster.
   MachineId num_machines = 4;
 
+  /// Partition replication factor r: every vertex's adjacency is held by
+  /// its primary hash machine plus the r - 1 successor machines, so the
+  /// cluster survives up to r - 1 permanent machine crashes — failed
+  /// fetches rotate to the next live replica instead of aborting the run
+  /// (see graph/partition.h and the fault-tolerance notes in
+  /// src/engine/README.md). 1 (the default) disables replication: a crash
+  /// loses the partition and fails the run, exactly the pre-replication
+  /// behaviour. Replica storage, (r - 1) x the adjacency payload, is
+  /// charged through the engine's MemoryTracker.
+  MachineId replication_factor = 1;
+
   /// Workers per machine performing the de-facto computation (Section 4.1).
   int workers_per_machine = 2;
 

@@ -202,8 +202,10 @@ void MachineRuntime::PrepareRun() {
   delta_rows_.store(0);
   materialize_rows_.store(0);
   inter_steals_.store(0);
+  requeued_chunks_.store(0);
   fetch_nanos_.store(0);
   bsp_busy_nanos_.store(0);
+  adopted_ = false;
   // Per-run attribution object: on a shared pool the pool-lifetime
   // counters mix every concurrent query, so the metrics snapshot reads
   // this run's PoolStats instead.
@@ -218,6 +220,7 @@ RunMetrics MachineRuntime::MetricsSnapshot() {
   }
   m.intra_steals = run_stats_->steal_count();
   m.inter_steals = inter_steals_.load();
+  m.requeued_chunks = requeued_chunks_.load();
   m.fetch_seconds = fetch_seconds();
   m.fused_count_rows = fused_count_rows();
   m.materialized_count_rows = materialized_count_rows();
@@ -369,7 +372,8 @@ Batch MachineRuntime::NextJoinBatch(const OpDesc& op) {
 
 std::span<const VertexId> MachineRuntime::NeighborsOf(
     VertexId v, std::vector<VertexId>* scratch) {
-  if (shared_->pgraph->IsLocal(v, id_)) return graph_->Neighbors(v);
+  // Any replica holder — primary or successor — reads locally for free.
+  if (shared_->pgraph->IsReplicaLocal(v, id_)) return graph_->Neighbors(v);
   std::span<const VertexId> out;
   if (cache_->TryGet(v, scratch, &out)) return out;
   // Only reachable without two-stage execution (Cncr-LRU): fetch on
@@ -463,7 +467,7 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
     auto row = reader.Row(i);
     for (int p : op.ext) {
       const VertexId v = row[p];
-      if (!shared_->pgraph->IsLocal(v, id_)) remote.push_back(v);
+      if (!shared_->pgraph->IsReplicaLocal(v, id_)) remote.push_back(v);
     }
   }
   std::sort(remote.begin(), remote.end());
@@ -641,7 +645,7 @@ void MachineRuntime::ProcessExtend(const OpDesc& op, Batch&& input, int pos) {
           }
           for (size_t j = 0; j < op.ext.size(); ++j) {
             const VertexId src = row[op.ext[j]];
-            const bool local = shared_->pgraph->IsLocal(src, id_);
+            const bool local = shared_->pgraph->IsReplicaLocal(src, id_);
             if (use_slices && local) {
               isect.lists[j] =
                   graph_->NeighborsWithLabel(src, op.target_label);
@@ -768,6 +772,35 @@ void MachineRuntime::EmitBatch(int pos, Batch&& out) {
   queues_[pos]->Push(std::move(out));
 }
 
+bool MachineRuntime::TryPushToLive(MachineId dst, uint64_t bytes,
+                                   uint64_t messages) {
+  Network& net = *shared_->net;
+  if (net.PushTo(id_, dst, bytes, messages)) return true;
+  // `dst` refused permanently. When its partition survived on a replica —
+  // and with it the adopted join buffers its thread keeps draining — the
+  // shuffle re-ships to the first live successor instead of failing the
+  // run. A still-live `dst` means retries were exhausted: that failure
+  // stays permanent, exactly as before replication.
+  const MachineId r = shared_->pgraph->replication_factor();
+  if (r < 2 || !net.faults().enabled()) return false;
+  if (net.membership().IsLive(dst)) return false;
+  const MachineId k = shared_->pgraph->num_machines();
+  for (MachineId i = 1; i < r; ++i) {
+    const MachineId succ = (dst + i) % k;
+    if (!net.membership().IsLive(succ)) continue;
+    if (succ == id_) {  // the adopting successor is this machine: local now
+      net.RecordFailover();
+      return true;
+    }
+    if (net.PushTo(id_, succ, bytes, messages)) {
+      net.RecordFailover();
+      return true;
+    }
+    if (net.membership().IsLive(succ)) return false;  // retries exhausted
+  }
+  return false;  // every holder of the partition is dead
+}
+
 void MachineRuntime::RouteToJoin(const Batch& out) {
   // The router: hash-partition rows by join key and stage per-destination
   // batches (Section 4.1, Router).
@@ -787,8 +820,7 @@ void MachineRuntime::RouteToJoin(const Batch& out) {
     if (join_staging_[dst].rows() >= shared_->config->batch_size) {
       JoinBuffers& jb = shared_->joins->at(seg_->feeds_join);
       auto& side = seg_->feeds_left ? jb.left : jb.right;
-      if (dst != id_ &&
-          !shared_->net->PushTo(id_, dst, join_staging_[dst].bytes(), 1)) {
+      if (dst != id_ && !TryPushToLive(dst, join_staging_[dst].bytes(), 1)) {
         shared_->Fail(RunStatus::kFailed);
       }
       side[dst]->Add(join_staging_[dst]);
@@ -804,8 +836,7 @@ void MachineRuntime::FlushJoinStaging() {
   auto& side = seg_->feeds_left ? jb.left : jb.right;
   for (MachineId dst = 0; dst < join_staging_.size(); ++dst) {
     if (join_staging_[dst].empty()) continue;
-    if (dst != id_ &&
-        !shared_->net->PushTo(id_, dst, join_staging_[dst].bytes(), 1)) {
+    if (dst != id_ && !TryPushToLive(dst, join_staging_[dst].bytes(), 1)) {
       shared_->Fail(RunStatus::kFailed);
     }
     side[dst]->Add(join_staging_[dst]);
@@ -861,13 +892,28 @@ bool MachineRuntime::TryStealFromPeers() {
     if (faults.enabled()) {
       // A StealWork probe is one wire operation against the victim. A
       // steal is optional work, so a transient fault is not retried —
-      // the thief charges the wasted probe and moves to the next victim;
-      // a dead victim, however, means the run can never complete (its
-      // partition's results are gone) and trips the abort plane.
+      // the thief charges the wasted probe and moves to the next victim.
+      // A dead victim is skipped without a probe once known; a crash
+      // *discovered* here charges the probe, publishes the death, and —
+      // when the victim's partition survives on a live replica whose
+      // adopting thread requeues its chunks — the thief simply moves on.
+      // Without a surviving replica the run can never complete (the
+      // partition's results are gone) and the abort plane trips.
+      MembershipView& mv = shared_->net->membership();
+      if (!mv.IsLive(victim)) continue;
       const RpcFate fate = faults.Begin(victim);
       if (fate == RpcFate::kCrashed) {
-        shared_->Fail(RunStatus::kFailed);
-        return false;
+        mv.MarkDead(victim);
+        shared_->net->Pull(id_, 2 * GetNbrsClient::kHeaderBytes, 1);
+        shared_->net->ChargeDelay(
+            id_, shared_->net->profile().retry.attempt_timeout_sec);
+        if (mv.FirstLiveReplica(victim,
+                                shared_->pgraph->replication_factor()) ==
+            MembershipView::kNoneLive) {
+          shared_->Fail(RunStatus::kFailed);
+          return false;
+        }
+        continue;
       }
       if (fate == RpcFate::kTransient) {
         shared_->net->Pull(id_, 2 * GetNbrsClient::kHeaderBytes, 1);
@@ -893,6 +939,37 @@ bool MachineRuntime::TryStealFromPeers() {
   return false;
 }
 
+bool MachineRuntime::CrashAdopted() {
+  // Self-crash poll of the pull path. The crash exists on the wire: once
+  // a requester's refused session marks this machine dead, no further
+  // operation addressed to it can succeed — but its partition (and the
+  // intermediate batches its queues hold) survives on the replica chain.
+  // Checkpoint-free requeue: the first live successor adopts the lost
+  // work-steal chunk ranges — each queued batch and the unfinished scan
+  // range is one requeued chunk descriptor shipped to the adopter, whose
+  // replica copy of the partition re-derives the data — and this thread
+  // continues as the adopter's borrowed capacity, so counts stay
+  // bit-identical. Without a live successor the partition is gone and
+  // the run fails cleanly. Returns false only on that terminal failure.
+  Network& net = *shared_->net;
+  if (adopted_ || !net.faults().enabled()) return true;
+  if (net.membership().IsLive(id_)) return true;
+  const MachineId succ = net.membership().FirstLiveReplica(
+      id_, shared_->pgraph->replication_factor());
+  if (succ == MembershipView::kNoneLive) {
+    shared_->Fail(RunStatus::kFailed);
+    return false;
+  }
+  uint64_t chunks = ScanExhausted() ? 0 : 1;
+  for (const auto& q : queues_) chunks += q->size();
+  if (chunks > 0) {
+    requeued_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+    net.Pull(succ, chunks * 2 * GetNbrsClient::kHeaderBytes, chunks);
+  }
+  adopted_ = true;
+  return true;
+}
+
 void MachineRuntime::ExecuteSegment() {
   const int last = static_cast<int>(seg_->ops.size()) - 1;
   auto schedule_loop = [&] {
@@ -902,6 +979,7 @@ void MachineRuntime::ExecuteSegment() {
     // empty input; SINK always backtracks.
     int pos = 0;
     while (!LocallyComplete()) {
+      CrashAdopted();  // a failed adoption trips the abort plane above
       if (!HasInput(pos)) {
         if (pos > 0) {
           --pos;
@@ -936,6 +1014,7 @@ void MachineRuntime::ExecuteSegment() {
   // Inter-machine stealing phase: this machine finished its own job; steal
   // remote batches until every machine is idle (Section 5.3).
   while (!shared_->aborted.load(std::memory_order_relaxed)) {
+    CrashAdopted();
     if (TryStealFromPeers()) {
       if (registered_idle_) {
         shared_->idle_count.fetch_sub(1);

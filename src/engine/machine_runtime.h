@@ -158,6 +158,7 @@ class MachineRuntime {
                               std::memory_order_relaxed);
   }
   uint64_t inter_steals() const { return inter_steals_.load(); }
+  uint64_t requeued_chunks() const { return requeued_chunks_.load(); }
   RemoteCache* cache() { return cache_.get(); }
   /// The pool this machine schedules on: the fabric's shared pool when one
   /// is attached, else the machine's private pool.
@@ -256,6 +257,20 @@ class MachineRuntime {
   // Inter-machine stealing (client side).
   bool TryStealFromPeers();
 
+  /// Fault-aware push of one join-shuffle message: PushTo, re-shipped to
+  /// the first live successor of a dead `dst` when its partition (and the
+  /// adopted join buffers) survives replication. False = permanent
+  /// failure, exactly PushTo's contract without replication.
+  bool TryPushToLive(MachineId dst, uint64_t bytes, uint64_t messages);
+
+  /// Self-crash poll of the pull path: once the wire has marked this
+  /// machine dead, requeues its unfinished chunk ranges onto the first
+  /// live successor (counting RunMetrics::requeued_chunks) and lets the
+  /// thread continue as the adopter's borrowed capacity. Returns false —
+  /// after tripping the abort plane — when no live replica holds the
+  /// partition.
+  bool CrashAdopted();
+
   /// The fabric's shared adjacency cache, or null without a fabric.
   SharedAdjCache* shared_adj() {
     return shared_->fabric != nullptr ? &shared_->fabric->adj_cache()
@@ -301,7 +316,11 @@ class MachineRuntime {
   std::atomic<uint64_t> fetch_nanos_{0};
   std::atomic<uint64_t> bsp_busy_nanos_{0};
   std::atomic<uint64_t> inter_steals_{0};
+  std::atomic<uint64_t> requeued_chunks_{0};
   bool registered_idle_ = false;
+  /// Latched by CrashAdopted once this (dead) machine's chunks were
+  /// requeued onto a live successor; only this machine's thread touches it.
+  bool adopted_ = false;
 };
 
 }  // namespace huge

@@ -134,6 +134,14 @@ struct RunMetrics {
   uint64_t retried_bytes = 0;
   uint64_t backoff_ns = 0;
 
+  /// Crash-recovery accounting (zero without replication or crashes):
+  /// fetches served by a successor replica because the preferred holder
+  /// was dead, and work-steal chunk ranges a crashed machine left behind
+  /// that were requeued onto its surviving successor instead of failing
+  /// the run.
+  uint64_t failover_fetches = 0;
+  uint64_t requeued_chunks = 0;
+
   /// Max-severity fold (see StatusSeverity) over the statuses of the work
   /// merged into this snapshot. A cluster's per-machine metrics never set
   /// it (status is per-run, reported on RunResult); the query service
@@ -198,6 +206,8 @@ struct RunMetrics {
     retry_attempts += o.retry_attempts;
     retried_bytes += o.retried_bytes;
     backoff_ns += o.backoff_ns;
+    failover_fetches += o.failover_fetches;
+    requeued_chunks += o.requeued_chunks;
     worst_status = MaxSeverity(worst_status, o.worst_status);
     delta_rows += o.delta_rows;
     materialize_rows += o.materialize_rows;

@@ -20,15 +20,32 @@ namespace huge {
 /// access made by machine `m` for a vertex it does not own must go through
 /// the RPC layer, which charges network bytes and latency. The engine never
 /// reads a remote adjacency list directly.
+///
+/// With `replication_factor r > 1` every vertex's adjacency is held by its
+/// primary hash machine plus the `r - 1` successor machines (chained
+/// replication: holder `i` of `v` is `(Owner(v) + i) % k`). The primary
+/// stays the single routing and scan oracle — `Owner`, `IsLocal` and
+/// `LocalVertices` are primary-only, so partition scans never double-count
+/// — while *reads* may be served by any live replica holder: a machine
+/// holding a replica reads it locally for free, and the RPC layer's
+/// retrying sessions rotate a fetch to the next live holder when the
+/// primary has crashed. The replica copies cost real memory,
+/// `ReplicaBytes`, charged through the engine's MemoryTracker per run.
 class PartitionedGraph {
  public:
-  PartitionedGraph(std::shared_ptr<const Graph> graph, MachineId num_machines)
-      : graph_(std::move(graph)), num_machines_(num_machines) {
+  PartitionedGraph(std::shared_ptr<const Graph> graph, MachineId num_machines,
+                   MachineId replication_factor = 1)
+      : graph_(std::move(graph)),
+        num_machines_(num_machines),
+        replication_factor_(replication_factor) {
     HUGE_CHECK(num_machines_ >= 1);
+    HUGE_CHECK(replication_factor_ >= 1 &&
+               replication_factor_ <= num_machines_);
   }
 
   const Graph& graph() const { return *graph_; }
   MachineId num_machines() const { return num_machines_; }
+  MachineId replication_factor() const { return replication_factor_; }
 
   /// The machine owning vertex `v` (multiplicative hash for spread, which is
   /// the paper's random partitioning).
@@ -38,6 +55,19 @@ class PartitionedGraph {
 
   /// True iff `v` is local to machine `m`.
   bool IsLocal(VertexId v, MachineId m) const { return Owner(v) == m; }
+
+  /// The `i`-th replica holder of `v` (holder 0 is the primary owner).
+  MachineId ReplicaOwner(VertexId v, MachineId i) const {
+    return (Owner(v) + i) % num_machines_;
+  }
+
+  /// True iff machine `m` holds a copy of `v`'s adjacency — the primary or
+  /// one of the `r - 1` successors. Replica holders read `v` locally, for
+  /// free, exactly like the primary.
+  bool IsReplicaLocal(VertexId v, MachineId m) const {
+    return (m + num_machines_ - Owner(v)) % num_machines_ <
+           replication_factor_;
+  }
 
   /// All vertices owned by machine `m`, in ascending order.
   std::vector<VertexId> LocalVertices(MachineId m) const {
@@ -57,9 +87,32 @@ class PartitionedGraph {
     return bytes;
   }
 
+  /// Bytes of the replica copies machine `m` holds *beyond* its primary
+  /// partition — zero with replication off. Replication is not free: the
+  /// cluster charges these through its MemoryTracker per run, so peak
+  /// memory reflects the r-fold storage of crash-survivable partitions.
+  size_t ReplicaBytes(MachineId m) const {
+    size_t bytes = 0;
+    for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
+      if (Owner(v) != m && IsReplicaLocal(v, m)) {
+        bytes += graph_->Degree(v) * kVertexBytes;
+      }
+    }
+    return bytes;
+  }
+
+  /// Replica bytes summed over all machines (the whole cluster's
+  /// replication overhead: (r - 1) x the graph's adjacency payload).
+  size_t TotalReplicaBytes() const {
+    size_t bytes = 0;
+    for (MachineId m = 0; m < num_machines_; ++m) bytes += ReplicaBytes(m);
+    return bytes;
+  }
+
  private:
   std::shared_ptr<const Graph> graph_;
   MachineId num_machines_;
+  MachineId replication_factor_;
 };
 
 }  // namespace huge

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -82,6 +84,42 @@ struct FaultPlan {
            added_latency_sec > 0 || !crash_after.empty() ||
            crash_target_of_op > 0;
   }
+
+  /// Checks the plan for nonsense. Returns an empty string when usable,
+  /// else a description of the first problem (negative or certain-failure
+  /// rates, negative latency). `crash_after` entries naming machines
+  /// outside [0, num_machines) are not errors — Configure() ignores them —
+  /// but a typo'd schedule then tests nothing, so they emit a loud stderr
+  /// warning here. Config::Validate() calls this with the cluster size;
+  /// pass 0 to skip the range check.
+  std::string Validate(MachineId num_machines) const {
+    if (transient_fault_rate < 0 || transient_fault_rate > 1) {
+      return "net.fault.transient_fault_rate must be in [0, 1]: it is the "
+             "per-operation probability of a transient wire failure";
+    }
+    if (transient_fault_rate >= 1.0) {
+      return "net.fault.transient_fault_rate must be < 1: at rate 1 every "
+             "retry fails too and no run can ever complete";
+    }
+    if (added_latency_sec < 0) {
+      return "net.fault.added_latency_sec must be >= 0: negative latency "
+             "would subtract simulated communication time";
+    }
+    if (num_machines > 0) {
+      for (const auto& [m, n] : crash_after) {
+        (void)n;
+        if (m >= num_machines) {
+          std::fprintf(stderr,
+                       "FaultPlan: warning: crash_after names machine %u but "
+                       "the cluster has %u machines — the entry is ignored "
+                       "and the chaos schedule may test nothing\n",
+                       static_cast<unsigned>(m),
+                       static_cast<unsigned>(num_machines));
+        }
+      }
+    }
+    return "";
+  }
 };
 
 /// Outcome of one wire-operation attempt against a server machine.
@@ -138,7 +176,14 @@ class FaultInjector {
     if (plan_.crash_target_of_op > 0 &&
         ticket >= plan_.crash_target_of_op &&
         !global_crash_fired_.exchange(true, std::memory_order_relaxed)) {
-      st.crashed.store(true, std::memory_order_relaxed);
+      if (st.crashed.exchange(true, std::memory_order_relaxed)) {
+        // The server died concurrently (its per-machine schedule fired
+        // between the liveness check at the top and here). The one-shot
+        // must kill a *live* machine — consuming it on a corpse would
+        // make the schedule vacuous — so re-arm it for the next
+        // operation and report the crash that already happened.
+        global_crash_fired_.store(false, std::memory_order_relaxed);
+      }
       return RpcFate::kCrashed;
     }
     if (ticket <= plan_.transient_first_ops) return RpcFate::kTransient;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -10,6 +11,71 @@
 #include "net/fault_injector.h"
 
 namespace huge {
+
+/// Cluster liveness as observed from the wire: every machine starts live;
+/// a server whose refusals reveal a permanent crash (RpcFate::kCrashed) is
+/// marked dead by the requester that discovered it, and every later
+/// retrying session skips it — the rotate-to-next-replica sessions of
+/// GetNbrsClient never burn attempts against a known corpse. Liveness only
+/// ever degrades between resets (machines do not resurrect mid-run);
+/// Network::Reset() restores everyone to live alongside the fault
+/// schedule, so chaos re-runs replay identically.
+///
+/// Thread-safe: all state is atomic, marks are idempotent.
+class MembershipView {
+ public:
+  /// Sentinel of FirstLiveReplica: no holder of the partition is live.
+  static constexpr MachineId kNoneLive = static_cast<MachineId>(-1);
+
+  void Configure(MachineId num_machines) {
+    num_machines_ = num_machines;
+    dead_ = std::make_unique<std::atomic<bool>[]>(num_machines);
+    Reset();
+  }
+
+  bool IsLive(MachineId m) const {
+    return !dead_[m].load(std::memory_order_relaxed);
+  }
+
+  /// Marks `m` permanently dead (idempotent).
+  void MarkDead(MachineId m) {
+    if (!dead_[m].exchange(true, std::memory_order_relaxed)) {
+      dead_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  MachineId num_machines() const { return num_machines_; }
+  MachineId NumDead() const {
+    return dead_count_.load(std::memory_order_relaxed);
+  }
+  MachineId NumLive() const { return num_machines_ - NumDead(); }
+
+  /// The first live holder of a partition replicated on the successor
+  /// chain {primary, primary+1, ..., primary+replicas-1} (mod k), or
+  /// kNoneLive when every holder is dead — the partition is unreadable
+  /// and the caller must fail cleanly.
+  MachineId FirstLiveReplica(MachineId primary, MachineId replicas) const {
+    for (MachineId i = 0; i < replicas; ++i) {
+      const MachineId holder = (primary + i) % num_machines_;
+      if (IsLive(holder)) return holder;
+    }
+    return kNoneLive;
+  }
+
+  /// Everyone live again (between runs; crash schedules replay from the
+  /// start after the injector's own Reset).
+  void Reset() {
+    dead_count_.store(0, std::memory_order_relaxed);
+    for (MachineId m = 0; m < num_machines_; ++m) {
+      dead_[m].store(false, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  MachineId num_machines_ = 0;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<MachineId> dead_count_{0};
+};
 
 /// Cost profile of the simulated interconnect. The cluster is simulated in
 /// one process, so data movement is an in-memory copy; *time* spent on the
@@ -89,6 +155,7 @@ class Network {
   Network(const NetworkProfile& profile, MachineId num_machines)
       : profile_(profile), traffic_(num_machines) {
     faults_.Configure(profile_.fault, num_machines);
+    membership_.Configure(num_machines);
   }
 
   const NetworkProfile& profile() const { return profile_; }
@@ -97,6 +164,20 @@ class Network {
   /// an enabled FaultPlan.
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
+
+  /// Observed machine liveness: requesters mark a server dead when its
+  /// refusals reveal a permanent crash; retrying sessions rotate to the
+  /// next live replica instead of re-probing corpses.
+  MembershipView& membership() { return membership_; }
+  const MembershipView& membership() const { return membership_; }
+
+  /// One fetch served by a successor replica because the preferred holder
+  /// was dead (cluster-owned failover accounting, folded into
+  /// RunMetrics::failover_fetches once per run like the retry counters).
+  void RecordFailover() {
+    failover_fetches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t failover_fetches() const { return failover_fetches_.load(); }
 
   /// Charges machine `m` for pulling `bytes` over `requests` RPCs.
   void Pull(MachineId m, uint64_t bytes, uint64_t requests) {
@@ -127,11 +208,18 @@ class Network {
   bool PushTo(MachineId src, MachineId dst, uint64_t bytes,
               uint64_t messages) {
     if (faults_.enabled()) {
+      if (!membership_.IsLive(dst)) return false;  // known corpse: no probe
       const RpcFate fate = faults_.AttemptOp(
           dst, profile_.retry, bytes, [&](double wasted_seconds) {
             Push(src, bytes, messages);
             ChargeDelay(src, wasted_seconds);
           });
+      if (fate == RpcFate::kCrashed) {
+        // The refusal revealed a permanent crash: record it so retrying
+        // sessions rotate away and recovery re-runs route around it.
+        membership_.MarkDead(dst);
+        return false;
+      }
       if (fate != RpcFate::kOk) return false;
     }
     Push(src, bytes, messages);
@@ -165,12 +253,16 @@ class Network {
   void Reset() {
     for (auto& t : traffic_) t.Reset();
     faults_.Reset();  // every run replays the fault schedule from the start
+    membership_.Reset();  // everyone live again: chaos re-runs reproduce
+    failover_fetches_.store(0, std::memory_order_relaxed);
   }
 
  private:
   NetworkProfile profile_;
   std::vector<MachineTraffic> traffic_;
   FaultInjector faults_;
+  MembershipView membership_;
+  std::atomic<uint64_t> failover_fetches_{0};
 };
 
 }  // namespace huge

@@ -148,39 +148,69 @@ class GetNbrsClient {
   /// succeeds costs exactly 3x a clean fetch, and why retries never
   /// double-charge a bulk session's merged headers: the successful
   /// operation still settles through the legacy FetchRound/Flush path,
-  /// byte-identical to a fault-free run. Returns false on permanent
-  /// failure. No-op (true) while the fault plane is disabled.
+  /// byte-identical to a fault-free run.
+  ///
+  /// With replicated partitions the session runs over the *peer set* of
+  /// each partition's replica chain instead of hammering one server: a
+  /// holder the membership view already knows is dead is skipped outright
+  /// (no attempt, no bytes); a crash *discovered* by this session charges
+  /// the discovering attempt — full payload plus its header pair, plus
+  /// the attempt timeout — marks the holder dead, and rotates to the next
+  /// live holder, so failing over once costs exactly one extra attempt's
+  /// payload + headers. A fetch served by a non-primary holder counts one
+  /// failover_fetch. Returns false on permanent failure: retries
+  /// exhausted, or no live machine holds the partition. No-op (true)
+  /// while the fault plane is disabled.
   bool AdmitFaults(MachineId requester, std::span<const VertexId> vertices,
                    bool sliced) const {
     FaultInjector& faults = net_->faults();
     if (!faults.enabled()) return true;
     const Graph& g = pgraph_->graph();
     const RetryPolicy& rp = net_->profile().retry;
-    const auto attempt = [&](MachineId owner, uint64_t wire_bytes) {
-      return faults.AttemptOp(owner, rp, wire_bytes,
-                              [&](double wasted_seconds) {
-                                net_->Pull(requester, wire_bytes, 1);
-                                net_->ChargeDelay(requester, wasted_seconds);
-                              }) == RpcFate::kOk;
+    const MachineId k = pgraph_->num_machines();
+    const MachineId replicas = pgraph_->replication_factor();
+    MembershipView& mv = net_->membership();
+    const auto session = [&](MachineId primary, uint64_t wire_bytes) {
+      for (MachineId i = 0; i < replicas; ++i) {
+        const MachineId holder = (primary + i) % k;
+        if (!mv.IsLive(holder)) continue;  // known corpse: skip, no probe
+        const RpcFate fate = faults.AttemptOp(
+            holder, rp, wire_bytes, [&](double wasted_seconds) {
+              net_->Pull(requester, wire_bytes, 1);
+              net_->ChargeDelay(requester, wasted_seconds);
+            });
+        if (fate == RpcFate::kOk) {
+          if (holder != primary) net_->RecordFailover();
+          return true;
+        }
+        if (fate == RpcFate::kTransient) return false;  // retries exhausted
+        // kCrashed: the attempt that discovered the crash is a real
+        // message that went out and was never answered — charge it like
+        // a transient attempt, publish the death, rotate.
+        mv.MarkDead(holder);
+        net_->Pull(requester, wire_bytes, 1);
+        net_->ChargeDelay(requester, rp.attempt_timeout_sec);
+      }
+      return false;  // every holder of the partition is dead
     };
     if (net_->profile().external_kv) {
       for (VertexId v : vertices) {
-        const MachineId owner = pgraph_->Owner(v);
-        if (owner == requester) continue;
-        if (!attempt(owner, PayloadBytes(g, v, sliced) + 2 * kHeaderBytes)) {
+        if (pgraph_->IsReplicaLocal(v, requester)) continue;
+        if (!session(pgraph_->Owner(v),
+                     PayloadBytes(g, v, sliced) + 2 * kHeaderBytes)) {
           return false;
         }
       }
       return true;
     }
-    std::vector<uint64_t> owner_bytes(pgraph_->num_machines(), 0);
+    std::vector<uint64_t> owner_bytes(k, 0);
     for (VertexId v : vertices) {
-      const MachineId owner = pgraph_->Owner(v);
-      if (owner != requester) owner_bytes[owner] += PayloadBytes(g, v, sliced);
+      if (pgraph_->IsReplicaLocal(v, requester)) continue;
+      owner_bytes[pgraph_->Owner(v)] += PayloadBytes(g, v, sliced);
     }
     for (MachineId owner = 0; owner < owner_bytes.size(); ++owner) {
       if (owner_bytes[owner] == 0) continue;
-      if (!attempt(owner, owner_bytes[owner] + 2 * kHeaderBytes)) {
+      if (!session(owner, owner_bytes[owner] + 2 * kHeaderBytes)) {
         return false;
       }
     }

@@ -44,6 +44,14 @@ std::string ServiceConfig::Validate() const {
   if (core_budget < 0) {
     return "core_budget must be >= 0 (0 disables the core gate)";
   }
+  if (recovery.max_restarts < 0) {
+    return "recovery.max_restarts must be >= 0 (0 disables crash "
+           "recovery)";
+  }
+  if (recovery.restart_backoff_sec < 0) {
+    return "recovery.restart_backoff_sec must be >= 0 (simulated seconds "
+           "charged to the survivors per restart)";
+  }
   return "";
 }
 
@@ -408,7 +416,27 @@ void QueryService::SlotLoop(Slot* slot) {
       slot->cluster = slot->owned.get();
     }
     RunResult result = slot->cluster->Run(task->df, &task->cancel);
+    // Crash recovery: a kFailed run whose cluster observed machine deaths
+    // — and still has survivors holding every partition through
+    // replication — restarts checkpoint-free against the surviving
+    // membership, up to RecoveryPolicy::max_restarts times. Failures
+    // without a dead machine (exhausted transient retries) and r = 1
+    // clusters stay terminal: nothing to recover from, or the data is
+    // gone with the crash.
+    int restarts = 0;
+    if (config_.engine.replication_factor >= 2) {
+      while (result.status == RunStatus::kFailed &&
+             restarts < config_.recovery.max_restarts &&
+             !task->cancel.load(std::memory_order_relaxed)) {
+        const MembershipView& mv = slot->cluster->network().membership();
+        if (mv.NumDead() == 0 || mv.NumLive() == 0) break;
+        ++restarts;
+        result = slot->cluster->RunRecovery(
+            task->df, &task->cancel, config_.recovery.restart_backoff_sec);
+      }
+    }
     lk.lock();
+    if (restarts > 0 && result.status == RunStatus::kOk) ++recovered_runs_;
     admission_->Release(task->reservation, task->cores);
     // Every waiter's future resolves with this result: each counts as a
     // completion, and as a cancellation iff the run really drained to
@@ -481,6 +509,7 @@ ServiceMetrics QueryService::metrics() const {
     m.completed = completed_;
     m.rejected = rejected_;
     m.cancelled = cancelled_;
+    m.recovered_runs = recovered_runs_;
     m.dedup_hits = dedup_hits_;
     m.worst_status = merged_.worst_status;
     m.peak_concurrency = peak_concurrency_;

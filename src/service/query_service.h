@@ -24,6 +24,21 @@
 
 namespace huge {
 
+/// Bounds on the service's crash recovery: how many times a run that
+/// failed because a machine crashed (RunStatus::kFailed with dead
+/// membership) is restarted, and how much simulated restart delay each
+/// attempt charges the surviving machines. Recovery requires
+/// Config::replication_factor >= 2 — without replica partitions a crash
+/// loses data and the failure stays terminal, exactly as before.
+struct RecoveryPolicy {
+  /// Restarts per submission (0 disables recovery even with replication).
+  int max_restarts = 2;
+
+  /// Simulated seconds charged to every live machine before a restart
+  /// (failure detection + work redistribution time).
+  double restart_backoff_sec = 1e-3;
+};
+
 /// Configuration of a QueryService on top of the per-run engine Config.
 struct ServiceConfig {
   /// Engine configuration shared by every executor of the service (one
@@ -91,6 +106,10 @@ struct ServiceConfig {
   /// memory. 0 disables the core gate.
   int core_budget = 0;
 
+  /// Crash-recovery bounds of runs that failed to a machine crash; only
+  /// effective with engine.replication_factor >= 2.
+  RecoveryPolicy recovery;
+
   /// When true, a Submit whose plan-cache signature equals a query that
   /// is already queued or running attaches a second future to that
   /// in-flight run instead of executing twice; every attached waiter
@@ -128,6 +147,9 @@ struct ServiceMetrics {
   uint64_t completed = 0;  ///< futures resolved by a run's RunResult
   uint64_t rejected = 0;   ///< refused by admission (RunStatus::kRejected)
   uint64_t cancelled = 0;  ///< futures resolved with kCancelled by Cancel
+  /// Runs that failed to a machine crash and completed kOk after one or
+  /// more RecoveryPolicy restarts — the clients never saw the failure.
+  uint64_t recovered_runs = 0;
   /// Max-severity fold (StatusSeverity) over every resolved query's
   /// status: kOk only when nothing has ever failed, been cancelled,
   /// rejected or aborted. Mirrors merged.worst_status.
@@ -304,6 +326,7 @@ class QueryService {
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
   uint64_t cancelled_ = 0;
+  uint64_t recovered_runs_ = 0;
   uint64_t dedup_hits_ = 0;
   int peak_concurrency_ = 0;
   double queue_wait_seconds_ = 0;

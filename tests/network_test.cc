@@ -395,6 +395,151 @@ TEST(FaultToleranceTest, PushToRetriesAndCrashes) {
   EXPECT_EQ(net.faults().retry_attempts(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Replication + failover: a crashed primary costs exactly one wasted
+// attempt, a known corpse is skipped for free, and Reset resurrects the
+// membership view.
+// ---------------------------------------------------------------------------
+
+TEST(FaultToleranceTest, FailoverReadCostsExactlyOneExtraAttempt) {
+  // k = 4, r = 2: machine 1 owns {4, 5, 11, 12}, replicated onto machine 2.
+  // Machine 1 crashes on its first served op, so the fetch pays the full
+  // discovery attempt (payload + header pair + attempt timeout), marks 1
+  // dead, and settles the same bytes against the replica holder — exactly
+  // 2x a clean fetch, one failover.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));  // degree 2 everywhere
+  PartitionedGraph pg(g, 4, 2);
+  NetworkProfile profile;
+  profile.fault.crash_after = {{1, 1}};  // primary dies immediately
+  Network net(profile, 4);
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 2; ++v) {
+    if (pg.Owner(v) == 1) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 2u);
+  ASSERT_FALSE(pg.IsReplicaLocal(remote[0], 0));
+
+  size_t served = 0;
+  ASSERT_TRUE(client.Fetch(
+      0, remote, [&](VertexId, std::span<const VertexId> nbrs) {
+        EXPECT_EQ(nbrs.size(), 2u);
+        ++served;
+      }));
+  EXPECT_EQ(served, 2u) << "the replica holder serves identical data";
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes;  // 16
+  const uint64_t wire = 2 * per_vertex + 2 * GetNbrsClient::kHeaderBytes;
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), 2 * wire)
+      << "one wasted discovery attempt + one settled fetch, nothing more";
+  EXPECT_EQ(net.traffic(0).rpc_requests(), 2u);
+  EXPECT_EQ(net.failover_fetches(), 1u);
+  EXPECT_FALSE(net.membership().IsLive(1));
+  EXPECT_EQ(net.membership().NumDead(), 1u);
+  // The discovery attempt also cost its timeout in simulated time.
+  EXPECT_GT(net.traffic(0).comm_seconds(), profile.retry.attempt_timeout_sec);
+
+  // A second fetch of the same vertices skips the known corpse without a
+  // probe: exactly one clean fetch's bytes, still counted as a failover.
+  const uint64_t before = net.traffic(0).bytes_pulled();
+  ASSERT_TRUE(
+      client.Fetch(0, remote, [](VertexId, std::span<const VertexId>) {}));
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), before + wire)
+      << "known-dead primaries are skipped for free";
+  EXPECT_EQ(net.failover_fetches(), 2u);
+
+  // Reset resurrects the membership view alongside the fault schedule.
+  net.Reset();
+  EXPECT_TRUE(net.membership().IsLive(1));
+  EXPECT_EQ(net.membership().NumDead(), 0u);
+  EXPECT_EQ(net.failover_fetches(), 0u);
+}
+
+TEST(FaultToleranceTest, FetchFailsWhenEveryReplicaHolderIsDead) {
+  // Both holders of machine 1's partition (1 and its successor 2) crash:
+  // the rotation charges one discovery attempt per corpse, then the fetch
+  // fails permanently instead of hanging or spinning.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));
+  PartitionedGraph pg(g, 4, 2);
+  NetworkProfile profile;
+  profile.fault.crash_after = {{1, 1}, {2, 1}};
+  Network net(profile, 4);
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> remote;
+  for (VertexId v = 0; v < 16 && remote.size() < 2; ++v) {
+    if (pg.Owner(v) == 1) remote.push_back(v);
+  }
+  ASSERT_EQ(remote.size(), 2u);
+  size_t served = 0;
+  EXPECT_FALSE(client.Fetch(
+      0, remote, [&](VertexId, std::span<const VertexId>) { ++served; }));
+  EXPECT_EQ(served, 0u);
+  EXPECT_FALSE(net.membership().IsLive(1));
+  EXPECT_FALSE(net.membership().IsLive(2));
+  const uint64_t per_vertex = kVertexBytes + (1 + 2) * kVertexBytes;  // 16
+  const uint64_t wire = 2 * per_vertex + 2 * GetNbrsClient::kHeaderBytes;
+  EXPECT_EQ(net.traffic(0).bytes_pulled(), 2 * wire)
+      << "two discovery attempts went out and were never answered";
+  EXPECT_EQ(net.failover_fetches(), 0u) << "nothing was actually served";
+}
+
+TEST(FaultToleranceTest, ReplicaHolderReadsAreLocal) {
+  // Under r = 2 a requester holding the replica of a remote primary reads
+  // it from its own partition view: zero wire traffic. Machine 0's chain
+  // predecessor is machine 3, so owner-3 vertices are replica-local to 0.
+  auto g = std::make_shared<Graph>(gen::Cycle(16));
+  PartitionedGraph pg(g, 4, 2);
+  Network net(NetworkProfile{}, 4);
+  GetNbrsClient client(&pg, &net);
+  std::vector<VertexId> replicated;
+  for (VertexId v = 0; v < 16; ++v) {
+    if (pg.Owner(v) == 3) replicated.push_back(v);
+  }
+  ASSERT_FALSE(replicated.empty());
+  for (VertexId v : replicated) ASSERT_TRUE(pg.IsReplicaLocal(v, 0));
+}
+
+TEST(FaultToleranceTest, CrashTargetOneShotSkipsCorpses) {
+  // The global-ticket one-shot must kill a *live* machine. An operation
+  // addressed to an already-crashed server reports that crash without
+  // consuming the one-shot, so the next op against a live machine still
+  // draws it (regression pin for the corpse-selection race).
+  FaultPlan plan;
+  plan.crash_after = {{1, 1}};   // machine 1 dies on its first served op
+  plan.crash_target_of_op = 2;  // armed from global ticket 2 onwards
+  FaultInjector inj;
+  inj.Configure(plan, 3);
+  EXPECT_EQ(inj.Begin(1), RpcFate::kCrashed);  // crash_after fires
+  // Ticket 2 hits the corpse: the one-shot must survive it.
+  EXPECT_EQ(inj.Begin(1), RpcFate::kCrashed);
+  EXPECT_FALSE(inj.Crashed(0));
+  // Ticket 3 is the first op against a live machine: the one-shot fires.
+  EXPECT_EQ(inj.Begin(0), RpcFate::kCrashed);
+  EXPECT_TRUE(inj.Crashed(0));
+  EXPECT_TRUE(inj.Crashed(1));
+  // Consumed: later ops against the remaining live machine succeed.
+  EXPECT_EQ(inj.Begin(2), RpcFate::kOk);
+  EXPECT_FALSE(inj.Crashed(2));
+}
+
+TEST(FaultPlanTest, ValidateRejectsNonsense) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.Validate(4), "");
+  plan.transient_fault_rate = -0.1;
+  EXPECT_NE(plan.Validate(4), "");
+  plan.transient_fault_rate = 1.0;
+  EXPECT_NE(plan.Validate(4), "") << "rate 1 can never complete a run";
+  plan.transient_fault_rate = 0.5;
+  EXPECT_EQ(plan.Validate(4), "");
+  plan.added_latency_sec = -1;
+  EXPECT_NE(plan.Validate(4), "");
+  plan.added_latency_sec = 0;
+  // Out-of-range crash_after entries warn loudly but are not errors (the
+  // schedule is ignored by Configure); num_machines == 0 skips the check.
+  plan.crash_after = {{9, 1}};
+  EXPECT_EQ(plan.Validate(4), "");
+  EXPECT_EQ(plan.Validate(0), "");
+}
+
 TEST(EngineNetworkTest, UtilisationDefinition) {
   RunMetrics m;
   m.bytes_communicated = 500;

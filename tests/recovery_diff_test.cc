@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/cluster.h"
+#include "graph/generators.h"
+#include "huge/huge.h"
+#include "oracle/oracle.h"
+#include "plan/translate.h"
+#include "query/pattern_parser.h"
+
+namespace huge {
+namespace {
+
+/// Crash-recovery differential harness (ctest label `recovery`): the
+/// chaos suite pins that an *unreplicated* cluster fails cleanly under
+/// crash schedules; this suite pins the other half of the contract —
+/// with `replication_factor >= 2` a crashed machine is survivable:
+///
+///  - pull profiles rotate reads to the replica chain in-run and adopt
+///    the corpse's queued work (RunMetrics::failover_fetches /
+///    requeued_chunks record that it happened);
+///  - push (BSP) profiles fail the attempt, then the service restarts
+///    the run checkpoint-free against the surviving membership
+///    (ServiceMetrics::recovered_runs) — the fault schedule stays
+///    latched across the restart so the crash cannot re-fire;
+///  - either way the final count is bit-identical to the single-machine
+///    oracle, r = 1 still latches kFailed, and crashes that exceed the
+///    replication factor fail cleanly instead of hanging.
+
+enum class Profile { kPull, kPush, kHybrid };
+
+const char* ToString(Profile p) {
+  switch (p) {
+    case Profile::kPull:
+      return "pull";
+    case Profile::kPush:
+      return "push";
+    case Profile::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+/// Random labelled data graph (the chaos_diff_test rotation): power-law
+/// social, uniform random, road-like; three labels.
+std::shared_ptr<Graph> MakeGraph(int idx) {
+  Graph g;
+  switch (idx % 3) {
+    case 0:
+      g = gen::PowerLaw(300, 6, 2.5, 4000 + idx);
+      break;
+    case 1:
+      g = gen::ErdosRenyi(240, 900, 5000 + idx);
+      break;
+    default:
+      g = gen::Road(12, 12, 60, 6000 + idx);
+      break;
+  }
+  Rng rng(131 * idx + 7);
+  std::vector<uint8_t> labels(g.NumVertices());
+  for (auto& l : labels) l = static_cast<uint8_t>(rng.NextBounded(3));
+  g.AssignLabels(std::move(labels));
+  return std::make_shared<Graph>(std::move(g));
+}
+
+/// Random connected pattern: 3-5 query vertices, spanning tree + extras.
+std::string RandomPattern(Rng* rng) {
+  const int nv = 3 + static_cast<int>(rng->NextBounded(3));
+  std::vector<int> labels(nv);
+  for (auto& l : labels) {
+    l = rng->NextBounded(5) < 2 ? -1 : static_cast<int>(rng->NextBounded(3));
+  }
+  std::set<std::pair<int, int>> edges;
+  for (int i = 1; i < nv; ++i) {
+    const int p = static_cast<int>(rng->NextBounded(i));
+    edges.insert({std::min(i, p), std::max(i, p)});
+  }
+  const int extra = static_cast<int>(rng->NextBounded(nv));
+  for (int t = 0; t < extra; ++t) {
+    const int a = static_cast<int>(rng->NextBounded(nv));
+    const int b = static_cast<int>(rng->NextBounded(nv));
+    if (a != b) edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  auto vertex = [&](int i) {
+    std::string s = "(";
+    s += static_cast<char>('a' + i);
+    if (labels[i] >= 0) {
+      s += ':';
+      s += static_cast<char>('0' + labels[i]);
+    }
+    s += ')';
+    return s;
+  };
+  std::string out;
+  for (const auto& [a, b] : edges) {
+    if (!out.empty()) out += ", ";
+    out += vertex(a) + "-" + vertex(b);
+  }
+  return out;
+}
+
+Config RecoveryConfig(MachineId machines, MachineId replication) {
+  Config cfg;
+  cfg.num_machines = machines;
+  cfg.replication_factor = replication;
+  cfg.batch_size = 128;
+  cfg.time_limit_seconds = 120;  // no-hang bound; never reached when healthy
+  return cfg;
+}
+
+/// One run through a fresh Runner (single-slot service on top of the
+/// cluster, so the service's crash-recovery loop applies), reporting the
+/// recovery evidence alongside the result.
+struct RecoveryOutcome {
+  RunResult result;
+  uint64_t recovered_runs = 0;  ///< service restarts that ended kOk
+  MachineId dead = 0;           ///< machines the run observed crashing
+};
+
+RecoveryOutcome RunWithRecovery(Profile profile, std::shared_ptr<const Graph> g,
+                                const QueryGraph& q, const Config& cfg) {
+  Runner runner(std::move(g), cfg);
+  RecoveryOutcome out;
+  switch (profile) {
+    case Profile::kPull:
+      out.result = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPull));
+      break;
+    case Profile::kPush:
+      out.result = runner.RunPlan(WcoLeftDeepPlan(q, CommMode::kPush));
+      break;
+    case Profile::kHybrid:
+      out.result = runner.Run(q);
+      break;
+  }
+  out.recovered_runs = runner.service().metrics().recovered_runs;
+  out.dead = runner.cluster().network().membership().NumDead();
+  return out;
+}
+
+uint64_t Evidence(const RecoveryOutcome& o) {
+  return o.result.metrics.failover_fetches + o.result.metrics.requeued_chunks +
+         o.recovered_runs;
+}
+
+class RecoveryDiffTest : public ::testing::TestWithParam<Profile> {};
+
+TEST_P(RecoveryDiffTest, ReplicationAloneIsResultNeutral) {
+  // Clean runs (no faults): replication must never change counts, and the
+  // extra replica-local reads can only reduce wire bytes. Single worker,
+  // no stealing, roomy cache: byte totals are deterministic across the
+  // runs (stealing/eviction order would otherwise move them).
+  const Profile profile = GetParam();
+  for (int gi = 0; gi < 3; ++gi) {
+    auto g = MakeGraph(gi);
+    Rng rng(41000 + gi);
+    const std::string pattern = RandomPattern(&rng);
+    auto p = ParsePattern(pattern);
+    ASSERT_TRUE(p.ok()) << pattern << ": " << p.error;
+    const uint64_t expect = Oracle::Count(*g, p.query);
+    uint64_t unreplicated_bytes = 0;
+    for (MachineId r = 1; r <= 3; ++r) {
+      Config cfg = RecoveryConfig(4, r);
+      cfg.workers_per_machine = 1;
+      cfg.intra_stealing = false;
+      cfg.inter_stealing = false;
+      cfg.cache_capacity_bytes = 1u << 30;
+      const RecoveryOutcome o = RunWithRecovery(profile, g, p.query, cfg);
+      ASSERT_EQ(o.result.status, RunStatus::kOk)
+          << ToString(profile) << " r=" << r << ", pattern \"" << pattern
+          << "\"";
+      EXPECT_EQ(o.result.matches, expect)
+          << ToString(profile) << " r=" << r << ", pattern \"" << pattern
+          << "\"";
+      if (r == 1) {
+        unreplicated_bytes = o.result.metrics.bytes_communicated;
+      } else {
+        EXPECT_LE(o.result.metrics.bytes_communicated, unreplicated_bytes)
+            << ToString(profile) << " r=" << r
+            << ": replica-local reads can only cut wire volume";
+      }
+    }
+  }
+}
+
+TEST_P(RecoveryDiffTest, CrashTimingByReplicationGrid) {
+  // The tentpole grid: crash timing {first wire op, mid-run, late} x
+  // replication {1, 2, 3}. Every r >= 2 outcome must be kOk and
+  // bit-identical to the oracle; r = 1 latches kFailed whenever the
+  // crash actually fired. Aggregate assertions at the bottom guarantee
+  // the schedules were not vacuous.
+  const Profile profile = GetParam();
+  uint64_t crashes_survived = 0;
+  uint64_t total_evidence = 0;
+  uint64_t unreplicated_failures = 0;
+  for (int gi = 0; gi < 3; ++gi) {
+    auto g = MakeGraph(gi);
+    Rng rng(51000 + gi);
+    const std::string pattern = RandomPattern(&rng);
+    auto p = ParsePattern(pattern);
+    ASSERT_TRUE(p.ok()) << pattern << ": " << p.error;
+    const uint64_t expect = Oracle::Count(*g, p.query);
+
+    // Gate on the clean run: a pattern that never touches the wire
+    // cannot observe a crash; its wire-op volume places the mid/late
+    // crash tickets.
+    const RecoveryOutcome clean =
+        RunWithRecovery(profile, g, p.query, RecoveryConfig(4, 1));
+    ASSERT_EQ(clean.result.status, RunStatus::kOk);
+    ASSERT_EQ(clean.result.matches, expect);
+    const uint64_t wire_ops = clean.result.metrics.rpc_requests +
+                              clean.result.metrics.push_messages;
+    if (wire_ops == 0) continue;
+
+    std::set<uint64_t> timings = {1, std::max<uint64_t>(1, wire_ops / 2),
+                                  wire_ops};
+    for (const uint64_t target : timings) {
+      for (MachineId r = 1; r <= 3; ++r) {
+        Config cfg = RecoveryConfig(4, r);
+        cfg.net.fault.crash_target_of_op = target;
+        const RecoveryOutcome o = RunWithRecovery(profile, g, p.query, cfg);
+        const std::string where =
+            std::string(ToString(profile)) + " r=" + std::to_string(r) +
+            " crash@" + std::to_string(target) + " graph " +
+            std::to_string(gi) + ", pattern \"" + pattern + "\"";
+        if (r == 1) {
+          // Unreplicated: a fired crash is unsurvivable; an unfired one
+          // (the op count over-places the late ticket) must stay clean.
+          if (o.dead > 0) {
+            EXPECT_EQ(o.result.status, RunStatus::kFailed) << where;
+            ++unreplicated_failures;
+          } else {
+            EXPECT_EQ(o.result.status, RunStatus::kOk) << where;
+            EXPECT_EQ(o.result.matches, expect) << where;
+          }
+          continue;
+        }
+        // Replicated: one crash never exceeds the replica chain, so the
+        // run must complete with the oracle count no matter when the
+        // crash fires. A single survived crash can be trace-free (e.g. a
+        // steal probe discovers a corpse that had already drained its
+        // work and whose partition is never read again), so the
+        // evidence counters are asserted in aggregate below rather than
+        // per case.
+        ASSERT_EQ(o.result.status, RunStatus::kOk)
+            << where << ": " << ToString(o.result.status);
+        EXPECT_EQ(o.result.matches, expect) << where;
+        if (o.dead > 0) {
+          ++crashes_survived;
+          total_evidence += Evidence(o);
+        }
+      }
+    }
+  }
+  // The grid was not vacuous: crashes fired and were survived, and the
+  // r = 1 control arm actually failed.
+  EXPECT_GT(crashes_survived, 0u) << ToString(profile);
+  EXPECT_GT(total_evidence, 0u) << ToString(profile);
+  EXPECT_GT(unreplicated_failures, 0u) << ToString(profile);
+}
+
+TEST_P(RecoveryDiffTest, CrashesBeyondReplicationFailCleanly) {
+  // r = 2 with both holders of machine 1's partition dead (1 and its
+  // chain successor 2): the partition is unreadable, so the run must
+  // terminate kFailed — never hang, never report a wrong count.
+  const Profile profile = GetParam();
+  auto g = MakeGraph(0);
+  auto p = ParsePattern("(a:0)-(b:1), (b:1)-(c:2), (a:0)-(c:2)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  const uint64_t expect = Oracle::Count(*g, p.query);
+  Config cfg = RecoveryConfig(4, 2);
+  const RecoveryOutcome clean = RunWithRecovery(profile, g, p.query, cfg);
+  ASSERT_EQ(clean.result.status, RunStatus::kOk);
+  ASSERT_EQ(clean.result.matches, expect);
+  if (clean.result.metrics.rpc_requests + clean.result.metrics.push_messages ==
+      0) {
+    GTEST_SKIP() << "no wire traffic to schedule the crashes";
+  }
+  cfg.net.fault.crash_after = {{1, 1}, {2, 1}};
+  const RecoveryOutcome o = RunWithRecovery(profile, g, p.query, cfg);
+  if (o.result.status == RunStatus::kOk) {
+    // Traffic may sidestep the doomed partition entirely; the invariant
+    // is "never kOk with a wrong count".
+    EXPECT_EQ(o.result.matches, expect) << ToString(profile);
+  } else {
+    EXPECT_EQ(o.result.status, RunStatus::kFailed)
+        << ToString(profile) << ": " << ToString(o.result.status);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, RecoveryDiffTest,
+                         ::testing::Values(Profile::kPull, Profile::kPush,
+                                           Profile::kHybrid),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(RecoveryDiffTest, PushCrashRecoversThroughServiceRestart) {
+  // The BSP path cannot reroute a hop mid-flight: the first attempt
+  // fails, the service restarts it checkpoint-free against the surviving
+  // membership, and the recovered result carries the oracle count plus
+  // the accumulated cost of both attempts.
+  auto g = MakeGraph(1);
+  auto p = ParsePattern("(a:0)-(b:1), (b:1)-(c:2), (a:0)-(c:2)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  const uint64_t expect = Oracle::Count(*g, p.query);
+  Config cfg = RecoveryConfig(4, 2);
+  const RecoveryOutcome clean =
+      RunWithRecovery(Profile::kPush, g, p.query, cfg);
+  ASSERT_EQ(clean.result.status, RunStatus::kOk);
+  ASSERT_EQ(clean.result.matches, expect);
+  if (clean.result.metrics.push_messages == 0) {
+    GTEST_SKIP() << "no push traffic to crash";
+  }
+  cfg.net.fault.crash_target_of_op = 1;
+  const RecoveryOutcome o = RunWithRecovery(Profile::kPush, g, p.query, cfg);
+  ASSERT_EQ(o.result.status, RunStatus::kOk) << ToString(o.result.status);
+  EXPECT_EQ(o.result.matches, expect);
+  EXPECT_GE(o.dead, 1u);
+  EXPECT_GE(o.recovered_runs, 1u)
+      << "a failed push run under r = 2 must be restarted by the service";
+  // Both attempts are billed: the recovered run cannot be cheaper than a
+  // clean one.
+  EXPECT_GT(o.result.metrics.bytes_communicated,
+            clean.result.metrics.bytes_communicated);
+}
+
+TEST(RecoveryDiffTest, ClusterRunRecoveryKeepsScheduleLatched) {
+  // Cluster-level contract under the service: RunRecovery does not reset
+  // the network, so the consumed crash ticket stays latched and the rerun
+  // routes around the corpse instead of replaying the crash forever.
+  auto g = MakeGraph(2);
+  auto p = ParsePattern("(a)-(b), (b)-(c), (a)-(c)");
+  ASSERT_TRUE(p.ok()) << p.error;
+  const uint64_t expect = Oracle::Count(*g, p.query);
+  Config cfg = RecoveryConfig(4, 2);
+  cfg.net.fault.crash_target_of_op = 1;
+  Cluster cluster(g, cfg);
+  const Dataflow df = Translate(WcoLeftDeepPlan(p.query, CommMode::kPush));
+  const RunResult first = cluster.Run(df);
+  if (first.status == RunStatus::kOk) {
+    GTEST_SKIP() << "the run never touched the wire";
+  }
+  ASSERT_EQ(first.status, RunStatus::kFailed) << ToString(first.status);
+  ASSERT_GE(cluster.network().membership().NumDead(), 1u);
+  const RunResult again = cluster.RunRecovery(df, nullptr, 1e-3);
+  ASSERT_EQ(again.status, RunStatus::kOk) << ToString(again.status);
+  EXPECT_EQ(again.matches, expect);
+  // A plain Run afterwards resets the schedule and replays the crash.
+  const RunResult replay = cluster.Run(df);
+  EXPECT_EQ(replay.status, RunStatus::kFailed);
+}
+
+TEST(RecoveryInjectorTest, ConcurrentCrashSchedulesStayCoherent) {
+  // Hammer the injector from 8 threads while a per-machine schedule and
+  // the global-ticket one-shot race over the same window. The coherent
+  // outcomes are: the one-shot killed a second machine (2 dead), or it
+  // legitimately landed on machine 0 before machine 0's own schedule
+  // fired (1 dead) — it is never lost on a corpse leaving a live
+  // cluster with an armed, unfired one-shot. Run under TSan via the
+  // `recovery` ctest label.
+  for (int round = 0; round < 8; ++round) {
+    FaultPlan plan;
+    plan.crash_after = {{0, 100}};
+    plan.crash_target_of_op = 400;  // collides with machine 0's death
+    FaultInjector inj;
+    inj.Configure(plan, 4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&inj, t] {
+        for (int i = 0; i < 500; ++i) {
+          inj.Begin(static_cast<MachineId>((t + i) % 4));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_TRUE(inj.Crashed(0)) << "round " << round;
+    int dead = 0;
+    for (MachineId m = 0; m < 4; ++m) dead += inj.Crashed(m) ? 1 : 0;
+    EXPECT_GE(dead, 1) << "round " << round;
+    EXPECT_LE(dead, 2) << "round " << round;
+    if (dead == 1) {
+      // Sole corpse is machine 0: the one-shot must have been consumed
+      // killing it while it was live, not burned against its corpse —
+      // 4000 tickets against live machines follow any re-arm, so an
+      // armed one-shot could not have survived the hammer.
+      for (MachineId m = 1; m < 4; ++m) {
+        EXPECT_FALSE(inj.Crashed(m)) << "round " << round;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace huge
