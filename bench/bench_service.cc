@@ -39,14 +39,18 @@ struct LoadPoint {
   uint64_t failover_fetches = 0;
   uint64_t requeued_chunks = 0;
   uint64_t recovered_runs = 0;
+  double queue_wait_seconds = 0;      ///< summed submit-to-dispatch wait
+  double admission_wait_seconds = 0;  ///< budget-blocked share of the above
 };
 
 /// One closed-loop load point: `clients` threads each submit the mix
 /// `iters` times and wait for every result before the next submission.
+/// `inspect`, when set, runs against the still-live service after the
+/// load drains (the observability round exports traces/metrics there).
 LoadPoint RunLoad(const std::shared_ptr<const Graph>& graph,
                   const ServiceConfig& sc, const std::vector<QueryGraph>& mix,
-                  int clients, int iters,
-                  std::vector<double>* all_latencies) {
+                  int clients, int iters, std::vector<double>* all_latencies,
+                  const std::function<void(QueryService&)>& inspect = {}) {
   QueryService service(graph, sc);
   std::vector<std::vector<double>> latencies(clients);
   WallTimer wall;
@@ -91,6 +95,9 @@ LoadPoint RunLoad(const std::shared_ptr<const Graph>& graph,
   p.failover_fetches = m.merged.failover_fetches;
   p.requeued_chunks = m.merged.requeued_chunks;
   p.recovered_runs = m.recovered_runs;
+  p.queue_wait_seconds = m.queue_wait_seconds;
+  p.admission_wait_seconds = m.admission_wait_seconds;
+  if (inspect) inspect(service);
   return p;
 }
 
@@ -113,10 +120,12 @@ void EmitJson(const char* path, const std::vector<LoadPoint>& points) {
     std::fprintf(f,
                  "  {\"clients\": %d, \"wall_s\": %.4f, \"qps\": %.2f, "
                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"queries\": %llu, "
-                 "\"cache_hit_rate\": %.4f, \"peak_reserved_mb\": %llu}%s\n",
+                 "\"cache_hit_rate\": %.4f, \"peak_reserved_mb\": %llu, "
+                 "\"queue_wait_s\": %.4f, \"admission_wait_s\": %.4f}%s\n",
                  p.clients, p.wall_seconds, p.qps, p.p50_ms, p.p99_ms,
                  static_cast<unsigned long long>(p.queries), p.cache_hit_rate,
                  static_cast<unsigned long long>(p.peak_reserved_mb),
+                 p.queue_wait_seconds, p.admission_wait_seconds,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -139,7 +148,7 @@ int main() {
       std::max(2, static_cast<int>(6 * huge::bench::Scale()));
 
   Table table({"clients", "wall(s)", "qps", "p50(ms)", "p99(ms)",
-               "cache hit%", "peak rsv(MB)", "dedup"});
+               "cache hit%", "peak rsv(MB)", "dedup", "queue(s)", "adm(s)"});
   std::vector<LoadPoint> points;
   ServiceConfig base;
   base.engine.num_machines = 2;
@@ -164,7 +173,9 @@ int main() {
                   Fmt("%.1f", p.qps), Fmt("%.2f", p.p50_ms),
                   Fmt("%.2f", p.p99_ms), Fmt("%.1f", 100 * p.cache_hit_rate),
                   std::to_string(p.peak_reserved_mb),
-                  std::to_string(p.dedup_hits)});
+                  std::to_string(p.dedup_hits),
+                  Fmt("%.3f", p.queue_wait_seconds),
+                  Fmt("%.3f", p.admission_wait_seconds)});
   }
   table.Print();
 
@@ -250,6 +261,73 @@ int main() {
                 clean.p99_ms > 0
                     ? 100.0 * (crashed.p99_ms - clean.p99_ms) / clean.p99_ms
                     : 0.0);
+  }
+
+  // The observability round: the 4-client load again with the full obs
+  // plane on — per-query span traces, the metrics registry and a 50ms
+  // slow-query threshold. The registry's latency histogram reports the
+  // service-side p50/p99 (measured at delivery, excluding client think
+  // time), and the exports land wherever HUGE_TRACE_JSON /
+  // HUGE_METRICS_JSON point (run_bench.sh merges the metrics snapshot
+  // into BENCH_<date>.json).
+  {
+    const int kClients = 4;
+    MetricsRegistry registry;
+    ServiceConfig observed = base;
+    observed.obs.metrics = true;
+    observed.obs.registry = &registry;
+    observed.obs.trace_queries = true;
+    observed.obs.slow_query_seconds = 0.050;
+    int slow = 0;
+    observed.obs.slow_query_sink = [&slow](const SlowQueryRecord&) {
+      ++slow;
+    };
+    std::string traces;
+    std::vector<double> all;
+    LoadPoint traced = RunLoad(graph, observed, mix, kClients,
+                               kItersPerClient, &all,
+                               [&traces](QueryService& service) {
+                                 traces = service.RetainedTracesJson();
+                               });
+    std::vector<double> clean_all;
+    LoadPoint clean =
+        RunLoad(graph, base, mix, kClients, kItersPerClient, &clean_all);
+    Histogram* latency = registry.GetHistogram(
+        "huge_query_latency_seconds", "",
+        Histogram::ExponentialBuckets(1e-4, 2, observed.obs.latency_buckets));
+    std::printf("\nObservability round (%d clients, tracing + metrics + "
+                "slow-query log on):\n",
+                kClients);
+    Table obs_table({"round", "qps", "svc p50(ms)", "svc p99(ms)", "slow"});
+    obs_table.AddRow({"obs off", Fmt("%.1f", clean.qps), "-", "-", "-"});
+    obs_table.AddRow({"obs on", Fmt("%.1f", traced.qps),
+                      Fmt("%.2f", latency->Quantile(0.5) * 1e3),
+                      Fmt("%.2f", latency->Quantile(0.99) * 1e3),
+                      std::to_string(slow)});
+    obs_table.Print();
+    std::printf("qps delta vs untraced: %+.1f%%\n",
+                clean.qps > 0
+                    ? 100.0 * (traced.qps - clean.qps) / clean.qps
+                    : 0.0);
+    const char* trace_path = std::getenv("HUGE_TRACE_JSON");
+    if (trace_path != nullptr && trace_path[0] != '\0') {
+      std::FILE* f = std::fopen(trace_path, "w");
+      if (f != nullptr) {
+        std::fputs(traces.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %s (Perfetto/chrome://tracing loadable)\n",
+                    trace_path);
+      }
+    }
+    const char* metrics_path = std::getenv("HUGE_METRICS_JSON");
+    if (metrics_path != nullptr && metrics_path[0] != '\0') {
+      std::FILE* f = std::fopen(metrics_path, "w");
+      if (f != nullptr) {
+        std::fputs(registry.JsonSnapshot().c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %s (metrics-registry snapshot)\n", metrics_path);
+      }
+    }
   }
 
   const char* json_path = std::getenv("HUGE_BENCH_JSON");

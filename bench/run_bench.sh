@@ -82,28 +82,36 @@ else
 fi
 
 # Query-service closed-loop throughput (N clients, p50/p99 latency): the
-# multi-tenant counterpart of the Table-1 single-run rows.
+# multi-tenant counterpart of the Table-1 single-run rows. The same run
+# also exports its metrics-registry snapshot (service counters, gauge
+# samples, latency-histogram quantiles) so the trajectory record carries
+# the observability plane's view of the run, not just the bench's own
+# timers.
 service_json=""
+metrics_json=""
 if have_target bench_service; then
   cmake --build "$build_dir" -j --target bench_service
   service_tmp="$(mktemp)"
-  HUGE_BENCH_JSON="$service_tmp" "$build_dir/bench_service" >/dev/null
+  metrics_tmp="$(mktemp)"
+  HUGE_BENCH_JSON="$service_tmp" HUGE_METRICS_JSON="$metrics_tmp" \
+      "$build_dir/bench_service" >/dev/null
   service_json="$(cat "$service_tmp")"
-  rm -f "$service_tmp"
+  metrics_json="$(cat "$metrics_tmp")"
+  rm -f "$service_tmp" "$metrics_tmp"
 else
   skip_warn bench_service
 fi
 
 # Assemble the trajectory record: metadata + raw kernel benches + the
 # Table-1 rows reparsed into JSON + the exp4/service sections.
-python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt" "$exp4_json" "$service_json"
+python3 - "$out_file" <<'EOF' "$micro_json" "$table1_txt" "$exp4_json" "$service_json" "$metrics_json"
 import json
 import subprocess
 import sys
 from datetime import date
 
 out_file, micro_raw, table1_txt = sys.argv[1], sys.argv[2], sys.argv[3]
-exp4_raw, service_raw = sys.argv[4], sys.argv[5]
+exp4_raw, service_raw, metrics_raw = sys.argv[4], sys.argv[5], sys.argv[6]
 
 rows = []
 for line in table1_txt.splitlines():
@@ -129,6 +137,7 @@ record = {
     "bench_table1": rows,
     "bench_exp4_delta": json.loads(exp4_raw) if exp4_raw.strip() else [],
     "bench_service": json.loads(service_raw) if service_raw.strip() else [],
+    "metrics_registry": json.loads(metrics_raw) if metrics_raw.strip() else {},
 }
 with open(out_file, "w") as f:
     json.dump(record, f, indent=2)

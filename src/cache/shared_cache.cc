@@ -27,10 +27,12 @@ void SharedAdjCache::EvictToFitLocked() {
   while (size_bytes_ > capacity_ && !lru_.empty()) {
     const VertexId victim = lru_.back();
     auto it = entries_.find(victim);
-    size_bytes_ -= it->second.bytes();
+    const size_t victim_bytes = it->second.bytes();
+    size_bytes_ -= victim_bytes;
     entries_.erase(it);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    evicted_bytes_.fetch_add(victim_bytes, std::memory_order_relaxed);
   }
 }
 

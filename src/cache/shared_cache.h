@@ -67,6 +67,9 @@ class SharedAdjCache {
   uint64_t hits() const { return hits_.load(); }
   uint64_t misses() const { return misses_.load(); }
   uint64_t evictions() const { return evictions_.load(); }
+  /// Total bytes of evicted entries (payload + overhead) — the churn
+  /// signal the metrics registry exports alongside the hit rate.
+  uint64_t evicted_bytes() const { return evicted_bytes_.load(); }
 
  private:
   struct Entry {
@@ -88,6 +91,7 @@ class SharedAdjCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> evicted_bytes_{0};
 };
 
 }  // namespace huge

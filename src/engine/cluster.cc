@@ -80,25 +80,25 @@ std::vector<SegmentPlan> Cluster::BuildSegments(const Dataflow& df) const {
   return segments;
 }
 
-RunResult Cluster::Run(const Dataflow& df,
-                       const std::atomic<bool>* cancel) {
-  return RunInternal(df, cancel, /*recover=*/false);
+RunResult Cluster::Run(const Dataflow& df, const std::atomic<bool>* cancel,
+                       QueryTrace* trace) {
+  return RunInternal(df, cancel, /*recover=*/false, trace);
 }
 
 RunResult Cluster::RunRecovery(const Dataflow& df,
                                const std::atomic<bool>* cancel,
-                               double backoff_sec) {
+                               double backoff_sec, QueryTrace* trace) {
   if (backoff_sec > 0) {
     for (MachineId m = 0; m < config_.num_machines; ++m) {
       if (net_.membership().IsLive(m)) net_.ChargeDelay(m, backoff_sec);
     }
   }
-  return RunInternal(df, cancel, /*recover=*/true);
+  return RunInternal(df, cancel, /*recover=*/true, trace);
 }
 
 RunResult Cluster::RunInternal(const Dataflow& df,
                                const std::atomic<bool>* cancel,
-                               bool recover) {
+                               bool recover, QueryTrace* trace) {
   SetIntersectKernelPolicy(config_.intersect_kernel);
   SetBitmapDensityPolicy(config_.bitmap_density_inv);
   shared_.dataflow = &df;
@@ -118,6 +118,10 @@ RunResult Cluster::RunInternal(const Dataflow& df,
   shared_.aborted.store(false);
   shared_.abort_status.store(static_cast<uint8_t>(RunStatus::kOk));
   shared_.cancel = cancel;
+  // Published before any machine thread starts, cleared after the last
+  // one joined (below): machine threads read both pointers race-free.
+  shared_.trace = trace;
+  net_.SetTrace(trace);
   shared_.has_deadline = config_.time_limit_seconds > 0;
   if (shared_.has_deadline) {
     shared_.run_deadline =
@@ -198,6 +202,8 @@ RunResult Cluster::RunInternal(const Dataflow& df,
   joins_.clear();
   shared_.dataflow = nullptr;
   shared_.cancel = nullptr;
+  shared_.trace = nullptr;
+  net_.SetTrace(nullptr);
   return result;
 }
 
@@ -207,7 +213,11 @@ void Cluster::RunSegmentAdaptive(const SegmentPlan& seg) {
   std::vector<std::thread> threads;
   threads.reserve(machines_.size());
   for (auto& m : machines_) {
-    threads.emplace_back([&m] { m->ExecuteSegment(); });
+    threads.emplace_back([&m, trace = shared_.trace] {
+      TraceSpan span(trace, "segment", "engine",
+                     QueryTrace::MachineTrack(m->id()));
+      m->ExecuteSegment();
+    });
   }
   for (auto& t : threads) t.join();
   for (auto& m : machines_) m->TeardownSegment();
@@ -296,6 +306,8 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
     const OpDesc& scan = df.ops[seg.ops[0]];
     HUGE_CHECK(scan.kind == OpKind::kScan);
     ParallelMachines(k, [&](MachineId m) {
+      TraceSpan span(shared_.trace, "scan", "engine",
+                     QueryTrace::MachineTrack(m));
       WallTimer busy;
       MachineRuntime& mr = *machines_[m];
       mr.region_emitted_ = 0;
@@ -378,6 +390,8 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
       for (MachineId m = 0; m < k; ++m) inbox[m].width = in_width;
       std::atomic<size_t> inbox_bytes{0};
       ParallelMachines(k, [&](MachineId m) {
+        TraceSpan span(shared_.trace, "scatter", "engine",
+                       QueryTrace::MachineTrack(m));
         WallTimer busy;
         std::vector<uint64_t> sent_bytes(k, 0);
         size_t appended = 0;
@@ -442,6 +456,11 @@ void Cluster::RunSegmentBsp(const SegmentPlan& seg) {
         for (MachineId m = 0; m < k; ++m) next[m].width = in_width;
         std::atomic<size_t> next_bytes{0};
         ParallelMachines(k, [&](MachineId m) {
+          // One span per (machine, hop): the BSP superstep lanes of the
+          // pushing path in the per-query timeline.
+          TraceSpan span(shared_.trace, "hop", "engine",
+                         QueryTrace::MachineTrack(m));
+          span.SetArg("hop", j);
           WallTimer busy;
           HopBox& box = inbox[m];
           const size_t box_rows = box.NumRows();

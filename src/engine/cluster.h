@@ -50,8 +50,15 @@ class Cluster {
   /// the result report RunStatus::kCancelled (this is how
   /// QueryService::Cancel reaches a running query). The flag must stay
   /// valid for the duration of the call.
-  RunResult Run(const Dataflow& df,
-                const std::atomic<bool>* cancel = nullptr);
+  ///
+  /// `trace`, when non-null, receives the run's engine/net span timeline
+  /// (per-machine segment, scan, scatter and hop spans; fetch spans;
+  /// retry/failover/requeue/steal instants) on the machine tracks of a
+  /// QueryService-owned per-query trace. Null — the default — keeps
+  /// every instrumentation site a single branch (zero cost, like the
+  /// inert FaultInjector). Must stay valid for the duration of the call.
+  RunResult Run(const Dataflow& df, const std::atomic<bool>* cancel = nullptr,
+                QueryTrace* trace = nullptr);
 
   /// Checkpoint-free restart of a failed run against the *surviving*
   /// membership: unlike Run it does not reset the network, so the
@@ -63,7 +70,7 @@ class Cluster {
   /// Requires replication_factor >= 2 to be useful: routing sends each
   /// dead primary's load to the first live replica holder.
   RunResult RunRecovery(const Dataflow& df, const std::atomic<bool>* cancel,
-                        double backoff_sec);
+                        double backoff_sec, QueryTrace* trace = nullptr);
 
   const PartitionedGraph& pgraph() const { return pgraph_; }
   const Config& config() const { return config_; }
@@ -74,7 +81,7 @@ class Cluster {
 
  private:
   RunResult RunInternal(const Dataflow& df, const std::atomic<bool>* cancel,
-                        bool recover);
+                        bool recover, QueryTrace* trace);
   void RunSegmentAdaptive(const SegmentPlan& seg);
   void RunSegmentBsp(const SegmentPlan& seg);
 

@@ -513,6 +513,9 @@ void MachineRuntime::FetchStage(const OpDesc& op, const Batch& in,
   if (!fetch.empty()) {
     // One bulk session per super-step: however many rounds the stage
     // issues, each owner pays exactly one header pair and one round trip.
+    TraceSpan fetch_span(shared_->trace, "fetch", "net",
+                         QueryTrace::MachineTrack(id_));
+    fetch_span.SetArg("vertices", fetch.size());
     GetNbrsClient::BulkCharge bulk;
     bool ok;
     if (sliced) {
@@ -933,6 +936,10 @@ bool MachineRuntime::TryStealFromPeers() {
     for (auto& b : got) bytes += shared_->wire->ShipBytes(b, id_);
     shared_->net->Pull(id_, bytes + GetNbrsClient::kHeaderBytes, 1);
     inter_steals_.fetch_add(1);
+    if (QueryTrace* t = shared_->trace; t != nullptr) {
+      t->AddInstant("steal", "engine", QueryTrace::MachineTrack(id_),
+                    "victim", static_cast<uint64_t>(victim));
+    }
     for (auto& b : got) queues_[pos]->Push(std::move(b));
     return true;
   }
@@ -965,6 +972,10 @@ bool MachineRuntime::CrashAdopted() {
   if (chunks > 0) {
     requeued_chunks_.fetch_add(chunks, std::memory_order_relaxed);
     net.Pull(succ, chunks * 2 * GetNbrsClient::kHeaderBytes, chunks);
+    if (QueryTrace* t = shared_->trace; t != nullptr) {
+      t->AddInstant("requeue", "engine", QueryTrace::MachineTrack(id_),
+                    "chunks", chunks);
+    }
   }
   adopted_ = true;
   return true;

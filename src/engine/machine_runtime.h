@@ -19,6 +19,7 @@
 #include "graph/partition.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "plan/dataflow.h"
 
 namespace huge {
@@ -75,6 +76,13 @@ struct SharedState {
   /// Client-owned cancellation flag (QueryService::Cancel sets it); polled
   /// by OverBudget alongside the budgets. Null when not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Per-query span trace (QueryService-owned), or null — the common
+  /// case, making every engine instrumentation site a single null-check
+  /// branch (the inert-FaultInjector zero-overhead idiom). Set by the
+  /// cluster before machine threads start and cleared after they join,
+  /// so machine threads read it race-free.
+  QueryTrace* trace = nullptr;
 
   /// Trips the abort plane with `status`, first-error-wins: the status is
   /// published with a CAS from kOk *before* `aborted` is set, so every

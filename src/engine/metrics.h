@@ -226,6 +226,17 @@ struct RunResult {
   RunStatus status = RunStatus::kOk;
   RunMetrics metrics;
 
+  /// Queue-wait vs execution-time breakdown, populated by QueryService
+  /// (zero on direct Cluster::Run calls): seconds between submission and
+  /// dispatch to an executor slot, and — of that wait — the seconds the
+  /// query sat at the *head* of the queue blocked purely on the
+  /// admission controller's (bytes, cores) budget while an executor
+  /// slot was free. These live on the result, not in RunMetrics: they
+  /// are per-submission service facts, not engine work, and must not
+  /// sum through RunMetrics::Merge.
+  double queued_seconds = 0;
+  double admission_wait_seconds = 0;
+
   bool ok() const { return status == RunStatus::kOk; }
 };
 

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/types.h"
 #include "net/fault_injector.h"
+#include "obs/trace.h"
 
 namespace huge {
 
@@ -179,6 +180,12 @@ class Network {
   }
   uint64_t failover_fetches() const { return failover_fetches_.load(); }
 
+  /// Per-query span trace of the run currently using this network, or
+  /// null (the default — every trace site below is one branch). Set by
+  /// the cluster before machine threads start, cleared after they join.
+  void SetTrace(QueryTrace* trace) { trace_ = trace; }
+  QueryTrace* trace() const { return trace_; }
+
   /// Charges machine `m` for pulling `bytes` over `requests` RPCs.
   void Pull(MachineId m, uint64_t bytes, uint64_t requests) {
     double latency = profile_.external_kv ? profile_.external_kv_latency_sec
@@ -213,6 +220,10 @@ class Network {
           dst, profile_.retry, bytes, [&](double wasted_seconds) {
             Push(src, bytes, messages);
             ChargeDelay(src, wasted_seconds);
+            if (trace_ != nullptr) {
+              trace_->AddInstant("retry", "net", QueryTrace::MachineTrack(src),
+                                 "wasted_bytes", bytes);
+            }
           });
       if (fate == RpcFate::kCrashed) {
         // The refusal revealed a permanent crash: record it so retrying
@@ -263,6 +274,7 @@ class Network {
   FaultInjector faults_;
   MembershipView membership_;
   std::atomic<uint64_t> failover_fetches_{0};
+  QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace huge

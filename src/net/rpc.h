@@ -178,9 +178,21 @@ class GetNbrsClient {
             holder, rp, wire_bytes, [&](double wasted_seconds) {
               net_->Pull(requester, wire_bytes, 1);
               net_->ChargeDelay(requester, wasted_seconds);
+              if (QueryTrace* t = net_->trace(); t != nullptr) {
+                t->AddInstant("retry", "net",
+                              QueryTrace::MachineTrack(requester),
+                              "wasted_bytes", wire_bytes);
+              }
             });
         if (fate == RpcFate::kOk) {
-          if (holder != primary) net_->RecordFailover();
+          if (holder != primary) {
+            net_->RecordFailover();
+            if (QueryTrace* t = net_->trace(); t != nullptr) {
+              t->AddInstant("failover", "net",
+                            QueryTrace::MachineTrack(requester), "holder",
+                            static_cast<uint64_t>(holder));
+            }
+          }
           return true;
         }
         if (fate == RpcFate::kTransient) return false;  // retries exhausted

@@ -1,0 +1,245 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace huge {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; JSON keys reuse them
+/// verbatim, so we keep registration names in that alphabet by
+/// construction and never need escaping on export.
+void AppendDouble(double v, std::string* out) {
+  char tmp[64];
+  if (std::isinf(v)) {
+    out->append(v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  std::snprintf(tmp, sizeof(tmp), "%.9g", v);
+  out->append(tmp);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char tmp[32];
+  std::snprintf(tmp, sizeof(tmp), "%" PRIu64, v);
+  out->append(tmp);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - upper_bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      // Overflow bucket: no finite upper edge, clamp to the last bound.
+      if (i >= upper_bounds_.size()) {
+        return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+      }
+      const double lo = i == 0 ? 0.0 : upper_bounds_[i - 1];
+      const double hi = upper_bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return e.histogram.get();
+}
+
+uint64_t MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                                const std::string& help,
+                                                std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_callback_id_++;
+  callbacks_.push_back({id, name, help, std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::UnregisterCallbackGauge(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(
+      std::remove_if(callbacks_.begin(), callbacks_.end(),
+                     [id](const CallbackGauge& g) { return g.id == id; }),
+      callbacks_.end());
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    out += "# HELP " + name + " " + e.help + "\n";
+    if (e.counter != nullptr) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " ";
+      AppendU64(e.counter->Value(), &out);
+      out += "\n";
+    } else if (e.gauge != nullptr) {
+      out += "# TYPE " + name + " gauge\n";
+      char tmp[32];
+      std::snprintf(tmp, sizeof(tmp), "%lld",
+                    static_cast<long long>(e.gauge->Value()));
+      out += name + " " + tmp + "\n";
+    } else if (e.histogram != nullptr) {
+      out += "# TYPE " + name + " histogram\n";
+      const std::vector<uint64_t> counts = e.histogram->BucketCounts();
+      const std::vector<double>& bounds = e.histogram->upper_bounds();
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += counts[i];
+        out += name + "_bucket{le=\"";
+        AppendDouble(bounds[i], &out);
+        out += "\"} ";
+        AppendU64(cumulative, &out);
+        out += "\n";
+      }
+      cumulative += counts.back();
+      out += name + "_bucket{le=\"+Inf\"} ";
+      AppendU64(cumulative, &out);
+      out += "\n" + name + "_sum ";
+      AppendDouble(e.histogram->Sum(), &out);
+      out += "\n" + name + "_count ";
+      AppendU64(e.histogram->Count(), &out);
+      out += "\n";
+    }
+  }
+  for (const CallbackGauge& g : callbacks_) {
+    out += "# HELP " + g.name + " " + g.help + "\n";
+    out += "# TYPE " + g.name + " gauge\n";
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%lld",
+                  static_cast<long long>(g.fn()));
+    out += g.name + " " + tmp + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n";
+  bool first = true;
+  auto sep = [&first, &out] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      sep();
+      out += "  \"" + name + "\": ";
+      AppendU64(e.counter->Value(), &out);
+    } else if (e.gauge != nullptr) {
+      sep();
+      char tmp[32];
+      std::snprintf(tmp, sizeof(tmp), "%lld",
+                    static_cast<long long>(e.gauge->Value()));
+      out += "  \"" + name + "\": " + tmp;
+    } else if (e.histogram != nullptr) {
+      sep();
+      out += "  \"" + name + "\": {\"count\": ";
+      AppendU64(e.histogram->Count(), &out);
+      out += ", \"sum\": ";
+      AppendDouble(e.histogram->Sum(), &out);
+      out += ", \"p50\": ";
+      AppendDouble(e.histogram->Quantile(0.50), &out);
+      out += ", \"p95\": ";
+      AppendDouble(e.histogram->Quantile(0.95), &out);
+      out += ", \"p99\": ";
+      AppendDouble(e.histogram->Quantile(0.99), &out);
+      out += "}";
+    }
+  }
+  for (const CallbackGauge& g : callbacks_) {
+    sep();
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%lld", static_cast<long long>(g.fn()));
+    out += "  \"" + g.name + "\": " + tmp;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace huge

@@ -1,0 +1,136 @@
+#ifndef HUGE_OBS_METRICS_REGISTRY_H_
+#define HUGE_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace huge {
+
+/// Monotonically increasing counter. `Inc` is a relaxed atomic add —
+/// safe from any thread, never a bottleneck.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, pool occupancy).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: cumulative-style export (Prometheus `le`
+/// buckets) with quantile estimation by linear interpolation inside the
+/// winning bucket. `Observe` is lock-free: one relaxed add on the bucket
+/// counter plus a C++20 atomic<double> fetch_add on the sum.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +Inf bucket
+  /// catches overflow.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` bounds starting at `start`, each `factor` times the last —
+  /// the standard latency-bucket ladder.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated value at quantile `q` in [0, 1]. Values in the overflow
+  /// bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts (non-cumulative), overflow bucket last.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  const std::vector<double> upper_bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< size = bounds + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry of named metrics. `Get*` registers on first use
+/// and returns the same instance for the same name thereafter — callers
+/// cache the pointer and pay only the atomic op per update. Registered
+/// metrics are never removed (pointers stay valid for the registry's
+/// lifetime); callback gauges sample external state at export time and
+/// *are* removable, because their closures can outlive the objects they
+/// read from otherwise.
+///
+/// Exports: Prometheus text exposition (`PrometheusText`) and a JSON
+/// snapshot (`JsonSnapshot`) that augments histograms with derived
+/// p50/p95/p99.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The default process-wide instance.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  /// `upper_bounds` is used only on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> upper_bounds);
+
+  /// Registers a gauge whose value is computed by `fn` at export time
+  /// (queue depth, cache bytes — state owned elsewhere). Returns an id
+  /// for `UnregisterCallbackGauge`; unregister before the sampled state
+  /// dies.
+  uint64_t RegisterCallbackGauge(const std::string& name,
+                                 const std::string& help,
+                                 std::function<int64_t()> fn);
+  void UnregisterCallbackGauge(uint64_t id);
+
+  std::string PrometheusText() const;
+  std::string JsonSnapshot() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct CallbackGauge {
+    uint64_t id;
+    std::string name;
+    std::string help;
+    std::function<int64_t()> fn;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< sorted => stable export order
+  std::vector<CallbackGauge> callbacks_;
+  uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,117 @@
+#ifndef HUGE_OBS_SLOW_QUERY_LOG_H_
+#define HUGE_OBS_SLOW_QUERY_LOG_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "engine/metrics.h"
+
+namespace huge {
+
+/// Everything the service knows about one slow query at delivery time:
+/// identity, the latency breakdown, the headline run metrics, and the
+/// full span trace as Chrome trace JSON.
+struct SlowQueryRecord {
+  uint64_t handle = 0;
+  std::string tenant;
+  std::string signature;       ///< canonical plan signature
+  RunStatus status = RunStatus::kOk;
+  double latency_seconds = 0;  ///< submit -> delivery
+  double queued_seconds = 0;
+  double admission_wait_seconds = 0;
+  uint64_t matches = 0;
+  double compute_seconds = 0;
+  double comm_seconds = 0;
+  uint64_t bytes_communicated = 0;
+  uint64_t peak_memory_bytes = 0;
+  uint64_t retry_attempts = 0;
+  uint64_t failover_fetches = 0;
+  std::string trace_json;      ///< complete Chrome trace document ("" if
+                               ///< tracing was off)
+};
+
+/// Structured sink for queries over the `ServiceConfig` slow-query
+/// threshold. Default sink is one JSON line per record to stderr; a file
+/// path redirects to an append-mode JSONL file; a custom callback
+/// replaces serialization entirely (tests use this). `Log` serializes
+/// under a mutex — slow queries are rare by definition, contention here
+/// is not a concern.
+class SlowQueryLog {
+ public:
+  SlowQueryLog() = default;
+  explicit SlowQueryLog(std::string jsonl_path)
+      : path_(std::move(jsonl_path)) {}
+  explicit SlowQueryLog(std::function<void(const SlowQueryRecord&)> sink)
+      : sink_(std::move(sink)) {}
+
+  void Log(const SlowQueryRecord& rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_) {
+      sink_(rec);
+      return;
+    }
+    const std::string line = ToJsonLine(rec);
+    if (!path_.empty()) {
+      std::FILE* f = std::fopen(path_.c_str(), "a");
+      if (f != nullptr) {
+        std::fputs(line.c_str(), f);
+        std::fclose(f);
+        return;
+      }
+      // Unwritable path: fall through to stderr rather than dropping.
+    }
+    std::fputs(line.c_str(), stderr);
+  }
+
+  /// One self-contained JSON object per line (JSONL). The trace is
+  /// embedded as a JSON value, not a string — the record stays a single
+  /// parseable unit.
+  static std::string ToJsonLine(const SlowQueryRecord& rec) {
+    char tmp[512];
+    std::snprintf(
+        tmp, sizeof(tmp),
+        "{\"slow_query\":{\"handle\":%" PRIu64
+        ",\"tenant\":\"%s\",\"signature\":\"%s\",\"status\":\"%s\","
+        "\"latency_s\":%.6f,\"queued_s\":%.6f,\"admission_wait_s\":%.6f,"
+        "\"matches\":%" PRIu64 ",\"compute_s\":%.6f,\"comm_s\":%.6f,"
+        "\"bytes\":%" PRIu64 ",\"peak_mem\":%" PRIu64
+        ",\"retries\":%" PRIu64 ",\"failovers\":%" PRIu64 ",\"trace\":",
+        rec.handle, rec.tenant.c_str(), rec.signature.c_str(),
+        ToString(rec.status), rec.latency_seconds, rec.queued_seconds,
+        rec.admission_wait_seconds, rec.matches, rec.compute_seconds,
+        rec.comm_seconds, rec.bytes_communicated, rec.peak_memory_bytes,
+        rec.retry_attempts, rec.failover_fetches);
+    std::string line = tmp;
+    if (rec.trace_json.empty()) {
+      line += "null";
+    } else {
+      // The trace document ends with "]\n"; strip the newline so the
+      // record stays one line.
+      std::string trace = rec.trace_json;
+      while (!trace.empty() &&
+             (trace.back() == '\n' || trace.back() == ' ')) {
+        trace.pop_back();
+      }
+      for (char& c : trace) {
+        if (c == '\n') c = ' ';
+      }
+      line += trace;
+    }
+    line += "}}\n";
+    return line;
+  }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::function<void(const SlowQueryRecord&)> sink_;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace huge {
+
+namespace {
+
+/// Process-unique trace ids: the thread-local buffer cache is keyed by id
+/// rather than by `QueryTrace*` so a freed trace whose address gets
+/// recycled can never alias a stale cache entry.
+std::atomic<uint64_t> g_next_trace_id{1};
+
+struct TlsBufCache {
+  uint64_t trace_id = 0;
+  void* buf = nullptr;
+};
+thread_local TlsBufCache tls_buf_cache;
+
+void AppendEventJson(const TraceEvent& e, uint64_t pid, std::string* out) {
+  char tmp[256];
+  // Chrome trace-event timestamps are microseconds (doubles are accepted,
+  // so sub-microsecond spans keep their nanosecond precision).
+  const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+  if (e.instant) {
+    std::snprintf(tmp, sizeof(tmp),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"ts\":%.3f,\"pid\":%" PRIu64 ",\"tid\":%d",
+                  e.name, e.category, ts_us, pid, e.track);
+  } else {
+    const double dur_us = static_cast<double>(e.dur_ns) / 1e3;
+    std::snprintf(tmp, sizeof(tmp),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%" PRIu64 ",\"tid\":%d",
+                  e.name, e.category, ts_us, dur_us, pid, e.track);
+  }
+  out->append(tmp);
+  if (e.arg_name != nullptr) {
+    std::snprintf(tmp, sizeof(tmp), ",\"args\":{\"%s\":%" PRIu64 "}",
+                  e.arg_name, e.arg_value);
+    out->append(tmp);
+  }
+  out->append("}");
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace(size_t cap)
+    : id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)),
+      cap_(cap),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+QueryTrace::~QueryTrace() = default;
+
+QueryTrace::ThreadBuf* QueryTrace::Buf() {
+  TlsBufCache& cache = tls_buf_cache;
+  if (cache.trace_id == id_) {
+    return static_cast<ThreadBuf*>(cache.buf);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bufs_.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf* buf = bufs_.back().get();
+  cache.trace_id = id_;
+  cache.buf = buf;
+  return buf;
+}
+
+void QueryTrace::AddSpan(const char* name, const char* category, int track,
+                         uint64_t start_ns, uint64_t dur_ns,
+                         const char* arg_name, uint64_t arg_value) {
+  if (recorded_.fetch_add(1, std::memory_order_relaxed) >= cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.track = track;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.instant = false;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  Buf()->events.push_back(e);
+}
+
+void QueryTrace::AddInstant(const char* name, const char* category, int track,
+                            const char* arg_name, uint64_t arg_value) {
+  if (recorded_.fetch_add(1, std::memory_order_relaxed) >= cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.track = track;
+  e.start_ns = NowNs();
+  e.instant = true;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  Buf()->events.push_back(e);
+}
+
+std::vector<TraceEvent> QueryTrace::Events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : bufs_) {
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return all;
+}
+
+void QueryTrace::AppendChromeEvents(uint64_t pid,
+                                    const std::string& process_name,
+                                    std::string* out) const {
+  char tmp[256];
+  std::snprintf(tmp, sizeof(tmp),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu64
+                ",\"args\":{\"name\":\"%s\"}}",
+                pid, process_name.c_str());
+  if (!out->empty()) out->append(",\n");
+  out->append(tmp);
+  for (const TraceEvent& e : Events()) {
+    out->append(",\n");
+    AppendEventJson(e, pid, out);
+  }
+  const size_t dropped = dropped_.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    std::snprintf(tmp, sizeof(tmp),
+                  ",\n{\"name\":\"truncated\",\"cat\":\"obs\",\"ph\":\"i\","
+                  "\"s\":\"t\",\"ts\":%.3f,\"pid\":%" PRIu64
+                  ",\"tid\":0,\"args\":{\"dropped\":%zu}}",
+                  static_cast<double>(NowNs()) / 1e3, pid, dropped);
+    out->append(tmp);
+  }
+}
+
+std::string QueryTrace::ChromeJson(uint64_t pid,
+                                   const std::string& process_name) const {
+  std::string body;
+  AppendChromeEvents(pid, process_name, &body);
+  std::string out = "[\n";
+  out += body;
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace huge

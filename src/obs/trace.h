@@ -1,0 +1,160 @@
+#ifndef HUGE_OBS_TRACE_H_
+#define HUGE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace huge {
+
+/// One recorded trace event: a span (has a duration) or an instant marker.
+/// Names and categories are `const char*` because every recording site
+/// passes a string literal — recording never copies, hashes or allocates
+/// strings, which keeps the hot-path cost of an event to a couple of
+/// stores into a thread-local buffer.
+struct TraceEvent {
+  const char* name = "";       ///< e.g. "execute", "hop", "fetch"
+  const char* category = "";   ///< "service", "engine" or "net"
+  int track = 0;               ///< rendering lane (see QueryTrace track ids)
+  uint64_t start_ns = 0;       ///< relative to the trace's epoch
+  uint64_t dur_ns = 0;         ///< 0 for instant events
+  bool instant = false;        ///< true = marker ("i"), false = span ("X")
+  const char* arg_name = nullptr;  ///< optional single numeric argument
+  uint64_t arg_value = 0;
+};
+
+/// The span buffer of one query's lifetime: submit → admission wait →
+/// queue wait → plan-cache hit/miss → executor slot → per-machine
+/// hop/superstep spans → fetch/retry/failover/requeue events.
+///
+/// Recording is multi-writer: the service's dispatcher/slot threads and
+/// every machine thread of the executing cluster append concurrently.
+/// Each thread writes to its *own* buffer (acquired once per thread per
+/// trace through a thread-local cache, a mutex acquisition only on first
+/// contact), so appends never contend and are TSan-clean by construction.
+/// Stitching (`Events`, `AppendChromeEvents`) happens after the run
+/// completed — the cluster joins its machine threads before returning and
+/// the service reads after delivery, so completed buffers are read with a
+/// happens-before edge from the joins.
+///
+/// The total event count is capped (`cap`): a pathological query cannot
+/// grow its trace without bound; overflow is counted in `dropped()` and
+/// surfaced as a "truncated" instant in the export.
+///
+/// Tracks map to Chrome trace-event `tid` lanes: track 0 is the service
+/// lane (submit/queued/execute), track 1 + m is machine m's lane.
+class QueryTrace {
+ public:
+  static constexpr int kServiceTrack = 0;
+  static int MachineTrack(int machine_id) { return 1 + machine_id; }
+
+  explicit QueryTrace(size_t cap);
+  ~QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Nanoseconds since this trace's epoch (its construction).
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records a completed span. `name`/`category`/`arg_name` must be
+  /// string literals (or otherwise outlive the trace).
+  void AddSpan(const char* name, const char* category, int track,
+               uint64_t start_ns, uint64_t dur_ns,
+               const char* arg_name = nullptr, uint64_t arg_value = 0);
+
+  /// Records an instant marker at `NowNs()`.
+  void AddInstant(const char* name, const char* category, int track,
+                  const char* arg_name = nullptr, uint64_t arg_value = 0);
+
+  /// Events recorded past the cap (dropped from the export).
+  size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// All recorded events, stitched across thread buffers and sorted by
+  /// start time. Only call after every recording thread has finished
+  /// (post-delivery).
+  std::vector<TraceEvent> Events() const;
+
+  /// Appends this trace's events to `*out` as comma-separated Chrome
+  /// trace-event JSON objects (no surrounding brackets, so a caller can
+  /// merge several queries into one file). `pid` groups the query's lanes
+  /// in the viewer; `process_name` labels them (a metadata event is
+  /// emitted once per call). Loadable by Perfetto / chrome://tracing once
+  /// wrapped in `[...]`.
+  void AppendChromeEvents(uint64_t pid, const std::string& process_name,
+                          std::string* out) const;
+
+  /// This trace alone as a complete Chrome trace JSON document.
+  std::string ChromeJson(uint64_t pid, const std::string& process_name) const;
+
+ private:
+  struct ThreadBuf {
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer, creating it on first contact. A
+  /// thread-local (trace-id, buffer) pair makes every later append
+  /// lock-free; ids are process-unique so a recycled QueryTrace address
+  /// can never alias a stale cache entry.
+  ThreadBuf* Buf();
+
+  const uint64_t id_;
+  const size_t cap_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards bufs_ growth (first contact only)
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  std::atomic<size_t> recorded_{0};
+  std::atomic<size_t> dropped_{0};
+};
+
+/// RAII span: records [construction, destruction) on `trace` if it is
+/// non-null. The null check makes every instrumentation site a single
+/// branch when observability is disabled — the inert-`FaultInjector`
+/// zero-overhead idiom.
+class TraceSpan {
+ public:
+  TraceSpan(QueryTrace* trace, const char* name, const char* category,
+            int track)
+      : trace_(trace), name_(name), category_(category), track_(track) {
+    if (trace_ != nullptr) start_ns_ = trace_->NowNs();
+  }
+  ~TraceSpan() {
+    if (trace_ != nullptr) {
+      trace_->AddSpan(name_, category_, track_, start_ns_,
+                      trace_->NowNs() - start_ns_, arg_name_, arg_value_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches the span's single numeric argument (e.g. rows fetched).
+  void SetArg(const char* name, uint64_t value) {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+ private:
+  QueryTrace* trace_;
+  const char* name_;
+  const char* category_;
+  int track_;
+  uint64_t start_ns_ = 0;
+  const char* arg_name_ = nullptr;
+  uint64_t arg_value_ = 0;
+};
+
+}  // namespace huge
+
+#endif  // HUGE_OBS_TRACE_H_

@@ -1,6 +1,9 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
 #include <utility>
 
 #include "common/check.h"
@@ -52,6 +55,20 @@ std::string ServiceConfig::Validate() const {
     return "recovery.restart_backoff_sec must be >= 0 (simulated seconds "
            "charged to the survivors per restart)";
   }
+  if (obs.slow_query_seconds < 0) {
+    return "obs.slow_query_seconds must be >= 0 (0 disables the slow-query "
+           "log; a negative threshold would flag every query as slow)";
+  }
+  if (obs.latency_buckets < 1 || obs.latency_buckets > 64) {
+    return "obs.latency_buckets must be in [1, 64]: the exponential ladder "
+           "needs at least one bucket, and past 64 doublings from 100us the "
+           "upper bounds overflow any realistic latency";
+  }
+  if (obs.trace_queries && obs.trace_buffer_cap == 0) {
+    return "obs.trace_buffer_cap must be >= 1 when obs.trace_queries is "
+           "set: a zero-capacity trace would drop every span and record "
+           "nothing but its own truncation marker";
+  }
   return "";
 }
 
@@ -73,6 +90,21 @@ struct QueryService::Task {
   int cores = 0;           ///< raw core weight; the controller clamps
   std::string signature;   ///< empty when not dedup-eligible
   WallTimer queued;  ///< started at enqueue; read once at dispatch
+  /// Span timeline of this query, or null with tracing off. Owned here
+  /// so the trace lives exactly as long as the task — through dispatch,
+  /// the run (the cluster writes machine-track spans into it) and
+  /// delivery, where it is stitched and retained.
+  std::unique_ptr<QueryTrace> trace;
+  /// Admission-wait latch: started by the dispatcher the first time this
+  /// task is head-of-queue with a free slot but blocked on the admission
+  /// budget; read once at dispatch. Dispatcher-only state.
+  WallTimer admission_blocked;
+  bool admission_latched = false;
+  /// Read at dispatch under the lock, copied onto the RunResult at
+  /// delivery (the slot thread must not re-read `queued` — the timer
+  /// keeps running until delivery for the latency measurement).
+  double queued_seconds = 0;
+  double admission_wait_seconds = 0;
   std::vector<Waiter> waiters;
   /// Raised by Cancel once the task is running; the slot's cluster polls
   /// it through the abort plane. Outlives the run: the Task is owned by
@@ -96,6 +128,260 @@ struct QueryService::Slot {
   std::thread thread;
 };
 
+/// All observability state, built once at construction iff any part of
+/// the plane is on (ObservabilityConfig::Enabled). Instrument pointers
+/// are registered once and cached — a query's updates are a handful of
+/// relaxed atomic ops. Completed traces live in a bounded deque behind
+/// their own mutex, never the scheduler lock.
+struct QueryService::Obs {
+  MetricsRegistry* registry = nullptr;  ///< null iff obs.metrics is off
+
+  // Cached instruments; all non-null iff `registry` is.
+  Counter* submitted = nullptr;
+  Counter* completed = nullptr;
+  Counter* rejected = nullptr;
+  Counter* cancelled = nullptr;
+  Counter* recovered = nullptr;
+  Counter* dedup = nullptr;
+  Counter* net_bytes = nullptr;
+  Counter* retry_attempts = nullptr;
+  Counter* retried_bytes = nullptr;
+  Counter* backoff_ns = nullptr;
+  Counter* failovers = nullptr;
+  Counter* requeues = nullptr;
+  Counter* inter_steals = nullptr;
+  Histogram* latency = nullptr;
+  Histogram* queue_wait = nullptr;
+  Histogram* admission_wait = nullptr;
+  std::vector<uint64_t> callback_ids;
+
+  bool trace_queries = false;
+  size_t trace_buffer_cap = 0;
+  size_t trace_retention = 0;
+  double slow_query_seconds = 0;
+  std::unique_ptr<SlowQueryLog> slow_log;
+
+  /// Completed traces as Chrome trace-event fragments (no surrounding
+  /// brackets, so retained queries merge into one document), keyed by
+  /// the owning submission handle, oldest first.
+  mutable std::mutex trace_mu;
+  std::deque<std::pair<uint64_t, std::string>> traces;
+};
+
+void QueryService::InitObs() {
+  if (!config_.obs.Enabled()) return;
+  obs_ = std::make_unique<Obs>();
+  Obs& o = *obs_;
+  o.trace_queries = config_.obs.trace_queries;
+  o.trace_buffer_cap = config_.obs.trace_buffer_cap;
+  o.trace_retention = config_.obs.trace_retention;
+  o.slow_query_seconds = config_.obs.slow_query_seconds;
+  if (o.slow_query_seconds > 0) {
+    if (config_.obs.slow_query_sink) {
+      o.slow_log = std::make_unique<SlowQueryLog>(config_.obs.slow_query_sink);
+    } else if (!config_.obs.slow_query_log_path.empty()) {
+      o.slow_log =
+          std::make_unique<SlowQueryLog>(config_.obs.slow_query_log_path);
+    } else {
+      o.slow_log = std::make_unique<SlowQueryLog>();
+    }
+  }
+  if (!config_.obs.metrics) return;
+  MetricsRegistry& r = config_.obs.registry != nullptr
+                           ? *config_.obs.registry
+                           : MetricsRegistry::Global();
+  o.registry = &r;
+  o.submitted = r.GetCounter("huge_queries_submitted_total",
+                             "Submit/SubmitPlan calls, including rejected");
+  o.completed = r.GetCounter("huge_queries_completed_total",
+                             "Client futures resolved by a run's result");
+  o.rejected = r.GetCounter("huge_queries_rejected_total",
+                            "Submissions refused by the admission budget");
+  o.cancelled = r.GetCounter("huge_queries_cancelled_total",
+                             "Futures resolved with RunStatus kCancelled");
+  o.recovered = r.GetCounter(
+      "huge_queries_recovered_total",
+      "Runs that completed ok after one or more crash-recovery restarts");
+  o.dedup = r.GetCounter(
+      "huge_dedup_hits_total",
+      "Submissions attached to an identical in-flight run instead of "
+      "executing twice");
+  o.net_bytes = r.GetCounter("huge_net_bytes_total",
+                             "Bytes transferred across completed runs");
+  o.retry_attempts =
+      r.GetCounter("huge_net_retry_attempts_total",
+                   "Transiently failed wire attempts that were retried");
+  o.retried_bytes = r.GetCounter(
+      "huge_net_retried_bytes_total",
+      "Wasted bytes charged by failed wire attempts before their retry");
+  o.backoff_ns = r.GetCounter(
+      "huge_net_backoff_ns_total",
+      "Summed simulated backoff the retry protocol waited, nanoseconds");
+  o.failovers = r.GetCounter(
+      "huge_net_failover_fetches_total",
+      "Fetches served by a successor replica because the primary was dead");
+  o.requeues = r.GetCounter(
+      "huge_requeued_chunks_total",
+      "Steal-chunk ranges a crashed machine left behind that survivors "
+      "requeued");
+  o.inter_steals = r.GetCounter("huge_inter_steals_total",
+                                "Machine-to-machine work steals");
+  const std::vector<double> buckets = Histogram::ExponentialBuckets(
+      1e-4, 2, config_.obs.latency_buckets);
+  o.latency = r.GetHistogram("huge_query_latency_seconds",
+                             "Submit-to-delivery latency per query", buckets);
+  o.queue_wait =
+      r.GetHistogram("huge_query_queue_wait_seconds",
+                     "Submit-to-dispatch wait per query", buckets);
+  o.admission_wait = r.GetHistogram(
+      "huge_query_admission_wait_seconds",
+      "Head-of-queue time blocked purely on the admission budget", buckets);
+  // Callback gauges sample live service state at export time. Lock order
+  // is registry.mu_ -> service mu_ only — the service never exports while
+  // holding mu_, so the order is acyclic. All of them are unregistered at
+  // the very top of the destructor, before any sampled state dies.
+  o.callback_ids.push_back(r.RegisterCallbackGauge(
+      "huge_queue_depth", "Queries queued, not yet dispatched", [this] {
+        std::lock_guard<std::mutex> guard(mu_);
+        return static_cast<int64_t>(sched_.size());
+      }));
+  o.callback_ids.push_back(r.RegisterCallbackGauge(
+      "huge_running_queries", "Queries admitted and currently running",
+      [this] {
+        std::lock_guard<std::mutex> guard(mu_);
+        return static_cast<int64_t>(admission_->running());
+      }));
+  o.callback_ids.push_back(r.RegisterCallbackGauge(
+      "huge_plan_cache_hits", "Plan-cache hits since service start",
+      [this] { return static_cast<int64_t>(plan_cache_->hits()); }));
+  o.callback_ids.push_back(r.RegisterCallbackGauge(
+      "huge_plan_cache_misses", "Plan-cache misses since service start",
+      [this] { return static_cast<int64_t>(plan_cache_->misses()); }));
+  if (fabric_ != nullptr) {
+    ExecutionFabric* fabric = fabric_.get();
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_fabric_workers", "Worker threads of the shared fabric pool",
+        [fabric] {
+          return static_cast<int64_t>(fabric->pool().num_workers());
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_fabric_steals", "Intra-pool task steals of the shared pool",
+        [fabric] {
+          return static_cast<int64_t>(fabric->pool().steal_count());
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_fabric_busy_ms",
+        "Summed busy milliseconds across the shared pool's workers",
+        [fabric] {
+          double sum = 0;
+          for (double b : fabric->pool().BusySeconds()) sum += b;
+          return static_cast<int64_t>(sum * 1e3);
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_shared_cache_hits", "Shared adjacency-cache hits", [fabric] {
+          return static_cast<int64_t>(fabric->adj_cache().hits());
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_shared_cache_misses", "Shared adjacency-cache misses",
+        [fabric] {
+          return static_cast<int64_t>(fabric->adj_cache().misses());
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_shared_cache_evictions", "Shared adjacency-cache evictions",
+        [fabric] {
+          return static_cast<int64_t>(fabric->adj_cache().evictions());
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_shared_cache_evicted_bytes",
+        "Total bytes evicted from the shared adjacency cache", [fabric] {
+          return static_cast<int64_t>(fabric->adj_cache().evicted_bytes());
+        }));
+    o.callback_ids.push_back(r.RegisterCallbackGauge(
+        "huge_shared_cache_size_bytes",
+        "Resident bytes of the shared adjacency cache", [fabric] {
+          return static_cast<int64_t>(fabric->adj_cache().SizeBytes());
+        }));
+  }
+}
+
+void QueryService::FinishQueryObs(const Task& task, const RunResult& result,
+                                  double latency_seconds) {
+  Obs& o = *obs_;
+  if (o.registry != nullptr) {
+    const uint64_t waiters = task.waiters.size();
+    o.completed->Inc(waiters);
+    if (result.status == RunStatus::kCancelled) o.cancelled->Inc(waiters);
+    o.latency->Observe(latency_seconds);
+    o.queue_wait->Observe(result.queued_seconds);
+    if (result.admission_wait_seconds > 0) {
+      o.admission_wait->Observe(result.admission_wait_seconds);
+    }
+    const RunMetrics& m = result.metrics;
+    o.net_bytes->Inc(m.bytes_communicated);
+    o.retry_attempts->Inc(m.retry_attempts);
+    o.retried_bytes->Inc(m.retried_bytes);
+    o.backoff_ns->Inc(m.backoff_ns);
+    o.failovers->Inc(m.failover_fetches);
+    o.requeues->Inc(m.requeued_chunks);
+    o.inter_steals->Inc(m.inter_steals);
+  }
+  std::string fragment;
+  if (task.trace != nullptr) {
+    char name[96];
+    std::snprintf(name, sizeof(name), "query-%" PRIu64 "%s%s", task.id,
+                  task.signature.empty() ? "" : " ", task.signature.c_str());
+    task.trace->AppendChromeEvents(task.id, name, &fragment);
+    std::lock_guard<std::mutex> lock(o.trace_mu);
+    o.traces.emplace_back(task.id, fragment);
+    while (o.traces.size() > o.trace_retention) o.traces.pop_front();
+  }
+  if (o.slow_log != nullptr && latency_seconds > o.slow_query_seconds) {
+    SlowQueryRecord rec;
+    rec.handle = task.id;
+    rec.tenant = task.tenant;
+    rec.signature = task.signature;
+    rec.status = result.status;
+    rec.latency_seconds = latency_seconds;
+    rec.queued_seconds = result.queued_seconds;
+    rec.admission_wait_seconds = result.admission_wait_seconds;
+    rec.matches = result.matches;
+    rec.compute_seconds = result.metrics.compute_seconds;
+    rec.comm_seconds = result.metrics.comm_seconds;
+    rec.bytes_communicated = result.metrics.bytes_communicated;
+    rec.peak_memory_bytes = result.metrics.peak_memory_bytes;
+    rec.retry_attempts = result.metrics.retry_attempts;
+    rec.failover_fetches = result.metrics.failover_fetches;
+    if (!fragment.empty()) rec.trace_json = "[\n" + fragment + "\n]\n";
+    o.slow_log->Log(rec);
+  }
+}
+
+MetricsRegistry* QueryService::registry() const {
+  return obs_ != nullptr ? obs_->registry : nullptr;
+}
+
+std::string QueryService::TraceJson(uint64_t handle) const {
+  if (obs_ == nullptr) return "";
+  std::lock_guard<std::mutex> lock(obs_->trace_mu);
+  for (const auto& [id, fragment] : obs_->traces) {
+    if (id == handle) return "[\n" + fragment + "\n]\n";
+  }
+  return "";
+}
+
+std::string QueryService::RetainedTracesJson() const {
+  std::string body;
+  if (obs_ != nullptr) {
+    std::lock_guard<std::mutex> lock(obs_->trace_mu);
+    for (const auto& entry : obs_->traces) {
+      if (!body.empty()) body += ",\n";
+      body += entry.second;
+    }
+  }
+  if (body.empty()) return "[]\n";
+  return "[\n" + body + "\n]\n";
+}
+
 QueryService::QueryService(std::shared_ptr<const Graph> graph,
                            ServiceConfig config)
     : config_(std::move(config)),
@@ -112,6 +398,7 @@ QueryService::QueryService(std::shared_ptr<const Graph> graph,
             : static_cast<size_t>(0.3 * graph_->SizeBytes());  // engine default
     fabric_ = std::make_unique<ExecutionFabric>(fo);
   }
+  InitObs();  // after the fabric: its gauges sample pool and cache state
   for (int i = 0; i < config_.max_concurrent_queries; ++i) {
     auto slot = std::make_unique<Slot>();
     if (i < config_.min_warm_slots) {
@@ -134,6 +421,7 @@ QueryService::QueryService(Cluster* executor, const GraphStats& stats,
   config_.engine = executor->config();
   config_.max_concurrent_queries = 1;
   Start();
+  InitObs();
   auto slot = std::make_unique<Slot>();
   slot->cluster = executor;
   slots_.push_back(std::move(slot));
@@ -151,6 +439,15 @@ void QueryService::Start() {
 }
 
 QueryService::~QueryService() {
+  // Callback gauges close over service state — retire them before any of
+  // it (scheduler, admission, plan cache, fabric) starts dying, so a
+  // concurrent export can never sample a half-destroyed service.
+  if (obs_ != nullptr && obs_->registry != nullptr) {
+    for (uint64_t id : obs_->callback_ids) {
+      obs_->registry->UnregisterCallbackGauge(id);
+    }
+    obs_->callback_ids.clear();
+  }
   Drain();
   {
     std::lock_guard<std::mutex> guard(mu_);
@@ -174,28 +471,34 @@ std::future<RunResult> QueryService::Submit(const QueryGraph& q,
                          plan_cache_->capacity() > 0 &&
                          !config_.engine.match_sink;
   if (!cacheable) {
-    return EnqueuePlan(Optimize(q, stats_, options), opts, handle, nullptr);
+    return EnqueuePlan(Optimize(q, stats_, options), opts, handle, nullptr,
+                       -1);
   }
   const std::string signature = CanonicalSignature(q);
   // Single-flight: concurrent misses of the same signature run the
   // optimiser once and share the winning plan.
-  std::shared_ptr<const ExecutionPlan> plan = plan_cache_->GetOrCompute(
-      signature, [&] { return Optimize(q, stats_, options); });
+  bool cache_miss = false;
+  std::shared_ptr<const ExecutionPlan> plan =
+      plan_cache_->GetOrCompute(signature, [&] {
+        cache_miss = true;
+        return Optimize(q, stats_, options);
+      });
   const std::string* dedup_sig =
       config_.dedup_submissions ? &signature : nullptr;
-  return EnqueuePlan(*plan, opts, handle, dedup_sig);
+  return EnqueuePlan(*plan, opts, handle, dedup_sig, cache_miss ? 0 : 1);
 }
 
 std::future<RunResult> QueryService::SubmitPlan(const ExecutionPlan& plan,
                                                 SubmitOptions opts,
                                                 uint64_t* handle) {
-  return EnqueuePlan(plan, opts, handle, nullptr);
+  return EnqueuePlan(plan, opts, handle, nullptr, -1);
 }
 
 std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
                                                  const SubmitOptions& opts,
                                                  uint64_t* handle,
-                                                 const std::string* signature) {
+                                                 const std::string* signature,
+                                                 int plan_cache_outcome) {
   if (handle != nullptr) *handle = 0;
   // Reservation: the cost model's envelope, floored, clamped to the
   // budget (unless the config says such queries are rejected outright).
@@ -213,6 +516,10 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
         RunResult rejected;
         rejected.status = RunStatus::kRejected;
         promise.set_value(std::move(rejected));
+        if (obs_ != nullptr && obs_->registry != nullptr) {
+          obs_->submitted->Inc();
+          obs_->rejected->Inc();
+        }
         std::lock_guard<std::mutex> guard(mu_);
         ++submitted_;
         ++rejected_;
@@ -232,6 +539,17 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
   task->reservation = reservation;
   task->cores =
       config_.engine.num_machines * config_.engine.workers_per_machine;
+  if (obs_ != nullptr && obs_->trace_queries) {
+    // The trace's epoch is its construction — right here, at submit —
+    // so the queued span starts at ts 0.
+    task->trace = std::make_unique<QueryTrace>(obs_->trace_buffer_cap);
+    task->trace->AddInstant("submit", "service", QueryTrace::kServiceTrack);
+    if (plan_cache_outcome >= 0) {
+      task->trace->AddInstant(
+          plan_cache_outcome == 1 ? "plan_cache_hit" : "plan_cache_miss",
+          "service", QueryTrace::kServiceTrack);
+    }
+  }
   std::future<RunResult> future;
   {
     std::lock_guard<std::mutex> guard(mu_);
@@ -252,6 +570,16 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
           existing->waiters.push_back(std::move(waiter));
           ++submitted_;
           ++dedup_hits_;
+          if (obs_ != nullptr) {
+            if (obs_->registry != nullptr) {
+              obs_->submitted->Inc();
+              obs_->dedup->Inc();
+            }
+            if (existing->trace != nullptr) {
+              existing->trace->AddInstant("dedup_attach", "service",
+                                          QueryTrace::kServiceTrack);
+            }
+          }
           return future;
         }
       }
@@ -271,6 +599,9 @@ std::future<RunResult> QueryService::EnqueuePlan(const ExecutionPlan& plan,
     sched_.Enqueue(opts.tenant, task->id);
     queued_tasks_.emplace(task->id, std::move(task));
     ++submitted_;
+    if (obs_ != nullptr && obs_->registry != nullptr) {
+      obs_->submitted->Inc();
+    }
   }
   cv_dispatch_.notify_one();
   return future;
@@ -309,6 +640,9 @@ bool QueryService::Cancel(uint64_t handle) {
       handle_owner_.erase(ho);
       resolve_detached = true;
       ++cancelled_;
+      if (obs_ != nullptr && obs_->registry != nullptr) {
+        obs_->cancelled->Inc();
+      }
       merged_.worst_status =
           MaxSeverity(merged_.worst_status, RunStatus::kCancelled);
     } else if (queued_tasks_.count(task_id) != 0) {
@@ -325,6 +659,9 @@ bool QueryService::Cancel(uint64_t handle) {
         }
       }
       ++cancelled_;
+      if (obs_ != nullptr && obs_->registry != nullptr) {
+        obs_->cancelled->Inc();
+      }
       merged_.worst_status =
           MaxSeverity(merged_.worst_status, RunStatus::kCancelled);
     } else {
@@ -378,8 +715,16 @@ void QueryService::DispatcherLoop() {
       if (slot == nullptr) return false;
       // Strict fair order: the head waits for memory and cores rather
       // than letting later (smaller) queries overtake it indefinitely.
-      const Task& head = *queued_tasks_.at(head_id);
-      return admission_->CanAdmit(head.reservation, head.cores);
+      Task& head = *queued_tasks_.at(head_id);
+      if (admission_->CanAdmit(head.reservation, head.cores)) return true;
+      // Head-of-queue with a free slot but blocked purely on the
+      // admission budget: start its admission-wait clock, once. A later
+      // head (after a cancel) latches its own clock fresh.
+      if (!head.admission_latched) {
+        head.admission_latched = true;
+        head.admission_blocked.Reset();
+      }
+      return false;
     });
     if (shutdown_) return;
     uint64_t id = 0;
@@ -389,7 +734,28 @@ void QueryService::DispatcherLoop() {
     Task* task = it->second.get();
     HUGE_CHECK(admission_->TryAdmit(task->reservation, task->cores));
     peak_concurrency_ = std::max(peak_concurrency_, admission_->running());
-    queue_wait_seconds_ += task->queued.Seconds();
+    // Read the wait clocks exactly once, here: `queued` keeps running
+    // until delivery (it doubles as the latency clock), so the dispatch
+    // split is snapshotted onto the task.
+    task->queued_seconds = task->queued.Seconds();
+    if (task->admission_latched) {
+      task->admission_wait_seconds = task->admission_blocked.Seconds();
+    }
+    queue_wait_seconds_ += task->queued_seconds;
+    admission_wait_seconds_ += task->admission_wait_seconds;
+    if (task->trace != nullptr) {
+      const uint64_t now_ns = task->trace->NowNs();
+      task->trace->AddSpan("queued", "service", QueryTrace::kServiceTrack, 0,
+                           now_ns);
+      const uint64_t wait_ns = std::min(
+          now_ns,
+          static_cast<uint64_t>(task->admission_wait_seconds * 1e9));
+      if (wait_ns > 0) {
+        task->trace->AddSpan("admission_wait", "service",
+                             QueryTrace::kServiceTrack, now_ns - wait_ns,
+                             wait_ns);
+      }
+    }
     slot->task = std::move(it->second);
     running_tasks_.emplace(id, task);
     queued_tasks_.erase(it);
@@ -415,7 +781,9 @@ void QueryService::SlotLoop(Slot* slot) {
           std::make_unique<Cluster>(graph_, config_.engine, fabric_.get());
       slot->cluster = slot->owned.get();
     }
-    RunResult result = slot->cluster->Run(task->df, &task->cancel);
+    QueryTrace* trace = task->trace.get();
+    const uint64_t exec_start_ns = trace != nullptr ? trace->NowNs() : 0;
+    RunResult result = slot->cluster->Run(task->df, &task->cancel, trace);
     // Crash recovery: a kFailed run whose cluster observed machine deaths
     // — and still has survivors holding every partition through
     // replication — restarts checkpoint-free against the surviving
@@ -431,13 +799,35 @@ void QueryService::SlotLoop(Slot* slot) {
         const MembershipView& mv = slot->cluster->network().membership();
         if (mv.NumDead() == 0 || mv.NumLive() == 0) break;
         ++restarts;
-        result = slot->cluster->RunRecovery(
-            task->df, &task->cancel, config_.recovery.restart_backoff_sec);
+        if (trace != nullptr) {
+          trace->AddInstant("recovery_restart", "service",
+                            QueryTrace::kServiceTrack, "restart",
+                            static_cast<uint64_t>(restarts));
+        }
+        result = slot->cluster->RunRecovery(task->df, &task->cancel,
+                                            config_.recovery.restart_backoff_sec,
+                                            trace);
       }
     }
+    if (trace != nullptr) {
+      trace->AddSpan("execute", "service", QueryTrace::kServiceTrack,
+                     exec_start_ns, trace->NowNs() - exec_start_ns,
+                     "restarts", static_cast<uint64_t>(restarts));
+    }
     lk.lock();
-    if (restarts > 0 && result.status == RunStatus::kOk) ++recovered_runs_;
+    const bool recovered = restarts > 0 && result.status == RunStatus::kOk;
+    if (recovered) {
+      ++recovered_runs_;
+      if (obs_ != nullptr && obs_->registry != nullptr) {
+        obs_->recovered->Inc();
+      }
+    }
     admission_->Release(task->reservation, task->cores);
+    // The submit-to-delivery latency and its dispatch-time split, stamped
+    // on the result every waiter receives.
+    result.queued_seconds = task->queued_seconds;
+    result.admission_wait_seconds = task->admission_wait_seconds;
+    const double latency_seconds = task->queued.Seconds();
     // Every waiter's future resolves with this result: each counts as a
     // completion, and as a cancellation iff the run really drained to
     // kCancelled (the only path that counts a running cancel — see
@@ -479,6 +869,10 @@ void QueryService::SlotLoop(Slot* slot) {
       slot->cluster = nullptr;
     }
     lk.unlock();
+    // Observability delivery work — latency observations, trace stitch +
+    // retention, slow-query log — runs outside the scheduler lock, before
+    // the waiters resolve (the task still owns its waiters and trace).
+    if (obs_ != nullptr) FinishQueryObs(*done, result, latency_seconds);
     for (size_t i = 0; i + 1 < done->waiters.size(); ++i) {
       done->waiters[i].promise.set_value(result);
     }
@@ -515,6 +909,7 @@ ServiceMetrics QueryService::metrics() const {
     m.peak_concurrency = peak_concurrency_;
     m.peak_cores = admission_->peak_cores();
     m.queue_wait_seconds = queue_wait_seconds_;
+    m.admission_wait_seconds = admission_wait_seconds_;
     m.merged = merged_;
   }
   m.plan_cache_hits = plan_cache_->hits();

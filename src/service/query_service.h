@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,9 @@
 #include "engine/config.h"
 #include "engine/fabric.h"
 #include "engine/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "plan/cost_model.h"
 #include "plan/plan.h"
 #include "query/query_graph.h"
@@ -37,6 +41,57 @@ struct RecoveryPolicy {
   /// Simulated seconds charged to every live machine before a restart
   /// (failure detection + work redistribution time).
   double restart_backoff_sec = 1e-3;
+};
+
+/// The service's observability plane (src/obs/). Everything is off by
+/// default, and when everything is off the service holds *no* obs state
+/// at all — every per-query instrumentation site reduces to one null
+/// branch and the engine runs with a null trace pointer, mirroring the
+/// inert FaultInjector's zero-overhead guarantee (pinned by
+/// tests/obs_test.cc).
+struct ObservabilityConfig {
+  /// Instrument the metrics registry: query counters, the per-query
+  /// latency histogram, queue-depth/occupancy gauges, fabric, shared
+  /// cache and network counters.
+  bool metrics = false;
+
+  /// Registry the instrumentation writes into; null selects
+  /// MetricsRegistry::Global(). Non-owning — must outlive the service.
+  /// Tests and multi-service processes pass their own instance.
+  MetricsRegistry* registry = nullptr;
+
+  /// Record a span trace per query (submit -> admission -> queue ->
+  /// execute -> per-machine hops), retrievable after completion via
+  /// QueryService::TraceJson / RetainedTracesJson as Chrome trace-event
+  /// JSON (Perfetto-loadable).
+  bool trace_queries = false;
+
+  /// Cap on events recorded per query trace; overflow is counted and
+  /// surfaced as a "truncated" marker instead of growing without bound.
+  size_t trace_buffer_cap = 4096;
+
+  /// Completed traces retained for TraceJson, oldest evicted first.
+  size_t trace_retention = 64;
+
+  /// Queries whose submit-to-delivery latency exceeds this many seconds
+  /// dump their trace, canonical plan signature and metrics to the
+  /// slow-query log. 0 disables the log.
+  double slow_query_seconds = 0;
+
+  /// Slow-query sink: a JSONL file when set, else one JSON line per
+  /// record to stderr. `slow_query_sink` overrides both (test hook).
+  std::string slow_query_log_path;
+  std::function<void(const SlowQueryRecord&)> slow_query_sink;
+
+  /// Buckets of the latency histograms (exponential ladder from 100us,
+  /// factor 2): 24 spans 100us to ~14min. Range-checked by Validate.
+  int latency_buckets = 24;
+
+  /// True when any part of the plane is on (the service builds obs
+  /// state at all only in that case).
+  bool Enabled() const {
+    return metrics || trace_queries || slow_query_seconds > 0;
+  }
 };
 
 /// Configuration of a QueryService on top of the per-run engine Config.
@@ -117,6 +172,10 @@ struct ServiceConfig {
   /// participate (SubmitPlan and match_sink runs never dedup).
   bool dedup_submissions = true;
 
+  /// Observability plane: per-query tracing, metrics registry
+  /// instrumentation and the slow-query log. All off by default.
+  ObservabilityConfig obs;
+
   /// Empty when the configuration is usable, else the first problem found
   /// (includes engine.Validate()).
   std::string Validate() const;
@@ -173,6 +232,10 @@ struct ServiceMetrics {
   int peak_cores = 0;
   int peak_concurrency = 0;  ///< most queries ever running at once
   double queue_wait_seconds = 0;  ///< summed submit-to-dispatch wait
+  /// Summed head-of-queue time blocked purely on the admission budget
+  /// while an executor slot was free (a subset of queue_wait_seconds) —
+  /// the service-level fold of RunResult::admission_wait_seconds.
+  double admission_wait_seconds = 0;
   /// RunMetrics::Merge over every completed *run* (a deduped run folds
   /// once, not per waiter; peak_memory_bytes is therefore the max
   /// single-query engine peak, not a sum). The per-worker busy vectors
@@ -284,15 +347,39 @@ class QueryService {
   /// Queries queued but not yet dispatched.
   size_t pending() const;
 
+  /// The metrics registry the observability plane writes into, or null
+  /// when ObservabilityConfig::metrics is off.
+  MetricsRegistry* registry() const;
+
+  /// Chrome trace-event JSON document of a completed traced query (by
+  /// its submission handle), or "" when tracing is off, the handle is
+  /// unknown, or the trace aged out of the retention window.
+  std::string TraceJson(uint64_t handle) const;
+
+  /// Every retained completed trace merged into one Chrome trace-event
+  /// JSON document (one pid lane group per query handle), or "[]" with
+  /// tracing off. Loadable in Perfetto / chrome://tracing.
+  std::string RetainedTracesJson() const;
+
  private:
   struct Task;
   struct Slot;
+  struct Obs;
 
   void Start();
+  void InitObs();
+  /// Delivery-side observability: latency histogram + run counters, the
+  /// stitched trace export, retention and the slow-query log. Called
+  /// outside the scheduler lock, once per run.
+  void FinishQueryObs(const Task& task, const RunResult& result,
+                      double latency_seconds);
+  /// `plan_cache_outcome`: -1 cache bypassed, 0 miss, 1 hit (drives the
+  /// trace's plan-cache instant event).
   std::future<RunResult> EnqueuePlan(const ExecutionPlan& plan,
                                      const SubmitOptions& opts,
                                      uint64_t* handle,
-                                     const std::string* signature);
+                                     const std::string* signature,
+                                     int plan_cache_outcome);
   void DispatcherLoop();
   void SlotLoop(Slot* slot);
   Slot* FindFreeSlotLocked();
@@ -304,6 +391,9 @@ class QueryService {
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<ExecutionFabric> fabric_;  ///< before slots_: outlives clusters
+  /// Observability state, or null when the whole plane is off — the
+  /// null-sink branch every instrumentation site tests.
+  std::unique_ptr<Obs> obs_;
   std::vector<std::unique_ptr<Slot>> slots_;
 
   mutable std::mutex mu_;
@@ -330,6 +420,7 @@ class QueryService {
   uint64_t dedup_hits_ = 0;
   int peak_concurrency_ = 0;
   double queue_wait_seconds_ = 0;
+  double admission_wait_seconds_ = 0;
   RunMetrics merged_;
 
   std::thread dispatcher_;

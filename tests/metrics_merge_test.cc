@@ -1,0 +1,131 @@
+// Completeness guard for RunMetrics::Merge: every field of RunMetrics
+// must participate in the fold (sum, max, status-lattice or append). A
+// field added to the struct but forgotten in Merge silently vanishes
+// from every service-level aggregate, so this test pins (a) the exact
+// per-field fold semantics via a sentinel-filled merge into a default
+// snapshot, and (b) the struct size itself as a tripwire — growing
+// RunMetrics without updating Merge AND this test fails the build's
+// test suite, not a production aggregate.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "engine/metrics.h"
+
+namespace huge {
+namespace {
+
+/// A RunMetrics with every field set to a distinct, recognisable
+/// sentinel. Merging this into a default-constructed snapshot must
+/// reproduce every sentinel on the destination — any field Merge drops
+/// comes out zero and fails its EXPECT below.
+RunMetrics Sentinels() {
+  RunMetrics m;
+  m.compute_seconds = 1.0;
+  m.comm_seconds = 2.0;
+  m.bytes_communicated = 3;
+  m.rpc_requests = 4;
+  m.push_messages = 5;
+  m.peak_memory_bytes = 6;
+  m.cache_hits = 7;
+  m.cache_misses = 8;
+  m.intra_steals = 9;
+  m.inter_steals = 10;
+  m.fetch_seconds = 11.0;
+  m.intermediate_rows = 12;
+  m.fused_count_rows = 13;
+  m.materialized_count_rows = 14;
+  m.remote_sliced_rows = 15;
+  m.remote_full_rows = 16;
+  m.hub_probe_rows = 17;
+  m.retry_attempts = 18;
+  m.retried_bytes = 19;
+  m.backoff_ns = 20;
+  m.failover_fetches = 21;
+  m.requeued_chunks = 22;
+  m.worst_status = RunStatus::kTimeout;
+  m.delta_rows = 23;
+  m.materialize_rows = 24;
+  m.worker_busy_seconds = {25.0, 26.0};
+  m.machine_busy_seconds = {27.0};
+  return m;
+}
+
+TEST(RunMetricsMergeTest, MergeIntoDefaultPreservesEveryField) {
+  RunMetrics merged;
+  merged.Merge(Sentinels());
+  EXPECT_DOUBLE_EQ(merged.compute_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(merged.comm_seconds, 2.0);
+  EXPECT_EQ(merged.bytes_communicated, 3u);
+  EXPECT_EQ(merged.rpc_requests, 4u);
+  EXPECT_EQ(merged.push_messages, 5u);
+  EXPECT_EQ(merged.peak_memory_bytes, 6u);
+  EXPECT_EQ(merged.cache_hits, 7u);
+  EXPECT_EQ(merged.cache_misses, 8u);
+  EXPECT_EQ(merged.intra_steals, 9u);
+  EXPECT_EQ(merged.inter_steals, 10u);
+  EXPECT_DOUBLE_EQ(merged.fetch_seconds, 11.0);
+  EXPECT_EQ(merged.intermediate_rows, 12u);
+  EXPECT_EQ(merged.fused_count_rows, 13u);
+  EXPECT_EQ(merged.materialized_count_rows, 14u);
+  EXPECT_EQ(merged.remote_sliced_rows, 15u);
+  EXPECT_EQ(merged.remote_full_rows, 16u);
+  EXPECT_EQ(merged.hub_probe_rows, 17u);
+  EXPECT_EQ(merged.retry_attempts, 18u);
+  EXPECT_EQ(merged.retried_bytes, 19u);
+  EXPECT_EQ(merged.backoff_ns, 20u);
+  EXPECT_EQ(merged.failover_fetches, 21u);
+  EXPECT_EQ(merged.requeued_chunks, 22u);
+  EXPECT_EQ(merged.worst_status, RunStatus::kTimeout);
+  EXPECT_EQ(merged.delta_rows, 23u);
+  EXPECT_EQ(merged.materialize_rows, 24u);
+  ASSERT_EQ(merged.worker_busy_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.worker_busy_seconds[0], 25.0);
+  EXPECT_DOUBLE_EQ(merged.worker_busy_seconds[1], 26.0);
+  ASSERT_EQ(merged.machine_busy_seconds.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.machine_busy_seconds[0], 27.0);
+}
+
+TEST(RunMetricsMergeTest, FoldSemanticsSumMaxAndAppend) {
+  RunMetrics a = Sentinels();
+  a.Merge(Sentinels());
+  // Additive counters double...
+  EXPECT_DOUBLE_EQ(a.compute_seconds, 2.0);
+  EXPECT_EQ(a.bytes_communicated, 6u);
+  EXPECT_EQ(a.requeued_chunks, 44u);
+  // ...peaks take the max (trackers watch disjoint state sets)...
+  EXPECT_EQ(a.peak_memory_bytes, 6u);
+  // ...the status folds through the severity lattice...
+  RunMetrics worse;
+  worse.worst_status = RunStatus::kFailed;
+  a.Merge(worse);
+  EXPECT_EQ(a.worst_status, RunStatus::kFailed);
+  RunMetrics better;
+  better.worst_status = RunStatus::kOk;
+  a.Merge(better);
+  EXPECT_EQ(a.worst_status, RunStatus::kFailed);  // never downgrades
+  // ...and the busy vectors append.
+  EXPECT_EQ(a.worker_busy_seconds.size(), 4u);
+  EXPECT_EQ(a.machine_busy_seconds.size(), 2u);
+}
+
+TEST(RunMetricsMergeTest, SizeofTripwire) {
+  // If this assertion fires you added (or resized) a RunMetrics field:
+  // update Merge(), Sentinels() and the per-field EXPECTs above, then
+  // pin the new size here. The check is x86-64-specific by design — the
+  // CI matrix is — so other ABIs don't take spurious failures.
+#if defined(__x86_64__)
+  EXPECT_EQ(sizeof(RunMetrics), 248u)
+      << "RunMetrics changed: teach Merge() and this test the new field";
+  // RunResult carries the service's queued/admission-wait split OUTSIDE
+  // RunMetrics (per-submission facts must not sum through Merge); its
+  // size is pinned so a field added to the wrong struct trips one of
+  // the two wires.
+  EXPECT_EQ(sizeof(RunResult), 280u)
+      << "RunResult changed: decide Merge semantics before re-pinning";
+#endif
+}
+
+}  // namespace
+}  // namespace huge

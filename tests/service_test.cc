@@ -777,6 +777,42 @@ TEST(ConfigValidateTest, ServiceConfigChecksEngineAndServiceFields) {
   }
 }
 
+TEST(ConfigValidateTest, ServiceConfigChecksObservabilityKnobs) {
+  {
+    ServiceConfig sc;
+    sc.obs.slow_query_seconds = -0.5;  // negative threshold: every query
+    EXPECT_NE(sc.Validate().find("slow_query_seconds"), std::string::npos);
+  }
+  {
+    ServiceConfig sc;
+    sc.obs.latency_buckets = 0;  // the ladder needs at least one bucket
+    EXPECT_NE(sc.Validate().find("latency_buckets"), std::string::npos);
+    sc.obs.latency_buckets = 65;  // past 64 doublings the bounds overflow
+    EXPECT_NE(sc.Validate().find("latency_buckets"), std::string::npos);
+    sc.obs.latency_buckets = 64;
+    EXPECT_EQ(sc.Validate(), "");
+  }
+  {
+    ServiceConfig sc;
+    sc.obs.trace_queries = true;
+    sc.obs.trace_buffer_cap = 0;  // would drop every span
+    EXPECT_NE(sc.Validate().find("trace_buffer_cap"), std::string::npos);
+    sc.obs.trace_buffer_cap = 1;
+    EXPECT_EQ(sc.Validate(), "");
+    // A zero cap without tracing is fine: the knob is inert.
+    sc.obs.trace_queries = false;
+    sc.obs.trace_buffer_cap = 0;
+    EXPECT_EQ(sc.Validate(), "");
+  }
+  {
+    // The whole plane defaults off.
+    ServiceConfig sc;
+    EXPECT_FALSE(sc.obs.Enabled());
+    sc.obs.metrics = true;
+    EXPECT_TRUE(sc.obs.Enabled());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // RunMetrics::Merge.
 // ---------------------------------------------------------------------------
